@@ -1,0 +1,246 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (Table 1, Figures 9/10/11a-d, the appendix Table 2 cross-check, and
+   the Section 6.3/7 ablations) through Sim.Runner.
+
+   Part 2 runs Bechamel micro-benchmarks — one group per experiment
+   family — timing the real data-structure operations the figures
+   proxy: lookups, inserts, block prefetches and range operations on
+   every page-table organization, plus the TLB models.  Pass --quick
+   to restrict the trace-driven experiments to three workloads. *)
+
+open Bechamel
+open Toolkit
+
+module Intf = Pt_common.Intf
+
+let attr = Pte.Attr.default
+
+(* --- fixtures: tables populated with the nasa7 snapshot --- *)
+
+let seed = 0xBE7CL
+
+let assignments =
+  lazy
+    (let snap = Workload.Snapshot.generate Workload.Table1.nasa7 ~seed in
+     List.mapi
+       (fun i proc ->
+         Sim.Builder.assign proc ~seed:(Int64.add seed (Int64.of_int i)) ())
+       snap.Workload.Snapshot.procs)
+
+let populated kind ~policy =
+  let pt = Sim.Factory.make kind in
+  List.iter (fun a -> Sim.Builder.populate pt a ~policy) (Lazy.force assignments);
+  pt
+
+let sample_vpns =
+  lazy
+    (let out = ref [] in
+     List.iter
+       (fun a ->
+         List.iter
+           (fun (b : Sim.Builder.block_info) ->
+             match b.Sim.Builder.boffs_ppns with
+             | (boff, _) :: _ ->
+                 out :=
+                   Int64.add
+                     (Int64.shift_left b.Sim.Builder.vpbn 4)
+                     (Int64.of_int boff)
+                   :: !out
+             | [] -> ())
+           a.Sim.Builder.blocks)
+       (Lazy.force assignments);
+     Array.of_list !out)
+
+let lookup_bench kind ~policy =
+  let pt = populated kind ~policy in
+  let vpns = Lazy.force sample_vpns in
+  (* warm caching structures (the TSBs) so the estimate is the hit
+     path, comparable across organizations *)
+  Array.iter (fun vpn -> ignore (Intf.lookup pt ~vpn)) vpns;
+  let n = Array.length vpns in
+  let i = ref 0 in
+  Staged.stage (fun () ->
+      let vpn = vpns.(!i) in
+      i := (!i + 1) mod n;
+      Sys.opaque_identity (ignore (Intf.lookup pt ~vpn)))
+
+let lookup_block_bench kind =
+  let pt = populated kind ~policy:`Base in
+  let vpns = Lazy.force sample_vpns in
+  let n = Array.length vpns in
+  let i = ref 0 in
+  Staged.stage (fun () ->
+      let vpn = vpns.(!i) in
+      i := (!i + 1) mod n;
+      Sys.opaque_identity (ignore (Intf.lookup_block pt ~vpn ~subblock_factor:16)))
+
+let insert_remove_bench kind =
+  let pt = Sim.Factory.make kind in
+  let i = ref 0 in
+  Staged.stage (fun () ->
+      let vpn = Int64.of_int (!i land 0xFFFF) in
+      incr i;
+      Intf.insert_base pt ~vpn ~ppn:(Int64.of_int (!i land 0xFFFFF)) ~attr;
+      Intf.remove pt ~vpn)
+
+(* Section 3.1: "Clustered page tables amortize the overhead of
+   allocating memory for a PTE and inserting in the hash list over
+   multiple PTE insertions for the same page block" — so the fair
+   insertion benchmark is a whole block at a time. *)
+let insert_block_bench kind =
+  let pt = Sim.Factory.make kind in
+  let i = ref 0 in
+  Staged.stage (fun () ->
+      let base = Int64.of_int ((!i land 0xFFF) * 16) in
+      incr i;
+      for j = 0 to 15 do
+        Intf.insert_base pt
+          ~vpn:(Int64.add base (Int64.of_int j))
+          ~ppn:(Int64.of_int j) ~attr
+      done;
+      for j = 0 to 15 do
+        Intf.remove pt ~vpn:(Int64.add base (Int64.of_int j))
+      done)
+
+let range_op_bench kind =
+  let pt = populated kind ~policy:`Base in
+  let region = Addr.Region.make ~first_vpn:0x80000L ~pages:64 in
+  Staged.stage (fun () ->
+      Sys.opaque_identity
+        (ignore
+           (Intf.set_attr_range pt region ~f:(fun a ->
+                { a with Pte.Attr.referenced = true }))))
+
+let tlb_bench make_tlb =
+  let tlb = make_tlb () in
+  let pt = populated Sim.Factory.clustered16 ~policy:`Base in
+  let vpns = Lazy.force sample_vpns in
+  let n = Array.length vpns in
+  let i = ref 0 in
+  Staged.stage (fun () ->
+      let vpn = vpns.(!i) in
+      i := (!i + 1) mod n;
+      match Tlb.Intf.access tlb ~vpn with
+      | `Hit -> ()
+      | `Block_miss | `Subblock_miss -> (
+          match Intf.lookup pt ~vpn with
+          | Some tr, _ -> Tlb.Intf.fill tlb tr
+          | None, _ -> ()))
+
+let grouped name elts = Test.make_grouped ~name ~fmt:"%s/%s" elts
+
+let tests =
+  lazy
+    [
+      (* Figure 11a's primitive: one TLB-miss walk per organization *)
+      grouped "fig11a-lookup"
+        [
+          Test.make ~name:"clustered"
+            (lookup_bench Sim.Factory.clustered16 ~policy:`Base);
+          Test.make ~name:"hashed" (lookup_bench Sim.Factory.Hashed ~policy:`Base);
+          Test.make ~name:"linear" (lookup_bench Sim.Factory.Linear1 ~policy:`Base);
+          Test.make ~name:"fwd-mapped"
+            (lookup_bench Sim.Factory.Forward_mapped ~policy:`Base);
+          Test.make ~name:"inverted"
+            (lookup_bench Sim.Factory.Inverted ~policy:`Base);
+          Test.make ~name:"software-tlb"
+            (lookup_bench Sim.Factory.Software_tlb ~policy:`Base);
+          Test.make ~name:"clustered-tsb"
+            (lookup_bench Sim.Factory.Clustered_tsb ~policy:`Base);
+          Test.make ~name:"fwd-guarded"
+            (lookup_bench Sim.Factory.Forward_guarded ~policy:`Base);
+          Test.make ~name:"clustered-var"
+            (lookup_bench Sim.Factory.Clustered_variable ~policy:`Base);
+        ];
+      (* Figure 11b/c: lookups against superpage/psb-bearing tables *)
+      grouped "fig11bc-lookup"
+        [
+          Test.make ~name:"clustered+sp"
+            (lookup_bench Sim.Factory.clustered16 ~policy:`Superpage);
+          Test.make ~name:"clustered+psb"
+            (lookup_bench Sim.Factory.clustered16 ~policy:`Psb);
+          Test.make ~name:"hashed-2t+sp"
+            (lookup_bench
+               (Sim.Factory.Hashed_two_tables { coarse_first = false })
+               ~policy:`Superpage);
+          Test.make ~name:"hashed-2t+psb"
+            (lookup_bench
+               (Sim.Factory.Hashed_two_tables { coarse_first = false })
+               ~policy:`Psb);
+        ];
+      (* Figure 11d's primitive: whole-block prefetch *)
+      grouped "fig11d-prefetch"
+        [
+          Test.make ~name:"clustered" (lookup_block_bench Sim.Factory.clustered16);
+          Test.make ~name:"linear" (lookup_block_bench Sim.Factory.Linear1);
+          Test.make ~name:"hashed" (lookup_block_bench Sim.Factory.Hashed);
+        ];
+      (* Figures 9/10 exercise construction: insert/remove cycles *)
+      grouped "fig9-insert-remove"
+        [
+          Test.make ~name:"clustered" (insert_remove_bench Sim.Factory.clustered16);
+          Test.make ~name:"hashed" (insert_remove_bench Sim.Factory.Hashed);
+          Test.make ~name:"linear" (insert_remove_bench Sim.Factory.Linear1);
+          Test.make ~name:"fwd-mapped"
+            (insert_remove_bench Sim.Factory.Forward_mapped);
+          Test.make ~name:"clustered-var"
+            (insert_remove_bench Sim.Factory.Clustered_variable);
+        ];
+      (* Section 3.1: block-at-a-time insertion (the amortization claim) *)
+      grouped "sec3.1-insert-block16"
+        [
+          Test.make ~name:"clustered" (insert_block_bench Sim.Factory.clustered16);
+          Test.make ~name:"hashed" (insert_block_bench Sim.Factory.Hashed);
+          Test.make ~name:"linear" (insert_block_bench Sim.Factory.Linear1);
+        ];
+      (* Section 3.1: range operations *)
+      grouped "sec3.1-range-op"
+        [
+          Test.make ~name:"clustered" (range_op_bench Sim.Factory.clustered16);
+          Test.make ~name:"clustered-var"
+            (range_op_bench Sim.Factory.Clustered_variable);
+          Test.make ~name:"hashed" (range_op_bench Sim.Factory.Hashed);
+        ];
+      (* Table 1's instrument: the TLB models themselves *)
+      grouped "tlb-access"
+        [
+          Test.make ~name:"fa-64" (tlb_bench (fun () -> Tlb.Intf.fa ~entries:64 ()));
+          Test.make ~name:"superpage"
+            (tlb_bench (fun () -> Tlb.Intf.superpage ~entries:64 ()));
+          Test.make ~name:"psb" (tlb_bench (fun () -> Tlb.Intf.psb ~entries:64 ()));
+          Test.make ~name:"csb" (tlb_bench (fun () -> Tlb.Intf.csb ~entries:64 ()));
+        ];
+    ]
+
+let run_micro () =
+  (* no GC stabilization between samples: it eats the quota and leaves
+     only tiny run counts, letting per-sample overhead dominate the
+     regression *)
+  let cfg =
+    Benchmark.cfg ~limit:3000 ~stabilize:false
+      ~sampling:(`Geometric 1.3) ~quota:(Time.second 0.4) ~kde:None ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  Printf.printf "\n== Microbenchmarks (ns per operation) ==\n%!";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let m = Benchmark.run cfg Instance.[ monotonic_clock ] elt in
+          let est = Analyze.one ols Instance.monotonic_clock m in
+          match Analyze.OLS.estimates est with
+          | Some (t :: _) ->
+              Printf.printf "%-36s %10.1f ns/op\n%!" (Test.Elt.name elt) t
+          | _ -> Printf.printf "%-36s (no estimate)\n%!" (Test.Elt.name elt))
+        (Test.elements test))
+    (Lazy.force tests)
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let options = { Sim.Runner.default_options with quick } in
+  Sim.Runner.all ~options ();
+  run_micro ()

@@ -1,0 +1,337 @@
+(* ptsim: reproduce the tables and figures of "A New Page Table for
+   64-bit Address Spaces" (Talluri, Hill, Khalidi; SOSP '95). *)
+
+open Cmdliner
+
+let options seed length placement quick csv =
+  Sim.Report.set_csv_dir csv;
+  {
+    Sim.Runner.seed = Int64.of_int seed;
+    length;
+    placement_p = placement;
+    quick;
+  }
+
+let options_term =
+  let seed =
+    Arg.(
+      value
+      & opt int 0x19955051
+      & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for all generators.")
+  in
+  let length =
+    Arg.(
+      value
+      & opt int 80_000
+      & info [ "length" ] ~docv:"N" ~doc:"Trace accesses per workload.")
+  in
+  let placement =
+    Arg.(
+      value
+      & opt float 0.95
+      & info [ "placement" ] ~docv:"P"
+          ~doc:
+            "Probability a page block's physical reservation succeeds \
+             (memory-pressure model).")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Run trace experiments on three workloads only.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR"
+          ~doc:"Also write every table as CSV into $(docv).")
+  in
+  Term.(const options $ seed $ length $ placement $ quick $ csv)
+
+let run_table1 options = ignore (Sim.Runner.table1 ~options ())
+
+let run_figure9 options = ignore (Sim.Runner.figure9 ~options ())
+
+let run_figure10 options = ignore (Sim.Runner.figure10 ~options ())
+
+let design_of_string = function
+  | "single" | "a" -> Ok Sim.Access_exp.Single
+  | "superpage" | "b" -> Ok Sim.Access_exp.Superpage
+  | "psb" | "c" -> Ok Sim.Access_exp.Psb
+  | "csb" | "d" -> Ok Sim.Access_exp.Csb
+  | s -> Error (`Msg (Printf.sprintf "unknown TLB design %S" s))
+
+let design_conv =
+  Arg.conv
+    ( design_of_string,
+      fun ppf d -> Format.pp_print_string ppf (Sim.Access_exp.design_name d) )
+
+let run_figure11 options design =
+  ignore (Sim.Runner.figure11 ~options ~design ())
+
+let run_table2 options = Sim.Runner.table2 ~options ()
+
+let run_ablations options =
+  ignore (Sim.Runner.ablation_line_size ~options ());
+  Sim.Runner.ablation_subblock ~options ();
+  ignore (Sim.Runner.ablation_buckets ~options ());
+  ignore (Sim.Runner.ablation_residency ~options ());
+  Sim.Runner.ablation_reverse_order ~options ();
+  ignore (Sim.Runner.ablation_asid ~options ());
+  Sim.Runner.ablation_placement ~options ();
+  Sim.Runner.ablation_tlb_size ~options ();
+  Sim.Runner.ablation_software_tlb ~options ();
+  Sim.Runner.ablation_shared_table ~options ();
+  Sim.Runner.ablation_guarded ~options ();
+  Sim.Runner.ablation_nested_linear ~options ();
+  Sim.Runner.ablation_variable_factor ~options ();
+  Sim.Runner.ablation_replacement ~options ();
+  Sim.Runner.extension_future64 ~options ()
+
+let run_all options = Sim.Runner.all ~options ()
+
+let run_verify options = if not (Sim.Runner.verify ~options ()) then exit 1
+
+let run_workload options name =
+  match Workload.Table1.find name with
+  | None ->
+      Printf.eprintf "unknown workload %S; try one of: %s\n" name
+        (String.concat ", "
+           (List.map
+              (fun s -> s.Workload.Spec.name)
+              Workload.Table1.all_with_kernel));
+      exit 1
+  | Some spec ->
+      let snap = Workload.Snapshot.generate spec ~seed:options.Sim.Runner.seed in
+      Printf.printf "workload %s: %d processes, %d pages (hashed PT %.1fKB)\n"
+        spec.Workload.Spec.name
+        (List.length snap.Workload.Snapshot.procs)
+        (Workload.Snapshot.total_pages snap)
+        (float_of_int (Workload.Snapshot.total_pages snap) *. 24.0 /. 1024.0);
+      List.iter
+        (fun proc ->
+          let pages = Workload.Snapshot.proc_pages proc in
+          let blocks = Workload.Snapshot.active_blocks ~subblock_factor:16 proc in
+          let dense = Array.length (Workload.Snapshot.dense_runs proc) in
+          let chunks = Array.length (Workload.Snapshot.chunk_runs proc) in
+          Printf.printf
+            "  %-10s %5d pages in %4d blocks (%.1f pages/block): %d dense \
+             runs, %d chunks\n"
+            proc.Workload.Snapshot.pname pages blocks
+            (float_of_int pages /. float_of_int blocks)
+            dense chunks)
+        snap.Workload.Snapshot.procs;
+      let trace =
+        Workload.Trace.generate spec snap
+          ~seed:(Int64.add options.Sim.Runner.seed 0x77L)
+          ~length:options.Sim.Runner.length
+      in
+      Printf.printf
+        "trace: %d accesses over %d distinct pages (locality %.2f, %s)\n"
+        (Workload.Trace.accesses trace)
+        (Workload.Trace.distinct_pages trace)
+        spec.Workload.Spec.locality
+        (match spec.Workload.Spec.trace with
+        | Workload.Spec.Array_sweep -> "array sweep"
+        | Workload.Spec.Pointer_chase -> "pointer chase"
+        | Workload.Spec.Join -> "nested-loop join"
+        | Workload.Spec.Gc_scan -> "GC scan"
+        | Workload.Spec.Multiprog -> "multiprogrammed")
+
+let run_dump options name dir =
+  match Workload.Table1.find name with
+  | None ->
+      Printf.eprintf "unknown workload %S\n" name;
+      exit 1
+  | Some spec ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let snap = Workload.Snapshot.generate spec ~seed:options.Sim.Runner.seed in
+      let trace =
+        Workload.Trace.generate spec snap
+          ~seed:(Int64.add options.Sim.Runner.seed 0x77L)
+          ~length:options.Sim.Runner.length
+      in
+      let snap_path = Filename.concat dir (name ^ ".snapshot") in
+      let trace_path = Filename.concat dir (name ^ ".trace") in
+      Workload.Snapshot.save snap snap_path;
+      Workload.Trace.save trace trace_path;
+      Printf.printf "wrote %s (%d pages) and %s (%d accesses)\n" snap_path
+        (Workload.Snapshot.total_pages snap)
+        trace_path
+        (Workload.Trace.accesses trace)
+
+let run_replay options snap_path trace_path =
+  let snap = Workload.Snapshot.load snap_path in
+  let trace = Workload.Trace.load trace_path in
+  Printf.printf "replaying %s: %d pages, %d accesses\n\n"
+    snap.Workload.Snapshot.workload
+    (Workload.Snapshot.total_pages snap)
+    (Workload.Trace.accesses trace);
+  let assignments =
+    List.mapi
+      (fun i proc ->
+        Sim.Builder.assign proc
+          ~placement_p:options.Sim.Runner.placement_p
+          ~seed:(Int64.add options.Sim.Runner.seed (Int64.of_int (i + 1)))
+          ())
+      snap.Workload.Snapshot.procs
+    |> Array.of_list
+  in
+  let kinds =
+    [
+      Sim.Factory.Linear1;
+      Sim.Factory.Forward_mapped;
+      Sim.Factory.Hashed;
+      Sim.Factory.clustered16;
+      Sim.Factory.Clustered_variable;
+    ]
+  in
+  let build kind =
+    Array.map
+      (fun a ->
+        let pt = Sim.Factory.make kind in
+        Sim.Builder.populate pt a ~policy:`Base;
+        pt)
+      assignments
+  in
+  let reference = build Sim.Factory.clustered16 in
+  (* record the 64-entry single-page-size miss stream once *)
+  let tlb = Tlb.Intf.fa ~entries:64 () in
+  let misses = ref [] in
+  Array.iter
+    (function
+      | Workload.Trace.Switch _ -> Tlb.Intf.flush tlb
+      | Workload.Trace.Access (proc, vpn) -> (
+          match Tlb.Intf.access tlb ~vpn with
+          | `Hit -> ()
+          | `Block_miss | `Subblock_miss -> (
+              misses := (proc, vpn) :: !misses;
+              match Pt_common.Intf.lookup reference.(proc) ~vpn with
+              | Some tr, _ -> Tlb.Intf.fill tlb tr
+              | None, _ -> ())))
+    trace;
+  let misses = List.rev !misses in
+  let n = List.length misses in
+  Printf.printf "%d TLB misses (64-entry conventional TLB)\n" n;
+  List.iter
+    (fun kind ->
+      let tables = build kind in
+      let counter = Mem.Cache_model.create_counter () in
+      List.iter
+        (fun (proc, vpn) ->
+          let _, w = Pt_common.Intf.lookup tables.(proc) ~vpn in
+          ignore
+            (Mem.Cache_model.record_walk counter w.Pt_common.Types.accesses))
+        misses;
+      let size =
+        Array.fold_left
+          (fun acc pt -> acc + Pt_common.Intf.size_bytes pt)
+          0 tables
+      in
+      Printf.printf "  %-14s %8.1fKB   %.2f lines/miss\n"
+        (Sim.Factory.name kind)
+        (float_of_int size /. 1024.0)
+        (Mem.Cache_model.mean_lines counter))
+    kinds
+
+let cmd name doc term =
+  Cmd.v (Cmd.info name ~doc) Term.(const (fun o -> o) $ term)
+
+let () =
+  let table1 =
+    cmd "table1" "Workload characteristics (Table 1)"
+      Term.(const run_table1 $ options_term)
+  in
+  let figure9 =
+    cmd "figure9" "Page table sizes, single page size (Figure 9)"
+      Term.(const run_figure9 $ options_term)
+  in
+  let figure10 =
+    cmd "figure10" "Sizes with superpage/partial-subblock PTEs (Figure 10)"
+      Term.(const run_figure10 $ options_term)
+  in
+  let figure11 =
+    let design =
+      Arg.(
+        value
+        & opt design_conv Sim.Access_exp.Single
+        & info [ "tlb" ] ~docv:"DESIGN"
+            ~doc:"TLB design: single|superpage|psb|csb (or a|b|c|d).")
+    in
+    cmd "figure11" "Cache lines per TLB miss (Figure 11a-d)"
+      Term.(const run_figure11 $ options_term $ design)
+  in
+  let table2 =
+    cmd "table2" "Analytic-formula cross-check (Appendix Table 2)"
+      Term.(const run_table2 $ options_term)
+  in
+  let ablations =
+    cmd "ablations" "Line-size, subblock-factor and bucket sweeps"
+      Term.(const run_ablations $ options_term)
+  in
+  let all =
+    cmd "all" "Every table and figure, in paper order"
+      Term.(const run_all $ options_term)
+  in
+  let verify =
+    cmd "verify" "Check the paper's headline claims hold on this build"
+      Term.(const run_verify $ options_term)
+  in
+  let dump =
+    let workload_name =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"NAME" ~doc:"Workload name.")
+    in
+    let dir =
+      Arg.(
+        value & opt string "."
+        & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory.")
+    in
+    cmd "dump" "Write a workload's snapshot and trace to text files"
+      Term.(const run_dump $ options_term $ workload_name $ dir)
+  in
+  let replay =
+    let snap_file =
+      Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"SNAPSHOT" ~doc:"Snapshot file from 'ptsim dump'.")
+    in
+    let trace_file =
+      Arg.(
+        required
+        & pos 1 (some file) None
+        & info [] ~docv:"TRACE" ~doc:"Trace file from 'ptsim dump'.")
+    in
+    cmd "replay"
+      "Replay a dumped snapshot+trace against every page table"
+      Term.(const run_replay $ options_term $ snap_file $ trace_file)
+  in
+  let workload =
+    let workload_name =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"NAME" ~doc:"Workload name (coral, nasa7, ...).")
+    in
+    cmd "workload" "Inspect a workload model: snapshot and trace statistics"
+      Term.(const run_workload $ options_term $ workload_name)
+  in
+  let info =
+    Cmd.info "ptsim" ~version:"1.0"
+      ~doc:
+        "Reproduction of 'A New Page Table for 64-bit Address Spaces' \
+         (SOSP '95): clustered page tables vs linear, forward-mapped and \
+         hashed, under conventional, superpage, partial-subblock and \
+         complete-subblock TLBs."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            table1; figure9; figure10; figure11; table2; ablations; workload;
+            dump; replay; verify; all;
+          ]))

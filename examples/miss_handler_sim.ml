@@ -1,0 +1,71 @@
+(* End-to-end trap-driven simulation, the way Section 6.1 measures:
+   the coral workload's reference trace drives a TLB; every miss walks
+   a page table through the software miss handler, and we read off the
+   paper's metric — average cache lines touched per miss.
+
+   Run with: dune exec examples/miss_handler_sim.exe *)
+
+module MH = Os_policy.Miss_handler
+module Intf = Pt_common.Intf
+
+let () =
+  let spec = Workload.Table1.coral in
+  let seed = 0xC0FFEEL in
+  let snap = Workload.Snapshot.generate spec ~seed in
+  let trace = Workload.Trace.generate spec snap ~seed ~length:60_000 in
+  Printf.printf
+    "workload %s: %d pages mapped, trace of %d accesses over %d distinct pages\n\n"
+    spec.Workload.Spec.name
+    (Workload.Snapshot.total_pages snap)
+    (Workload.Trace.accesses trace)
+    (Workload.Trace.distinct_pages trace);
+
+  let run name make_tlb kind ~policy ~prefetch =
+    (* build the page table from the snapshot *)
+    let pt = Sim.Factory.make kind in
+    List.iteri
+      (fun i proc ->
+        let a =
+          Sim.Builder.assign proc ~seed:(Int64.add seed (Int64.of_int i)) ()
+        in
+        Sim.Builder.populate pt a ~policy)
+      snap.Workload.Snapshot.procs;
+    let handler = MH.create ~tlb:(make_tlb ()) ~pt ~prefetch () in
+    Array.iter
+      (function
+        | Workload.Trace.Access (_, vpn) -> ignore (MH.access handler ~vpn)
+        | Workload.Trace.Switch _ -> ())
+      trace;
+    Printf.printf "  %-34s misses: %6d   lines/miss: %.2f\n" name
+      (MH.tlb_misses handler)
+      (MH.mean_lines_per_miss handler)
+  in
+
+  Printf.printf "conventional 64-entry TLB:\n";
+  run "hashed page table"
+    (fun () -> Tlb.Intf.fa ~entries:64 ())
+    Sim.Factory.Hashed ~policy:`Base ~prefetch:false;
+  run "clustered page table"
+    (fun () -> Tlb.Intf.fa ~entries:64 ())
+    Sim.Factory.clustered16 ~policy:`Base ~prefetch:false;
+
+  Printf.printf "\nsuperpage TLB (4KB + 64KB), superpage PTEs:\n";
+  run "hashed, two tables"
+    (fun () -> Tlb.Intf.superpage ~entries:64 ())
+    (Sim.Factory.Hashed_two_tables { coarse_first = false })
+    ~policy:`Superpage ~prefetch:false;
+  run "clustered, native superpage nodes"
+    (fun () -> Tlb.Intf.superpage ~entries:64 ())
+    Sim.Factory.clustered16 ~policy:`Superpage ~prefetch:false;
+
+  Printf.printf "\ncomplete-subblock TLB with prefetch (Section 4.4):\n";
+  run "hashed (sixteen probes per fill)"
+    (fun () -> Tlb.Intf.csb ~entries:64 ())
+    Sim.Factory.Hashed ~policy:`Base ~prefetch:true;
+  run "clustered (one node per fill)"
+    (fun () -> Tlb.Intf.csb ~entries:64 ())
+    Sim.Factory.clustered16 ~policy:`Base ~prefetch:true;
+
+  print_endline
+    "\nSuperpages cut the misses ~25x; the clustered table keeps every\n\
+     remaining miss at about one cache line, which is the paper's point."

@@ -1,0 +1,74 @@
+(* The Figure 9 intuition on two hand-made address spaces: a dense one
+   (one big mapped run) and a sparse 64-bit one (small objects
+   scattered across the full address space).  Linear page tables love
+   the first and die on the second; hashed tables cost the same for
+   both; clustered tables win both.
+
+   Run with: dune exec examples/sparse_vs_dense.exe *)
+
+module Intf = Pt_common.Intf
+
+let attr = Pte.Attr.default
+
+let kinds =
+  [
+    ("linear (6-level)", Sim.Factory.Linear6);
+    ("linear (leaves)", Sim.Factory.Linear1);
+    ("forward-mapped", Sim.Factory.Forward_mapped);
+    ("hashed", Sim.Factory.Hashed);
+    ("clustered", Sim.Factory.clustered16);
+  ]
+
+let measure populate =
+  List.map
+    (fun (name, kind) ->
+      let pt = Sim.Factory.make kind in
+      populate pt;
+      (name, Intf.size_bytes pt, Intf.population pt))
+    kinds
+
+let print title rows =
+  Printf.printf "\n%s\n" title;
+  let _, hashed_bytes, _ = List.nth rows 3 in
+  List.iter
+    (fun (name, bytes, pages) ->
+      Printf.printf "  %-18s %8d bytes for %4d pages  (%.2fx hashed)\n" name
+        bytes pages
+        (float_of_int bytes /. float_of_int hashed_bytes))
+    rows
+
+let () =
+  (* dense: a 2000-page heap, contiguous *)
+  let dense pt =
+    for i = 0 to 1999 do
+      Intf.insert_base pt
+        ~vpn:(Int64.add 0x80000L (Int64.of_int i))
+        ~ppn:(Int64.of_int i) ~attr
+    done
+  in
+  print "Dense address space: one 8 MB heap" (measure dense);
+
+  (* sparse: 125 sixteen-page objects scattered through 64 bits *)
+  let sparse pt =
+    let rng = Workload.Prng.create ~seed:2025L in
+    for _ = 1 to 125 do
+      (* anywhere in a 52-bit VPN space, object-aligned *)
+      let base =
+        Int64.shift_left
+          (Int64.of_int (Workload.Prng.int rng ~bound:(1 lsl 30)))
+        4
+      in
+      for i = 0 to 15 do
+        Intf.insert_base pt
+          ~vpn:(Int64.add base (Int64.of_int i))
+          ~ppn:(Int64.of_int i) ~attr
+      done
+    done
+  in
+  print "Sparse 64-bit address space: 125 objects of 64 KB, scattered"
+    (measure sparse);
+
+  print_endline
+    "\nThe clustered table stays cheap in both worlds: it amortizes one\n\
+     tag+next over each block's mappings (dense) and never pays a 4 KB\n\
+     page for an isolated object (sparse)."

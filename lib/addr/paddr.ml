@@ -1,0 +1,25 @@
+type t = int64
+
+let ppn a = Int64.shift_right_logical a Page_size.base_shift
+
+let of_ppn p = Int64.shift_left p Page_size.base_shift
+
+let page_offset a =
+  Int64.to_int (Bits.extract a ~lo:0 ~width:Page_size.base_shift)
+
+let ppn_width = 28
+
+let max_ppn = Bits.mask ppn_width
+
+let ppbn_of_ppn ~subblock_factor ppn =
+  Vaddr.vpbn_of_vpn ~subblock_factor ppn
+
+let properly_placed ~subblock_factor ~vpn ~ppn =
+  Vaddr.boff_of_vpn ~subblock_factor vpn
+  = Vaddr.boff_of_vpn ~subblock_factor ppn
+
+let equal = Int64.equal
+
+let compare = Int64.unsigned_compare
+
+let pp = Bits.pp_hex

@@ -1,0 +1,37 @@
+(** Physical addresses and physical page numbers (PPN).
+
+    The paper assumes 40-bit physical addresses with 4 KB pages, giving a
+    28-bit PPN (Figure 1).  We keep the full address in an [int64] and
+    validate the PPN width at PTE-encoding time (see {!Pte}). *)
+
+type t = int64
+(** A physical address. *)
+
+val ppn : t -> int64
+(** Physical page number: the address shifted right by 12. *)
+
+val of_ppn : int64 -> t
+
+val page_offset : t -> int
+
+val ppn_width : int
+(** 28: bits available for the PPN in a PTE (40-bit physical address
+    space). *)
+
+val max_ppn : int64
+(** Largest encodable PPN. *)
+
+val ppbn_of_ppn : subblock_factor:int -> int64 -> int64
+(** Physical page-block number: PPN shifted right by log2 factor.  Used
+    to decide proper placement for partial-subblock PTEs. *)
+
+val properly_placed : subblock_factor:int -> vpn:int64 -> ppn:int64 -> bool
+(** True iff the physical page sits at the same block offset as its
+    virtual page, i.e. the pair can be covered by a partial-subblock or
+    superpage mapping (paper, Section 4.1). *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+type t = int (* the shift: log2 of the size in bytes *)
+
+let base_shift = 12
+
+let max_shift = 36
+
+let of_shift s =
+  if s < base_shift || s > max_shift then invalid_arg "Page_size.of_shift";
+  s
+
+let base = base_shift
+
+let of_bytes n = of_shift (Bits.log2_exact n)
+
+let shift t = t
+
+let bytes t = 1 lsl t
+
+let base_pages t = 1 lsl (t - base_shift)
+
+let sz_code t = t - base_shift
+
+let of_sz_code c = of_shift (c + base_shift)
+
+let equal = Int.equal
+
+let compare = Int.compare
+
+let pp ppf t =
+  let b = bytes t in
+  if b >= 1 lsl 30 then Format.fprintf ppf "%dGB" (b lsr 30)
+  else if b >= 1 lsl 20 then Format.fprintf ppf "%dMB" (b lsr 20)
+  else Format.fprintf ppf "%dKB" (b lsr 10)
+
+let kb16 = of_shift 14
+let kb64 = of_shift 16
+let kb256 = of_shift 18
+let mb1 = of_shift 20
+let mb4 = of_shift 22
+let mb16 = of_shift 24

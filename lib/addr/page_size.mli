@@ -1,0 +1,53 @@
+(** Page sizes.
+
+    The base page is 4 KB, as in the paper.  Superpages are power-of-two
+    multiples of the base page (16 KB, 64 KB, ..., 16 MB on the MIPS
+    R4000).  A page size is represented by its shift (log2 of its size in
+    bytes) so alignment checks are cheap. *)
+
+type t
+(** A page size.  Always a power of two and at least the base page. *)
+
+val base_shift : int
+(** 12: the base page is 4 KB. *)
+
+val base : t
+(** The 4 KB base page. *)
+
+val of_shift : int -> t
+(** [of_shift s] is the page size of [2^s] bytes.  Raises
+    [Invalid_argument] if [s < base_shift] or [s > 36] (64 GB cap, far
+    beyond any page size the paper considers). *)
+
+val of_bytes : int -> t
+(** [of_bytes n] is the page size of [n] bytes; [n] must be a power of
+    two in range. *)
+
+val shift : t -> int
+
+val bytes : t -> int
+
+val base_pages : t -> int
+(** Number of 4 KB base pages covered by one page of this size. *)
+
+val sz_code : t -> int
+(** Encoding for the 4-bit SZ field of superpage PTEs (Figure 6):
+    [log2 (size / base_size)].  0 for a base page, 4 for 64 KB. *)
+
+val of_sz_code : int -> t
+(** Inverse of {!sz_code}. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints e.g. "4KB", "64KB", "1MB". *)
+
+val kb16 : t
+val kb64 : t
+val kb256 : t
+val mb1 : t
+val mb4 : t
+val mb16 : t
+(** The MIPS R4000 superpage sizes, used in tests and examples. *)

@@ -1,0 +1,72 @@
+type t = { first_vpn : int64; pages : int }
+
+let make ~first_vpn ~pages =
+  if pages < 0 then invalid_arg "Region.make";
+  { first_vpn; pages }
+
+let of_addr_range ~start ~bytes =
+  if Int64.compare bytes 0L < 0 then invalid_arg "Region.of_addr_range";
+  let first_vpn = Vaddr.vpn start in
+  let last_byte = Int64.add start (Int64.sub bytes 1L) in
+  if bytes = 0L then { first_vpn; pages = 0 }
+  else
+    let last_vpn = Vaddr.vpn last_byte in
+    { first_vpn; pages = Int64.to_int (Int64.sub last_vpn first_vpn) + 1 }
+
+let last_vpn t = Int64.add t.first_vpn (Int64.of_int (t.pages - 1))
+
+let is_empty t = t.pages = 0
+
+let mem t vpn =
+  t.pages > 0
+  && Int64.unsigned_compare vpn t.first_vpn >= 0
+  && Int64.unsigned_compare vpn (last_vpn t) <= 0
+
+let iter_vpns t f =
+  for i = 0 to t.pages - 1 do
+    f (Int64.add t.first_vpn (Int64.of_int i))
+  done
+
+let fold_vpns t ~init ~f =
+  let acc = ref init in
+  iter_vpns t (fun vpn -> acc := f !acc vpn);
+  !acc
+
+let overlap a b =
+  (not (is_empty a)) && (not (is_empty b))
+  && Int64.unsigned_compare a.first_vpn (last_vpn b) <= 0
+  && Int64.unsigned_compare b.first_vpn (last_vpn a) <= 0
+
+let intersect a b =
+  if not (overlap a b) then None
+  else
+    let first =
+      if Int64.unsigned_compare a.first_vpn b.first_vpn >= 0 then a.first_vpn
+      else b.first_vpn
+    in
+    let last =
+      if Int64.unsigned_compare (last_vpn a) (last_vpn b) <= 0 then last_vpn a
+      else last_vpn b
+    in
+    Some { first_vpn = first; pages = Int64.to_int (Int64.sub last first) + 1 }
+
+let blocks ~subblock_factor t =
+  if t.pages = 0 then []
+  else begin
+    let rec loop vpn remaining acc =
+      if remaining = 0 then List.rev acc
+      else
+        let vpbn = Vaddr.vpbn_of_vpn ~subblock_factor vpn in
+        let boff = Vaddr.boff_of_vpn ~subblock_factor vpn in
+        let in_block = min remaining (subblock_factor - boff) in
+        loop
+          (Int64.add vpn (Int64.of_int in_block))
+          (remaining - in_block)
+          ((vpbn, boff, in_block) :: acc)
+    in
+    loop t.first_vpn t.pages []
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "[vpn %Lx..%Lx (%d pages)]" t.first_vpn (last_vpn t)
+    t.pages

@@ -1,0 +1,40 @@
+(** Contiguous virtual-address regions, page-granular.
+
+    Workload snapshots and OS range operations (protect, unmap) work on
+    regions.  A region is a half-open page range [\[first_vpn,
+    first_vpn + pages)]. *)
+
+type t = { first_vpn : int64; pages : int }
+
+val make : first_vpn:int64 -> pages:int -> t
+(** Raises [Invalid_argument] if [pages < 0]. *)
+
+val of_addr_range : start:Vaddr.t -> bytes:int64 -> t
+(** Smallest page-granular region covering [\[start, start + bytes)]. *)
+
+val last_vpn : t -> int64
+(** VPN of the last page; meaningless for empty regions. *)
+
+val is_empty : t -> bool
+
+val mem : t -> int64 -> bool
+(** [mem r vpn] is true iff the page [vpn] lies in [r]. *)
+
+val iter_vpns : t -> (int64 -> unit) -> unit
+(** Apply to each VPN in ascending order. *)
+
+val fold_vpns : t -> init:'a -> f:('a -> int64 -> 'a) -> 'a
+
+val overlap : t -> t -> bool
+
+val intersect : t -> t -> t option
+
+val blocks : subblock_factor:int -> t -> (int64 * int * int) list
+(** [blocks ~subblock_factor r] decomposes [r] into its page blocks:
+    a list of [(vpbn, first_boff, count)] triples in ascending VPBN
+    order, where the block [vpbn] contributes pages at block offsets
+    [\[first_boff, first_boff + count)].  Range operations on clustered
+    page tables walk this decomposition: one hash search per block
+    rather than one per base page (paper, Section 3.1). *)
+
+val pp : Format.formatter -> t -> unit

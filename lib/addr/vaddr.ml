@@ -1,0 +1,50 @@
+type t = int64
+
+let of_int64 x = x
+
+let to_int64 x = x
+
+let vpn a = Int64.shift_right_logical a Page_size.base_shift
+
+let of_vpn v = Int64.shift_left v Page_size.base_shift
+
+let page_offset a =
+  Int64.to_int (Bits.extract a ~lo:0 ~width:Page_size.base_shift)
+
+let check_factor subblock_factor =
+  if not (Bits.is_pow2 subblock_factor) then
+    invalid_arg "Vaddr: subblock factor must be a power of two"
+
+let vpbn_of_vpn ~subblock_factor vpn =
+  check_factor subblock_factor;
+  Int64.shift_right_logical vpn (Bits.log2_exact subblock_factor)
+
+let boff_of_vpn ~subblock_factor vpn =
+  check_factor subblock_factor;
+  Int64.to_int (Bits.extract vpn ~lo:0 ~width:(Bits.log2_exact subblock_factor))
+
+let vpn_of_vpbn ~subblock_factor vpbn ~boff =
+  check_factor subblock_factor;
+  if boff < 0 || boff >= subblock_factor then invalid_arg "Vaddr.vpn_of_vpbn";
+  Int64.logor
+    (Int64.shift_left vpbn (Bits.log2_exact subblock_factor))
+    (Int64.of_int boff)
+
+let vpbn ~subblock_factor a = vpbn_of_vpn ~subblock_factor (vpn a)
+
+let boff ~subblock_factor a = boff_of_vpn ~subblock_factor (vpn a)
+
+let align size a = Bits.align_down a (Page_size.shift size)
+
+let is_aligned size a = Bits.is_aligned a (Page_size.shift size)
+
+let add_pages a n =
+  Int64.add a (Int64.of_int (n lsl Page_size.base_shift))
+
+let add_bytes = Int64.add
+
+let equal = Int64.equal
+
+let compare = Int64.unsigned_compare
+
+let pp = Bits.pp_hex

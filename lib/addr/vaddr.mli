@@ -1,0 +1,58 @@
+(** 64-bit virtual addresses, virtual page numbers (VPN), and virtual
+    page-block numbers (VPBN).
+
+    A virtual address splits as [VPN | page offset]; with subblocking the
+    VPN further splits as [VPBN | Boff] where the block offset [Boff]
+    indexes a base page within its aligned page block (paper, Section 3).
+    Addresses are unsigned 64-bit quantities carried in [int64]. *)
+
+type t = int64
+(** A virtual address. *)
+
+val of_int64 : int64 -> t
+
+val to_int64 : t -> int64
+
+val vpn : t -> int64
+(** Virtual page number: the address shifted right by the base-page
+    shift (12). *)
+
+val of_vpn : int64 -> t
+(** Address of the first byte of the given base page. *)
+
+val page_offset : t -> int
+(** Offset within the 4 KB base page. *)
+
+val vpbn_of_vpn : subblock_factor:int -> int64 -> int64
+(** VPBN of a VPN: the VPN shifted right by log2 of the subblock
+    factor.  The subblock factor must be a power of two. *)
+
+val boff_of_vpn : subblock_factor:int -> int64 -> int
+(** Block offset of a VPN within its page block: the low log2(factor)
+    bits of the VPN. *)
+
+val vpn_of_vpbn : subblock_factor:int -> int64 -> boff:int -> int64
+(** Reassemble a VPN from a VPBN and block offset. *)
+
+val vpbn : subblock_factor:int -> t -> int64
+(** VPBN of an address ([vpbn_of_vpn] of its VPN). *)
+
+val boff : subblock_factor:int -> t -> int
+(** Block offset of an address. *)
+
+val align : Page_size.t -> t -> t
+(** Round an address down to the given page-size boundary. *)
+
+val is_aligned : Page_size.t -> t -> bool
+
+val add_pages : t -> int -> t
+(** [add_pages a n] advances [a] by [n] base pages. *)
+
+val add_bytes : t -> int64 -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Unsigned comparison. *)
+
+val pp : Format.formatter -> t -> unit

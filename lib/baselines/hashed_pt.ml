@@ -1,0 +1,563 @@
+module Types = Pt_common.Types
+
+type sp_mode =
+  | No_superpages
+  | Two_tables of { coarse_first : bool }
+  | Superpage_index
+
+type node = {
+  mutable tag : int64;
+  mutable word : int64;
+  addr : int64;
+  mutable next : node option;
+}
+
+type t = {
+  arena : Mem.Sim_memory.t;
+  mode : sp_mode;
+  buckets : int;
+  factor : int;
+  factor_bits : int;
+  node_bytes : int;
+  node_align : int;
+  fine : node option array;
+  fine_heads_addr : int64;
+      (* the bucket array embeds first nodes (Figure 4: "an array of
+         hash nodes"), so probing an empty bucket still reads a line *)
+  (* Two_tables mode only; empty array otherwise *)
+  coarse : node option array;
+  coarse_heads_addr : int64;
+  mutable fine_nodes : int;
+  mutable coarse_nodes : int;
+}
+
+let name = "hashed"
+
+let node_align_default = 256
+
+let create ?arena ?(buckets = 4096) ?(subblock_factor = 16) ?(packed = false)
+    ?(mode = No_superpages) () =
+  if not (Addr.Bits.is_pow2 buckets) then
+    invalid_arg "Hashed_pt: buckets must be a power of two";
+  if not (Addr.Bits.is_pow2 subblock_factor) then
+    invalid_arg "Hashed_pt: subblock factor must be a power of two";
+  let arena =
+    match arena with Some a -> a | None -> Mem.Sim_memory.create ()
+  in
+  let node_bytes = if packed then 16 else 24 in
+  let fine_heads_addr =
+    Mem.Sim_memory.alloc arena ~bytes:(buckets * node_bytes) ~align:4096
+  in
+  let coarse, coarse_heads_addr =
+    match mode with
+    | Two_tables _ ->
+        ( Array.make buckets None,
+          Mem.Sim_memory.alloc arena ~bytes:(buckets * node_bytes) ~align:4096
+        )
+    | No_superpages | Superpage_index -> ([||], 0L)
+  in
+  {
+    arena;
+    mode;
+    buckets;
+    factor = subblock_factor;
+    factor_bits = Addr.Bits.log2_exact subblock_factor;
+    node_bytes;
+    node_align = node_align_default;
+    fine = Array.make buckets None;
+    fine_heads_addr;
+    coarse;
+    coarse_heads_addr;
+    fine_nodes = 0;
+    coarse_nodes = 0;
+  }
+
+let mode t = t.mode
+
+let hash t key =
+  let bits = Addr.Bits.log2_exact t.buckets in
+  if bits = 0 then 0
+  else
+    Int64.to_int (Int64.shift_right_logical (Addr.Bits.mix64 key) (64 - bits))
+
+let vpbn t vpn = Int64.shift_right_logical vpn t.factor_bits
+
+let boff t vpn =
+  Int64.to_int (Addr.Bits.extract vpn ~lo:0 ~width:t.factor_bits)
+
+let block_base t vpn = Int64.shift_left (vpbn t vpn) t.factor_bits
+
+let factor_mask t = (1 lsl t.factor) - 1
+
+let alloc_node t ~coarse:_ ~tag ~word =
+  let addr =
+    Mem.Sim_memory.alloc t.arena ~bytes:t.node_bytes ~align:t.node_align
+  in
+  { tag; word; addr; next = None }
+
+let release_node t n =
+  Mem.Sim_memory.free t.arena ~addr:n.addr ~bytes:t.node_bytes
+    ~align:t.node_align
+
+(* --- translations --- *)
+
+let translation_of_word t ~vpn word =
+  Pt_common.Decode.translation_of_word ~subblock_factor:t.factor ~vpn word
+
+(* Does a node in the coarse or superpage-index table match [vpn]? *)
+let node_matches t ~vpn n =
+  match Pte.Word.decode n.word with
+  | Pte.Word.Base b -> b.valid && Int64.equal n.tag vpn
+  | Pte.Word.Superpage sp ->
+      sp.valid
+      &&
+      let sz = Addr.Page_size.sz_code sp.size in
+      Int64.equal n.tag (Addr.Bits.align_down vpn sz)
+  | Pte.Word.Psb p ->
+      Int64.equal n.tag (block_base t vpn)
+      && Pte.Psb_pte.valid_at p ~boff:(boff t vpn)
+
+(* --- chain search, charging reads --- *)
+
+(* A probe reads a node's tag and next pointer (16 bytes); interpreting
+   the mapping reads its word (8 more bytes in the same node). *)
+let probe walk n = Types.walk_probe (Types.walk_read walk ~addr:n.addr ~bytes:16)
+
+let read_word walk n = Types.walk_read walk ~addr:(Int64.add n.addr 16L) ~bytes:8
+
+(* An empty bucket still costs one read of its embedded head node. *)
+let charge_empty_head t ~heads_addr ~bucket walk =
+  Types.walk_probe
+    (Types.walk_read walk
+       ~addr:(Int64.add heads_addr (Int64.of_int (bucket * t.node_bytes)))
+       ~bytes:16)
+
+let search_fine t ~vpn walk =
+  let rec go chain walk =
+    match chain with
+    | None -> (None, walk)
+    | Some n ->
+        let walk = probe walk n in
+        if Int64.equal n.tag vpn then begin
+          let walk = read_word walk n in
+          match translation_of_word t ~vpn n.word with
+          | Some tr -> (Some tr, walk)
+          | None -> go n.next walk
+        end
+        else go n.next walk
+  in
+  let bucket = hash t vpn in
+  match t.fine.(bucket) with
+  | None ->
+      (None, charge_empty_head t ~heads_addr:t.fine_heads_addr ~bucket walk)
+  | chain -> go chain walk
+
+let search_coarse t ~vpn walk =
+  let rec go chain walk =
+    match chain with
+    | None -> (None, walk)
+    | Some n ->
+        let walk = probe walk n in
+        if Int64.equal n.tag (vpbn t vpn) then begin
+          let walk = read_word walk n in
+          match translation_of_word t ~vpn n.word with
+          | Some tr -> (Some tr, walk)
+          | None -> go n.next walk
+        end
+        else go n.next walk
+  in
+  let bucket = hash t (vpbn t vpn) in
+  match t.coarse.(bucket) with
+  | None ->
+      (None, charge_empty_head t ~heads_addr:t.coarse_heads_addr ~bucket walk)
+  | chain -> go chain walk
+
+let search_spindex t ~vpn walk =
+  let rec go chain walk =
+    match chain with
+    | None -> (None, walk)
+    | Some n ->
+        let walk = probe walk n in
+        if node_matches t ~vpn n then begin
+          let walk = read_word walk n in
+          match translation_of_word t ~vpn n.word with
+          | Some tr -> (Some tr, walk)
+          | None -> go n.next walk
+        end
+        else go n.next walk
+  in
+  let bucket = hash t (vpbn t vpn) in
+  match t.fine.(bucket) with
+  | None ->
+      (None, charge_empty_head t ~heads_addr:t.fine_heads_addr ~bucket walk)
+  | chain -> go chain walk
+
+let lookup t ~vpn =
+  match t.mode with
+  | No_superpages -> search_fine t ~vpn Types.empty_walk
+  | Superpage_index -> search_spindex t ~vpn Types.empty_walk
+  | Two_tables { coarse_first } ->
+      let first, second =
+        if coarse_first then (search_coarse, search_fine)
+        else (search_fine, search_coarse)
+      in
+      let tr, walk = first t ~vpn Types.empty_walk in
+      (match tr with
+      | Some _ -> (tr, walk)
+      | None -> second t ~vpn walk)
+
+let lookup_block t ~vpn ~subblock_factor =
+  (* One probe per base page: the cost that makes complete-subblock
+     prefetch "terrible" for hashed tables (Section 6.3 / Figure 11d).
+     Pages already covered by a found multi-page entry are skipped. *)
+  let base =
+    Int64.mul
+      (Int64.div vpn (Int64.of_int subblock_factor))
+      (Int64.of_int subblock_factor)
+  in
+  let covered = Array.make subblock_factor false in
+  let results = ref [] and walk = ref Types.empty_walk in
+  for i = 0 to subblock_factor - 1 do
+    if not covered.(i) then begin
+      let page = Int64.add base (Int64.of_int i) in
+      let tr, w = lookup t ~vpn:page in
+      walk := Types.walk_join !walk w;
+      match tr with
+      | None -> ()
+      | Some tr ->
+          results := (i, tr) :: !results;
+          (* mark the other pages this entry maps *)
+          (match tr.Types.kind with
+          | Types.Base -> ()
+          | Types.Superpage _ | Types.Partial_subblock _ ->
+              let first = Int64.sub tr.Types.vpn_base base in
+              let span = Types.covered_pages tr in
+              (match tr.Types.kind with
+              | Types.Partial_subblock vmask ->
+                  for j = 0 to subblock_factor - 1 do
+                    let idx = Int64.to_int first + j in
+                    if
+                      vmask land (1 lsl j) <> 0
+                      && idx >= 0
+                      && idx < subblock_factor
+                    then begin
+                      covered.(idx) <- true;
+                      if idx <> i then
+                        results :=
+                          (idx, { tr with
+                                  Types.vpn = Int64.add base (Int64.of_int idx);
+                                  ppn = Int64.add tr.Types.ppn_base (Int64.of_int j) })
+                          :: !results
+                    end
+                  done
+              | _ ->
+                  for j = 0 to span - 1 do
+                    let idx = Int64.to_int first + j in
+                    if idx >= 0 && idx < subblock_factor then begin
+                      covered.(idx) <- true;
+                      if idx <> i then
+                        results :=
+                          (idx, { tr with
+                                  Types.vpn = Int64.add base (Int64.of_int idx);
+                                  ppn = Int64.add tr.Types.ppn_base (Int64.of_int j) })
+                          :: !results
+                    end
+                  done))
+    end
+  done;
+  (List.sort (fun (a, _) (b, _) -> compare a b) !results, !walk)
+
+(* --- insertion --- *)
+
+let insert_node t ~coarse ~tag ~word =
+  let table = if coarse then t.coarse else t.fine in
+  let bucket = hash t tag in
+  let rec find = function
+    | None -> None
+    | Some n -> if Int64.equal n.tag tag then Some n else find n.next
+  in
+  match find table.(bucket) with
+  | Some n -> n.word <- word
+  | None ->
+      let n = alloc_node t ~coarse ~tag ~word in
+      n.next <- table.(bucket);
+      table.(bucket) <- Some n;
+      if coarse then t.coarse_nodes <- t.coarse_nodes + 1
+      else t.fine_nodes <- t.fine_nodes + 1
+
+(* In superpage-index mode, tags of different kinds coexist in a
+   bucket; replace only a node of the same tag AND kind. *)
+let insert_node_spindex t ~bucket_key ~tag ~word =
+  let bucket = hash t bucket_key in
+  let same_kind a b =
+    match (Pte.Word.decode a, Pte.Word.decode b) with
+    | Pte.Word.Base _, Pte.Word.Base _ -> true
+    | Pte.Word.Superpage x, Pte.Word.Superpage y ->
+        Addr.Page_size.equal x.size y.size
+    | Pte.Word.Psb _, Pte.Word.Psb _ -> true
+    | _ -> false
+  in
+  let rec find = function
+    | None -> None
+    | Some n ->
+        if Int64.equal n.tag tag && same_kind n.word word then Some n
+        else find n.next
+  in
+  match find t.fine.(bucket) with
+  | Some n -> n.word <- word
+  | None ->
+      let n = alloc_node t ~coarse:false ~tag ~word in
+      n.next <- t.fine.(bucket);
+      t.fine.(bucket) <- Some n;
+      t.fine_nodes <- t.fine_nodes + 1
+
+let insert_base t ~vpn ~ppn ~attr =
+  let word = Pte.Base_pte.(encode (make ~ppn ~attr ())) in
+  match t.mode with
+  | No_superpages | Two_tables _ -> insert_node t ~coarse:false ~tag:vpn ~word
+  | Superpage_index ->
+      insert_node_spindex t ~bucket_key:(vpbn t vpn) ~tag:vpn ~word
+
+let insert_superpage t ~vpn ~size ~ppn ~attr =
+  let sz = Addr.Page_size.sz_code size in
+  if not (Addr.Bits.is_aligned vpn sz) then
+    invalid_arg "Hashed_pt.insert_superpage: VPN not aligned";
+  let word = Pte.Superpage_pte.(encode (make ~size ~ppn ~attr ())) in
+  match t.mode with
+  | No_superpages ->
+      invalid_arg "Hashed_pt: superpages unsupported in this mode"
+  | Two_tables _ ->
+      if sz < t.factor_bits then
+        invalid_arg "Hashed_pt: superpage smaller than the coarse block";
+      (* one coarse node per covered 64 KB block (replication for the
+         rare larger sizes, Section 4.2) *)
+      let n_blocks = 1 lsl (sz - t.factor_bits) in
+      let first = vpbn t vpn in
+      for i = 0 to n_blocks - 1 do
+        insert_node t ~coarse:true ~tag:(Int64.add first (Int64.of_int i)) ~word
+      done
+  | Superpage_index ->
+      if sz > t.factor_bits then
+        invalid_arg
+          "Hashed_pt: superpage larger than the hash index block must be \
+           handled another way (Section 4.2)";
+      insert_node_spindex t ~bucket_key:(vpbn t vpn) ~tag:vpn ~word
+
+let insert_psb t ~vpbn:block ~vmask ~ppn ~attr =
+  if vmask land lnot (factor_mask t) <> 0 then
+    invalid_arg "Hashed_pt.insert_psb: vmask exceeds subblock factor";
+  let merge_into existing =
+    match Pte.Word.decode existing with
+    | Pte.Word.Psb p when Int64.equal p.ppn ppn ->
+        Pte.Psb_pte.(encode (make ~vmask:(p.vmask lor vmask) ~ppn ~attr))
+    | _ -> Pte.Psb_pte.(encode (make ~vmask ~ppn ~attr))
+  in
+  let tag = Int64.shift_left block t.factor_bits in
+  match t.mode with
+  | No_superpages ->
+      invalid_arg "Hashed_pt: partial-subblocks unsupported in this mode"
+  | Two_tables _ ->
+      let table = t.coarse in
+      let bucket = hash t block in
+      let rec find = function
+        | None -> None
+        | Some n -> if Int64.equal n.tag block then Some n else find n.next
+      in
+      (match find table.(bucket) with
+      | Some n -> n.word <- merge_into n.word
+      | None ->
+          insert_node t ~coarse:true ~tag:block
+            ~word:Pte.Psb_pte.(encode (make ~vmask ~ppn ~attr)))
+  | Superpage_index ->
+      let bucket = hash t block in
+      let rec find = function
+        | None -> None
+        | Some n -> (
+            if not (Int64.equal n.tag tag) then find n.next
+            else
+              match Pte.Word.decode n.word with
+              | Pte.Word.Psb _ -> Some n
+              | _ -> find n.next)
+      in
+      (match find t.fine.(bucket) with
+      | Some n -> n.word <- merge_into n.word
+      | None ->
+          insert_node_spindex t ~bucket_key:block ~tag
+            ~word:Pte.Psb_pte.(encode (make ~vmask ~ppn ~attr)))
+
+(* --- removal --- *)
+
+let remove_in_chain t table bucket ~select ~coarse =
+  let rec go chain =
+    match chain with
+    | None -> (None, false)
+    | Some n -> (
+        match select n with
+        | `Unlink ->
+            release_node t n;
+            if coarse then t.coarse_nodes <- t.coarse_nodes - 1
+            else t.fine_nodes <- t.fine_nodes - 1;
+            (n.next, true)
+        | `Updated -> (Some n, true)
+        | `Skip ->
+            let rest, removed = go n.next in
+            n.next <- rest;
+            (Some n, removed))
+  in
+  let chain, removed = go table.(bucket) in
+  table.(bucket) <- chain;
+  removed
+
+let select_for_remove t ~vpn n =
+  match Pte.Word.decode n.word with
+  | Pte.Word.Base b when b.valid && Int64.equal n.tag vpn -> `Unlink
+  | Pte.Word.Superpage sp when sp.valid -> (
+      let sz = Addr.Page_size.sz_code sp.size in
+      (* a fine-table sp node is tagged by vpn_base; a coarse node by
+         vpbn — accept either tag form *)
+      let vpn_base = Addr.Bits.align_down vpn sz in
+      if Int64.equal n.tag vpn_base || Int64.equal n.tag (vpbn t vpn) then
+        `Unlink
+      else `Skip)
+  | Pte.Word.Psb p -> (
+      let tag_matches =
+        Int64.equal n.tag (block_base t vpn) || Int64.equal n.tag (vpbn t vpn)
+      in
+      let b = boff t vpn in
+      if tag_matches && Pte.Psb_pte.valid_at p ~boff:b then begin
+        let p = Pte.Psb_pte.clear_valid p ~boff:b in
+        if p.Pte.Psb_pte.vmask land factor_mask t = 0 then `Unlink
+        else begin
+          n.word <- Pte.Psb_pte.encode p;
+          `Updated
+        end
+      end
+      else `Skip)
+  | Pte.Word.Base _ | Pte.Word.Superpage _ -> `Skip
+
+let remove t ~vpn =
+  let removed_fine =
+    match t.mode with
+    | Superpage_index ->
+        remove_in_chain t t.fine
+          (hash t (vpbn t vpn))
+          ~select:(select_for_remove t ~vpn) ~coarse:false
+    | No_superpages | Two_tables _ ->
+        remove_in_chain t t.fine (hash t vpn)
+          ~select:(fun n ->
+            if Int64.equal n.tag vpn then select_for_remove t ~vpn n else `Skip)
+          ~coarse:false
+  in
+  if not removed_fine then
+    match t.mode with
+    | Two_tables _ ->
+        ignore
+          (remove_in_chain t t.coarse
+             (hash t (vpbn t vpn))
+             ~select:(fun n ->
+               if Int64.equal n.tag (vpbn t vpn) then
+                 select_for_remove t ~vpn n
+               else `Skip)
+             ~coarse:true)
+    | No_superpages | Superpage_index -> ()
+
+(* --- range attribute updates --- *)
+
+let set_attr_range t region ~f =
+  (* a hashed table pays one hash search per base page (Section 3.1) *)
+  let searches = ref 0 in
+  Addr.Region.iter_vpns region (fun vpn ->
+      incr searches;
+      let update_chain table bucket want_tag =
+        let rec go = function
+          | None -> ()
+          | Some n ->
+              (if Int64.equal n.tag want_tag && node_matches t ~vpn n then
+                 match Pt_common.Decode.reencode_attr n.word ~f with
+                 | Some w -> n.word <- w
+                 | None -> ());
+              go n.next
+        in
+        go table.(bucket)
+      in
+      match t.mode with
+      | No_superpages -> update_chain t.fine (hash t vpn) vpn
+      | Superpage_index ->
+          let bucket = hash t (vpbn t vpn) in
+          let rec go = function
+            | None -> ()
+            | Some n ->
+                (if node_matches t ~vpn n then
+                   match Pt_common.Decode.reencode_attr n.word ~f with
+                   | Some w -> n.word <- w
+                   | None -> ());
+                go n.next
+          in
+          go t.fine.(bucket)
+      | Two_tables _ ->
+          update_chain t.fine (hash t vpn) vpn;
+          incr searches;
+          let rec go = function
+            | None -> ()
+            | Some n ->
+                (if
+                   Int64.equal n.tag (vpbn t vpn)
+                   && node_matches t ~vpn n
+                 then
+                   match Pt_common.Decode.reencode_attr n.word ~f with
+                   | Some w -> n.word <- w
+                   | None -> ());
+                go n.next
+          in
+          go t.coarse.(hash t (vpbn t vpn)));
+  !searches
+
+(* --- accounting --- *)
+
+let size_bytes t = (t.fine_nodes + t.coarse_nodes) * t.node_bytes
+
+let iter_nodes t f =
+  let iter_table table =
+    Array.iter
+      (fun chain ->
+        let rec go = function
+          | None -> ()
+          | Some n ->
+              f n;
+              go n.next
+        in
+        go chain)
+      table
+  in
+  iter_table t.fine;
+  match t.mode with Two_tables _ -> iter_table t.coarse | _ -> ()
+
+let population t =
+  let count = ref 0 in
+  iter_nodes t (fun n ->
+      match Pte.Word.decode n.word with
+      | Pte.Word.Base b -> if b.valid then incr count
+      | Pte.Word.Superpage sp ->
+          if sp.valid then begin
+            (* coarse nodes of a big superpage each cover one block *)
+            let pages = Addr.Page_size.base_pages sp.size in
+            count := !count + min pages t.factor
+          end
+      | Pte.Word.Psb p ->
+          count :=
+            !count + Addr.Bits.popcount (Int64.of_int (p.vmask land factor_mask t)));
+  !count
+
+let clear t =
+  let nodes = ref [] in
+  iter_nodes t (fun n -> nodes := n :: !nodes);
+  List.iter (release_node t) !nodes;
+  Array.fill t.fine 0 (Array.length t.fine) None;
+  if Array.length t.coarse > 0 then
+    Array.fill t.coarse 0 (Array.length t.coarse) None;
+  t.fine_nodes <- 0;
+  t.coarse_nodes <- 0
+
+let node_count t = t.fine_nodes + t.coarse_nodes
+
+let load_factor t = float_of_int t.fine_nodes /. float_of_int t.buckets

@@ -1,0 +1,77 @@
+(** Hashed (inverted-style) page table with chaining (paper,
+    Section 2, Figure 4).
+
+    Each PTE is a 24-byte node: an eight-byte VPN tag, an eight-byte
+    next pointer and one eight-byte mapping word.  The [packed] option
+    models the Section 7 optimization that squeezes tag and next into
+    one word (16-byte PTEs, a 33% size reduction) without changing the
+    access pattern.
+
+    Superpage / partial-subblock storage follows the strategies of
+    Section 4.2:
+
+    - {!Two_tables}: a second logical table keyed by 64 KB page block
+      holds superpage and partial-subblock PTEs; lookup probes the 4 KB
+      table first (or the coarse table first with [coarse_first],
+      the Section 6.3 suggestion for partial-subblock-heavy loads).
+    - {!Superpage_index}: one table hashed on the 64 KB-block index for
+      every PTE, so base and superpage PTEs share buckets at the cost
+      of longer chains.
+    - {!No_superpages}: a plain single-page-size table;
+      [insert_superpage] and [insert_psb] raise. *)
+
+type sp_mode =
+  | No_superpages
+  | Two_tables of { coarse_first : bool }
+  | Superpage_index
+
+type t
+
+val name : string
+
+val create :
+  ?arena:Mem.Sim_memory.t ->
+  ?buckets:int ->
+  ?subblock_factor:int ->
+  ?packed:bool ->
+  ?mode:sp_mode ->
+  unit ->
+  t
+(** Defaults: 4096 buckets, factor 16, unpacked, [No_superpages]. *)
+
+val mode : t -> sp_mode
+
+val lookup :
+  t -> vpn:int64 -> Pt_common.Types.translation option * Pt_common.Types.walk
+
+val lookup_block :
+  t ->
+  vpn:int64 ->
+  subblock_factor:int ->
+  (int * Pt_common.Types.translation) list * Pt_common.Types.walk
+
+val insert_base : t -> vpn:int64 -> ppn:int64 -> attr:Pte.Attr.t -> unit
+
+val insert_superpage :
+  t -> vpn:int64 -> size:Addr.Page_size.t -> ppn:int64 -> attr:Pte.Attr.t -> unit
+
+val insert_psb :
+  t -> vpbn:int64 -> vmask:int -> ppn:int64 -> attr:Pte.Attr.t -> unit
+
+val remove : t -> vpn:int64 -> unit
+
+val set_attr_range :
+  t -> Addr.Region.t -> f:(Pte.Attr.t -> Pte.Attr.t) -> int
+(** One hash search per base page — the Section 3.1 cost a clustered
+    table amortizes to one per block. *)
+
+val size_bytes : t -> int
+
+val population : t -> int
+
+val clear : t -> unit
+
+val node_count : t -> int
+
+val load_factor : t -> float
+(** Base-table nodes per bucket (the formulae's alpha). *)

@@ -1,0 +1,143 @@
+type mode = Read | Write
+
+type state = { mutable readers : int; mutable writer : bool }
+
+type t = {
+  slots : state array;
+  mutable read_acquisitions : int;
+  mutable write_acquisitions : int;
+}
+
+exception Deadlock of int
+
+let create ~buckets =
+  if buckets <= 0 then invalid_arg "Bucket_lock.create";
+  {
+    slots = Array.init buckets (fun _ -> { readers = 0; writer = false });
+    read_acquisitions = 0;
+    write_acquisitions = 0;
+  }
+
+let slot t bucket =
+  if bucket < 0 || bucket >= Array.length t.slots then
+    invalid_arg "Bucket_lock: bucket out of range";
+  t.slots.(bucket)
+
+let acquire t ~bucket mode =
+  let s = slot t bucket in
+  match mode with
+  | Read ->
+      if s.writer then raise (Deadlock bucket);
+      s.readers <- s.readers + 1;
+      t.read_acquisitions <- t.read_acquisitions + 1
+  | Write ->
+      if s.writer || s.readers > 0 then raise (Deadlock bucket);
+      s.writer <- true;
+      t.write_acquisitions <- t.write_acquisitions + 1
+
+let release t ~bucket mode =
+  let s = slot t bucket in
+  match mode with
+  | Read ->
+      if s.readers <= 0 then invalid_arg "Bucket_lock.release: not read-held";
+      s.readers <- s.readers - 1
+  | Write ->
+      if not s.writer then invalid_arg "Bucket_lock.release: not write-held";
+      s.writer <- false
+
+let with_lock t ~bucket mode f =
+  acquire t ~bucket mode;
+  match f () with
+  | v ->
+      release t ~bucket mode;
+      v
+  | exception e ->
+      release t ~bucket mode;
+      raise e
+
+let read_acquisitions t = t.read_acquisitions
+
+let write_acquisitions t = t.write_acquisitions
+
+let currently_held t =
+  Array.fold_left
+    (fun acc s -> if s.writer || s.readers > 0 then acc + 1 else acc)
+    0 t.slots
+
+module Real = struct
+  type slot = {
+    m : Mutex.t;
+    readable : Condition.t;
+    writable : Condition.t;
+    mutable readers : int;
+    mutable writer : bool;
+    mutable writers_waiting : int;
+  }
+
+  type t = slot array
+
+  let create ~buckets =
+    if buckets <= 0 then invalid_arg "Bucket_lock.Real.create";
+    Array.init buckets (fun _ ->
+        {
+          m = Mutex.create ();
+          readable = Condition.create ();
+          writable = Condition.create ();
+          readers = 0;
+          writer = false;
+          writers_waiting = 0;
+        })
+
+  let slot t bucket =
+    if bucket < 0 || bucket >= Array.length t then
+      invalid_arg "Bucket_lock.Real: bucket out of range";
+    t.(bucket)
+
+  let with_read t ~bucket f =
+    let s = slot t bucket in
+    Mutex.lock s.m;
+    (* writer preference: don't starve pending range operations *)
+    while s.writer || s.writers_waiting > 0 do
+      Condition.wait s.readable s.m
+    done;
+    s.readers <- s.readers + 1;
+    Mutex.unlock s.m;
+    let finish () =
+      Mutex.lock s.m;
+      s.readers <- s.readers - 1;
+      if s.readers = 0 then Condition.signal s.writable;
+      Mutex.unlock s.m
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+
+  let with_write t ~bucket f =
+    let s = slot t bucket in
+    Mutex.lock s.m;
+    s.writers_waiting <- s.writers_waiting + 1;
+    while s.writer || s.readers > 0 do
+      Condition.wait s.writable s.m
+    done;
+    s.writers_waiting <- s.writers_waiting - 1;
+    s.writer <- true;
+    Mutex.unlock s.m;
+    let finish () =
+      Mutex.lock s.m;
+      s.writer <- false;
+      Condition.signal s.writable;
+      Condition.broadcast s.readable;
+      Mutex.unlock s.m
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+end

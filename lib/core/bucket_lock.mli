@@ -1,0 +1,51 @@
+(** Per-bucket readers-writer locks (paper, Section 3.1).
+
+    Hashed and clustered page tables associate a lock with each hash
+    bucket.  The paper's claim: a range operation on a clustered table
+    acquires one lock per *page block* where a hashed table acquires
+    one per *base page*, at the cost of coarser exclusion.  This module
+    is an operational lock table for a simulated multi-threaded OS: it
+    enforces the readers-writer protocol (conflicting acquisition in
+    one thread of control is a programming error and raises) and counts
+    acquisitions so tests can verify the one-lock-per-block claim. *)
+
+type t
+
+type mode = Read | Write
+
+exception Deadlock of int
+(** Raised on an acquisition that would block forever in a
+    single-threaded simulation (bucket index attached). *)
+
+val create : buckets:int -> t
+
+val acquire : t -> bucket:int -> mode -> unit
+
+val release : t -> bucket:int -> mode -> unit
+(** Raises [Invalid_argument] if the bucket is not held in that
+    mode. *)
+
+val with_lock : t -> bucket:int -> mode -> (unit -> 'a) -> 'a
+(** Acquire, run, release (also on exception). *)
+
+val read_acquisitions : t -> int
+
+val write_acquisitions : t -> int
+
+val currently_held : t -> int
+(** Number of buckets currently locked in either mode. *)
+
+(** A real per-bucket readers-writer lock for multicore use (OCaml 5
+    domains): writers exclusive, readers shared, writers preferred
+    once waiting.  This is the protocol Section 3.1 describes for
+    multi-threaded operating systems; the single-threaded {!t} above
+    is its deadlock-detecting simulation twin. *)
+module Real : sig
+  type t
+
+  val create : buckets:int -> t
+
+  val with_read : t -> bucket:int -> (unit -> 'a) -> 'a
+
+  val with_write : t -> bucket:int -> (unit -> 'a) -> 'a
+end

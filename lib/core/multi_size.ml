@@ -1,0 +1,64 @@
+module Types = Pt_common.Types
+
+type t = { fine : Table.t; coarse : Table.t }
+
+let name = "clustered-2t"
+
+let fine_block_sz_code = 4 (* 64 KB blocks: log2(64KB / 4KB) *)
+
+let create ?arena ?(buckets = 4096) () =
+  let arena =
+    match arena with Some a -> a | None -> Mem.Sim_memory.create ()
+  in
+  {
+    fine = Table.create ~arena (Config.make ~buckets ());
+    coarse =
+      Table.create ~arena (Config.make ~buckets ~page_shift:16 ());
+  }
+
+let fine t = t.fine
+
+let coarse t = t.coarse
+
+let lookup t ~vpn =
+  match Table.lookup t.fine ~vpn with
+  | (Some _ as tr), walk -> (tr, walk)
+  | None, walk_fine ->
+      let tr, walk_coarse = Table.lookup t.coarse ~vpn in
+      (tr, Types.walk_join walk_fine walk_coarse)
+
+let lookup_block t ~vpn ~subblock_factor =
+  let found, walk = Table.lookup_block t.fine ~vpn ~subblock_factor in
+  match found with
+  | [] ->
+      let found, walk_coarse =
+        Table.lookup_block t.coarse ~vpn ~subblock_factor
+      in
+      (found, Types.walk_join walk walk_coarse)
+  | found -> (found, walk)
+
+let insert_base t ~vpn ~ppn ~attr = Table.insert_base t.fine ~vpn ~ppn ~attr
+
+let insert_superpage t ~vpn ~size ~ppn ~attr =
+  if Addr.Page_size.sz_code size <= fine_block_sz_code then
+    Table.insert_superpage t.fine ~vpn ~size ~ppn ~attr
+  else Table.insert_superpage t.coarse ~vpn ~size ~ppn ~attr
+
+let insert_psb t ~vpbn ~vmask ~ppn ~attr =
+  Table.insert_psb t.fine ~vpbn ~vmask ~ppn ~attr
+
+let remove t ~vpn =
+  match Table.lookup t.fine ~vpn with
+  | Some _, _ -> Table.remove t.fine ~vpn
+  | None, _ -> Table.remove t.coarse ~vpn
+
+let set_attr_range t region ~f =
+  Table.set_attr_range t.fine region ~f + Table.set_attr_range t.coarse region ~f
+
+let size_bytes t = Table.size_bytes t.fine + Table.size_bytes t.coarse
+
+let population t = Table.population t.fine + Table.population t.coarse
+
+let clear t =
+  Table.clear t.fine;
+  Table.clear t.coarse

@@ -1,0 +1,677 @@
+module Types = Pt_common.Types
+
+type node = {
+  mutable tag : int64;
+  mutable words : int64 array;
+  addr : int64;
+  node_bytes : int;
+  mutable next : node option;
+}
+
+type t = {
+  config : Config.t;
+  arena : Mem.Sim_memory.t;
+  buckets : node option array;
+  heads_addr : int64;
+      (* bucket array embedding the first nodes: an empty bucket's
+         probe still reads one line *)
+  unit_shift : int;  (* page_shift - 12: base pages per table unit *)
+  factor_bits : int;
+  sz_code_block : int;  (* SZ code of a whole page block *)
+  mutable logical_bytes : int;
+  mutable nodes : int;
+}
+
+let name = "clustered"
+
+let create ?arena config =
+  let arena =
+    match arena with Some a -> a | None -> Mem.Sim_memory.create ()
+  in
+  let factor_bits = Addr.Bits.log2_exact config.Config.subblock_factor in
+  let unit_shift = config.Config.page_shift - Addr.Page_size.base_shift in
+  {
+    config;
+    arena;
+    buckets = Array.make config.Config.buckets None;
+    heads_addr =
+      Mem.Sim_memory.alloc arena
+        ~bytes:(config.Config.buckets * 16)
+        ~align:4096;
+    unit_shift;
+    factor_bits;
+    sz_code_block = unit_shift + factor_bits;
+    logical_bytes = 0;
+    nodes = 0;
+  }
+
+let config t = t.config
+
+(* --- unit / block arithmetic (all on 4 KB VPNs from the interface) --- *)
+
+let uvpn_of t vpn = Int64.shift_right_logical vpn t.unit_shift
+
+let split t vpn =
+  let uvpn = uvpn_of t vpn in
+  let vpbn = Int64.shift_right_logical uvpn t.factor_bits in
+  let boff = Int64.to_int (Addr.Bits.extract uvpn ~lo:0 ~width:t.factor_bits) in
+  (vpbn, boff)
+
+let factor_mask t = (1 lsl t.config.Config.subblock_factor) - 1
+
+(* --- node management --- *)
+
+let alloc_node t ~tag ~words =
+  let node_bytes = 16 + (8 * Array.length words) in
+  let addr =
+    Mem.Sim_memory.alloc t.arena ~bytes:node_bytes
+      ~align:t.config.Config.node_align
+  in
+  t.logical_bytes <- t.logical_bytes + node_bytes;
+  t.nodes <- t.nodes + 1;
+  { tag; words; addr; node_bytes; next = None }
+
+let release_node t n =
+  Mem.Sim_memory.free t.arena ~addr:n.addr ~bytes:n.node_bytes
+    ~align:t.config.Config.node_align;
+  t.logical_bytes <- t.logical_bytes - n.node_bytes;
+  t.nodes <- t.nodes - 1
+
+let link t bucket n =
+  n.next <- t.buckets.(bucket);
+  t.buckets.(bucket) <- Some n
+
+let invalid_base_word = Pte.Base_pte.(encode invalid)
+
+(* Classification of a node by the S field of its first word: the same
+   single decode the paper's miss handler performs after a tag match. *)
+type node_class =
+  | Single_psb of Pte.Psb_pte.t
+  | Single_sp of Pte.Superpage_pte.t
+  | Block
+
+let classify t n =
+  match Pte.Word.decode n.words.(0) with
+  | Pte.Word.Psb p -> Single_psb p
+  | Pte.Word.Superpage sp
+    when Addr.Page_size.sz_code sp.Pte.Superpage_pte.size >= t.sz_code_block ->
+      Single_sp sp
+  | Pte.Word.Superpage _ | Pte.Word.Base _ -> Block
+
+(* decode-free classification for the hot paths: reads only the S and
+   SZ bits *)
+let is_single t n =
+  match Pte.Layout.read_s n.words.(0) with
+  | Pte.Layout.S_base -> false
+  | Pte.Layout.S_partial_subblock -> true
+  | Pte.Layout.S_superpage ->
+      Int64.to_int
+        (Addr.Bits.extract n.words.(0) ~lo:Pte.Layout.sz_lo
+           ~width:Pte.Layout.sz_width)
+      >= t.sz_code_block
+
+(* --- translations --- *)
+
+let sp_translation vpn (sp : Pte.Superpage_pte.t) =
+  let sz = Addr.Page_size.sz_code sp.size in
+  let vpn_base = Addr.Bits.align_down vpn sz in
+  {
+    Types.vpn;
+    ppn = Int64.add sp.ppn (Int64.sub vpn vpn_base);
+    vpn_base;
+    ppn_base = sp.ppn;
+    kind = Types.Superpage sp.size;
+    attr = sp.attr;
+  }
+
+let psb_translation t vpn (p : Pte.Psb_pte.t) =
+  let vpbn, boff = split t vpn in
+  {
+    Types.vpn;
+    ppn = Pte.Psb_pte.ppn_for p ~boff;
+    vpn_base = Int64.shift_left vpbn t.factor_bits;
+    ppn_base = p.ppn;
+    kind = Types.Partial_subblock (p.vmask land factor_mask t);
+    attr = p.attr;
+  }
+
+let base_translation vpn (b : Pte.Base_pte.t) =
+  Types.base_translation ~vpn ~ppn:b.ppn ~attr:b.attr
+
+(* Reading the mapping of [vpn] out of a tag-matched node; None means
+   "no valid mapping here, keep searching the chain" (Section 5). *)
+let node_translation t n ~vpn ~boff =
+  match classify t n with
+  | Single_psb p ->
+      if t.unit_shift = 0 && Pte.Psb_pte.valid_at p ~boff then
+        Some (psb_translation t vpn p)
+      else None
+  | Single_sp sp -> if sp.valid then Some (sp_translation vpn sp) else None
+  | Block -> (
+      match Pte.Word.decode n.words.(boff) with
+      | Pte.Word.Base b when b.valid && t.unit_shift = 0 ->
+          Some (base_translation vpn b)
+      | Pte.Word.Superpage sp when sp.valid -> Some (sp_translation vpn sp)
+      | Pte.Word.Base _ | Pte.Word.Superpage _ | Pte.Word.Psb _ -> None)
+
+(* --- lookup --- *)
+
+let word_addr n i = Int64.add n.addr (Int64.of_int (16 + (8 * i)))
+
+let charge_empty_head t ~bucket walk =
+  Types.walk_probe
+    (Types.walk_read walk
+       ~addr:(Int64.add t.heads_addr (Int64.of_int (bucket * 16)))
+       ~bytes:16)
+
+let lookup t ~vpn =
+  let vpbn, boff = split t vpn in
+  let bucket = Config.hash t.config vpbn in
+  let rec go chain walk =
+    match chain with
+    | None -> (None, walk)
+    | Some n ->
+        (* tag and next pointer: the first sixteen bytes of the node *)
+        let walk = Types.walk_probe (Types.walk_read walk ~addr:n.addr ~bytes:16) in
+        if not (Int64.equal n.tag vpbn) then go n.next walk
+        else
+          (* the S check always reads mapping[0] (Figure 8) ... *)
+          let walk = Types.walk_read walk ~addr:(word_addr n 0) ~bytes:8 in
+          (* ... and a base-format node then reads mapping[Boff] *)
+          let walk =
+            if boff <> 0 && not (is_single t n) then
+              Types.walk_read walk ~addr:(word_addr n boff) ~bytes:8
+            else walk
+          in
+          (match node_translation t n ~vpn ~boff with
+          | Some tr -> (Some tr, walk)
+          | None -> go n.next walk)
+  in
+  match t.buckets.(bucket) with
+  | None -> (None, charge_empty_head t ~bucket Types.empty_walk)
+  | chain -> go chain Types.empty_walk
+
+let lookup_block t ~vpn ~subblock_factor =
+  if subblock_factor = t.config.Config.subblock_factor && t.unit_shift = 0 then begin
+    (* one chain traversal serves the whole block: mappings for all the
+       block's base pages are adjacent in the matching nodes
+       (Section 4.4: prefetch penalty is "reasonable" for clustered) *)
+    let vpbn, _ = split t vpn in
+    let block_base = Int64.shift_left vpbn t.factor_bits in
+    let found = Array.make subblock_factor None in
+    let rec go chain walk =
+      match chain with
+      | None -> walk
+      | Some n ->
+          let walk =
+            Types.walk_probe (Types.walk_read walk ~addr:n.addr ~bytes:16)
+          in
+          if not (Int64.equal n.tag vpbn) then go n.next walk
+          else begin
+            let walk =
+              Types.walk_read walk ~addr:(word_addr n 0)
+                ~bytes:(8 * Array.length n.words)
+            in
+            for i = 0 to subblock_factor - 1 do
+              if found.(i) = None then
+                let page = Int64.add block_base (Int64.of_int i) in
+                match node_translation t n ~vpn:page ~boff:i with
+                | Some tr -> found.(i) <- Some tr
+                | None -> ()
+            done;
+            go n.next walk
+          end
+    in
+    let bucket = Config.hash t.config vpbn in
+    let walk =
+      match t.buckets.(bucket) with
+      | None -> charge_empty_head t ~bucket Types.empty_walk
+      | chain -> go chain Types.empty_walk
+    in
+    let results = ref [] in
+    for i = subblock_factor - 1 downto 0 do
+      match found.(i) with
+      | Some tr -> results := (i, tr) :: !results
+      | None -> ()
+    done;
+    (!results, walk)
+  end
+  else begin
+    (* mismatched factor: gather page by page *)
+    let block_pages = subblock_factor in
+    let base =
+      Int64.mul
+        (Int64.div vpn (Int64.of_int block_pages))
+        (Int64.of_int block_pages)
+    in
+    let results = ref [] and walk = ref Types.empty_walk in
+    for i = block_pages - 1 downto 0 do
+      let page = Int64.add base (Int64.of_int i) in
+      let tr, w = lookup t ~vpn:page in
+      walk := Types.walk_join w !walk;
+      match tr with
+      | Some tr -> results := (i, tr) :: !results
+      | None -> ()
+    done;
+    (!results, !walk)
+  end
+
+(* --- insertion --- *)
+
+let find_block_node t bucket vpbn =
+  let rec go = function
+    | None -> None
+    | Some n ->
+        if Int64.equal n.tag vpbn && not (is_single t n) then Some n
+        else go n.next
+  in
+  go t.buckets.(bucket)
+
+let get_or_create_block_node t vpbn =
+  let bucket = Config.hash t.config vpbn in
+  match find_block_node t bucket vpbn with
+  | Some n -> n
+  | None ->
+      let words =
+        Array.make t.config.Config.subblock_factor invalid_base_word
+      in
+      let n = alloc_node t ~tag:vpbn ~words in
+      link t bucket n;
+      n
+
+let insert_base t ~vpn ~ppn ~attr =
+  if t.unit_shift <> 0 then
+    invalid_arg "Clustered_pt: base pages not representable in a coarse table";
+  let vpbn, boff = split t vpn in
+  let n = get_or_create_block_node t vpbn in
+  n.words.(boff) <- Pte.Base_pte.(encode (make ~ppn ~attr ()))
+
+let insert_superpage t ~vpn ~size ~ppn ~attr =
+  let sz = Addr.Page_size.sz_code size in
+  if not (Addr.Bits.is_aligned vpn sz) then
+    invalid_arg "Clustered_pt.insert_superpage: VPN not aligned";
+  if sz < t.unit_shift then
+    invalid_arg "Clustered_pt.insert_superpage: smaller than table unit";
+  let word = Pte.Superpage_pte.(encode (make ~size ~ppn ~attr ())) in
+  if sz >= t.sz_code_block then begin
+    (* replicate once per covered page block (Section 5): one 24-byte
+       single node per block, each holding the same superpage word *)
+    let n_blocks = 1 lsl (sz - t.sz_code_block) in
+    let first_vpbn, _ = split t vpn in
+    for i = 0 to n_blocks - 1 do
+      let vpbn = Int64.add first_vpbn (Int64.of_int i) in
+      let bucket = Config.hash t.config vpbn in
+      let rec find = function
+        | None -> None
+        | Some n -> (
+            if not (Int64.equal n.tag vpbn) then find n.next
+            else
+              match classify t n with Single_sp _ -> Some n | _ -> find n.next)
+      in
+      match find t.buckets.(bucket) with
+      | Some n -> n.words.(0) <- word
+      | None ->
+          let n = alloc_node t ~tag:vpbn ~words:[| word |] in
+          link t bucket n
+    done
+  end
+  else begin
+    (* smaller than the page block: live inside a block node, the word
+       replicated at each covered block offset *)
+    let vpbn, boff = split t vpn in
+    let n = get_or_create_block_node t vpbn in
+    let covered = 1 lsl (sz - t.unit_shift) in
+    for i = boff to boff + covered - 1 do
+      n.words.(i) <- word
+    done
+  end
+
+let insert_psb t ~vpbn ~vmask ~ppn ~attr =
+  if t.unit_shift <> 0 then
+    invalid_arg "Clustered_pt: partial-subblocks only in base-page tables";
+  if vmask land lnot (factor_mask t) <> 0 then
+    invalid_arg "Clustered_pt.insert_psb: vmask exceeds subblock factor";
+  let bucket = Config.hash t.config vpbn in
+  let rec find = function
+    | None -> None
+    | Some n -> (
+        if not (Int64.equal n.tag vpbn) then find n.next
+        else match classify t n with Single_psb p -> Some (n, p) | _ -> find n.next)
+  in
+  match find t.buckets.(bucket) with
+  | Some (n, existing) when Int64.equal existing.Pte.Psb_pte.ppn ppn ->
+      let merged = existing.Pte.Psb_pte.vmask lor vmask in
+      n.words.(0) <- Pte.Psb_pte.(encode (make ~vmask:merged ~ppn ~attr))
+  | Some (n, _) ->
+      n.words.(0) <- Pte.Psb_pte.(encode (make ~vmask ~ppn ~attr))
+  | None ->
+      let word = Pte.Psb_pte.(encode (make ~vmask ~ppn ~attr)) in
+      let n = alloc_node t ~tag:vpbn ~words:[| word |] in
+      link t bucket n
+
+(* --- removal --- *)
+
+(* block nodes only ever hold valid words or the canonical invalid
+   word, so emptiness is a plain comparison *)
+let block_node_empty n =
+  Array.for_all (fun w -> Int64.equal w invalid_base_word) n.words
+
+(* Handle removal of [boff] within a tag-matched node.  [`Removed] with
+   [`Unlink] asks the caller to drop the node from the chain. *)
+let remove_from_node t n ~boff =
+  match classify t n with
+  | Single_psb p ->
+      if Pte.Psb_pte.valid_at p ~boff then begin
+        let p = Pte.Psb_pte.clear_valid p ~boff in
+        if p.Pte.Psb_pte.vmask land factor_mask t = 0 then `Unlink
+        else begin
+          n.words.(0) <- Pte.Psb_pte.encode p;
+          `Removed
+        end
+      end
+      else `Not_here
+  | Single_sp sp -> if sp.valid then `Unlink else `Not_here
+  | Block -> (
+      match Pte.Word.decode n.words.(boff) with
+      | Pte.Word.Base b when b.valid ->
+          n.words.(boff) <- invalid_base_word;
+          if block_node_empty n then `Unlink else `Removed
+      | Pte.Word.Superpage sp when sp.valid ->
+          (* clear every replica of this small superpage's word *)
+          let sz = Addr.Page_size.sz_code sp.size in
+          let covered = 1 lsl (sz - t.unit_shift) in
+          let first = boff land lnot (covered - 1) in
+          for i = first to first + covered - 1 do
+            n.words.(i) <- invalid_base_word
+          done;
+          if block_node_empty n then `Unlink else `Removed
+      | Pte.Word.Base _ | Pte.Word.Superpage _ | Pte.Word.Psb _ -> `Not_here)
+
+let remove t ~vpn =
+  let vpbn, boff = split t vpn in
+  let bucket = Config.hash t.config vpbn in
+  let rec go chain =
+    match chain with
+    | None -> (None, false)
+    | Some n ->
+        if not (Int64.equal n.tag vpbn) then begin
+          let rest, removed = go n.next in
+          n.next <- rest;
+          (Some n, removed)
+        end
+        else begin
+          match remove_from_node t n ~boff with
+          | `Unlink ->
+              let rest = n.next in
+              release_node t n;
+              (rest, true)
+          | `Removed -> (Some n, true)
+          | `Not_here ->
+              let rest, removed = go n.next in
+              n.next <- rest;
+              (Some n, removed)
+        end
+  in
+  let chain, _removed = go t.buckets.(bucket) in
+  t.buckets.(bucket) <- chain
+
+(* --- range attribute updates --- *)
+
+let set_attr_range t region ~f =
+  if Addr.Region.is_empty region then 0
+  else begin
+    let first_u = uvpn_of t region.Addr.Region.first_vpn in
+    let last_u = uvpn_of t (Addr.Region.last_vpn region) in
+    let uregion =
+      Addr.Region.make ~first_vpn:first_u
+        ~pages:(Int64.to_int (Int64.sub last_u first_u) + 1)
+    in
+    let blocks =
+      Addr.Region.blocks ~subblock_factor:t.config.Config.subblock_factor
+        uregion
+    in
+    let searches = ref 0 in
+    List.iter
+      (fun (vpbn, first_boff, count) ->
+        incr searches;
+        let bucket = Config.hash t.config vpbn in
+        let rec go = function
+          | None -> ()
+          | Some n ->
+              (if Int64.equal n.tag vpbn then
+                 match classify t n with
+                 | Single_psb _ | Single_sp _ -> (
+                     match Pt_common.Decode.reencode_attr n.words.(0) ~f with
+                     | Some w -> n.words.(0) <- w
+                     | None -> ())
+                 | Block ->
+                     (* update words in range; a small-superpage word is
+                        updated across all its replicas for coherence *)
+                     let touched = Array.make (Array.length n.words) false in
+                     for i = first_boff to first_boff + count - 1 do
+                       if not touched.(i) then begin
+                         match Pte.Word.decode n.words.(i) with
+                         | Pte.Word.Superpage sp when sp.valid ->
+                             let sz = Addr.Page_size.sz_code sp.size in
+                             let covered = 1 lsl (sz - t.unit_shift) in
+                             let first = i land lnot (covered - 1) in
+                             (match Pt_common.Decode.reencode_attr n.words.(i) ~f with
+                             | Some w ->
+                                 for j = first to first + covered - 1 do
+                                   n.words.(j) <- w;
+                                   touched.(j) <- true
+                                 done
+                             | None -> ())
+                         | _ -> (
+                             match Pt_common.Decode.reencode_attr n.words.(i) ~f with
+                             | Some w ->
+                                 n.words.(i) <- w;
+                                 touched.(i) <- true
+                             | None -> ())
+                       end
+                     done);
+              go n.next
+        in
+        go t.buckets.(bucket))
+      blocks;
+    !searches
+  end
+
+(* --- accounting --- *)
+
+let size_bytes t = t.logical_bytes
+
+let iter_nodes t f =
+  Array.iter
+    (fun chain ->
+      let rec go = function
+        | None -> ()
+        | Some n ->
+            f n;
+            go n.next
+      in
+      go chain)
+    t.buckets
+
+let unit_pages t = 1 lsl t.unit_shift
+
+let population t =
+  let count = ref 0 in
+  iter_nodes t (fun n ->
+      match classify t n with
+      | Single_psb p ->
+          count :=
+            !count
+            + Addr.Bits.popcount (Int64.of_int (p.vmask land factor_mask t))
+      | Single_sp sp ->
+          if sp.valid then
+            count := !count + (t.config.Config.subblock_factor * unit_pages t)
+      | Block ->
+          Array.iter
+            (fun w ->
+              match Pte.Word.decode w with
+              | Pte.Word.Base b -> if b.valid then count := !count + 1
+              | Pte.Word.Superpage sp ->
+                  if sp.valid then count := !count + unit_pages t
+              | Pte.Word.Psb _ -> ())
+            n.words);
+  !count
+
+let clear t =
+  let to_free = ref [] in
+  iter_nodes t (fun n -> to_free := n :: !to_free);
+  List.iter (fun n -> release_node t n) !to_free;
+  Array.fill t.buckets 0 (Array.length t.buckets) None
+
+let node_count t = t.nodes
+
+let chain_length t ~bucket =
+  let rec go acc = function None -> acc | Some n -> go (acc + 1) n.next in
+  go 0 t.buckets.(bucket)
+
+let load_factor t =
+  float_of_int t.nodes /. float_of_int (Array.length t.buckets)
+
+let iter_chain_tags t ~bucket f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        f n.tag;
+        go n.next
+  in
+  go t.buckets.(bucket)
+
+(* --- promotion support (Section 5) --- *)
+
+type block_summary = {
+  base_vmask : int;
+  psb_vmask : int;
+  superpage_pages : int;
+  promotable_ppn : int64 option;
+}
+
+let block_summary t ~vpn =
+  let vpbn, _ = split t vpn in
+  let bucket = Config.hash t.config vpbn in
+  let base_vmask = ref 0 and psb_vmask = ref 0 and sp_pages = ref 0 in
+  let base_words = Array.make t.config.Config.subblock_factor None in
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        (if Int64.equal n.tag vpbn then
+           match classify t n with
+           | Single_psb p -> psb_vmask := !psb_vmask lor (p.vmask land factor_mask t)
+           | Single_sp sp ->
+               if sp.valid then
+                 sp_pages := !sp_pages + t.config.Config.subblock_factor
+           | Block ->
+               Array.iteri
+                 (fun i w ->
+                   match Pte.Word.decode w with
+                   | Pte.Word.Base b when b.valid ->
+                       if !base_vmask land (1 lsl i) = 0 then begin
+                         base_vmask := !base_vmask lor (1 lsl i);
+                         base_words.(i) <- Some b
+                       end
+                   | Pte.Word.Superpage sp when sp.valid -> incr sp_pages
+                   | Pte.Word.Base _ | Pte.Word.Superpage _ | Pte.Word.Psb _ ->
+                       ())
+                 n.words);
+        go n.next
+  in
+  go t.buckets.(bucket);
+  let promotable_ppn =
+    if !base_vmask <> factor_mask t then None
+    else
+      match base_words.(0) with
+      | Some b0
+        when Addr.Bits.is_aligned b0.Pte.Base_pte.ppn t.factor_bits ->
+          let ok = ref true in
+          Array.iteri
+            (fun i w ->
+              match w with
+              | Some (b : Pte.Base_pte.t) ->
+                  if
+                    (not
+                       (Int64.equal b.ppn
+                          (Int64.add b0.Pte.Base_pte.ppn (Int64.of_int i))))
+                    || not (Pte.Attr.equal b.attr b0.Pte.Base_pte.attr)
+                  then ok := false
+              | None -> ok := false)
+            base_words;
+          if !ok then Some b0.Pte.Base_pte.ppn else None
+      | Some _ | None -> None
+  in
+  {
+    base_vmask = !base_vmask;
+    psb_vmask = !psb_vmask;
+    superpage_pages = !sp_pages;
+    promotable_ppn;
+  }
+
+let block_size t = Addr.Page_size.of_sz_code t.sz_code_block
+
+let promote_block t ~vpn =
+  if t.unit_shift <> 0 then false
+  else
+    let summary = block_summary t ~vpn in
+    match summary.promotable_ppn with
+    | None -> false
+    | Some ppn ->
+        let vpbn, _ = split t vpn in
+        let block_base_vpn = Int64.shift_left vpbn t.factor_bits in
+        let attr =
+          match lookup t ~vpn:block_base_vpn with
+          | Some tr, _ -> tr.Types.attr
+          | None, _ -> assert false
+        in
+        for i = 0 to t.config.Config.subblock_factor - 1 do
+          remove t ~vpn:(Int64.add block_base_vpn (Int64.of_int i))
+        done;
+        insert_superpage t ~vpn:block_base_vpn ~size:(block_size t) ~ppn ~attr;
+        true
+
+let demote_block t ~vpn =
+  if t.unit_shift <> 0 then false
+  else
+    let vpbn, _ = split t vpn in
+    let bucket = Config.hash t.config vpbn in
+    let rec find = function
+      | None -> None
+      | Some n -> (
+          if not (Int64.equal n.tag vpbn) then find n.next
+          else
+            match classify t n with
+            | Single_psb p -> Some (`Psb p)
+            | Single_sp sp when sp.valid -> Some (`Sp sp)
+            | _ -> find n.next)
+    in
+    match find t.buckets.(bucket) with
+    | None -> false
+    | Some payload ->
+        let block_base_vpn = Int64.shift_left vpbn t.factor_bits in
+        (match payload with
+        | `Sp (sp : Pte.Superpage_pte.t) ->
+            remove t ~vpn:block_base_vpn;
+            for i = 0 to t.config.Config.subblock_factor - 1 do
+              insert_base t
+                ~vpn:(Int64.add block_base_vpn (Int64.of_int i))
+                ~ppn:(Int64.add sp.ppn (Int64.of_int i))
+                ~attr:sp.attr
+            done
+        | `Psb (p : Pte.Psb_pte.t) ->
+            let valid = p.vmask land factor_mask t in
+            (* drop the psb node first (clearing each bit would do it
+               piecemeal), then reinsert the survivors as base pages *)
+            for i = 0 to t.config.Config.subblock_factor - 1 do
+              if valid land (1 lsl i) <> 0 then
+                remove t ~vpn:(Int64.add block_base_vpn (Int64.of_int i))
+            done;
+            for i = 0 to t.config.Config.subblock_factor - 1 do
+              if valid land (1 lsl i) <> 0 then
+                insert_base t
+                  ~vpn:(Int64.add block_base_vpn (Int64.of_int i))
+                  ~ppn:(Pte.Psb_pte.ppn_for p ~boff:i)
+                  ~attr:p.attr
+            done);
+        true

@@ -1,0 +1,97 @@
+(** The clustered page table (the paper's central contribution,
+    Sections 3 and 5).
+
+    An open hash table keyed by virtual page-block number (VPBN).  Each
+    node carries one eight-byte tag, one eight-byte next pointer, and
+    either a full array of [subblock_factor] mapping words (a
+    complete-subblock / clustered PTE) or a single word (a
+    partial-subblock or superpage PTE).  Word formats self-describe
+    through their S field, so the miss handler walks the chain exactly
+    as a hashed page table would and only branches after a tag match —
+    the property that keeps the TLB miss penalty flat (Section 5).
+
+    A chain may carry several nodes with the same tag (e.g. one
+    superpage node plus one node of base pages for the rest of the
+    block); lookup continues past a tag match that yields no valid
+    mapping, as Section 5 requires.
+
+    Superpages larger than the page block are stored replicated once
+    per covered block (one 24-byte node each — a factor-of-k saving
+    over conventional replication).  Superpages smaller than the page
+    block live inside a block node, their word replicated at each
+    covered block offset.
+
+    Tables with [page_shift] > 12 cluster superpages instead of base
+    pages (the second table of the two-table scheme of Section 7, see
+    {!Multi_size}); they accept only [insert_superpage]. *)
+
+type t
+
+val create : ?arena:Mem.Sim_memory.t -> Config.t -> t
+
+val config : t -> Config.t
+
+val name : string
+
+val lookup : t -> vpn:int64 -> Pt_common.Types.translation option * Pt_common.Types.walk
+
+val lookup_block :
+  t ->
+  vpn:int64 ->
+  subblock_factor:int ->
+  (int * Pt_common.Types.translation) list * Pt_common.Types.walk
+
+val insert_base : t -> vpn:int64 -> ppn:int64 -> attr:Pte.Attr.t -> unit
+
+val insert_superpage :
+  t -> vpn:int64 -> size:Addr.Page_size.t -> ppn:int64 -> attr:Pte.Attr.t -> unit
+
+val insert_psb :
+  t -> vpbn:int64 -> vmask:int -> ppn:int64 -> attr:Pte.Attr.t -> unit
+
+val remove : t -> vpn:int64 -> unit
+
+val set_attr_range :
+  t -> Addr.Region.t -> f:(Pte.Attr.t -> Pte.Attr.t) -> int
+
+val size_bytes : t -> int
+
+val population : t -> int
+
+val clear : t -> unit
+
+(** {2 Structure inspection (policies, tests, reports)} *)
+
+type block_summary = {
+  base_vmask : int;  (** block offsets holding valid base-page words *)
+  psb_vmask : int;  (** offsets valid through a partial-subblock node *)
+  superpage_pages : int;  (** offsets covered by superpage words *)
+  promotable_ppn : int64 option;
+      (** when every base page is present, properly placed and
+          attribute-compatible: the block-aligned PPN a promotion to a
+          superpage or full partial-subblock PTE would use *)
+}
+
+val block_summary : t -> vpn:int64 -> block_summary
+(** Inspect the page block containing [vpn]; the information an OS
+    promotion policy gathers "for free" from a clustered node
+    (Section 5). *)
+
+val promote_block : t -> vpn:int64 -> bool
+(** Replace a fully-populated, properly-placed block of base words with
+    one block-sized superpage node.  Returns false (and does nothing)
+    when the block is not promotable. *)
+
+val demote_block : t -> vpn:int64 -> bool
+(** Inverse of {!promote_block}: expand a block-sized superpage or
+    partial-subblock node back into base-page words.  False when the
+    block holds no such node. *)
+
+val node_count : t -> int
+
+val chain_length : t -> bucket:int -> int
+
+val load_factor : t -> float
+(** Nodes per bucket. *)
+
+val iter_chain_tags : t -> bucket:int -> (int64 -> unit) -> unit

@@ -1,0 +1,112 @@
+type t = {
+  max_order : int;
+  total_pages : int;
+  (* free_blocks.(o) holds base PPNs of free blocks of 2^o frames *)
+  free_blocks : (int64, unit) Hashtbl.t array;
+  (* outstanding allocations, for double-free detection *)
+  allocated : (int64 * int, unit) Hashtbl.t;
+  mutable free_pages : int;
+}
+
+let create ~total_pages ~max_order =
+  if max_order < 0 || max_order > 30 then invalid_arg "Buddy.create: max_order";
+  let block = 1 lsl max_order in
+  if total_pages <= 0 || total_pages mod block <> 0 then
+    invalid_arg "Buddy.create: total_pages must be a positive multiple of 2^max_order";
+  let t =
+    {
+      max_order;
+      total_pages;
+      free_blocks = Array.init (max_order + 1) (fun _ -> Hashtbl.create 64);
+      allocated = Hashtbl.create 64;
+      free_pages = total_pages;
+    }
+  in
+  let n_blocks = total_pages / block in
+  for i = 0 to n_blocks - 1 do
+    Hashtbl.replace t.free_blocks.(max_order) (Int64.of_int (i * block)) ()
+  done;
+  t
+
+let pop_any tbl =
+  let found = ref None in
+  (try
+     Hashtbl.iter
+       (fun k () ->
+         found := Some k;
+         raise Exit)
+       tbl
+   with Exit -> ());
+  match !found with
+  | Some k ->
+      Hashtbl.remove tbl k;
+      Some k
+  | None -> None
+
+let rec alloc_order t order =
+  if order > t.max_order then None
+  else
+    match pop_any t.free_blocks.(order) with
+    | Some base -> Some base
+    | None -> (
+        (* split a larger block *)
+        match alloc_order t (order + 1) with
+        | None -> None
+        | Some base ->
+            let buddy = Int64.add base (Int64.of_int (1 lsl order)) in
+            Hashtbl.replace t.free_blocks.(order) buddy ();
+            Some base)
+
+let alloc t ~order =
+  if order < 0 || order > t.max_order then invalid_arg "Buddy.alloc: order";
+  match alloc_order t order with
+  | None -> None
+  | Some base ->
+      t.free_pages <- t.free_pages - (1 lsl order);
+      Hashtbl.replace t.allocated (base, order) ();
+      Some base
+
+let buddy_of base order =
+  Int64.logxor base (Int64.of_int (1 lsl order))
+
+let rec insert_and_coalesce t base order =
+  if order < t.max_order then begin
+    let buddy = buddy_of base order in
+    if Hashtbl.mem t.free_blocks.(order) buddy then begin
+      Hashtbl.remove t.free_blocks.(order) buddy;
+      let merged = if Int64.compare base buddy < 0 then base else buddy in
+      insert_and_coalesce t merged (order + 1)
+    end
+    else Hashtbl.replace t.free_blocks.(order) base ()
+  end
+  else Hashtbl.replace t.free_blocks.(order) base ()
+
+let free t ~ppn ~order =
+  if order < 0 || order > t.max_order then invalid_arg "Buddy.free: order";
+  if not (Addr.Bits.is_aligned ppn order) then
+    invalid_arg "Buddy.free: misaligned block";
+  if not (Hashtbl.mem t.allocated (ppn, order)) then
+    invalid_arg "Buddy.free: double free";
+  Hashtbl.remove t.allocated (ppn, order);
+  t.free_pages <- t.free_pages + (1 lsl order);
+  insert_and_coalesce t ppn order
+
+let split_booking t ~ppn ~order =
+  if not (Hashtbl.mem t.allocated (ppn, order)) then
+    invalid_arg "Buddy.split_booking: block not outstanding";
+  Hashtbl.remove t.allocated (ppn, order);
+  for i = 0 to (1 lsl order) - 1 do
+    Hashtbl.replace t.allocated (Int64.add ppn (Int64.of_int i), 0) ()
+  done
+
+let free_pages t = t.free_pages
+
+let largest_free_order t =
+  let rec loop o =
+    if o < 0 then None
+    else if Hashtbl.length t.free_blocks.(o) > 0 then Some o
+    else loop (o - 1)
+  in
+  loop t.max_order
+
+let total_pages t = t.total_pages

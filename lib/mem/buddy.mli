@@ -1,0 +1,36 @@
+(** Binary buddy allocator over physical page frames.
+
+    Substrate for the page-reservation allocator: reservations need
+    naturally-aligned blocks of 2^order frames, which is exactly what a
+    buddy system hands out.  Frame numbers are PPNs (page frame
+    indices), not byte addresses. *)
+
+type t
+
+val create : total_pages:int -> max_order:int -> t
+(** [create ~total_pages ~max_order] manages frames [0, total_pages).
+    [total_pages] must be a positive multiple of [2^max_order]. *)
+
+val alloc : t -> order:int -> int64 option
+(** Allocate an aligned block of [2^order] frames; returns its base
+    PPN, or [None] if no block of that size can be carved out. *)
+
+val free : t -> ppn:int64 -> order:int -> unit
+(** Free a block previously allocated at this order.  Buddies coalesce
+    eagerly.  Raises [Invalid_argument] on a misaligned base or
+    double-free. *)
+
+val split_booking : t -> ppn:int64 -> order:int -> unit
+(** Re-register an outstanding block allocation as [2^order] separate
+    single-frame allocations, so the frames can be freed individually.
+    Used when a reservation is preempted: its used frames live on as
+    loose singles.  Raises [Invalid_argument] if the block is not
+    outstanding at that order. *)
+
+val free_pages : t -> int
+(** Total frames currently free. *)
+
+val largest_free_order : t -> int option
+(** Largest order with a free block; [None] when full. *)
+
+val total_pages : t -> int

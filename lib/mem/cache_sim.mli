@@ -1,0 +1,33 @@
+(** Set-associative LRU cache simulator.
+
+    The paper's headline metric deliberately assumes page-table data is
+    never cache-resident (Section 6.1 lists this as the metric's main
+    drawback, noting clustered page tables would look even better with
+    residency modeled).  This simulator lets us quantify that drawback:
+    feed it the line addresses each walk touches and it reports hit
+    ratios, turning the paper's qualitative footnote into a measurable
+    ablation. *)
+
+type t
+
+val create : ?line_size:int -> sets:int -> ways:int -> unit -> t
+(** [sets] and [ways] must be positive; [sets] a power of two.
+    Default line size 256 bytes. *)
+
+val access : t -> int64 -> bool
+(** [access t addr] touches the line containing byte address [addr];
+    returns [true] on hit.  LRU replacement within the set. *)
+
+val access_bytes : t -> addr:int64 -> bytes:int -> int * int
+(** Touch every line of a byte range; returns (hits, misses). *)
+
+val hits : t -> int
+
+val misses : t -> int
+
+val hit_ratio : t -> float
+
+val flush : t -> unit
+(** Invalidate all lines and reset statistics. *)
+
+val capacity_bytes : t -> int

@@ -1,0 +1,147 @@
+type reservation = {
+  base_ppn : int64;
+  mutable used_mask : int; (* bit i: frame at offset i handed out *)
+}
+
+type stats = {
+  reservations_made : int;
+  reservation_hits : int;
+  fallback_allocs : int;
+  preemptions : int;
+}
+
+type t = {
+  buddy : Buddy.t;
+  factor : int;
+  order : int;
+  reservations : (int64, reservation) Hashtbl.t; (* vpbn -> reservation *)
+  (* loose frames handed out individually, so free_page can tell them
+     from reservation frames *)
+  loose : (int64, unit) Hashtbl.t; (* ppn -> () *)
+  mutable reservations_made : int;
+  mutable reservation_hits : int;
+  mutable fallback_allocs : int;
+  mutable preemptions : int;
+}
+
+let create ~total_pages ~subblock_factor =
+  if not (Addr.Bits.is_pow2 subblock_factor) then
+    invalid_arg "Phys_alloc: subblock factor must be a power of two";
+  let order = Addr.Bits.log2_exact subblock_factor in
+  {
+    buddy = Buddy.create ~total_pages ~max_order:order;
+    factor = subblock_factor;
+    order;
+    reservations = Hashtbl.create 256;
+    loose = Hashtbl.create 256;
+    reservations_made = 0;
+    reservation_hits = 0;
+    fallback_allocs = 0;
+    preemptions = 0;
+  }
+
+let vpbn_of t vpn = Addr.Vaddr.vpbn_of_vpn ~subblock_factor:t.factor vpn
+
+let boff_of t vpn = Addr.Vaddr.boff_of_vpn ~subblock_factor:t.factor vpn
+
+(* Preempt some reservation: give its unused frames back to the buddy
+   pool so a fallback single-frame allocation can succeed.  The used
+   frames become loose. *)
+let preempt_one t =
+  let victim = ref None in
+  (try
+     Hashtbl.iter
+       (fun vpbn r ->
+         victim := Some (vpbn, r);
+         raise Exit)
+       t.reservations
+   with Exit -> ());
+  match !victim with
+  | None -> false
+  | Some (vpbn, r) ->
+      Hashtbl.remove t.reservations vpbn;
+      t.preemptions <- t.preemptions + 1;
+      Buddy.split_booking t.buddy ~ppn:r.base_ppn ~order:t.order;
+      for i = 0 to t.factor - 1 do
+        let ppn = Int64.add r.base_ppn (Int64.of_int i) in
+        if r.used_mask land (1 lsl i) <> 0 then Hashtbl.replace t.loose ppn ()
+        else Buddy.free t.buddy ~ppn ~order:0
+      done;
+      true
+
+let rec alloc_single t =
+  match Buddy.alloc t.buddy ~order:0 with
+  | Some ppn -> Some ppn
+  | None -> if preempt_one t then alloc_single t else None
+
+let alloc_page t ~vpn =
+  let vpbn = vpbn_of t vpn in
+  let boff = boff_of t vpn in
+  match Hashtbl.find_opt t.reservations vpbn with
+  | Some r when r.used_mask land (1 lsl boff) = 0 ->
+      r.used_mask <- r.used_mask lor (1 lsl boff);
+      t.reservation_hits <- t.reservation_hits + 1;
+      Some (Int64.add r.base_ppn (Int64.of_int boff))
+  | Some _ ->
+      (* offset already in use (double map of same page): hand out a
+         loose frame *)
+      (match alloc_single t with
+      | Some ppn ->
+          t.fallback_allocs <- t.fallback_allocs + 1;
+          Hashtbl.replace t.loose ppn ();
+          Some ppn
+      | None -> None)
+  | None -> (
+      match Buddy.alloc t.buddy ~order:t.order with
+      | Some base_ppn ->
+          let r = { base_ppn; used_mask = 1 lsl boff } in
+          Hashtbl.replace t.reservations vpbn r;
+          t.reservations_made <- t.reservations_made + 1;
+          Some (Int64.add base_ppn (Int64.of_int boff))
+      | None -> (
+          match alloc_single t with
+          | Some ppn ->
+              t.fallback_allocs <- t.fallback_allocs + 1;
+              Hashtbl.replace t.loose ppn ();
+              Some ppn
+          | None -> None))
+
+let free_page t ~vpn ~ppn =
+  if Hashtbl.mem t.loose ppn then begin
+    Hashtbl.remove t.loose ppn;
+    Buddy.free t.buddy ~ppn ~order:0
+  end
+  else
+    let vpbn = vpbn_of t vpn in
+    match Hashtbl.find_opt t.reservations vpbn with
+    | Some r
+      when Int64.equal
+             (Addr.Bits.align_down ppn t.order)
+             r.base_ppn ->
+        let off = Int64.to_int (Int64.sub ppn r.base_ppn) in
+        if r.used_mask land (1 lsl off) = 0 then
+          invalid_arg "Phys_alloc.free_page: frame not in use";
+        r.used_mask <- r.used_mask land lnot (1 lsl off);
+        (* a frame freed inside a live reservation stays reserved (it can
+           be re-handed-out properly placed); only when the whole block is
+           unused does it return to the buddy pool *)
+        if r.used_mask = 0 then begin
+          Hashtbl.remove t.reservations vpbn;
+          Buddy.free t.buddy ~ppn:r.base_ppn ~order:t.order
+        end
+    | _ -> invalid_arg "Phys_alloc.free_page: unknown frame"
+
+let properly_placed t ~vpn ~ppn =
+  Addr.Paddr.properly_placed ~subblock_factor:t.factor ~vpn ~ppn
+
+let subblock_factor t = t.factor
+
+let free_pages t = Buddy.free_pages t.buddy
+
+let stats t =
+  {
+    reservations_made = t.reservations_made;
+    reservation_hits = t.reservation_hits;
+    fallback_allocs = t.fallback_allocs;
+    preemptions = t.preemptions;
+  }

@@ -1,0 +1,43 @@
+(** Physical page allocator with page reservation [Tall94].
+
+    Superpage and partial-subblock PTEs require *properly placed*
+    physical pages: the page backing block offset [i] of a virtual page
+    block must sit at offset [i] of an aligned physical block.  The
+    reservation policy achieves this: the first fault in a virtual page
+    block reserves a whole aligned physical block and later faults in
+    the same virtual block take their properly-placed frame from the
+    reservation.  Under memory pressure (no aligned block free) the
+    allocator degrades to single-frame allocation, and existing
+    reservations can be preempted: their unused frames are reclaimed
+    while the used ones stay where they are (no page migration). *)
+
+type t
+
+type stats = {
+  reservations_made : int;
+  reservation_hits : int;  (** pages placed inside an existing reservation *)
+  fallback_allocs : int;  (** single frames allocated without reservation *)
+  preemptions : int;  (** reservations whose unused frames were reclaimed *)
+}
+
+val create : total_pages:int -> subblock_factor:int -> t
+(** [total_pages] must be a multiple of [subblock_factor]; the factor a
+    power of two. *)
+
+val alloc_page : t -> vpn:int64 -> int64 option
+(** Allocate a frame for virtual page [vpn], preferring the properly-
+    placed frame of [vpn]'s block reservation.  [None] only when
+    physical memory is exhausted. *)
+
+val free_page : t -> vpn:int64 -> ppn:int64 -> unit
+(** Release the frame backing [vpn].  When the last used frame of a
+    reservation goes away the whole block returns to the buddy pool. *)
+
+val properly_placed : t -> vpn:int64 -> ppn:int64 -> bool
+(** Whether this (vpn, ppn) pair has matching block offsets. *)
+
+val subblock_factor : t -> int
+
+val free_pages : t -> int
+
+val stats : t -> stats

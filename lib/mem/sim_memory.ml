@@ -1,0 +1,54 @@
+type t = {
+  base : int64;
+  mutable next : int64;
+  mutable live : int;
+  mutable total : int;
+  free_lists : (int * int, int64 list ref) Hashtbl.t;
+}
+
+let create ?(base = 0x1000_0000L) () =
+  { base; next = base; live = 0; total = 0; free_lists = Hashtbl.create 16 }
+
+let check_class bytes align =
+  if bytes <= 0 then invalid_arg "Sim_memory: bytes must be positive";
+  if not (Addr.Bits.is_pow2 align) then
+    invalid_arg "Sim_memory: align must be a power of two"
+
+let free_list t bytes align =
+  match Hashtbl.find_opt t.free_lists (bytes, align) with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Hashtbl.add t.free_lists (bytes, align) l;
+      l
+
+let alloc t ~bytes ~align =
+  check_class bytes align;
+  t.live <- t.live + bytes;
+  let fl = free_list t bytes align in
+  match !fl with
+  | addr :: rest ->
+      fl := rest;
+      addr
+  | [] ->
+      let shift = Addr.Bits.log2_exact align in
+      let addr = Addr.Bits.align_up t.next shift in
+      t.next <- Int64.add addr (Int64.of_int bytes);
+      t.total <- t.total + bytes;
+      addr
+
+let free t ~addr ~bytes ~align =
+  check_class bytes align;
+  t.live <- t.live - bytes;
+  let fl = free_list t bytes align in
+  fl := addr :: !fl
+
+let live_bytes t = t.live
+
+let total_allocated_bytes t = t.total
+
+let reset t =
+  t.next <- t.base;
+  t.live <- 0;
+  t.total <- 0;
+  Hashtbl.reset t.free_lists

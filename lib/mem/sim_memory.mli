@@ -1,0 +1,37 @@
+(** Simulated physical memory arena for page-table nodes.
+
+    Every page-table node in this reproduction is *placed* at a concrete
+    simulated physical byte address, so the paper's metric — distinct
+    cache lines touched during a page-table walk — falls out of real
+    addresses rather than assumptions.  The allocator is a bump
+    allocator with per-size free lists, which matches how an OS slab
+    allocator would lay out fixed-size PTE nodes: consecutive
+    allocations of a size class are adjacent in memory.
+
+    Allocation respects the paper's accounting convention that "each
+    PTE starts on a cache line boundary" when [align] is the cache-line
+    size; callers pick the alignment. *)
+
+type t
+
+val create : ?base:int64 -> unit -> t
+(** [create ~base ()] starts the arena at physical byte address [base]
+    (default 0x1000_0000, so address 0 never aliases a node). *)
+
+val alloc : t -> bytes:int -> align:int -> int64
+(** Allocate [bytes] bytes aligned to [align] (a power of two); returns
+    the simulated physical byte address.  Reuses a freed block of the
+    same (bytes, align) class when one exists. *)
+
+val free : t -> addr:int64 -> bytes:int -> align:int -> unit
+(** Return a block to its size-class free list.  The block must have
+    come from [alloc] with the same size and alignment. *)
+
+val live_bytes : t -> int
+(** Bytes currently allocated (allocated minus freed). *)
+
+val total_allocated_bytes : t -> int
+(** Bytes ever handed out, ignoring frees (high-water bump). *)
+
+val reset : t -> unit
+(** Drop everything; the arena restarts at its base. *)

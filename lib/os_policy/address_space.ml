@@ -1,0 +1,190 @@
+module Intf = Pt_common.Intf
+
+type policy = Base_only | Partial_subblock | Superpage_promotion
+
+type area = { region : Addr.Region.t; attr : Pte.Attr.t }
+
+type fault_result =
+  [ `Mapped of int64 | `Already_mapped of int64 | `Segfault | `Oom ]
+
+type t = {
+  pt : Intf.instance;
+  alloc : Mem.Phys_alloc.t;
+  uid : int;
+      (* distinguishes this address space's reservations from other
+         spaces sharing the allocator: two processes faulting the same
+         VPN must not collide on one page-block reservation *)
+  pol : policy;
+  factor : int;
+  factor_bits : int;
+  mutable areas : area list;
+  mappings : (int64, int64) Hashtbl.t; (* vpn -> ppn *)
+  mutable promotions : int;
+}
+
+let next_uid = ref 0
+
+let create ~pt ?allocator ~total_pages ?(policy = Base_only)
+    ?(subblock_factor = 16) () =
+  incr next_uid;
+  let alloc =
+    match allocator with
+    | Some a ->
+        if Mem.Phys_alloc.subblock_factor a <> subblock_factor then
+          invalid_arg "Address_space.create: allocator factor mismatch";
+        a
+    | None -> Mem.Phys_alloc.create ~total_pages ~subblock_factor
+  in
+  {
+    pt;
+    alloc;
+    uid = !next_uid;
+    pol = policy;
+    factor = subblock_factor;
+    factor_bits = Addr.Bits.log2_exact subblock_factor;
+    areas = [];
+    mappings = Hashtbl.create 1024;
+    promotions = 0;
+  }
+
+let policy t = t.pol
+
+let page_table t = t.pt
+
+let area_of t vpn = List.find_opt (fun a -> Addr.Region.mem a.region vpn) t.areas
+
+let declare_region t region attr =
+  if List.exists (fun a -> Addr.Region.overlap a.region region) t.areas then
+    invalid_arg "Address_space.declare_region: overlapping area";
+  t.areas <- { region; attr } :: t.areas
+
+(* the allocator key: the VPN tagged with this space's identity in
+   bits far above any real VPN (block offsets are unaffected) *)
+let alloc_key t vpn =
+  Int64.logor vpn (Int64.shift_left (Int64.of_int (t.uid land 0xFFF)) 52)
+
+let vpbn t vpn = Int64.shift_right_logical vpn t.factor_bits
+
+let block_base t vpn = Int64.shift_left (vpbn t vpn) t.factor_bits
+
+(* Current population of [vpn]'s page block, from OS bookkeeping. *)
+let block_state t vpn =
+  let base = block_base t vpn in
+  let vmask = ref 0 and placed = ref true and ppn0 = ref None in
+  for i = 0 to t.factor - 1 do
+    let page = Int64.add base (Int64.of_int i) in
+    match Hashtbl.find_opt t.mappings page with
+    | None -> ()
+    | Some ppn ->
+        vmask := !vmask lor (1 lsl i);
+        if
+          not
+            (Addr.Paddr.properly_placed ~subblock_factor:t.factor ~vpn:page
+               ~ppn)
+        then placed := false
+        else if !ppn0 = None then
+          ppn0 := Some (Int64.sub ppn (Int64.of_int i))
+        else if !ppn0 <> Some (Int64.sub ppn (Int64.of_int i)) then
+          placed := false
+  done;
+  (!vmask, !placed, !ppn0)
+
+let full_mask t = (1 lsl t.factor) - 1
+
+let block_size t = Addr.Page_size.of_sz_code t.factor_bits
+
+(* Update the page table after [vpn] got frame [ppn], per policy. *)
+let update_page_table t ~vpn ~ppn ~attr =
+  match t.pol with
+  | Base_only -> Intf.insert_base t.pt ~vpn ~ppn ~attr
+  | Partial_subblock ->
+      let vmask, placed, ppn0 = block_state t vpn in
+      let boff =
+        Addr.Vaddr.boff_of_vpn ~subblock_factor:t.factor vpn
+      in
+      if
+        placed
+        && Addr.Paddr.properly_placed ~subblock_factor:t.factor ~vpn ~ppn
+      then
+        match ppn0 with
+        | Some base ->
+            (* the whole block's resident pages ride one psb PTE *)
+            Intf.insert_psb t.pt ~vpbn:(vpbn t vpn) ~vmask ~ppn:base ~attr
+        | None -> Intf.insert_base t.pt ~vpn ~ppn ~attr
+      else begin
+        ignore boff;
+        Intf.insert_base t.pt ~vpn ~ppn ~attr
+      end
+  | Superpage_promotion ->
+      Intf.insert_base t.pt ~vpn ~ppn ~attr;
+      let vmask, placed, ppn0 = block_state t vpn in
+      if vmask = full_mask t && placed then begin
+        match ppn0 with
+        | Some base ->
+            (* fully populated and properly placed: promote *)
+            let first = block_base t vpn in
+            for i = 0 to t.factor - 1 do
+              Intf.remove t.pt ~vpn:(Int64.add first (Int64.of_int i))
+            done;
+            Intf.insert_superpage t.pt ~vpn:first ~size:(block_size t)
+              ~ppn:base ~attr;
+            t.promotions <- t.promotions + 1
+        | None -> ()
+      end
+
+let fault t ~vpn =
+  match area_of t vpn with
+  | None -> `Segfault
+  | Some area -> (
+      match Hashtbl.find_opt t.mappings vpn with
+      | Some ppn -> `Already_mapped ppn
+      | None -> (
+          match Mem.Phys_alloc.alloc_page t.alloc ~vpn:(alloc_key t vpn) with
+          | None -> `Oom
+          | Some ppn ->
+              Hashtbl.replace t.mappings vpn ppn;
+              update_page_table t ~vpn ~ppn ~attr:area.attr;
+              `Mapped ppn))
+
+let map_region t region attr =
+  declare_region t region attr;
+  Addr.Region.iter_vpns region (fun vpn ->
+      match fault t ~vpn with
+      | `Mapped _ | `Already_mapped _ -> ()
+      | `Segfault -> assert false
+      | `Oom -> invalid_arg "Address_space.map_region: out of memory")
+
+let unmap_region t region =
+  Addr.Region.iter_vpns region (fun vpn ->
+      match Hashtbl.find_opt t.mappings vpn with
+      | None -> ()
+      | Some ppn ->
+          Intf.remove t.pt ~vpn;
+          Mem.Phys_alloc.free_page t.alloc ~vpn:(alloc_key t vpn) ~ppn;
+          Hashtbl.remove t.mappings vpn)
+
+let protect_region t region ~f =
+  (* keep the declared areas' attributes in step for future faults *)
+  t.areas <-
+    List.map
+      (fun a ->
+        if Addr.Region.overlap a.region region then { a with attr = f a.attr }
+        else a)
+      t.areas;
+  Intf.set_attr_range t.pt region ~f
+
+let translate t ~vpn = Hashtbl.find_opt t.mappings vpn
+
+let mapped_pages t = Hashtbl.length t.mappings
+
+let properly_placed_pages t =
+  Hashtbl.fold
+    (fun vpn ppn acc ->
+      if Addr.Paddr.properly_placed ~subblock_factor:t.factor ~vpn ~ppn then
+        acc + 1
+      else acc)
+    t.mappings 0
+
+let allocator_stats t = Mem.Phys_alloc.stats t.alloc
+
+let promotions t = t.promotions

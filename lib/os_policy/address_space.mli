@@ -1,0 +1,71 @@
+(** A process address space: VM areas, a physical allocator with page
+    reservation, and a page table kept in sync under a page-size
+    policy.
+
+    This is the operating-system layer the paper says superpage and
+    partial-subblock TLBs cannot work without (Section 4.1): the
+    dynamic page-size assignment policy chooses between 4 KB pages and
+    64 KB superpages, and page reservation allocates aligned physical
+    blocks so promotions are possible. *)
+
+(** How faults populate the page table (Section 6.1's policies). *)
+type policy =
+  | Base_only  (** every page gets a base PTE *)
+  | Partial_subblock
+      (** properly-placed pages accumulate into a partial-subblock PTE
+          for their block; stragglers get base PTEs *)
+  | Superpage_promotion
+      (** base PTEs, promoted to a 64 KB superpage PTE when a block
+          becomes fully populated and properly placed *)
+
+type t
+
+type fault_result = [ `Mapped of int64 | `Already_mapped of int64 | `Segfault | `Oom ]
+
+val create :
+  pt:Pt_common.Intf.instance ->
+  ?allocator:Mem.Phys_alloc.t ->
+  total_pages:int ->
+  ?policy:policy ->
+  ?subblock_factor:int ->
+  unit ->
+  t
+(** [total_pages] sizes simulated physical memory; pass [allocator] to
+    share one physical memory between several address spaces (the
+    multi-process case — see {!System}).  When [allocator] is given its
+    subblock factor must equal [subblock_factor]. *)
+
+val policy : t -> policy
+
+val page_table : t -> Pt_common.Intf.instance
+
+val declare_region : t -> Addr.Region.t -> Pte.Attr.t -> unit
+(** Make a virtual range legal to touch (like [mmap] without
+    populating).  Raises [Invalid_argument] on overlap with an existing
+    area. *)
+
+val map_region : t -> Addr.Region.t -> Pte.Attr.t -> unit
+(** [declare_region] followed by faulting in every page. *)
+
+val fault : t -> vpn:int64 -> fault_result
+(** Demand-fault one page: allocate a frame (preferring the block
+    reservation), update the page table per the policy. *)
+
+val unmap_region : t -> Addr.Region.t -> unit
+(** Remove mappings and free frames; the area stays declared. *)
+
+val protect_region : t -> Addr.Region.t -> f:(Pte.Attr.t -> Pte.Attr.t) -> int
+(** Change attributes over a range; returns the number of page-table
+    searches (the Section 3.1 cost). *)
+
+val translate : t -> vpn:int64 -> int64 option
+(** The OS's own vpn -> ppn bookkeeping (ground truth for tests). *)
+
+val mapped_pages : t -> int
+
+val properly_placed_pages : t -> int
+
+val allocator_stats : t -> Mem.Phys_alloc.stats
+
+val promotions : t -> int
+(** Blocks promoted to superpages so far ([Superpage_promotion]). *)

@@ -1,0 +1,97 @@
+module Intf = Pt_common.Intf
+module Types = Pt_common.Types
+
+type outcome = [ `Tlb_hit | `Filled | `Page_fault_filled | `Fault ]
+
+type t = {
+  tlb : Tlb.Intf.instance;
+  pt : Intf.instance;
+  aspace : Address_space.t option;
+  prefetch : bool;
+  factor : int;
+  counter : Mem.Cache_model.counter;
+  mutable page_faults : int;
+}
+
+let create ~tlb ~pt ?aspace ?(prefetch = false) ?(subblock_factor = 16)
+    ?line_size () =
+  {
+    tlb;
+    pt;
+    aspace;
+    prefetch;
+    factor = subblock_factor;
+    counter = Mem.Cache_model.create_counter ?line_size ();
+    page_faults = 0;
+  }
+
+let record t (walk : Types.walk) =
+  ignore (Mem.Cache_model.record_walk t.counter walk.accesses)
+
+(* Section 3.1: the handler updates reference/modified bits in place,
+   without locks, as part of servicing the miss. *)
+let update_ref_mod t ~vpn ~write =
+  let region = Addr.Region.make ~first_vpn:vpn ~pages:1 in
+  ignore
+    (Intf.set_attr_range t.pt region ~f:(fun a ->
+         {
+           a with
+           Pte.Attr.referenced = true;
+           modified = a.Pte.Attr.modified || write;
+         }))
+
+let walk_and_fill t ~vpn ~block_miss =
+  if t.prefetch && block_miss then begin
+    let found, walk = Intf.lookup_block t.pt ~vpn ~subblock_factor:t.factor in
+    record t walk;
+    let boff = Int64.to_int (Int64.rem vpn (Int64.of_int t.factor)) in
+    if List.mem_assoc boff found then begin
+      Tlb.Intf.fill_block t.tlb found;
+      `Filled
+    end
+    else `Missing
+  end
+  else begin
+    let tr, walk = Intf.lookup t.pt ~vpn in
+    record t walk;
+    match tr with
+    | Some tr ->
+        Tlb.Intf.fill t.tlb tr;
+        `Filled
+    | None -> `Missing
+  end
+
+let access ?(write = false) t ~vpn =
+  match Tlb.Intf.access t.tlb ~vpn with
+  | `Hit -> `Tlb_hit
+  | (`Block_miss | `Subblock_miss) as miss -> (
+      let block_miss = miss = `Block_miss in
+      match walk_and_fill t ~vpn ~block_miss with
+      | `Filled ->
+          update_ref_mod t ~vpn ~write;
+          `Filled
+      | `Missing -> (
+          match t.aspace with
+          | None -> `Fault
+          | Some aspace -> (
+              match Address_space.fault aspace ~vpn with
+              | `Mapped _ | `Already_mapped _ -> (
+                  t.page_faults <- t.page_faults + 1;
+                  match walk_and_fill t ~vpn ~block_miss with
+                  | `Filled ->
+                      update_ref_mod t ~vpn ~write;
+                      `Page_fault_filled
+                  | `Missing -> `Fault)
+              | `Segfault | `Oom -> `Fault)))
+
+let access_addr ?write t vaddr = access ?write t ~vpn:(Addr.Vaddr.vpn vaddr)
+
+let tlb_misses t = Tlb.Stats.misses (Tlb.Intf.stats t.tlb)
+
+let page_faults t = t.page_faults
+
+let mean_lines_per_miss t = Mem.Cache_model.mean_lines t.counter
+
+let walks t = Mem.Cache_model.walks t.counter
+
+let tlb t = t.tlb

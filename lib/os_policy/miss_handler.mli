@@ -1,0 +1,49 @@
+(** The software TLB miss handler: the code path the paper's metric
+    times (Section 6.1).
+
+    Wires a TLB model to a page table (and optionally an address space
+    for demand paging): every memory access goes through the TLB; on a
+    miss the handler walks the page table, records the cache lines the
+    walk touched, and fills the TLB.  With a complete-subblock TLB,
+    block misses can prefetch the whole block's mappings
+    (Section 4.4). *)
+
+type t
+
+type outcome = [ `Tlb_hit | `Filled | `Page_fault_filled | `Fault ]
+
+val create :
+  tlb:Tlb.Intf.instance ->
+  pt:Pt_common.Intf.instance ->
+  ?aspace:Address_space.t ->
+  ?prefetch:bool ->
+  ?subblock_factor:int ->
+  ?line_size:int ->
+  unit ->
+  t
+(** [prefetch] enables subblock prefetching on block misses (only
+    meaningful for a complete-subblock TLB).  [aspace], when given,
+    demand-faults unmapped pages so a lookup that misses the page table
+    retries after the OS maps the page; otherwise unmapped pages yield
+    [`Fault]. *)
+
+val access : ?write:bool -> t -> vpn:int64 -> outcome
+(** [write] marks the access a store: the handler sets the PTE's
+    modified bit as well as its referenced bit.  Section 3.1: "TLB miss
+    handlers typically access page tables and update reference and
+    modified bits without acquiring any locks" — the update happens on
+    the miss path, in place. *)
+
+val access_addr : ?write:bool -> t -> Addr.Vaddr.t -> outcome
+
+val tlb_misses : t -> int
+
+val page_faults : t -> int
+
+val mean_lines_per_miss : t -> float
+(** The paper's metric: average distinct cache lines touched per TLB
+    miss walk. *)
+
+val walks : t -> int
+
+val tlb : t -> Tlb.Intf.instance

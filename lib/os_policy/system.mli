@@ -1,0 +1,68 @@
+(** A multiprogrammed mini-system: several processes with their own
+    page tables and address spaces, one shared physical memory, one
+    TLB, and a context-switch policy.
+
+    This is the piece the paper's Section 7 multiprogramming
+    discussion needs: context switches either flush the TLB (the
+    paper's SuperSPARC) or switch an ASID (MIPS-style, via
+    {!Tlb.Tagged_tlb}), and physical memory pressure is shared — one
+    process's reservations can be preempted by another's faults,
+    degrading superpage and partial-subblock coverage exactly as
+    Section 7 warns. *)
+
+type switch_policy = Flush | Asid
+
+type t
+
+type outcome = [ `Tlb_hit | `Filled | `Page_fault_filled | `Fault ]
+
+val create :
+  ?entries:int ->
+  ?switch_policy:switch_policy ->
+  ?policy:Address_space.policy ->
+  ?line_size:int ->
+  make_pt:(unit -> Pt_common.Intf.instance) ->
+  total_pages:int ->
+  names:string list ->
+  unit ->
+  t
+(** One process per name, each with a fresh page table from [make_pt];
+    all share one physical memory of [total_pages] frames.  Default: a
+    64-entry conventional TLB, [Flush] on switch, [Base_only]
+    paging. *)
+
+val process_count : t -> int
+
+val aspace : t -> pid:int -> Address_space.t
+
+val page_table : t -> pid:int -> Pt_common.Intf.instance
+
+val mmap : t -> pid:int -> Addr.Region.t -> Pte.Attr.t -> unit
+(** Declare a demand-paged region in one process. *)
+
+val switch_to : t -> pid:int -> unit
+(** Context switch: flushes the TLB or changes the ASID per the
+    policy.  Switching to the current process is a no-op. *)
+
+val current : t -> int
+
+val access : t -> vpn:int64 -> outcome
+(** One memory access by the current process: TLB, then page-table
+    walk (cache lines recorded), demand-faulting unmapped pages in
+    declared regions. *)
+
+val run_trace : t -> Workload.Trace.t -> unit
+(** Replay a trace: [Access (pid, vpn)] switches to [pid] if needed
+    and performs the access; [Switch pid] is an explicit yield. *)
+
+val tlb_misses : t -> int
+
+val page_faults : t -> int
+
+val switches : t -> int
+
+val mean_lines_per_miss : t -> float
+
+val total_mapped_pages : t -> int
+
+val free_frames : t -> int

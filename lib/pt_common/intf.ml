@@ -1,0 +1,106 @@
+(** The interface every page table implements.
+
+    The five organizations (linear, forward-mapped, hashed, inverted /
+    software-TLB, clustered) all satisfy [PAGE_TABLE], so experiments,
+    tests and benchmarks treat them uniformly through {!instance}
+    first-class modules.
+
+    Superpage and partial-subblock insertion follow the strategy the
+    paper evaluates for each organization (Section 6.1): linear and
+    forward-mapped page tables replicate the PTE at every base-page
+    site; hashed page tables keep two logical tables (4 KB searched
+    first, then 64 KB blocks); clustered page tables store the new
+    formats natively in their nodes. *)
+
+module type PAGE_TABLE = sig
+  type t
+
+  val name : string
+  (** Short identifier used in reports, e.g. "clustered". *)
+
+  val lookup : t -> vpn:int64 -> Types.translation option * Types.walk
+  (** TLB-miss service: translate the faulting base page.  The walk
+      records every memory read the handler performed, successful or
+      not. *)
+
+  val lookup_block :
+    t ->
+    vpn:int64 ->
+    subblock_factor:int ->
+    (int * Types.translation) list * Types.walk
+  (** Complete-subblock prefetch (Section 4.4): return all valid
+      translations in the faulting page's block as [(block offset,
+      translation)] pairs, charging the full cost of gathering them —
+      one probe per base page for a hashed table, adjacent reads for
+      linear and clustered tables. *)
+
+  val insert_base :
+    t -> vpn:int64 -> ppn:int64 -> attr:Pte.Attr.t -> unit
+
+  val insert_superpage :
+    t ->
+    vpn:int64 ->
+    size:Addr.Page_size.t ->
+    ppn:int64 ->
+    attr:Pte.Attr.t ->
+    unit
+  (** [vpn] and [ppn] must be aligned to [size]. *)
+
+  val insert_psb :
+    t -> vpbn:int64 -> vmask:int -> ppn:int64 -> attr:Pte.Attr.t -> unit
+  (** Insert a partial-subblock mapping for a whole page block.  [ppn]
+      is the block-aligned base frame. *)
+
+  val remove : t -> vpn:int64 -> unit
+  (** Remove the base page [vpn].  Removing a page of a partial-
+      subblock mapping clears its valid bit; removing a page of a
+      superpage removes the whole superpage (demotion is an OS-level
+      operation, see {!Os_policy}). *)
+
+  val set_attr_range :
+    t -> Addr.Region.t -> f:(Pte.Attr.t -> Pte.Attr.t) -> int
+  (** Apply [f] to the attributes of every mapping in the region;
+      returns the number of *page-table searches* performed, the cost
+      the paper compares in Section 3.1 (hashed: one per base page;
+      clustered: one per page block). *)
+
+  val size_bytes : t -> int
+  (** Bytes of page-table memory currently in use, by the paper's
+      Section 6.1 accounting for this organization. *)
+
+  val population : t -> int
+  (** Number of base pages currently mapped (each page under a
+      superpage or valid psb bit counts once). *)
+
+  val clear : t -> unit
+end
+
+type instance =
+  | Instance : (module PAGE_TABLE with type t = 't) * 't -> instance
+
+let instance_name (Instance ((module P), _)) = P.name
+
+let lookup (Instance ((module P), t)) ~vpn = P.lookup t ~vpn
+
+let lookup_block (Instance ((module P), t)) ~vpn ~subblock_factor =
+  P.lookup_block t ~vpn ~subblock_factor
+
+let insert_base (Instance ((module P), t)) ~vpn ~ppn ~attr =
+  P.insert_base t ~vpn ~ppn ~attr
+
+let insert_superpage (Instance ((module P), t)) ~vpn ~size ~ppn ~attr =
+  P.insert_superpage t ~vpn ~size ~ppn ~attr
+
+let insert_psb (Instance ((module P), t)) ~vpbn ~vmask ~ppn ~attr =
+  P.insert_psb t ~vpbn ~vmask ~ppn ~attr
+
+let remove (Instance ((module P), t)) ~vpn = P.remove t ~vpn
+
+let set_attr_range (Instance ((module P), t)) region ~f =
+  P.set_attr_range t region ~f
+
+let size_bytes (Instance ((module P), t)) = P.size_bytes t
+
+let population (Instance ((module P), t)) = P.population t
+
+let clear (Instance ((module P), t)) = P.clear t

@@ -1,0 +1,54 @@
+type kind =
+  | Base
+  | Superpage of Addr.Page_size.t
+  | Partial_subblock of int
+
+type translation = {
+  vpn : int64;
+  ppn : int64;
+  vpn_base : int64;
+  ppn_base : int64;
+  kind : kind;
+  attr : Pte.Attr.t;
+}
+
+let base_translation ~vpn ~ppn ~attr =
+  { vpn; ppn; vpn_base = vpn; ppn_base = ppn; kind = Base; attr }
+
+let covered_pages t =
+  match t.kind with
+  | Base -> 1
+  | Superpage size -> Addr.Page_size.base_pages size
+  | Partial_subblock vmask -> Addr.Bits.popcount (Int64.of_int vmask)
+
+type walk = {
+  accesses : Mem.Cache_model.access list;
+  probes : int;
+  nested_misses : int;
+}
+
+let empty_walk = { accesses = []; probes = 0; nested_misses = 0 }
+
+let walk_read w ~addr ~bytes =
+  { w with accesses = { Mem.Cache_model.addr; bytes } :: w.accesses }
+
+let walk_probe w = { w with probes = w.probes + 1 }
+
+let walk_join a b =
+  {
+    accesses = b.accesses @ a.accesses;
+    probes = a.probes + b.probes;
+    nested_misses = a.nested_misses + b.nested_misses;
+  }
+
+let walk_lines ?(line_size = Mem.Cache_model.default_line_size) w =
+  Mem.Cache_model.distinct_lines ~line_size w.accesses
+
+let pp_kind ppf = function
+  | Base -> Format.fprintf ppf "base"
+  | Superpage size -> Format.fprintf ppf "sp:%a" Addr.Page_size.pp size
+  | Partial_subblock vmask -> Format.fprintf ppf "psb:%04x" vmask
+
+let pp_translation ppf t =
+  Format.fprintf ppf "{vpn=%Lx -> ppn=%Lx (%a at %Lx)}" t.vpn t.ppn pp_kind
+    t.kind t.vpn_base

@@ -1,0 +1,52 @@
+(** Shared types for page-table implementations: the result a TLB miss
+    handler loads, and the walk-cost record an experiment charges. *)
+
+(** Granularity of the mapping a lookup produced — this is what decides
+    which TLB entry format the handler loads. *)
+type kind =
+  | Base  (** one 4 KB page *)
+  | Superpage of Addr.Page_size.t
+  | Partial_subblock of int  (** valid vector over the page block *)
+
+type translation = {
+  vpn : int64;  (** the faulting base page *)
+  ppn : int64;  (** physical page backing [vpn] *)
+  vpn_base : int64;  (** first VPN covered by the loaded entry *)
+  ppn_base : int64;  (** PPN backing [vpn_base] *)
+  kind : kind;
+  attr : Pte.Attr.t;
+}
+
+val base_translation :
+  vpn:int64 -> ppn:int64 -> attr:Pte.Attr.t -> translation
+
+val covered_pages : translation -> int
+(** Base pages covered by the loaded entry (1, superpage size, or the
+    subblock factor). *)
+
+(** Cost of one page-table walk, charged by the simulated TLB miss
+    handler. *)
+type walk = {
+  accesses : Mem.Cache_model.access list;
+      (** byte ranges read, most recent first *)
+  probes : int;  (** hash nodes or tree levels visited *)
+  nested_misses : int;
+      (** linear page tables: TLB misses taken on the page table's own
+          virtual mappings *)
+}
+
+val empty_walk : walk
+
+val walk_read : walk -> addr:int64 -> bytes:int -> walk
+(** Charge one memory read to a walk. *)
+
+val walk_probe : walk -> walk
+(** Count one more node/level visit. *)
+
+val walk_join : walk -> walk -> walk
+(** Combine two walks (e.g. probing a second page table). *)
+
+val walk_lines : ?line_size:int -> walk -> int
+(** Distinct cache lines the walk touched (default 256-byte lines). *)
+
+val pp_translation : Format.formatter -> translation -> unit

@@ -1,0 +1,77 @@
+type t = {
+  referenced : bool;
+  modified : bool;
+  writable : bool;
+  executable : bool;
+  user : bool;
+  cacheable : bool;
+  global : bool;
+  locked : bool;
+  soft : int;
+}
+
+let width = 12
+
+let default =
+  {
+    referenced = false;
+    modified = false;
+    writable = true;
+    executable = false;
+    user = true;
+    cacheable = true;
+    global = false;
+    locked = false;
+    soft = 0;
+  }
+
+let kernel_text =
+  {
+    default with
+    writable = false;
+    executable = true;
+    user = false;
+    global = true;
+    locked = true;
+  }
+
+let kernel_data = { default with user = false; global = true; locked = true }
+
+let bit b i = if b then Int64.shift_left 1L i else 0L
+
+let to_bits t =
+  if t.soft < 0 || t.soft > 15 then invalid_arg "Attr.to_bits: soft";
+  List.fold_left Int64.logor
+    (Int64.shift_left (Int64.of_int t.soft) 8)
+    [
+      bit t.referenced 0;
+      bit t.modified 1;
+      bit t.writable 2;
+      bit t.executable 3;
+      bit t.user 4;
+      bit t.cacheable 5;
+      bit t.global 6;
+      bit t.locked 7;
+    ]
+
+let of_bits w =
+  {
+    referenced = Addr.Bits.test_bit w 0;
+    modified = Addr.Bits.test_bit w 1;
+    writable = Addr.Bits.test_bit w 2;
+    executable = Addr.Bits.test_bit w 3;
+    user = Addr.Bits.test_bit w 4;
+    cacheable = Addr.Bits.test_bit w 5;
+    global = Addr.Bits.test_bit w 6;
+    locked = Addr.Bits.test_bit w 7;
+    soft = Int64.to_int (Addr.Bits.extract w ~lo:8 ~width:4);
+  }
+
+let equal a b = a = b
+
+let pp ppf t =
+  let flag c b = if b then c else '-' in
+  Format.fprintf ppf "%c%c%c%c%c%c%c%c/s%x" (flag 'r' t.referenced)
+    (flag 'm' t.modified) (flag 'w' t.writable) (flag 'x' t.executable)
+    (flag 'u' t.user) (flag 'c' t.cacheable) (flag 'g' t.global)
+    (flag 'l' t.locked) t.soft

@@ -1,0 +1,21 @@
+(** Base-page PTE: the eight-byte mapping word of Figure 1.
+
+    Maps one 4 KB virtual page to one 4 KB physical page. *)
+
+type t = { valid : bool; ppn : int64; attr : Attr.t }
+
+val make : ?valid:bool -> ppn:int64 -> attr:Attr.t -> unit -> t
+(** Raises [Invalid_argument] if [ppn] exceeds 28 bits. *)
+
+val invalid : t
+(** An all-clear invalid word. *)
+
+val encode : t -> int64
+(** Encode with S = base. *)
+
+val decode : int64 -> t
+(** Field-wise decode; ignores PAD and S. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

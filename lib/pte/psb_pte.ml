@@ -1,0 +1,71 @@
+type t = { vmask : int; ppn : int64; attr : Attr.t }
+
+let max_factor = 16
+
+let check t =
+  if t.vmask < 0 || t.vmask >= 1 lsl max_factor then
+    invalid_arg "Psb_pte: vmask exceeds 16 bits";
+  if Int64.unsigned_compare t.ppn Addr.Paddr.max_ppn > 0 then
+    invalid_arg "Psb_pte: PPN exceeds 28 bits";
+  if not (Addr.Bits.is_aligned t.ppn (Addr.Bits.log2_exact max_factor)) then
+    invalid_arg "Psb_pte: PPN not block-aligned"
+
+let make ~vmask ~ppn ~attr =
+  let t = { vmask; ppn; attr } in
+  check t;
+  t
+
+let encode t =
+  check t;
+  let open Addr.Bits in
+  let w = 0L in
+  let w =
+    insert w ~lo:Layout.vmask_lo ~width:Layout.vmask_width
+      (Int64.of_int t.vmask)
+  in
+  let w =
+    insert w ~lo:Layout.s_lo ~width:Layout.s_width
+      (Layout.s_class_to_code Layout.S_partial_subblock)
+  in
+  let w = insert w ~lo:Layout.ppn_lo ~width:Layout.ppn_width t.ppn in
+  insert w ~lo:Layout.attr_lo ~width:Layout.attr_width (Attr.to_bits t.attr)
+
+let decode w =
+  let open Addr.Bits in
+  {
+    vmask =
+      Int64.to_int (extract w ~lo:Layout.vmask_lo ~width:Layout.vmask_width);
+    ppn = extract w ~lo:Layout.ppn_lo ~width:Layout.ppn_width;
+    attr = Attr.of_bits (extract w ~lo:Layout.attr_lo ~width:Layout.attr_width);
+  }
+
+let check_boff boff =
+  if boff < 0 || boff >= max_factor then invalid_arg "Psb_pte: block offset"
+
+let valid_at t ~boff =
+  check_boff boff;
+  t.vmask land (1 lsl boff) <> 0
+
+let set_valid t ~boff =
+  check_boff boff;
+  { t with vmask = t.vmask lor (1 lsl boff) }
+
+let clear_valid t ~boff =
+  check_boff boff;
+  { t with vmask = t.vmask land lnot (1 lsl boff) }
+
+let ppn_for t ~boff =
+  check_boff boff;
+  Int64.add t.ppn (Int64.of_int boff)
+
+let population t = Addr.Bits.popcount (Int64.of_int t.vmask)
+
+let is_full ~subblock_factor t =
+  if subblock_factor < 1 || subblock_factor > max_factor then
+    invalid_arg "Psb_pte.is_full";
+  t.vmask land ((1 lsl subblock_factor) - 1) = (1 lsl subblock_factor) - 1
+
+let equal a b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "psb{v=%04x ppn=%Lx %a}" t.vmask t.ppn Attr.pp t.attr

@@ -1,0 +1,42 @@
+(** Partial-subblock PTE: Figure 6 (bottom).
+
+    One word maps up to [subblock_factor] properly-placed base pages of
+    one page block: the 16-bit valid vector (bits 63..48) says which
+    block offsets are resident, and the single PPN is the physical page
+    of block offset 0 (so page at block offset [i] maps to [ppn + i]).
+    Valid only when the physical pages are properly placed, i.e. the
+    block occupies an aligned physical block. *)
+
+type t = { vmask : int; ppn : int64; attr : Attr.t }
+(** [vmask] bit [i] set means block offset [i] is valid. *)
+
+val make : vmask:int -> ppn:int64 -> attr:Attr.t -> t
+(** Raises [Invalid_argument] if [vmask] is outside 16 bits, the PPN
+    exceeds 28 bits, or the PPN is not aligned to a 16-page block.  A
+    smaller subblock factor simply uses fewer vmask bits. *)
+
+val encode : t -> int64
+(** Encode with S = partial-subblock. *)
+
+val decode : int64 -> t
+
+val valid_at : t -> boff:int -> bool
+
+val set_valid : t -> boff:int -> t
+
+val clear_valid : t -> boff:int -> t
+
+val ppn_for : t -> boff:int -> int64
+(** PPN of the page at block offset [boff]; the caller must have
+    checked [valid_at]. *)
+
+val population : t -> int
+(** Number of valid base pages. *)
+
+val is_full : subblock_factor:int -> t -> bool
+(** All [subblock_factor] pages valid: the PTE is promotable to a
+    superpage of the block size. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+type t = { valid : bool; size : Addr.Page_size.t; ppn : int64; attr : Attr.t }
+
+let check t =
+  if Int64.unsigned_compare t.ppn Addr.Paddr.max_ppn > 0 then
+    invalid_arg "Superpage_pte: PPN exceeds 28 bits";
+  let sz = Addr.Page_size.sz_code t.size in
+  if not (Addr.Bits.is_aligned t.ppn sz) then
+    invalid_arg "Superpage_pte: PPN not aligned to superpage size"
+
+let make ?(valid = true) ~size ~ppn ~attr () =
+  let t = { valid; size; ppn; attr } in
+  check t;
+  t
+
+let encode t =
+  check t;
+  let open Addr.Bits in
+  let w = 0L in
+  let w = if t.valid then set_bit w Layout.valid_bit else w in
+  let w =
+    insert w ~lo:Layout.sz_lo ~width:Layout.sz_width
+      (Int64.of_int (Addr.Page_size.sz_code t.size))
+  in
+  let w =
+    insert w ~lo:Layout.s_lo ~width:Layout.s_width
+      (Layout.s_class_to_code Layout.S_superpage)
+  in
+  let w = insert w ~lo:Layout.ppn_lo ~width:Layout.ppn_width t.ppn in
+  insert w ~lo:Layout.attr_lo ~width:Layout.attr_width (Attr.to_bits t.attr)
+
+let decode w =
+  let open Addr.Bits in
+  {
+    valid = test_bit w Layout.valid_bit;
+    size =
+      Addr.Page_size.of_sz_code
+        (Int64.to_int (extract w ~lo:Layout.sz_lo ~width:Layout.sz_width));
+    ppn = extract w ~lo:Layout.ppn_lo ~width:Layout.ppn_width;
+    attr = Attr.of_bits (extract w ~lo:Layout.attr_lo ~width:Layout.attr_width);
+  }
+
+let covers t ~vpn_base ~vpn =
+  let pages = Int64.of_int (Addr.Page_size.base_pages t.size) in
+  Int64.unsigned_compare vpn vpn_base >= 0
+  && Int64.unsigned_compare vpn (Int64.add vpn_base pages) < 0
+
+let ppn_for t ~vpn_base ~vpn =
+  if not (covers t ~vpn_base ~vpn) then invalid_arg "Superpage_pte.ppn_for";
+  Int64.add t.ppn (Int64.sub vpn vpn_base)
+
+let equal a b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "sp{%c %a ppn=%Lx %a}"
+    (if t.valid then 'V' else '-')
+    Addr.Page_size.pp t.size t.ppn Attr.pp t.attr

@@ -1,0 +1,31 @@
+(** Superpage PTE: Figure 6 (top).
+
+    One word maps a power-of-two-sized, virtually- and physically-aligned
+    superpage.  The 4-bit SZ field encodes log2(size / 4 KB).  The PPN
+    stored is the PPN of the superpage's first base page; its low
+    SZ bits are necessarily zero (alignment), which tests enforce. *)
+
+type t = { valid : bool; size : Addr.Page_size.t; ppn : int64; attr : Attr.t }
+
+val make :
+  ?valid:bool -> size:Addr.Page_size.t -> ppn:int64 -> attr:Attr.t -> unit -> t
+(** Raises [Invalid_argument] if [ppn] exceeds 28 bits or is not aligned
+    to [size]. *)
+
+val encode : t -> int64
+(** Encode with S = superpage. *)
+
+val decode : int64 -> t
+
+val covers : t -> vpn_base:int64 -> vpn:int64 -> bool
+(** [covers t ~vpn_base ~vpn] is true iff the superpage anchored at
+    virtual page [vpn_base] contains the base page [vpn]. *)
+
+val ppn_for : t -> vpn_base:int64 -> vpn:int64 -> int64
+(** Physical page backing base page [vpn] inside the superpage anchored
+    at [vpn_base]: the stored PPN plus the page's offset in the
+    superpage. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

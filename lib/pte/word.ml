@@ -1,0 +1,27 @@
+type t =
+  | Base of Base_pte.t
+  | Superpage of Superpage_pte.t
+  | Psb of Psb_pte.t
+
+let encode = function
+  | Base p -> Base_pte.encode p
+  | Superpage p -> Superpage_pte.encode p
+  | Psb p -> Psb_pte.encode p
+
+let decode w =
+  match Layout.read_s w with
+  | Layout.S_base -> Base (Base_pte.decode w)
+  | Layout.S_partial_subblock -> Psb (Psb_pte.decode w)
+  | Layout.S_superpage -> Superpage (Superpage_pte.decode w)
+
+let is_valid = function
+  | Base p -> p.Base_pte.valid
+  | Superpage p -> p.Superpage_pte.valid
+  | Psb p -> p.Psb_pte.vmask <> 0
+
+let equal a b = a = b
+
+let pp ppf = function
+  | Base p -> Base_pte.pp ppf p
+  | Superpage p -> Superpage_pte.pp ppf p
+  | Psb p -> Psb_pte.pp ppf p

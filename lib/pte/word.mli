@@ -1,0 +1,23 @@
+(** Uniform view of the three eight-byte PTE word formats.
+
+    A raw word self-describes via its S field (see {!Layout}), which is
+    what lets the clustered-page-table miss handler traverse the hash
+    chain format-blind and only branch when reading the mapping
+    (paper, Section 5). *)
+
+type t =
+  | Base of Base_pte.t
+  | Superpage of Superpage_pte.t
+  | Psb of Psb_pte.t
+
+val encode : t -> int64
+
+val decode : int64 -> t
+(** Classify by S field, then decode. *)
+
+val is_valid : t -> bool
+(** Whether the word maps anything at all (V bit, or any vmask bit). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,250 @@
+module Intf = Pt_common.Intf
+
+type design = Single | Superpage | Psb | Csb
+
+let design_name = function
+  | Single -> "single-page-size"
+  | Superpage -> "superpage"
+  | Psb -> "partial-subblock"
+  | Csb -> "complete-subblock"
+
+let policy_of_design = function
+  | Single | Csb -> `Base
+  | Superpage -> `Superpage
+  | Psb -> `Psb
+
+type result = {
+  workload : string;
+  pt : string;
+  mean_lines : float;
+  lines : int;
+  misses : int;
+}
+
+type workload_run = {
+  spec : Workload.Spec.t;
+  base_misses : int;
+  accesses : int;
+  results : result list;
+}
+
+let default_pt_kinds =
+  [
+    Factory.Linear1;
+    Factory.Forward_mapped;
+    Factory.Hashed;
+    Factory.clustered16;
+  ]
+
+let kinds_for = function
+  | Single ->
+      [
+        Factory.Linear1;
+        Factory.Forward_mapped;
+        Factory.Hashed;
+        Factory.clustered16;
+      ]
+  | Superpage | Psb ->
+      [
+        Factory.Linear1;
+        Factory.Forward_mapped;
+        Factory.Hashed_two_tables { coarse_first = false };
+        Factory.clustered16;
+      ]
+  | Csb ->
+      [
+        Factory.Linear1;
+        Factory.Forward_mapped;
+        Factory.Hashed;
+        Factory.clustered16;
+      ]
+
+let make_tlb design ~entries ~subblock_factor =
+  match design with
+  | Single -> Tlb.Intf.fa ~entries ()
+  | Superpage -> Tlb.Intf.superpage ~entries ()
+  | Psb -> Tlb.Intf.psb ~entries ~subblock_factor ()
+  | Csb -> Tlb.Intf.csb ~entries ~subblock_factor ()
+
+type miss = { proc : int; vpn : int64; block_miss : bool }
+
+(* Run the trace through a TLB, filling from the reference tables, and
+   record the miss stream.  Prefetch fills apply for Csb designs
+   (Section 4.4). *)
+let record_misses trace tlb ~reference ~design ~subblock_factor =
+  let misses = ref [] and count = ref 0 in
+  Array.iter
+    (function
+      | Workload.Trace.Switch _ -> Tlb.Intf.flush tlb
+      | Workload.Trace.Access (proc, vpn) -> (
+          match Tlb.Intf.access tlb ~vpn with
+          | `Hit -> ()
+          | (`Block_miss | `Subblock_miss) as m ->
+              let block_miss = m = `Block_miss in
+              incr count;
+              misses := { proc; vpn; block_miss } :: !misses;
+              let pt = reference.(proc) in
+              if design = Csb && block_miss then begin
+                let found, _ = Intf.lookup_block pt ~vpn ~subblock_factor in
+                Tlb.Intf.fill_block tlb found
+              end
+              else begin
+                match Intf.lookup pt ~vpn with
+                | Some tr, _ -> Tlb.Intf.fill tlb tr
+                | None, _ -> ()
+              end))
+    trace;
+  (List.rev !misses, !count)
+
+let replay_misses misses tables ~design ~line_size ~subblock_factor =
+  let counter = Mem.Cache_model.create_counter ~line_size () in
+  List.iter
+    (fun { proc; vpn; block_miss } ->
+      let pt = tables.(proc) in
+      let walk =
+        if design = Csb && block_miss then
+          snd (Intf.lookup_block pt ~vpn ~subblock_factor)
+        else snd (Intf.lookup pt ~vpn)
+      in
+      ignore (Mem.Cache_model.record_walk counter walk.Pt_common.Types.accesses))
+    misses;
+  Mem.Cache_model.total_lines counter
+
+type residency = {
+  res_pt : string;
+  cold_lines : float;
+  warm_lines : float;
+  hit_ratio : float;
+}
+
+let is_linear = function
+  | Factory.Linear6 | Factory.Linear1 | Factory.Linear_hashed -> true
+  | _ -> false
+
+let run ?(seed = 0x7ACE_1995L) ?(length = 80_000)
+    ?(line_size = Mem.Cache_model.default_line_size) ?(placement_p = 0.95)
+    ?(subblock_factor = 16) ~design ~pt_kinds spec =
+  let policy = policy_of_design design in
+  let snap = Workload.Snapshot.generate spec ~seed in
+  let assignments =
+    List.mapi
+      (fun i proc ->
+        Builder.assign proc ~placement_p
+          ~seed:(Int64.add seed (Int64.of_int (i + 1)))
+          ())
+      snap.Workload.Snapshot.procs
+    |> Array.of_list
+  in
+  let build kind =
+    Array.map
+      (fun assignment ->
+        let pt = Factory.make kind in
+        Builder.populate pt assignment ~policy;
+        pt)
+      assignments
+  in
+  (* the clustered table supports every PTE format natively, so it
+     serves as the fill reference for the miss-recording pass *)
+  let reference = build Factory.clustered16 in
+  let trace =
+    Workload.Trace.generate spec snap ~seed:(Int64.add seed 0x77L) ~length
+  in
+  (* the Table 1 metric: misses of a 64-entry single-page-size TLB *)
+  let base_misses =
+    let tlb = make_tlb Single ~entries:64 ~subblock_factor in
+    snd (record_misses trace tlb ~reference ~design:Single ~subblock_factor)
+  in
+  let tlb64 = make_tlb design ~entries:64 ~subblock_factor in
+  let misses64, n64 =
+    record_misses trace tlb64 ~reference ~design ~subblock_factor
+  in
+  (* the linear tables' miss stream uses 56 entries (8 reserved) *)
+  let misses56 =
+    if List.exists is_linear pt_kinds then begin
+      let tlb56 = make_tlb design ~entries:56 ~subblock_factor in
+      Some
+        (fst (record_misses trace tlb56 ~reference ~design ~subblock_factor))
+    end
+    else None
+  in
+  let results =
+    List.map
+      (fun kind ->
+        let tables = build kind in
+        let miss_stream =
+          if is_linear kind then Option.get misses56 else misses64
+        in
+        let lines =
+          replay_misses miss_stream tables ~design ~line_size ~subblock_factor
+        in
+        {
+          workload = spec.Workload.Spec.name;
+          pt = Factory.name kind;
+          mean_lines =
+            (if n64 = 0 then 0.0 else float_of_int lines /. float_of_int n64);
+          lines;
+          misses = n64;
+        })
+      pt_kinds
+  in
+  {
+    spec;
+    base_misses;
+    accesses = Workload.Trace.accesses trace;
+    results;
+  }
+
+let run_residency ?(seed = 0x7ACE_1995L) ?(length = 80_000)
+    ?(placement_p = 0.95) ?(line_size = Mem.Cache_model.default_line_size)
+    ~sets ~ways ~pt_kinds spec =
+  let subblock_factor = 16 in
+  let snap = Workload.Snapshot.generate spec ~seed in
+  let assignments =
+    List.mapi
+      (fun i proc ->
+        Builder.assign proc ~placement_p
+          ~seed:(Int64.add seed (Int64.of_int (i + 1)))
+          ())
+      snap.Workload.Snapshot.procs
+    |> Array.of_list
+  in
+  let build kind =
+    Array.map
+      (fun assignment ->
+        let pt = Factory.make kind in
+        Builder.populate pt assignment ~policy:`Base;
+        pt)
+      assignments
+  in
+  let reference = build Factory.clustered16 in
+  let trace =
+    Workload.Trace.generate spec snap ~seed:(Int64.add seed 0x77L) ~length
+  in
+  let tlb = make_tlb Single ~entries:64 ~subblock_factor in
+  let misses, n =
+    record_misses trace tlb ~reference ~design:Single ~subblock_factor
+  in
+  List.map
+    (fun kind ->
+      let tables = build kind in
+      let cache = Mem.Cache_sim.create ~line_size ~sets ~ways () in
+      let cold = ref 0 and warm = ref 0 in
+      List.iter
+        (fun { proc; vpn; _ } ->
+          let _, walk = Intf.lookup tables.(proc) ~vpn in
+          cold := !cold + Pt_common.Types.walk_lines ~line_size walk;
+          List.iter
+            (fun (a : Mem.Cache_model.access) ->
+              let _hits, misses =
+                Mem.Cache_sim.access_bytes cache ~addr:a.addr ~bytes:a.bytes
+              in
+              warm := !warm + misses)
+            walk.Pt_common.Types.accesses)
+        misses;
+      {
+        res_pt = Factory.name kind;
+        cold_lines = float_of_int !cold /. float_of_int n;
+        warm_lines = float_of_int !warm /. float_of_int n;
+        hit_ratio = Mem.Cache_sim.hit_ratio cache;
+      })
+    pt_kinds

@@ -1,0 +1,42 @@
+let hashed_lines ~load_factor = 1.0 +. (load_factor /. 2.0)
+
+let clustered_lines ~load_factor = 1.0 +. (load_factor /. 2.0)
+
+let forward_mapped_lines ~nlevels = float_of_int nlevels
+
+let linear_lines ~r ~m = 1.0 +. (r *. m)
+
+let hashed_size ~nactive1 = 24 * nactive1
+
+let clustered_size ~subblock_factor ~nactive_s =
+  ((8 * subblock_factor) + 16) * nactive_s
+
+let clustered_sp_size ~subblock_factor ~nactive_s ~fss =
+  let n = float_of_int nactive_s in
+  (24.0 *. n *. fss)
+  +. (float_of_int ((8 * subblock_factor) + 16) *. n *. (1.0 -. fss))
+
+let multi_level_linear_size ~nactive ~levels =
+  let total = ref 0 in
+  for i = 1 to levels do
+    (* a level-i node maps 2^(9i) base pages *)
+    let pb = 1 lsl (9 * i) in
+    total := !total + (4096 * nactive pb)
+  done;
+  !total
+
+let linear_with_hashed_size ~nactive512 = (4096 + 24) * nactive512
+
+let forward_mapped_size ~nactive ~bits_per_level =
+  let nlevels = Array.length bits_per_level in
+  (* pages mapped by a node at level i = product of branching factors
+     below it (the appendix's pb_i) *)
+  let total = ref 0 in
+  let below = ref 0 in
+  for i = nlevels - 1 downto 0 do
+    let pb = 1 lsl !below in
+    let n_i = 1 lsl bits_per_level.(i) in
+    total := !total + (n_i * 8 * nactive (pb * n_i));
+    below := !below + bits_per_level.(i)
+  done;
+  !total

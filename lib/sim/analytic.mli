@@ -1,0 +1,44 @@
+(** The appendix's closed-form approximations (Table 2).
+
+    The paper's results come from simulation, with these formulae as
+    sanity checks; we use them the same way — tests cross-validate the
+    simulators against them. *)
+
+(** {2 Average cache lines accessed per TLB miss} *)
+
+val hashed_lines : load_factor:float -> float
+(** 1 + alpha/2, alpha = Nactive(1) / buckets. *)
+
+val clustered_lines : load_factor:float -> float
+(** 1 + alpha/2, alpha = Nactive(s) / buckets. *)
+
+val forward_mapped_lines : nlevels:int -> float
+(** One line per tree level. *)
+
+val linear_lines : r:float -> m:float -> float
+(** 1 + r*m: [r] is the miss ratio on the page table's own
+    translations, [m] the lines per such nested miss. *)
+
+(** {2 Page table size in bytes} *)
+
+val hashed_size : nactive1:int -> int
+(** 24 bytes per PTE. *)
+
+val clustered_size : subblock_factor:int -> nactive_s:int -> int
+(** (8s + 16) per node. *)
+
+val clustered_sp_size :
+  subblock_factor:int -> nactive_s:int -> fss:float -> float
+(** 24 * N * fss + (8s+16) * N * (1 - fss): [fss] is the fraction of
+    page blocks using superpage or partial-subblock PTEs. *)
+
+val multi_level_linear_size : nactive:(int -> int) -> levels:int -> int
+(** Sum over levels of 4 KB * Nactive(2^(9i)). *)
+
+val linear_with_hashed_size : nactive512:int -> int
+(** (4 KB + 24) * Nactive(512). *)
+
+val forward_mapped_size :
+  nactive:(int -> int) -> bits_per_level:int array -> int
+(** Sum over levels of n_i * 8 * Nactive(pb_i), where pb_i is the pages
+    mapped by a node at level i. *)

@@ -1,0 +1,101 @@
+(** Constructing page-table instances for experiments.
+
+    Each kind is a fresh table with its own simulated-memory arena, so
+    size accounting never leaks across instances. *)
+
+module Intf = Pt_common.Intf
+
+type kind =
+  | Linear6  (** six-level linear, all levels counted *)
+  | Linear1  (** linear, leaf pages only ("1-level" in Figure 9) *)
+  | Linear_hashed  (** leaf pages plus hashed upper structure (Table 2) *)
+  | Forward_mapped
+  | Forward_guarded  (** guarded page tables [Lied95] *)
+  | Hashed  (** single page size *)
+  | Hashed_two_tables of { coarse_first : bool }
+  | Hashed_spindex
+  | Hashed_packed  (** 16-byte PTEs, the Section 7 optimization *)
+  | Clustered of { subblock_factor : int }
+  | Clustered_variable  (** varying subblock factors ([Tall95], Section 3) *)
+  | Clustered_two_tables
+  | Inverted
+  | Software_tlb
+  | Clustered_tsb
+
+let name = function
+  | Linear6 -> "linear-6L"
+  | Linear1 -> "linear-1L"
+  | Linear_hashed -> "linear+hash"
+  | Forward_mapped -> "fwd-mapped"
+  | Forward_guarded -> "fwd-guarded"
+  | Hashed -> "hashed"
+  | Hashed_two_tables { coarse_first = false } -> "hashed+sp"
+  | Hashed_two_tables { coarse_first = true } -> "hashed+sp-rev"
+  | Hashed_spindex -> "hashed-spidx"
+  | Hashed_packed -> "hashed-packed"
+  | Clustered { subblock_factor } -> Printf.sprintf "clustered-%d" subblock_factor
+  | Clustered_variable -> "clustered-var"
+  | Clustered_two_tables -> "clustered-2t"
+  | Inverted -> "inverted"
+  | Software_tlb -> "software-tlb"
+  | Clustered_tsb -> "clustered-tsb"
+
+let make kind : Intf.instance =
+  match kind with
+  | Linear6 ->
+      Intf.Instance
+        ( (module Baselines.Linear_pt),
+          Baselines.Linear_pt.create ~size_variant:`Six_level () )
+  | Linear1 ->
+      Intf.Instance
+        ( (module Baselines.Linear_pt),
+          Baselines.Linear_pt.create ~size_variant:`One_level () )
+  | Linear_hashed ->
+      Intf.Instance
+        ( (module Baselines.Linear_pt),
+          Baselines.Linear_pt.create ~size_variant:`Leaf_plus_hash () )
+  | Forward_mapped ->
+      Intf.Instance
+        ((module Baselines.Forward_mapped_pt), Baselines.Forward_mapped_pt.create ())
+  | Forward_guarded ->
+      Intf.Instance
+        ( (module Baselines.Forward_mapped_pt),
+          Baselines.Forward_mapped_pt.create ~guarded:true () )
+  | Hashed ->
+      Intf.Instance ((module Baselines.Hashed_pt), Baselines.Hashed_pt.create ())
+  | Hashed_two_tables { coarse_first } ->
+      Intf.Instance
+        ( (module Baselines.Hashed_pt),
+          Baselines.Hashed_pt.create
+            ~mode:(Baselines.Hashed_pt.Two_tables { coarse_first })
+            () )
+  | Hashed_spindex ->
+      Intf.Instance
+        ( (module Baselines.Hashed_pt),
+          Baselines.Hashed_pt.create ~mode:Baselines.Hashed_pt.Superpage_index
+            () )
+  | Hashed_packed ->
+      Intf.Instance
+        ((module Baselines.Hashed_pt), Baselines.Hashed_pt.create ~packed:true ())
+  | Clustered { subblock_factor } ->
+      Intf.Instance
+        ( (module Clustered_pt.Table),
+          Clustered_pt.Table.create
+            (Clustered_pt.Config.make ~subblock_factor ()) )
+  | Clustered_variable ->
+      Intf.Instance ((module Clustered_pt.Var_table), Clustered_pt.Var_table.create ())
+  | Clustered_two_tables ->
+      Intf.Instance ((module Clustered_pt.Multi_size), Clustered_pt.Multi_size.create ())
+  | Inverted ->
+      (* builder PPNs for unplaced pages start above 1M frames *)
+      Intf.Instance
+        ( (module Baselines.Inverted_pt),
+          Baselines.Inverted_pt.create ~frames:(1 lsl 21) () )
+  | Software_tlb ->
+      Intf.Instance
+        ((module Baselines.Software_tlb), Baselines.Software_tlb.create ())
+  | Clustered_tsb ->
+      Intf.Instance
+        ((module Clustered_pt.Clustered_tsb), Clustered_pt.Clustered_tsb.create ())
+
+let clustered16 = Clustered { subblock_factor = 16 }

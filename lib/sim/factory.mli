@@ -1,0 +1,32 @@
+(** Constructing page-table instances for experiments.
+
+    Each kind is a fresh table with its own simulated-memory arena, so
+    size accounting never leaks across instances. *)
+
+type kind =
+  | Linear6  (** six-level linear, all levels counted *)
+  | Linear1  (** linear, leaf pages only ("1-level" in Figure 9) *)
+  | Linear_hashed  (** leaf pages plus hashed upper structure (Table 2) *)
+  | Forward_mapped
+  | Forward_guarded  (** guarded page tables [Lied95] *)
+  | Hashed  (** single page size *)
+  | Hashed_two_tables of { coarse_first : bool }
+      (** separate 64 KB-block table for superpage/psb PTEs
+          (Section 4.2); [coarse_first] probes it before the 4 KB
+          table (the Section 6.3 suggestion) *)
+  | Hashed_spindex  (** one table hashed on the 64 KB-block index *)
+  | Hashed_packed  (** 16-byte PTEs, the Section 7 optimization *)
+  | Clustered of { subblock_factor : int }
+  | Clustered_variable  (** varying subblock factors ([Tall95], Section 3) *)
+  | Clustered_two_tables  (** fine + coarse tables for many page sizes (Section 7) *)
+  | Inverted  (** frame-table inverted (IBM System/38) *)
+  | Software_tlb  (** direct-mapped TSB over a hashed backing table *)
+  | Clustered_tsb  (** the clustered TSB ([Tall95] / Section 7) *)
+
+val name : kind -> string
+(** Short label used in reports and test output. *)
+
+val make : kind -> Pt_common.Intf.instance
+
+val clustered16 : kind
+(** The paper's default configuration: factor 16, 4096 buckets. *)

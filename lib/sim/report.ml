@@ -1,0 +1,67 @@
+let csv_dir = ref None
+
+let set_csv_dir dir =
+  (match dir with
+  | Some d -> ( try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  | None -> ());
+  csv_dir := dir
+
+let slug title =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' -> c
+      | _ -> '_')
+    (String.lowercase_ascii title)
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let write_csv ~title ~header ~rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      let path = Filename.concat dir (slug title ^ ".csv") in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          List.iter
+            (fun row ->
+              output_string oc
+                (String.concat "," (List.map csv_escape row) ^ "\n"))
+            (header :: rows))
+
+let print_table ~title ~header ~rows =
+  write_csv ~title ~header ~rows;
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let render row =
+    String.concat "  " (List.mapi (fun i cell -> pad cell (List.nth widths i)) row)
+  in
+  let rule =
+    String.concat "--"
+      (List.map (fun w -> String.make w '-') widths)
+  in
+  Printf.printf "\n== %s ==\n%s\n%s\n" title (render header) rule;
+  List.iter (fun row -> print_endline (render row)) rows
+
+let ratio v = if v > 5.0 then ">5.00" else Printf.sprintf "%.2f" v
+
+let lines_metric v = Printf.sprintf "%.2f" v
+
+let kb bytes = Printf.sprintf "%.1fKB" (float_of_int bytes /. 1024.0)
+
+let note s = Printf.printf "   %s\n" s

@@ -1,0 +1,24 @@
+(** Plain-text table rendering for experiment output. *)
+
+val print_table :
+  title:string -> header:string list -> rows:string list list -> unit
+(** Column-aligned table with a title banner, printed to stdout.  When
+    a CSV directory is set, also written there as
+    [<slugified-title>.csv]. *)
+
+val set_csv_dir : string option -> unit
+(** Mirror every subsequent table into [dir] as CSV (created if
+    needed); [None] turns mirroring off. *)
+
+val ratio : float -> string
+(** Format a normalized size like the paper's Figure 9: two decimals,
+    truncated to ">5.00" above 5. *)
+
+val lines_metric : float -> string
+(** Cache-lines-per-miss with two decimals. *)
+
+val kb : int -> string
+(** Bytes as "12.3KB". *)
+
+val note : string -> unit
+(** A wrapped free-text footnote under the last table. *)

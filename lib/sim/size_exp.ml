@@ -1,0 +1,100 @@
+type cell = { label : string; bytes : int; ratio : float }
+
+type row = {
+  workload : string;
+  pages : int;
+  hashed_bytes : int;
+  cells : cell list;
+}
+
+let default_seed = 0x5EED_1995L
+
+let assignments_of spec ~seed ~placement_p =
+  let snap = Workload.Snapshot.generate spec ~seed in
+  List.mapi
+    (fun i proc ->
+      Builder.assign proc ~placement_p
+        ~seed:(Int64.add seed (Int64.of_int (i + 1)))
+        ())
+    snap.Workload.Snapshot.procs
+
+let size_of kind ~policy ~assignments =
+  List.fold_left
+    (fun acc assignment ->
+      let pt = Factory.make kind in
+      Builder.populate pt assignment ~policy;
+      acc + Pt_common.Intf.size_bytes pt)
+    0 assignments
+
+let row_of spec ~seed ~placement_p ~columns =
+  let assignments = assignments_of spec ~seed ~placement_p in
+  let hashed_bytes = size_of Factory.Hashed ~policy:`Base ~assignments in
+  let cells =
+    List.map
+      (fun (label, kind, policy) ->
+        let bytes = size_of kind ~policy ~assignments in
+        {
+          label;
+          bytes;
+          ratio = float_of_int bytes /. float_of_int hashed_bytes;
+        })
+      columns
+  in
+  {
+    workload = spec.Workload.Spec.name;
+    pages =
+      List.fold_left (fun acc a -> acc + a.Builder.pages) 0 assignments;
+    hashed_bytes;
+    cells;
+  }
+
+let figure9 ?(seed = default_seed) ?(specs = Workload.Table1.all_with_kernel)
+    () =
+  let columns =
+    [
+      ("linear-6L", Factory.Linear6, `Base);
+      ("linear-1L", Factory.Linear1, `Base);
+      ("fwd-mapped", Factory.Forward_mapped, `Base);
+      ("hashed", Factory.Hashed, `Base);
+      ("clustered", Factory.clustered16, `Base);
+    ]
+  in
+  List.map (fun spec -> row_of spec ~seed ~placement_p:0.95 ~columns) specs
+
+let figure10 ?(seed = default_seed) ?(placement_p = 0.95)
+    ?(specs = Workload.Table1.all_with_kernel) () =
+  let columns =
+    [
+      ( "hashed+sp",
+        Factory.Hashed_two_tables { coarse_first = false },
+        `Superpage );
+      ("clustered", Factory.clustered16, `Base);
+      ("clustered+sp", Factory.clustered16, `Superpage);
+      ("clustered+psb", Factory.clustered16, `Psb);
+      ("clustered+both", Factory.clustered16, `Mixed);
+    ]
+  in
+  List.map (fun spec -> row_of spec ~seed ~placement_p ~columns) specs
+
+let subblock_sweep ?(seed = default_seed) ~factors spec =
+  let assignments = assignments_of spec ~seed ~placement_p:0.95 in
+  let hashed_bytes = size_of Factory.Hashed ~policy:`Base ~assignments in
+  List.map
+    (fun factor ->
+      (* blocks must be re-formed at each factor *)
+      let snap = Workload.Snapshot.generate spec ~seed in
+      let assignments =
+        List.mapi
+          (fun i proc ->
+            Builder.assign proc ~subblock_factor:factor
+              ~seed:(Int64.add seed (Int64.of_int (i + 1)))
+              ())
+          snap.Workload.Snapshot.procs
+      in
+      let bytes =
+        size_of
+          (Factory.Clustered { subblock_factor = factor })
+          ~policy:`Base ~assignments
+      in
+      (factor, float_of_int bytes /. float_of_int hashed_bytes))
+    factors

@@ -1,0 +1,97 @@
+type policy = Lru | Fifo | Random of int64
+
+type 'e t = {
+  slots : 'e option array;
+  stamps : int array; (* last-use (Lru) or insertion (Fifo) ticks *)
+  policy : policy;
+  mutable rng : int64; (* SplitMix64 state for Random *)
+  mutable clock : int;
+}
+
+let create ?(policy = Lru) ~entries () =
+  if entries <= 0 then invalid_arg "Assoc.create";
+  let rng = match policy with Random seed -> seed | Lru | Fifo -> 0L in
+  {
+    slots = Array.make entries None;
+    stamps = Array.make entries 0;
+    policy;
+    rng;
+    clock = 0;
+  }
+
+let next_random t =
+  t.rng <- Int64.add t.rng 0x9E3779B97F4A7C15L;
+  let z = t.rng in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let entries t = Array.length t.slots
+
+let occupied t =
+  Array.fold_left (fun acc s -> if s = None then acc else acc + 1) 0 t.slots
+
+let find t ~f =
+  let n = Array.length t.slots in
+  let rec go i =
+    if i >= n then None
+    else
+      match t.slots.(i) with
+      | Some e when f e -> Some e
+      | Some _ | None -> go (i + 1)
+  in
+  go 0
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let touch t ~f =
+  (* FIFO and Random ignore recency *)
+  if t.policy = Lru then begin
+    let n = Array.length t.slots in
+    let rec go i =
+      if i < n then
+        match t.slots.(i) with
+        | Some e when f e -> t.stamps.(i) <- tick t
+        | Some _ | None -> go (i + 1)
+    in
+    go 0
+  end
+
+let insert t e =
+  let n = Array.length t.slots in
+  (* a free slot first, otherwise the policy's victim *)
+  let free = ref None and victim = ref 0 in
+  for i = n - 1 downto 0 do
+    if t.slots.(i) = None then free := Some i
+    else if t.stamps.(i) < t.stamps.(!victim) || t.slots.(!victim) = None then
+      victim := i
+  done;
+  (match t.policy with
+  | Lru | Fifo -> () (* stamp semantics differ; the min is the victim *)
+  | Random _ ->
+      if !free = None then
+        victim :=
+          Int64.to_int
+            (Int64.rem
+               (Int64.shift_right_logical (next_random t) 3)
+               (Int64.of_int n)));
+  match !free with
+  | Some i ->
+      t.slots.(i) <- Some e;
+      t.stamps.(i) <- tick t;
+      None
+  | None ->
+      let old = t.slots.(!victim) in
+      t.slots.(!victim) <- Some e;
+      t.stamps.(!victim) <- tick t;
+      old
+
+let iter t f =
+  Array.iter (function Some e -> f e | None -> ()) t.slots
+
+let flush t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.clock <- 0

@@ -1,0 +1,33 @@
+(** Fully-associative entry store shared by all TLB models.  The
+    paper's TLBs are 64-entry fully associative with LRU; real parts
+    differ — the MIPS R4000's TLB replaces a *random* (non-wired)
+    entry, and FIFO is common — so the victim policy is pluggable. *)
+
+type policy =
+  | Lru
+  | Fifo
+  | Random of int64  (** deterministic, seeded *)
+
+type 'e t
+
+val create : ?policy:policy -> entries:int -> unit -> 'e t
+(** Default [Lru]. *)
+
+val entries : 'e t -> int
+
+val occupied : 'e t -> int
+
+val find : 'e t -> f:('e -> bool) -> 'e option
+(** First live entry satisfying [f]; does not update recency — call
+    {!touch} with the same predicate on a hit. *)
+
+val touch : 'e t -> f:('e -> bool) -> unit
+(** Mark the matching entry most recently used. *)
+
+val insert : 'e t -> 'e -> 'e option
+(** Install into a free slot, or evict the least recently used entry
+    and return it. *)
+
+val iter : 'e t -> ('e -> unit) -> unit
+
+val flush : 'e t -> unit

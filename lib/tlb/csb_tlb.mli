@@ -1,0 +1,37 @@
+(** Complete-subblock TLB (paper, Sections 4.1 and 4.4).
+
+    One tag per page block, but a full array of PPN/attribute fields —
+    any frames, no placement constraint.  Misses divide into *block*
+    misses (no entry for the block: allocate, possibly evict) and
+    *subblock* misses (entry present, page's slot invalid: add the PPN
+    without replacement).
+
+    Subblock prefetching (Section 4.4) eliminates subblock misses by
+    loading every mapping of the block's tag on a block miss — use
+    {!fill_block} with the page table's [lookup_block] result.  It
+    never pollutes the TLB because it never causes extra
+    replacements. *)
+
+type t
+
+val name : string
+
+val create :
+  ?policy:Assoc.policy -> ?entries:int -> ?subblock_factor:int -> unit -> t
+
+val entries : t -> int
+
+val subblock_factor : t -> int
+
+val access : t -> vpn:int64 -> [ `Hit | `Block_miss | `Subblock_miss ]
+
+val fill : t -> Pt_common.Types.translation -> unit
+(** Fill just the faulting page's slot (no prefetch). *)
+
+val fill_block : t -> (int * Pt_common.Types.translation) list -> unit
+(** Prefetch fill: install every given (block offset, translation) into
+    one entry. *)
+
+val flush : t -> unit
+
+val stats : t -> Stats.t

@@ -1,0 +1,34 @@
+type entry = { vpn : int64; ppn : int64; attr : Pte.Attr.t }
+
+type t = { store : entry Assoc.t; stats : Stats.t }
+
+let name = "fa-tlb"
+
+let create ?policy ?(entries = 64) () =
+  { store = Assoc.create ?policy ~entries (); stats = Stats.create () }
+
+let entries t = Assoc.entries t.store
+
+let access t ~vpn =
+  t.stats.Stats.accesses <- t.stats.Stats.accesses + 1;
+  let matches e = Int64.equal e.vpn vpn in
+  match Assoc.find t.store ~f:matches with
+  | Some _ ->
+      Assoc.touch t.store ~f:matches;
+      t.stats.Stats.hits <- t.stats.Stats.hits + 1;
+      `Hit
+  | None ->
+      t.stats.Stats.block_misses <- t.stats.Stats.block_misses + 1;
+      `Block_miss
+
+let fill t (tr : Pt_common.Types.translation) =
+  let e = { vpn = tr.vpn; ppn = tr.ppn; attr = tr.attr } in
+  match Assoc.insert t.store e with
+  | Some _ -> t.stats.Stats.evictions <- t.stats.Stats.evictions + 1
+  | None -> ()
+
+let fill_block t trs = List.iter (fun (_, tr) -> fill t tr) trs
+
+let flush t = Assoc.flush t.store
+
+let stats t = t.stats

@@ -1,0 +1,27 @@
+(** Conventional fully-associative, single-page-size TLB: 64 entries of
+    one 4 KB page each (the paper's base case, Section 6.1).
+
+    Superpage or partial-subblock translations fill only the faulting
+    base page — exactly what happens when page tables support the new
+    formats but the hardware TLB does not. *)
+
+type t
+
+val name : string
+
+val create : ?policy:Assoc.policy -> ?entries:int -> unit -> t
+(** Default 64 entries. *)
+
+val entries : t -> int
+
+val access : t -> vpn:int64 -> [ `Hit | `Block_miss | `Subblock_miss ]
+(** Updates statistics and LRU state; never returns [`Subblock_miss]. *)
+
+val fill : t -> Pt_common.Types.translation -> unit
+
+val fill_block : t -> (int * Pt_common.Types.translation) list -> unit
+(** Fills each translation individually (no subblocking here). *)
+
+val flush : t -> unit
+
+val stats : t -> Stats.t

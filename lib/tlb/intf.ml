@@ -1,0 +1,49 @@
+(** First-class-module view of the four TLB designs, so the
+    access-time experiments iterate over TLB architectures exactly as
+    they iterate over page tables. *)
+
+module type TLB = sig
+  type t
+
+  val name : string
+
+  val entries : t -> int
+
+  val access : t -> vpn:int64 -> [ `Hit | `Block_miss | `Subblock_miss ]
+
+  val fill : t -> Pt_common.Types.translation -> unit
+
+  val fill_block : t -> (int * Pt_common.Types.translation) list -> unit
+
+  val flush : t -> unit
+
+  val stats : t -> Stats.t
+end
+
+type instance = Instance : (module TLB with type t = 't) * 't -> instance
+
+let instance_name (Instance ((module T), _)) = T.name
+
+let entries (Instance ((module T), t)) = T.entries t
+
+let access (Instance ((module T), t)) ~vpn = T.access t ~vpn
+
+let fill (Instance ((module T), t)) tr = T.fill t tr
+
+let fill_block (Instance ((module T), t)) trs = T.fill_block t trs
+
+let flush (Instance ((module T), t)) = T.flush t
+
+let stats (Instance ((module T), t)) = T.stats t
+
+let fa ?policy ?entries () =
+  Instance ((module Fa_tlb), Fa_tlb.create ?policy ?entries ())
+
+let superpage ?policy ?entries () =
+  Instance ((module Superpage_tlb), Superpage_tlb.create ?policy ?entries ())
+
+let psb ?policy ?entries ?subblock_factor () =
+  Instance ((module Psb_tlb), Psb_tlb.create ?policy ?entries ?subblock_factor ())
+
+let csb ?policy ?entries ?subblock_factor () =
+  Instance ((module Csb_tlb), Csb_tlb.create ?policy ?entries ?subblock_factor ())

@@ -1,0 +1,32 @@
+(** Partial-subblock TLB (paper, Section 4.1, [Tall94]).
+
+    Each entry has one tag covering a page block, one PPN, and a valid
+    bit-vector: base pages can be resident piecemeal, but every valid
+    page must be *properly placed* relative to the single PPN.  A base
+    translation whose frame is properly placed merges into an existing
+    entry for its block (setting one more valid bit); an improperly
+    placed frame consumes its own one-bit entry. *)
+
+type t
+
+val name : string
+
+val create :
+  ?policy:Assoc.policy -> ?entries:int -> ?subblock_factor:int -> unit -> t
+(** Defaults: 64 entries, factor 16. *)
+
+val entries : t -> int
+
+val subblock_factor : t -> int
+
+val access : t -> vpn:int64 -> [ `Hit | `Block_miss | `Subblock_miss ]
+(** [`Subblock_miss] when an entry for the block exists but the page's
+    valid bit is clear. *)
+
+val fill : t -> Pt_common.Types.translation -> unit
+
+val fill_block : t -> (int * Pt_common.Types.translation) list -> unit
+
+val flush : t -> unit
+
+val stats : t -> Stats.t

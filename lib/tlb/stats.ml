@@ -1,0 +1,28 @@
+type t = {
+  mutable accesses : int;
+  mutable hits : int;
+  mutable block_misses : int;
+  mutable subblock_misses : int;
+  mutable evictions : int;
+}
+
+let create () =
+  { accesses = 0; hits = 0; block_misses = 0; subblock_misses = 0; evictions = 0 }
+
+let misses t = t.block_misses + t.subblock_misses
+
+let miss_ratio t =
+  if t.accesses = 0 then 0.0
+  else float_of_int (misses t) /. float_of_int t.accesses
+
+let reset t =
+  t.accesses <- 0;
+  t.hits <- 0;
+  t.block_misses <- 0;
+  t.subblock_misses <- 0;
+  t.evictions <- 0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "accesses=%d hits=%d block_misses=%d subblock_misses=%d evictions=%d"
+    t.accesses t.hits t.block_misses t.subblock_misses t.evictions

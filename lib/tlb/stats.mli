@@ -1,0 +1,25 @@
+(** TLB access statistics.
+
+    The complete-subblock TLB distinguishes block misses (a new entry
+    is allocated, possibly evicting) from subblock misses (an existing
+    entry gains one more PPN) — Section 4.4.  For other TLBs every
+    miss is a block miss. *)
+
+type t = {
+  mutable accesses : int;
+  mutable hits : int;
+  mutable block_misses : int;
+  mutable subblock_misses : int;
+  mutable evictions : int;
+}
+
+val create : unit -> t
+
+val misses : t -> int
+(** Block plus subblock misses. *)
+
+val miss_ratio : t -> float
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+(** Superpage TLB: entries map a power-of-two number of base pages
+    (4 KB up to the largest superpage), MIPS R4000 / UltraSPARC style
+    (paper, Section 4.1).
+
+    A superpage translation fills one entry covering the whole
+    superpage; base and partial-subblock translations fill a one-page
+    entry. *)
+
+type t
+
+val name : string
+
+val create : ?policy:Assoc.policy -> ?entries:int -> unit -> t
+
+val entries : t -> int
+
+val access : t -> vpn:int64 -> [ `Hit | `Block_miss | `Subblock_miss ]
+
+val fill : t -> Pt_common.Types.translation -> unit
+
+val fill_block : t -> (int * Pt_common.Types.translation) list -> unit
+
+val flush : t -> unit
+
+val stats : t -> Stats.t

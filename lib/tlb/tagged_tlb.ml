@@ -1,0 +1,46 @@
+type t = {
+  inner : Intf.instance;
+  asid_shift : int;
+  asid_max : int;
+  mutable asid : int;
+}
+
+let create ?(asid_bits = 12) inner =
+  if asid_bits < 1 || asid_bits > 12 then
+    invalid_arg "Tagged_tlb.create: asid_bits";
+  { inner; asid_shift = 64 - asid_bits; asid_max = (1 lsl asid_bits) - 1; asid = 0 }
+
+let set_context t ~asid =
+  if asid < 0 || asid > t.asid_max then invalid_arg "Tagged_tlb.set_context";
+  t.asid <- asid
+
+let context t = t.asid
+
+let tag t vpn =
+  Int64.logor vpn (Int64.shift_left (Int64.of_int t.asid) t.asid_shift)
+
+let access t ~vpn = Intf.access t.inner ~vpn:(tag t vpn)
+
+let fill t (tr : Pt_common.Types.translation) =
+  Intf.fill t.inner
+    {
+      tr with
+      Pt_common.Types.vpn = tag t tr.Pt_common.Types.vpn;
+      vpn_base = tag t tr.Pt_common.Types.vpn_base;
+    }
+
+let fill_block t trs =
+  Intf.fill_block t.inner
+    (List.map
+       (fun (boff, (tr : Pt_common.Types.translation)) ->
+         ( boff,
+           {
+             tr with
+             Pt_common.Types.vpn = tag t tr.Pt_common.Types.vpn;
+             vpn_base = tag t tr.Pt_common.Types.vpn_base;
+           } ))
+       trs)
+
+let flush t = Intf.flush t.inner
+
+let stats t = Intf.stats t.inner

@@ -1,0 +1,38 @@
+(** Address-space tagging (ASIDs) for any TLB model.
+
+    The paper's SuperSPARC context is flushed on every context switch;
+    Section 7 notes multiprogramming "can increase the number of TLB
+    misses and make TLB miss handling more significant".  MIPS-style
+    TLBs instead tag each entry with an address-space identifier so a
+    switch costs nothing.  This wrapper adds ASIDs to any underlying
+    TLB design by folding the ASID into the tag's high VPN bits — far
+    above any real VPN, so page-block arithmetic inside the wrapped
+    TLB is untouched.
+
+    The multiprogramming ablation compares flush-on-switch against
+    tagged TLBs on the gcc and compress workloads. *)
+
+type t
+
+val create : ?asid_bits:int -> Intf.instance -> t
+(** Default 12 ASID bits placed at VPN bits 52..63.  Raises
+    [Invalid_argument] if [asid_bits] is outside [1, 12]. *)
+
+val set_context : t -> asid:int -> unit
+(** Switch address spaces.  No flush: entries of other contexts stay
+    resident.  Raises [Invalid_argument] if [asid] does not fit. *)
+
+val context : t -> int
+
+val access : t -> vpn:int64 -> [ `Hit | `Block_miss | `Subblock_miss ]
+(** Access [vpn] in the current context. *)
+
+val fill : t -> Pt_common.Types.translation -> unit
+(** Install a translation for the current context. *)
+
+val fill_block : t -> (int * Pt_common.Types.translation) list -> unit
+
+val flush : t -> unit
+(** Full flush (e.g. ASID rollover). *)
+
+val stats : t -> Stats.t

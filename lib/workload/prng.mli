@@ -1,0 +1,29 @@
+(** Deterministic SplitMix64 PRNG.
+
+    Every workload generator takes an explicit seed so each experiment
+    is reproducible bit-for-bit; the OCaml [Random] module is never
+    used. *)
+
+type t
+
+val create : seed:int64 -> t
+
+val copy : t -> t
+
+val next : t -> int64
+(** Next 64-bit value. *)
+
+val int : t -> bound:int -> int
+(** Uniform in [0, bound); [bound] must be positive. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform in [lo, hi] inclusive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> p:float -> bool
+(** True with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates. *)

@@ -1,0 +1,33 @@
+type trace_kind = Array_sweep | Pointer_chase | Join | Gc_scan | Multiprog
+
+type profile = {
+  dense_frac : float;
+  chunk_pages : int * int;
+  sparse_frac : float;
+  spread_pages : int64;
+}
+
+type process = { pname : string; target_pages : int; profile : profile }
+
+type paper_row = {
+  total_time_s : float;
+  user_time_s : float;
+  tlb_misses_k : int;
+  pct_tlb : int;
+  hashed_kb : int;
+}
+
+type t = {
+  name : string;
+  processes : process list;
+  trace : trace_kind;
+  locality : float;
+  paper : paper_row;
+}
+
+let target_pages t =
+  List.fold_left (fun acc p -> acc + p.target_pages) 0 t.processes
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%d processes, %d pages)" t.name
+    (List.length t.processes) (target_pages t)

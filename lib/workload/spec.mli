@@ -1,0 +1,56 @@
+(** Workload models.
+
+    Each of the paper's ten workloads (plus kernel space) is described
+    by a generative profile per process: how its mapped pages divide
+    into large dense segments, medium "bursty" chunks (the
+    few-to-many-page objects Section 3 argues clustering exploits), and
+    isolated sparse pages; how widely the pieces scatter through the
+    address space; and which reference pattern its trace follows.
+
+    Profiles are calibrated so the hashed-page-table footprint matches
+    the paper's Table 1 (24 bytes per mapped page), and the
+    density/sparseness ordering matches Figure 9's discussion:
+    coral/ML/kernel dense, gcc/compress sparse and multiprogrammed. *)
+
+(** Reference-trace character (drives Figure 11). *)
+type trace_kind =
+  | Array_sweep  (** strided sweeps over large arrays (nasa7, fftpde, wave5) *)
+  | Pointer_chase  (** randomized heap dereferences (mp3d, spice, pthor) *)
+  | Join  (** nested-loop join: outer sweep x inner sweeps (coral) *)
+  | Gc_scan  (** allocation sweep plus periodic full-heap scans (ML) *)
+  | Multiprog  (** processes interleaved in quanta, TLB flushed on switch *)
+
+type profile = {
+  dense_frac : float;  (** fraction of pages in large contiguous segments *)
+  chunk_pages : int * int;  (** (min, max) pages per medium chunk *)
+  sparse_frac : float;  (** fraction of pages mapped in isolation *)
+  spread_pages : int64;
+      (** scatter radius (in pages) for chunk/sparse placement *)
+}
+
+type process = { pname : string; target_pages : int; profile : profile }
+
+(** Paper numbers from Table 1, kept for side-by-side reporting. *)
+type paper_row = {
+  total_time_s : float;
+  user_time_s : float;
+  tlb_misses_k : int;  (** user TLB misses, thousands *)
+  pct_tlb : int;  (** % user time in TLB miss handling *)
+  hashed_kb : int;  (** hashed page table size, KB *)
+}
+
+type t = {
+  name : string;
+  processes : process list;
+  trace : trace_kind;
+  locality : float;
+      (** 0..1: temporal locality of the reference trace.  0 = TLB-hostile
+          (coral's join), 1 = tight loops (gcc).  Calibrated so the
+          workloads' relative TLB miss intensity follows Table 1. *)
+  paper : paper_row;
+}
+
+val target_pages : t -> int
+(** Sum over processes. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,381 @@
+(* Page targets are the paper's hashed-page-table sizes divided by the
+   24-byte PTE: e.g. coral 119 KB -> 5077 pages.  Density profiles
+   follow each program's published character: coral and ML are dense
+   (deductive-database relations; copying-GC semispaces); gcc and
+   compress are multiprogrammed with small, scattered helper processes
+   (the paper's footnote 3). *)
+
+open Spec
+
+let dense_profile =
+  {
+    dense_frac = 0.85;
+    chunk_pages = (8, 24);
+    sparse_frac = 0.003;
+    spread_pages = 0x2000L (* chunks clump within 32 MB *);
+  }
+
+let kb kilobytes = kilobytes * 1024 / 24
+
+let coral =
+  {
+    name = "coral";
+    processes =
+      [
+        {
+          pname = "coral";
+          target_pages = kb 119;
+          profile = { dense_profile with dense_frac = 0.72 };
+        };
+      ];
+    trace = Join;
+    locality = 0.00;
+    paper =
+      {
+        total_time_s = 177.;
+        user_time_s = 172.;
+        tlb_misses_k = 85974;
+        pct_tlb = 50;
+        hashed_kb = 119;
+      };
+  }
+
+let nasa7 =
+  {
+    name = "nasa7";
+    processes =
+      [
+        {
+          pname = "nasa7";
+          target_pages = kb 21;
+          profile =
+            {
+              dense_frac = 0.85;
+              chunk_pages = (4, 16);
+              sparse_frac = 0.005;
+              spread_pages = 0x1000L;
+            };
+        };
+      ];
+    trace = Array_sweep;
+    locality = 0.10;
+    paper =
+      {
+        total_time_s = 387.;
+        user_time_s = 385.;
+        tlb_misses_k = 152357;
+        pct_tlb = 40;
+        hashed_kb = 21;
+      };
+  }
+
+let compress =
+  {
+    name = "compress";
+    processes =
+      [
+        {
+          pname = "compress";
+          target_pages = kb 8 * 3 / 4;
+          profile =
+            {
+              dense_frac = 0.85;
+              chunk_pages = (6, 12);
+              sparse_frac = 0.01;
+              spread_pages = 0x8000L;
+            };
+        };
+        {
+          pname = "sh";
+          target_pages = kb 8 / 4;
+          profile =
+            {
+              dense_frac = 0.80;
+              chunk_pages = (4, 10);
+              sparse_frac = 0.04;
+              spread_pages = 0x80000L (* scattered over 2 GB *);
+            };
+        };
+      ];
+    trace = Multiprog;
+    locality = 0.30;
+    paper =
+      {
+        total_time_s = 104.;
+        user_time_s = 82.;
+        tlb_misses_k = 21347;
+        pct_tlb = 26;
+        hashed_kb = 8;
+      };
+  }
+
+let fftpde =
+  {
+    name = "fftpde";
+    processes =
+      [
+        {
+          pname = "fftpde";
+          target_pages = kb 88;
+          profile = { dense_profile with dense_frac = 0.90 };
+        };
+      ];
+    trace = Array_sweep;
+    locality = 0.35;
+    paper =
+      {
+        total_time_s = 55.;
+        user_time_s = 53.;
+        tlb_misses_k = 11280;
+        pct_tlb = 21;
+        hashed_kb = 88;
+      };
+  }
+
+let wave5 =
+  {
+    name = "wave5";
+    processes =
+      [
+        { pname = "wave5"; target_pages = kb 86; profile = dense_profile };
+      ];
+    trace = Array_sweep;
+    locality = 0.50;
+    paper =
+      {
+        total_time_s = 110.;
+        user_time_s = 107.;
+        tlb_misses_k = 14511;
+        pct_tlb = 14;
+        hashed_kb = 86;
+      };
+  }
+
+let mp3d =
+  {
+    name = "mp3d";
+    processes =
+      [
+        {
+          pname = "mp3d";
+          target_pages = kb 29;
+          profile = { dense_profile with dense_frac = 0.80 };
+        };
+      ];
+    trace = Pointer_chase;
+    locality = 0.55;
+    paper =
+      {
+        total_time_s = 36.;
+        user_time_s = 36.;
+        tlb_misses_k = 4050;
+        pct_tlb = 11;
+        hashed_kb = 29;
+      };
+  }
+
+let spice =
+  {
+    name = "spice";
+    processes =
+      [
+        {
+          pname = "spice";
+          target_pages = kb 22;
+          profile =
+            {
+              dense_frac = 0.60;
+              chunk_pages = (6, 16);
+              sparse_frac = 0.03;
+              spread_pages = 0x8000L;
+            };
+        };
+      ];
+    trace = Pointer_chase;
+    locality = 0.70;
+    paper =
+      {
+        total_time_s = 620.;
+        user_time_s = 617.;
+        tlb_misses_k = 41922;
+        pct_tlb = 7;
+        hashed_kb = 22;
+      };
+  }
+
+let pthor =
+  {
+    name = "pthor";
+    processes =
+      [
+        {
+          pname = "pthor";
+          target_pages = kb 92;
+          profile =
+            {
+              dense_frac = 0.50;
+              chunk_pages = (8, 20);
+              sparse_frac = 0.02;
+              spread_pages = 0x8000L;
+            };
+        };
+      ];
+    trace = Pointer_chase;
+    locality = 0.75;
+    paper =
+      {
+        total_time_s = 48.;
+        user_time_s = 35.;
+        tlb_misses_k = 2580;
+        pct_tlb = 7;
+        hashed_kb = 92;
+      };
+  }
+
+let ml =
+  {
+    name = "ML";
+    processes =
+      [
+        {
+          pname = "ml";
+          target_pages = kb 194;
+          profile = { dense_profile with dense_frac = 0.90 };
+        };
+      ];
+    trace = Gc_scan;
+    locality = 0.85;
+    paper =
+      {
+        total_time_s = 950.;
+        user_time_s = 919.;
+        tlb_misses_k = 38423;
+        pct_tlb = 4;
+        hashed_kb = 194;
+      };
+  }
+
+let gcc =
+  {
+    name = "gcc";
+    processes =
+      [
+        {
+          pname = "cc1";
+          target_pages = 950;
+          profile =
+            {
+              dense_frac = 0.82;
+              chunk_pages = (8, 16);
+              sparse_frac = 0.03;
+              spread_pages = 0x100000L;
+            };
+        };
+        {
+          pname = "make";
+          target_pages = 200;
+          profile =
+            {
+              dense_frac = 0.82;
+              chunk_pages = (6, 12);
+              sparse_frac = 0.04;
+              spread_pages = 0x100000L;
+            };
+        };
+        {
+          pname = "sh";
+          target_pages = 150;
+          profile =
+            {
+              dense_frac = 0.80;
+              chunk_pages = (4, 10);
+              sparse_frac = 0.04;
+              spread_pages = 0x100000L;
+            };
+        };
+        {
+          pname = "script";
+          target_pages = 150;
+          profile =
+            {
+              dense_frac = 0.80;
+              chunk_pages = (4, 10);
+              sparse_frac = 0.04;
+              spread_pages = 0x100000L;
+            };
+        };
+      ];
+    trace = Multiprog;
+    locality = 0.90;
+    paper =
+      {
+        total_time_s = 159.;
+        user_time_s = 133.;
+        tlb_misses_k = 2440;
+        pct_tlb = 2;
+        hashed_kb = 34;
+      };
+  }
+
+let kernel =
+  {
+    name = "kernel";
+    processes =
+      [
+        {
+          pname = "kernel";
+          target_pages = kb 186;
+          profile = { dense_profile with dense_frac = 0.80 };
+        };
+      ];
+    trace = Pointer_chase;
+    locality = 0.50;
+    paper =
+      {
+        total_time_s = 0.;
+        user_time_s = 0.;
+        tlb_misses_k = 0;
+        pct_tlb = 0;
+        hashed_kb = 186;
+      };
+  }
+
+let future64 =
+  {
+    name = "future64";
+    processes =
+      [
+        {
+          pname = "objstore";
+          target_pages = 60_000 (* a 234 MB resident set *);
+          profile =
+            {
+              dense_frac = 0.25;
+              chunk_pages = (8, 32);
+              sparse_frac = 0.02;
+              spread_pages = 0x10_0000_0000L (* scattered through 16 TB *);
+            };
+        };
+      ];
+    trace = Pointer_chase;
+    locality = 0.6;
+    paper =
+      {
+        total_time_s = 0.;
+        user_time_s = 0.;
+        tlb_misses_k = 0;
+        pct_tlb = 0;
+        hashed_kb = 1406 (* 60000 pages x 24 B *);
+      };
+  }
+
+let all =
+  [ coral; nasa7; compress; fftpde; wave5; mp3d; spice; pthor; ml; gcc ]
+
+let all_with_kernel = all @ [ kernel ]
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt
+    (fun s -> String.lowercase_ascii s.Spec.name = lower)
+    (all_with_kernel @ [ future64 ])

@@ -1,0 +1,36 @@
+(** The paper's workload suite (Table 1), as calibrated {!Spec}
+    values.
+
+    Ordering matches the table: most to least percent of user time
+    spent in TLB miss handling, then kernel space (size-only).  The
+    [hashed_kb] paper figures calibrate each spec's page target
+    (24 bytes per mapped page, Section 6.1). *)
+
+val coral : Spec.t
+val nasa7 : Spec.t
+val compress : Spec.t
+val fftpde : Spec.t
+val wave5 : Spec.t
+val mp3d : Spec.t
+val spice : Spec.t
+val pthor : Spec.t
+val ml : Spec.t
+val gcc : Spec.t
+
+val kernel : Spec.t
+(** Kernel address space; appears in the size figures only. *)
+
+val future64 : Spec.t
+(** Not from the paper's Table 1: the "future 64-bit workload" its
+    Section 6.2 predicts — a much larger, sparser address space
+    (an object store scattering thousands of medium objects through
+    64 bits).  Used by the extension experiments to show hashed and
+    clustered tables becoming "more attractive". *)
+
+val all : Spec.t list
+(** The ten workloads, Table 1 order. *)
+
+val all_with_kernel : Spec.t list
+
+val find : string -> Spec.t option
+(** Look a spec up by name (case-insensitive). *)

@@ -1,0 +1,219 @@
+type event = Access of int * int64 | Switch of int
+
+type t = event array
+
+(* Emission buffer *)
+type buf = { mutable events : event list; mutable n_accesses : int }
+
+let emit b proc vpn =
+  b.events <- Access (proc, vpn) :: b.events;
+  b.n_accesses <- b.n_accesses + 1
+
+let emit_switch b proc = b.events <- Switch proc :: b.events
+
+(* Re-touch a page a few times: real code makes many references per
+   page, so hits dominate and misses come from page transitions.  The
+   workload's locality scales the revisit count. *)
+let touch b proc rng ~locality ~reuse vpn =
+  let reuse =
+    max 1 (int_of_float (float_of_int reuse *. (0.4 +. (1.8 *. locality))))
+  in
+  for _ = 1 to 1 + Prng.int rng ~bound:reuse do
+    emit b proc vpn
+  done
+
+let run_page (first, _pages) i = Int64.add first (Int64.of_int i)
+
+(* Sweep a run from its start, [reuse] touches per page. *)
+let sweep b proc rng ~locality ~reuse run =
+  let _, pages = run in
+  for i = 0 to pages - 1 do
+    touch b proc rng ~locality ~reuse (run_page run i)
+  done
+
+let array_sweep (pr : Snapshot.proc) b proc rng ~locality ~length =
+  let runs = Snapshot.dense_runs pr in
+  let chunks = Snapshot.chunk_runs pr in
+  if Array.length runs = 0 then ()
+  else begin
+    (* interleave the arrays with a block-sized stride, the way a
+       stencil or FFT reads several operands together *)
+    let cursors = Array.make (Array.length runs) 0 in
+    let k = ref 0 in
+    while b.n_accesses < length do
+      let r = !k mod Array.length runs in
+      let run = runs.(r) in
+      let _, pages = run in
+      let i = cursors.(r) in
+      touch b proc rng ~locality ~reuse:6 (run_page run (i mod pages));
+      cursors.(r) <- i + 8;
+      (* occasional scalar / temp access *)
+      if Array.length chunks > 0 && Prng.bool rng ~p:0.02 then begin
+        let c = chunks.(Prng.int rng ~bound:(Array.length chunks)) in
+        let _, cp = c in
+        touch b proc rng ~locality ~reuse:2 (run_page c (Prng.int rng ~bound:cp))
+      end;
+      incr k
+    done
+  end
+
+let pointer_chase (pr : Snapshot.proc) b proc rng ~locality ~length =
+  let vpns = Snapshot.proc_vpns pr in
+  let n = Array.length vpns in
+  if n = 0 then ()
+  else begin
+    (* hot set drifting through the heap: tighter when locality is
+       high, so it fits the TLB and misses come from drift *)
+    let hot =
+      max 16 (min (n - 1) (int_of_float (320.0 *. (1.05 -. locality))))
+    in
+    let p_hot = 0.80 +. (0.15 *. locality) in
+    let base = ref 0 in
+    while b.n_accesses < length do
+      let vpn =
+        if Prng.bool rng ~p:p_hot then
+          vpns.((!base + Prng.int rng ~bound:hot) mod n)
+        else vpns.(Prng.int rng ~bound:n)
+      in
+      touch b proc rng ~locality ~reuse:3 vpn;
+      if Prng.bool rng ~p:0.002 then base := Prng.int rng ~bound:n
+    done
+  end
+
+let join (pr : Snapshot.proc) b proc rng ~locality ~length =
+  let runs = Snapshot.dense_runs pr in
+  if Array.length runs < 2 then pointer_chase pr b proc rng ~locality ~length
+  else begin
+    (* nested-loop join: outer relation swept once per pass, inner
+       relation fully re-swept for every outer segment *)
+    let outer = runs.(Array.length runs - 1) in
+    let inner = runs.(Array.length runs - 2) in
+    let _, outer_pages = outer in
+    let _, inner_pages = inner in
+    let inner_window = min inner_pages 256 in
+    let o = ref 0 in
+    while b.n_accesses < length do
+      touch b proc rng ~locality ~reuse:4 (run_page outer (!o mod outer_pages));
+      let start = Prng.int rng ~bound:(max 1 (inner_pages - inner_window)) in
+      for i = start to start + inner_window - 1 do
+        if b.n_accesses < length then
+          touch b proc rng ~locality ~reuse:2 (run_page inner i)
+      done;
+      incr o
+    done
+  end
+
+let gc_scan (pr : Snapshot.proc) b proc rng ~locality ~length =
+  let runs = Snapshot.dense_runs pr in
+  if Array.length runs = 0 then ()
+  else begin
+    let heap = runs.(Array.length runs - 1) in
+    let _, heap_pages = heap in
+    let alloc = ref 0 in
+    while b.n_accesses < length do
+      (* allocation front: fresh pages, heavy reuse *)
+      for _ = 1 to 32 do
+        if b.n_accesses < length then begin
+          touch b proc rng ~locality ~reuse:10 (run_page heap (!alloc mod heap_pages));
+          incr alloc
+        end
+      done;
+      (* minor collection: scan a window behind the front (a young
+         generation sized by the workload's locality) *)
+      let window = max 32 (int_of_float (320.0 *. (1.0 -. locality))) in
+      let start = max 0 ((!alloc mod heap_pages) - window) in
+      for i = start to (!alloc mod heap_pages) - 1 do
+        if b.n_accesses < length then
+          touch b proc rng ~locality ~reuse:1 (run_page heap i)
+      done;
+      (* occasional major collection: sweep everything *)
+      if Prng.bool rng ~p:(0.012 *. (1.2 -. locality)) then
+        Array.iter
+          (fun run ->
+            if b.n_accesses < length then sweep b proc rng ~locality ~reuse:1 run)
+          runs
+    done
+  end
+
+let for_proc kind (pr : Snapshot.proc) b proc rng ~locality ~length =
+  match kind with
+  | Spec.Array_sweep -> array_sweep pr b proc rng ~locality ~length
+  | Spec.Pointer_chase -> pointer_chase pr b proc rng ~locality ~length
+  | Spec.Join -> join pr b proc rng ~locality ~length
+  | Spec.Gc_scan -> gc_scan pr b proc rng ~locality ~length
+  | Spec.Multiprog -> assert false
+
+let generate ?(quantum = 400) (spec : Spec.t) (snap : Snapshot.t) ~seed ~length =
+  let rng = Prng.create ~seed in
+  let locality = spec.Spec.locality in
+  let b = { events = []; n_accesses = 0 } in
+  (match spec.Spec.trace with
+  | Spec.Multiprog ->
+      (* quanta of the main process interleaved with its helpers; the
+         TLB is flushed at every switch *)
+      let procs = Array.of_list snap.Snapshot.procs in
+      let n = Array.length procs in
+      let current = ref 0 in
+      while b.n_accesses < length do
+        emit_switch b !current;
+        let stop = min length (b.n_accesses + quantum) in
+        let pr = procs.(!current) in
+        let kind =
+          (* the main program computes; the helpers behave like shells *)
+          if !current = 0 then Spec.Array_sweep else Spec.Pointer_chase
+        in
+        for_proc kind pr b !current rng ~locality ~length:stop;
+        current := (!current + 1) mod n
+      done
+  | kind -> (
+      match snap.Snapshot.procs with
+      | [ pr ] -> for_proc kind pr b 0 rng ~locality ~length
+      | pr :: _ -> for_proc kind pr b 0 rng ~locality ~length
+      | [] -> ()));
+  Array.of_list (List.rev b.events)
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Array.iter
+        (function
+          | Access (p, vpn) -> Printf.fprintf oc "A %d %Lx\n" p vpn
+          | Switch p -> Printf.fprintf oc "S %d\n" p)
+        t)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let events = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           match String.split_on_char ' ' (String.trim line) with
+           | [ "A"; p; vpn ] ->
+               events :=
+                 Access (int_of_string p, Int64.of_string ("0x" ^ vpn))
+                 :: !events
+           | [ "S"; p ] -> events := Switch (int_of_string p) :: !events
+           | [ "" ] | [] -> ()
+           | _ -> failwith ("Trace.load: bad line: " ^ line)
+         done
+       with End_of_file -> ());
+      Array.of_list (List.rev !events))
+
+let accesses t =
+  Array.fold_left
+    (fun acc -> function Access _ -> acc + 1 | Switch _ -> acc)
+    0 t
+
+let distinct_pages t =
+  let seen = Hashtbl.create 1024 in
+  Array.iter
+    (function
+      | Access (p, vpn) -> Hashtbl.replace seen (p, vpn) ()
+      | Switch _ -> ())
+    t;
+  Hashtbl.length seen

@@ -1,0 +1,35 @@
+(** Synthetic page-reference traces.
+
+    Page-granular event streams whose miss behaviour under the four TLB
+    designs reproduces each workload's published character: array codes
+    sweep large dense runs (superpages help enormously), pointer codes
+    jump within a slowly-drifting hot set, the join nests sweeps, the
+    GC alternates an allocation front with full-heap scans, and
+    multiprogrammed workloads interleave processes with a TLB flush at
+    each context switch (no address-space tags, as on the paper's
+    SuperSPARC). *)
+
+type event =
+  | Access of int * int64  (** (process index, VPN) *)
+  | Switch of int  (** context switch to process index: TLB flush *)
+
+type t = event array
+
+val generate :
+  ?quantum:int -> Spec.t -> Snapshot.t -> seed:int64 -> length:int -> t
+(** Deterministic in [seed].  [length] counts [Access] events.
+    [quantum] is the scheduling quantum (in events) between context
+    switches of multiprogrammed workloads; the default 400 models a
+    timer quantum (each page-granular event stands for ~25 real
+    references), while pipeline-synchronized processes switch far more
+    often. *)
+
+val save : t -> string -> unit
+(** One line per event: ["A <pid> <vpn-hex>"] or ["S <pid>"]. *)
+
+val load : string -> t
+(** Inverse of {!save}.  Raises [Failure] on malformed input. *)
+
+val accesses : t -> int
+
+val distinct_pages : t -> int

@@ -1,0 +1,141 @@
+(* Page sizes, virtual/physical addresses, regions. *)
+
+open Addr
+
+let i64 = Alcotest.(check int64)
+
+let test_page_sizes () =
+  Alcotest.(check int) "base bytes" 4096 (Page_size.bytes Page_size.base);
+  Alcotest.(check int) "64KB base pages" 16 (Page_size.base_pages Page_size.kb64);
+  Alcotest.(check int) "sz code 4KB" 0 (Page_size.sz_code Page_size.base);
+  Alcotest.(check int) "sz code 64KB" 4 (Page_size.sz_code Page_size.kb64);
+  Alcotest.(check int) "sz code 16MB" 12 (Page_size.sz_code Page_size.mb16);
+  Alcotest.(check bool) "roundtrip"
+    true
+    (Page_size.equal Page_size.mb1 (Page_size.of_sz_code 8));
+  Alcotest.check_raises "too small" (Invalid_argument "Page_size.of_shift")
+    (fun () -> ignore (Page_size.of_shift 11));
+  Alcotest.(check string) "pp 64KB" "64KB"
+    (Format.asprintf "%a" Page_size.pp Page_size.kb64);
+  Alcotest.(check string) "pp 4MB" "4MB"
+    (Format.asprintf "%a" Page_size.pp Page_size.mb4)
+
+let test_vaddr_split () =
+  (* the paper's own example (Section 4.4): address 0x41034 is in base
+     page 0x41 of page block 0x4 *)
+  i64 "paper example vpn" 0x41L (Vaddr.vpn 0x41034L);
+  i64 "paper example vpbn" 0x4L (Vaddr.vpbn ~subblock_factor:16 0x41034L);
+  Alcotest.(check int) "paper example boff" 1
+    (Vaddr.boff ~subblock_factor:16 0x41034L);
+  let a = 0x0000_0041_0345_6789L in
+  i64 "vpn" 0x4103456L (Vaddr.vpn a);
+  Alcotest.(check int) "offset" 0x789 (Vaddr.page_offset a);
+  i64 "vpbn factor 16" 0x410345L (Vaddr.vpbn ~subblock_factor:16 a);
+  Alcotest.(check int) "boff factor 16" 6 (Vaddr.boff ~subblock_factor:16 a);
+  i64 "reassemble"
+    0x4103456L
+    (Vaddr.vpn_of_vpbn ~subblock_factor:16 0x410345L ~boff:6);
+  i64 "of_vpn" 0x4103456000L (Vaddr.of_vpn 0x4103456L)
+
+let test_vaddr_align () =
+  let a = 0x12345678L in
+  i64 "align 64KB" 0x12340000L (Vaddr.align Page_size.kb64 a);
+  Alcotest.(check bool) "aligned" true
+    (Vaddr.is_aligned Page_size.kb64 0x20000L);
+  i64 "add_pages" 0x12347678L (Vaddr.add_pages a 2)
+
+let test_top_bit_addresses () =
+  (* 64-bit addresses with the top bit set must behave unsigned *)
+  let a = 0xFFFF_FFFF_FFFF_F000L in
+  i64 "vpn of top address" 0xF_FFFF_FFFF_FFFFL (Vaddr.vpn a);
+  Alcotest.(check int) "compare unsigned" 1 (Vaddr.compare a 0x1000L)
+
+let test_properly_placed () =
+  Alcotest.(check bool) "matching offsets" true
+    (Paddr.properly_placed ~subblock_factor:16 ~vpn:0x1005L ~ppn:0x2345L);
+  Alcotest.(check bool) "mismatched offsets" false
+    (Paddr.properly_placed ~subblock_factor:16 ~vpn:0x1005L ~ppn:0x2346L)
+
+let test_region_basics () =
+  let r = Region.make ~first_vpn:100L ~pages:10 in
+  i64 "last" 109L (Region.last_vpn r);
+  Alcotest.(check bool) "mem in" true (Region.mem r 105L);
+  Alcotest.(check bool) "mem out" false (Region.mem r 110L);
+  let count = ref 0 in
+  Region.iter_vpns r (fun _ -> incr count);
+  Alcotest.(check int) "iteration count" 10 !count;
+  let r2 = Region.of_addr_range ~start:0x1800L ~bytes:0x1000L in
+  Alcotest.(check int) "byte range spans two pages" 2 r2.Region.pages;
+  Alcotest.(check bool) "empty not overlapping" false
+    (Region.overlap (Region.make ~first_vpn:0L ~pages:0) r)
+
+let test_region_intersect () =
+  let a = Region.make ~first_vpn:10L ~pages:10 in
+  let b = Region.make ~first_vpn:15L ~pages:10 in
+  match Region.intersect a b with
+  | Some r ->
+      i64 "start" 15L r.Region.first_vpn;
+      Alcotest.(check int) "pages" 5 r.Region.pages
+  | None -> Alcotest.fail "expected overlap"
+
+let test_region_blocks () =
+  (* 10 pages starting at VPN 13 with factor 8: blocks 1 (off 5, 3
+     pages), 2 (off 0, 7 pages) *)
+  let r = Region.make ~first_vpn:13L ~pages:10 in
+  match Region.blocks ~subblock_factor:8 r with
+  | [ (b1, o1, c1); (b2, o2, c2) ] ->
+      i64 "first block" 1L b1;
+      Alcotest.(check int) "first offset" 5 o1;
+      Alcotest.(check int) "first count" 3 c1;
+      i64 "second block" 2L b2;
+      Alcotest.(check int) "second offset" 0 o2;
+      Alcotest.(check int) "second count" 7 c2
+  | l -> Alcotest.failf "expected 2 blocks, got %d" (List.length l)
+
+let prop_region_blocks_cover =
+  QCheck.Test.make ~name:"block decomposition covers exactly the region"
+    ~count:300
+    QCheck.(triple (int_bound 100000) (int_bound 200) (int_bound 2))
+    (fun (first, pages, fsel) ->
+      let factor = [| 4; 8; 16 |].(fsel) in
+      let r = Addr.Region.make ~first_vpn:(Int64.of_int first) ~pages in
+      let blocks = Addr.Region.blocks ~subblock_factor:factor r in
+      let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 blocks in
+      let in_range =
+        List.for_all
+          (fun (_, o, c) -> o >= 0 && c >= 1 && o + c <= factor)
+          blocks
+      in
+      let ascending =
+        let rec go = function
+          | (a, _, _) :: ((b, _, _) :: _ as rest) ->
+              Int64.compare a b < 0 && go rest
+          | _ -> true
+        in
+        go blocks
+      in
+      total = pages && in_range && ascending)
+
+let prop_vpn_split_roundtrip =
+  QCheck.Test.make ~name:"vpbn/boff split roundtrips" ~count:500
+    QCheck.(pair (map Int64.abs int64) (int_bound 2))
+    (fun (vpn, fsel) ->
+      let factor = [| 4; 8; 16 |].(fsel) in
+      let vpbn = Addr.Vaddr.vpbn_of_vpn ~subblock_factor:factor vpn in
+      let boff = Addr.Vaddr.boff_of_vpn ~subblock_factor:factor vpn in
+      Int64.equal (Addr.Vaddr.vpn_of_vpbn ~subblock_factor:factor vpbn ~boff) vpn)
+
+let suite =
+  ( "addr",
+    [
+      Alcotest.test_case "page sizes" `Quick test_page_sizes;
+      Alcotest.test_case "vaddr split" `Quick test_vaddr_split;
+      Alcotest.test_case "vaddr align" `Quick test_vaddr_align;
+      Alcotest.test_case "top-bit addresses" `Quick test_top_bit_addresses;
+      Alcotest.test_case "properly placed" `Quick test_properly_placed;
+      Alcotest.test_case "region basics" `Quick test_region_basics;
+      Alcotest.test_case "region intersect" `Quick test_region_intersect;
+      Alcotest.test_case "region blocks" `Quick test_region_blocks;
+      QCheck_alcotest.to_alcotest prop_region_blocks_cover;
+      QCheck_alcotest.to_alcotest prop_vpn_split_roundtrip;
+    ] )

@@ -1,0 +1,119 @@
+(* Bit-field helpers: everything else encodes PTEs through these. *)
+
+open Addr
+
+let check_i64 = Alcotest.(check int64)
+
+let test_mask () =
+  check_i64 "mask 0" 0L (Bits.mask 0);
+  check_i64 "mask 1" 1L (Bits.mask 1);
+  check_i64 "mask 12" 0xFFFL (Bits.mask 12);
+  check_i64 "mask 63" Int64.max_int (Bits.mask 63);
+  check_i64 "mask 64" (-1L) (Bits.mask 64);
+  Alcotest.check_raises "mask 65" (Invalid_argument "Bits.mask") (fun () ->
+      ignore (Bits.mask 65))
+
+let test_extract_insert () =
+  let w = 0x1234_5678_9ABC_DEF0L in
+  check_i64 "extract low nibble" 0x0L (Bits.extract w ~lo:0 ~width:4);
+  check_i64 "extract byte" 0xDEL (Bits.extract w ~lo:8 ~width:8);
+  check_i64 "extract top bit" 0L (Bits.extract w ~lo:63 ~width:1);
+  check_i64 "insert then extract"
+    0x2AL
+    (Bits.extract (Bits.insert w ~lo:20 ~width:6 0x2AL) ~lo:20 ~width:6);
+  (* inserting must not disturb neighbours *)
+  let w' = Bits.insert w ~lo:20 ~width:6 0x3FL in
+  check_i64 "below field untouched"
+    (Bits.extract w ~lo:0 ~width:20)
+    (Bits.extract w' ~lo:0 ~width:20);
+  check_i64 "above field untouched"
+    (Bits.extract w ~lo:26 ~width:38)
+    (Bits.extract w' ~lo:26 ~width:38)
+
+let test_single_bits () =
+  let w = 0L in
+  Alcotest.(check bool) "clear initially" false (Bits.test_bit w 42);
+  let w = Bits.set_bit w 42 in
+  Alcotest.(check bool) "set" true (Bits.test_bit w 42);
+  let w = Bits.clear_bit w 42 in
+  Alcotest.(check bool) "cleared" false (Bits.test_bit w 42);
+  Alcotest.(check bool) "bit 63 set" true (Bits.test_bit Int64.min_int 63)
+
+let test_popcount () =
+  Alcotest.(check int) "zero" 0 (Bits.popcount 0L);
+  Alcotest.(check int) "all ones" 64 (Bits.popcount (-1L));
+  Alcotest.(check int) "0xFFFF" 16 (Bits.popcount 0xFFFFL);
+  Alcotest.(check int) "min_int" 1 (Bits.popcount Int64.min_int)
+
+let test_pow2 () =
+  Alcotest.(check bool) "1 is pow2" true (Bits.is_pow2 1);
+  Alcotest.(check bool) "4096" true (Bits.is_pow2 4096);
+  Alcotest.(check bool) "0" false (Bits.is_pow2 0);
+  Alcotest.(check bool) "-8" false (Bits.is_pow2 (-8));
+  Alcotest.(check bool) "12" false (Bits.is_pow2 12);
+  Alcotest.(check int) "log2 4096" 12 (Bits.log2_exact 4096);
+  Alcotest.(check int) "log2 1" 0 (Bits.log2_exact 1);
+  Alcotest.check_raises "log2 of non-pow2"
+    (Invalid_argument "Bits.log2_exact") (fun () ->
+      ignore (Bits.log2_exact 12))
+
+let test_align () =
+  check_i64 "down" 0x1000L (Bits.align_down 0x1FFFL 12);
+  check_i64 "down already aligned" 0x2000L (Bits.align_down 0x2000L 12);
+  check_i64 "up" 0x2000L (Bits.align_up 0x1001L 12);
+  check_i64 "up aligned stays" 0x1000L (Bits.align_up 0x1000L 12);
+  Alcotest.(check bool) "is_aligned yes" true (Bits.is_aligned 0x4000L 14);
+  Alcotest.(check bool) "is_aligned no" false (Bits.is_aligned 0x4001L 14)
+
+(* property: insert w lo width (extract w lo width) = w *)
+let prop_insert_extract_id =
+  QCheck.Test.make ~name:"insert of own extract is identity" ~count:500
+    QCheck.(triple int64 (int_bound 55) (int_bound 8))
+    (fun (w, lo, width) ->
+      let width = width + 1 in
+      let v = Addr.Bits.extract w ~lo ~width in
+      Int64.equal (Addr.Bits.insert w ~lo ~width v) w)
+
+let prop_extract_insert_roundtrip =
+  QCheck.Test.make ~name:"extract of insert returns value" ~count:500
+    QCheck.(quad int64 int64 (int_bound 55) (int_bound 8))
+    (fun (w, v, lo, width) ->
+      let width = width + 1 in
+      let got = Addr.Bits.extract (Addr.Bits.insert w ~lo ~width v) ~lo ~width in
+      Int64.equal got (Int64.logand v (Addr.Bits.mask width)))
+
+let prop_popcount_set_bit =
+  QCheck.Test.make ~name:"set_bit changes popcount by one" ~count:300
+    QCheck.(pair int64 (int_bound 63))
+    (fun (w, i) ->
+      let before = Addr.Bits.popcount w in
+      let after = Addr.Bits.popcount (Addr.Bits.set_bit w i) in
+      if Addr.Bits.test_bit w i then before = after else after = before + 1)
+
+let prop_mix64_bijective_sample =
+  QCheck.Test.make ~name:"mix64 has no collisions on small ints" ~count:1
+    QCheck.unit
+    (fun () ->
+      let seen = Hashtbl.create 4096 in
+      let ok = ref true in
+      for i = 0 to 9999 do
+        let h = Addr.Bits.mix64 (Int64.of_int i) in
+        if Hashtbl.mem seen h then ok := false;
+        Hashtbl.replace seen h ()
+      done;
+      !ok)
+
+let suite =
+  ( "bits",
+    [
+      Alcotest.test_case "mask" `Quick test_mask;
+      Alcotest.test_case "extract/insert" `Quick test_extract_insert;
+      Alcotest.test_case "single bits" `Quick test_single_bits;
+      Alcotest.test_case "popcount" `Quick test_popcount;
+      Alcotest.test_case "pow2/log2" `Quick test_pow2;
+      Alcotest.test_case "alignment" `Quick test_align;
+      QCheck_alcotest.to_alcotest prop_insert_extract_id;
+      QCheck_alcotest.to_alcotest prop_extract_insert_roundtrip;
+      QCheck_alcotest.to_alcotest prop_popcount_set_bit;
+      QCheck_alcotest.to_alcotest prop_mix64_bijective_sample;
+    ] )

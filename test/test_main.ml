@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "clustered-page-tables"
+    [
+      Test_bits.suite;
+      Test_addr.suite;
+      Test_pte.suite;
+      Test_mem.suite;
+      Test_tlb.suite;
+      Test_clustered.suite;
+      Test_hashed.suite;
+      Test_linear.suite;
+      Test_forward.suite;
+      Test_os.suite;
+      Test_workload.suite;
+      Test_sim.suite;
+      Test_edge.suite;
+      Test_runner.suite;
+    ]

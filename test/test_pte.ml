@@ -1,0 +1,227 @@
+(* PTE word formats: bit-exact encode/decode of Figures 1, 6 and 7. *)
+
+let attr_gen =
+  QCheck.Gen.(
+    map
+      (fun (bits, soft) ->
+        let b i = bits land (1 lsl i) <> 0 in
+        {
+          Pte.Attr.referenced = b 0;
+          modified = b 1;
+          writable = b 2;
+          executable = b 3;
+          user = b 4;
+          cacheable = b 5;
+          global = b 6;
+          locked = b 7;
+          soft;
+        })
+      (pair (int_bound 255) (int_bound 15)))
+
+let arbitrary_attr = QCheck.make attr_gen
+
+let test_attr_roundtrip_known () =
+  List.iter
+    (fun attr ->
+      let got = Pte.Attr.of_bits (Pte.Attr.to_bits attr) in
+      Alcotest.(check bool) "attr roundtrip" true (Pte.Attr.equal attr got))
+    [ Pte.Attr.default; Pte.Attr.kernel_text; Pte.Attr.kernel_data ]
+
+let prop_attr_roundtrip =
+  QCheck.Test.make ~name:"attr encode/decode roundtrip" ~count:500
+    arbitrary_attr (fun attr ->
+      Pte.Attr.equal attr (Pte.Attr.of_bits (Pte.Attr.to_bits attr)))
+
+let test_attr_width () =
+  (* everything fits the 12-bit field of Figure 1 *)
+  Alcotest.(check bool) "kernel_text fits 12 bits" true
+    (Int64.unsigned_compare
+       (Pte.Attr.to_bits Pte.Attr.kernel_text)
+       (Addr.Bits.mask 12)
+    <= 0)
+
+let test_base_pte_layout () =
+  let attr = Pte.Attr.default in
+  let pte = Pte.Base_pte.make ~ppn:0xABCDE12L ~attr () in
+  let w = Pte.Base_pte.encode pte in
+  (* Figure 1: V at bit 63, PPN at 39..12, ATTR at 11..0 *)
+  Alcotest.(check bool) "V bit" true (Addr.Bits.test_bit w 63);
+  Alcotest.(check int64) "PPN field" 0xABCDE12L
+    (Addr.Bits.extract w ~lo:12 ~width:28);
+  Alcotest.(check int64) "ATTR field" (Pte.Attr.to_bits attr)
+    (Addr.Bits.extract w ~lo:0 ~width:12);
+  Alcotest.(check bool) "S = base" true
+    (Pte.Layout.read_s w = Pte.Layout.S_base)
+
+let test_base_pte_validation () =
+  Alcotest.check_raises "PPN too wide"
+    (Invalid_argument "Base_pte: PPN exceeds 28 bits") (fun () ->
+      ignore (Pte.Base_pte.make ~ppn:0x10000000L ~attr:Pte.Attr.default ()))
+
+let test_superpage_layout () =
+  let pte =
+    Pte.Superpage_pte.make ~size:Addr.Page_size.kb64 ~ppn:0x123450L
+      ~attr:Pte.Attr.default ()
+  in
+  let w = Pte.Superpage_pte.encode pte in
+  Alcotest.(check int64) "SZ field = 4 (64KB)" 4L
+    (Addr.Bits.extract w ~lo:59 ~width:4);
+  Alcotest.(check bool) "S = superpage" true
+    (Pte.Layout.read_s w = Pte.Layout.S_superpage)
+
+let test_superpage_alignment () =
+  Alcotest.check_raises "unaligned superpage PPN"
+    (Invalid_argument "Superpage_pte: PPN not aligned to superpage size")
+    (fun () ->
+      ignore
+        (Pte.Superpage_pte.make ~size:Addr.Page_size.kb64 ~ppn:0x123451L
+           ~attr:Pte.Attr.default ()))
+
+let test_superpage_covers () =
+  let sp =
+    Pte.Superpage_pte.make ~size:Addr.Page_size.kb64 ~ppn:0x40000L
+      ~attr:Pte.Attr.default ()
+  in
+  Alcotest.(check bool) "covers first" true
+    (Pte.Superpage_pte.covers sp ~vpn_base:0x100L ~vpn:0x100L);
+  Alcotest.(check bool) "covers last" true
+    (Pte.Superpage_pte.covers sp ~vpn_base:0x100L ~vpn:0x10FL);
+  Alcotest.(check bool) "beyond" false
+    (Pte.Superpage_pte.covers sp ~vpn_base:0x100L ~vpn:0x110L);
+  Alcotest.(check int64) "ppn offset" 0x40007L
+    (Pte.Superpage_pte.ppn_for sp ~vpn_base:0x100L ~vpn:0x107L)
+
+let test_psb_layout () =
+  let p = Pte.Psb_pte.make ~vmask:0xBEEF ~ppn:0x7FF0L ~attr:Pte.Attr.default in
+  let w = Pte.Psb_pte.encode p in
+  Alcotest.(check int64) "vmask at 63..48" 0xBEEFL
+    (Addr.Bits.extract w ~lo:48 ~width:16);
+  Alcotest.(check bool) "S = psb" true
+    (Pte.Layout.read_s w = Pte.Layout.S_partial_subblock);
+  Alcotest.(check bool) "valid_at bit0" true (Pte.Psb_pte.valid_at p ~boff:0);
+  Alcotest.(check bool) "valid_at bit4" false (Pte.Psb_pte.valid_at p ~boff:4);
+  Alcotest.(check int64) "ppn_for" 0x7FF3L (Pte.Psb_pte.ppn_for p ~boff:3);
+  Alcotest.(check int) "population" 13 (Pte.Psb_pte.population p)
+
+let test_psb_validation () =
+  Alcotest.check_raises "psb PPN must be block aligned"
+    (Invalid_argument "Psb_pte: PPN not block-aligned") (fun () ->
+      ignore (Pte.Psb_pte.make ~vmask:1 ~ppn:0x7FF1L ~attr:Pte.Attr.default))
+
+let test_psb_bits () =
+  let p = Pte.Psb_pte.make ~vmask:0 ~ppn:0x100L ~attr:Pte.Attr.default in
+  let p = Pte.Psb_pte.set_valid p ~boff:7 in
+  Alcotest.(check bool) "set" true (Pte.Psb_pte.valid_at p ~boff:7);
+  let p = Pte.Psb_pte.clear_valid p ~boff:7 in
+  Alcotest.(check int) "cleared" 0 p.Pte.Psb_pte.vmask;
+  let full = Pte.Psb_pte.make ~vmask:0xFF ~ppn:0x100L ~attr:Pte.Attr.default in
+  Alcotest.(check bool) "full at factor 8" true
+    (Pte.Psb_pte.is_full ~subblock_factor:8 full);
+  Alcotest.(check bool) "not full at factor 16" false
+    (Pte.Psb_pte.is_full ~subblock_factor:16 full)
+
+let prop_word_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      attr_gen >>= fun attr ->
+      int_bound 2 >>= fun kind ->
+      match kind with
+      | 0 ->
+          map
+            (fun ppn ->
+              Pte.Word.Base
+                (Pte.Base_pte.make ~ppn:(Int64.of_int ppn) ~attr ()))
+            (int_bound ((1 lsl 28) - 1))
+      | 1 ->
+          map2
+            (fun sz ppn_blocks ->
+              let size = Addr.Page_size.of_sz_code sz in
+              let ppn = Int64.shift_left (Int64.of_int ppn_blocks) sz in
+              Pte.Word.Superpage (Pte.Superpage_pte.make ~size ~ppn ~attr ()))
+            (int_bound 12)
+            (int_bound 0xFFF)
+      | _ ->
+          map2
+            (fun vmask blocks ->
+              let ppn = Int64.shift_left (Int64.of_int blocks) 4 in
+              Pte.Word.Psb (Pte.Psb_pte.make ~vmask ~ppn ~attr))
+            (int_bound 0xFFFF)
+            (int_bound 0xFFFFFF))
+  in
+  QCheck.Test.make ~name:"word encode/decode roundtrip (all formats)"
+    ~count:1000 (QCheck.make gen) (fun word ->
+      Pte.Word.equal word (Pte.Word.decode (Pte.Word.encode word)))
+
+let test_word_classification () =
+  let base =
+    Pte.Word.Base (Pte.Base_pte.make ~ppn:5L ~attr:Pte.Attr.default ())
+  in
+  let sp =
+    Pte.Word.Superpage
+      (Pte.Superpage_pte.make ~size:Addr.Page_size.kb16 ~ppn:4L
+         ~attr:Pte.Attr.default ())
+  in
+  let psb =
+    Pte.Word.Psb (Pte.Psb_pte.make ~vmask:3 ~ppn:16L ~attr:Pte.Attr.default)
+  in
+  let s w = Pte.Layout.read_s (Pte.Word.encode w) in
+  Alcotest.(check bool) "base" true (s base = Pte.Layout.S_base);
+  Alcotest.(check bool) "sp" true (s sp = Pte.Layout.S_superpage);
+  Alcotest.(check bool) "psb" true (s psb = Pte.Layout.S_partial_subblock)
+
+let test_word_is_valid () =
+  Alcotest.(check bool) "invalid base" false
+    (Pte.Word.is_valid (Pte.Word.Base Pte.Base_pte.invalid));
+  Alcotest.(check bool) "empty psb" false
+    (Pte.Word.is_valid
+       (Pte.Word.Psb (Pte.Psb_pte.make ~vmask:0 ~ppn:0L ~attr:Pte.Attr.default)))
+
+let suite =
+  ( "pte",
+    [
+      Alcotest.test_case "attr roundtrip (known)" `Quick test_attr_roundtrip_known;
+      Alcotest.test_case "attr width" `Quick test_attr_width;
+      QCheck_alcotest.to_alcotest prop_attr_roundtrip;
+      Alcotest.test_case "base PTE layout" `Quick test_base_pte_layout;
+      Alcotest.test_case "base PTE validation" `Quick test_base_pte_validation;
+      Alcotest.test_case "superpage layout" `Quick test_superpage_layout;
+      Alcotest.test_case "superpage alignment" `Quick test_superpage_alignment;
+      Alcotest.test_case "superpage covers" `Quick test_superpage_covers;
+      Alcotest.test_case "psb layout" `Quick test_psb_layout;
+      Alcotest.test_case "psb validation" `Quick test_psb_validation;
+      Alcotest.test_case "psb bits" `Quick test_psb_bits;
+      QCheck_alcotest.to_alcotest prop_word_roundtrip;
+      Alcotest.test_case "word classification" `Quick test_word_classification;
+      Alcotest.test_case "word validity" `Quick test_word_is_valid;
+    ] )
+
+let test_reserved_s_code_raises () =
+  (* a corrupted word with the reserved S code must be caught loudly,
+     not mistranslated *)
+  let corrupt = Addr.Bits.insert 0L ~lo:Pte.Layout.s_lo ~width:2 3L in
+  Alcotest.check_raises "reserved S code"
+    (Invalid_argument "Layout.s_class_of_code") (fun () ->
+      ignore (Pte.Word.decode corrupt))
+
+let prop_decode_total_on_valid_s =
+  (* any word whose S field is one of the three defined codes decodes
+     without raising *)
+  QCheck.Test.make ~name:"decode total for defined S codes" ~count:1000
+    QCheck.(pair int64 (int_bound 2))
+    (fun (w, s) ->
+      let w = Addr.Bits.insert w ~lo:Pte.Layout.s_lo ~width:2 (Int64.of_int s) in
+      let w =
+        (* a superpage word also needs a representable SZ code *)
+        if s = 2 then Addr.Bits.insert w ~lo:Pte.Layout.sz_lo ~width:4 3L else w
+      in
+      ignore (Pte.Word.decode w);
+      true)
+
+let suite =
+  ( fst suite,
+    snd suite
+    @ [
+        Alcotest.test_case "reserved S code raises" `Quick
+          test_reserved_s_code_raises;
+        QCheck_alcotest.to_alcotest prop_decode_total_on_valid_s;
+      ] )

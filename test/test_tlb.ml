@@ -1,0 +1,408 @@
+(* TLB models: conventional, superpage, partial-subblock,
+   complete-subblock (with prefetch). *)
+
+module Types = Pt_common.Types
+
+let attr = Pte.Attr.default
+
+let base_tr vpn ppn = Types.base_translation ~vpn ~ppn ~attr
+
+let sp_tr ~vpn ~vpn_base ~ppn_base size =
+  {
+    Types.vpn;
+    ppn = Int64.add ppn_base (Int64.sub vpn vpn_base);
+    vpn_base;
+    ppn_base;
+    kind = Types.Superpage size;
+    attr;
+  }
+
+let psb_tr ~vpn ~vmask ~ppn_base =
+  let boff = Int64.to_int (Int64.rem vpn 16L) in
+  {
+    Types.vpn;
+    ppn = Int64.add ppn_base (Int64.of_int boff);
+    vpn_base = Int64.mul (Int64.div vpn 16L) 16L;
+    ppn_base;
+    kind = Types.Partial_subblock vmask;
+    attr;
+  }
+
+(* --- conventional fully-associative TLB --- *)
+
+let test_fa_hit_miss () =
+  let t = Tlb.Fa_tlb.create ~entries:4 () in
+  Alcotest.(check bool) "cold miss" true (Tlb.Fa_tlb.access t ~vpn:1L = `Block_miss);
+  Tlb.Fa_tlb.fill t (base_tr 1L 100L);
+  Alcotest.(check bool) "hit after fill" true (Tlb.Fa_tlb.access t ~vpn:1L = `Hit);
+  Alcotest.(check bool) "other page misses" true
+    (Tlb.Fa_tlb.access t ~vpn:2L = `Block_miss)
+
+let test_fa_lru_eviction () =
+  let t = Tlb.Fa_tlb.create ~entries:2 () in
+  ignore (Tlb.Fa_tlb.access t ~vpn:1L);
+  Tlb.Fa_tlb.fill t (base_tr 1L 100L);
+  ignore (Tlb.Fa_tlb.access t ~vpn:2L);
+  Tlb.Fa_tlb.fill t (base_tr 2L 200L);
+  (* touch 1 so 2 becomes LRU *)
+  ignore (Tlb.Fa_tlb.access t ~vpn:1L);
+  ignore (Tlb.Fa_tlb.access t ~vpn:3L);
+  Tlb.Fa_tlb.fill t (base_tr 3L 300L);
+  Alcotest.(check bool) "1 survived" true (Tlb.Fa_tlb.access t ~vpn:1L = `Hit);
+  Alcotest.(check bool) "2 evicted" true
+    (Tlb.Fa_tlb.access t ~vpn:2L = `Block_miss);
+  Alcotest.(check int) "one eviction" 1
+    (Tlb.Fa_tlb.stats t).Tlb.Stats.evictions
+
+let test_fa_ignores_wide_kinds () =
+  (* a single-page-size TLB loads only the faulting base page even
+     from a superpage translation *)
+  let t = Tlb.Fa_tlb.create ~entries:4 () in
+  Tlb.Fa_tlb.fill t (sp_tr ~vpn:0x12L ~vpn_base:0x10L ~ppn_base:0x100L
+                       Addr.Page_size.kb64);
+  Alcotest.(check bool) "filled page hits" true
+    (Tlb.Fa_tlb.access t ~vpn:0x12L = `Hit);
+  Alcotest.(check bool) "neighbour misses" true
+    (Tlb.Fa_tlb.access t ~vpn:0x13L = `Block_miss)
+
+let test_fa_flush () =
+  let t = Tlb.Fa_tlb.create () in
+  Tlb.Fa_tlb.fill t (base_tr 1L 2L);
+  Tlb.Fa_tlb.flush t;
+  Alcotest.(check bool) "flushed" true (Tlb.Fa_tlb.access t ~vpn:1L = `Block_miss)
+
+(* --- superpage TLB --- *)
+
+let test_sp_coverage () =
+  let t = Tlb.Superpage_tlb.create ~entries:4 () in
+  Tlb.Superpage_tlb.fill t
+    (sp_tr ~vpn:0x12L ~vpn_base:0x10L ~ppn_base:0x200L Addr.Page_size.kb64);
+  (* one entry covers all sixteen pages of the superpage *)
+  for i = 0 to 15 do
+    Alcotest.(check bool) "covered" true
+      (Tlb.Superpage_tlb.access t ~vpn:(Int64.of_int (0x10 + i)) = `Hit)
+  done;
+  Alcotest.(check bool) "outside" true
+    (Tlb.Superpage_tlb.access t ~vpn:0x20L = `Block_miss)
+
+let test_sp_base_entries_one_page () =
+  let t = Tlb.Superpage_tlb.create ~entries:4 () in
+  Tlb.Superpage_tlb.fill t (base_tr 7L 70L);
+  Alcotest.(check bool) "filled hits" true (Tlb.Superpage_tlb.access t ~vpn:7L = `Hit);
+  Alcotest.(check bool) "next page misses" true
+    (Tlb.Superpage_tlb.access t ~vpn:8L = `Block_miss)
+
+let test_sp_miss_reduction_on_sweep () =
+  (* the reason superpages exist: sweeping 256 pages misses 256 times
+     with 4 KB entries but 16 times with 64 KB entries *)
+  let conventional = Tlb.Fa_tlb.create ~entries:64 () in
+  let sp = Tlb.Superpage_tlb.create ~entries:64 () in
+  for i = 0 to 255 do
+    let vpn = Int64.of_int i in
+    (match Tlb.Fa_tlb.access conventional ~vpn with
+    | `Hit -> ()
+    | _ -> Tlb.Fa_tlb.fill conventional (base_tr vpn vpn));
+    match Tlb.Superpage_tlb.access sp ~vpn with
+    | `Hit -> ()
+    | _ ->
+        let vpn_base = Addr.Bits.align_down vpn 4 in
+        Tlb.Superpage_tlb.fill sp
+          (sp_tr ~vpn ~vpn_base ~ppn_base:vpn_base Addr.Page_size.kb64)
+  done;
+  Alcotest.(check int) "conventional misses" 256
+    (Tlb.Stats.misses (Tlb.Fa_tlb.stats conventional));
+  Alcotest.(check int) "superpage misses (16x fewer)" 16
+    (Tlb.Stats.misses (Tlb.Superpage_tlb.stats sp))
+
+(* --- partial-subblock TLB --- *)
+
+let test_psb_merge_properly_placed () =
+  let t = Tlb.Psb_tlb.create ~entries:4 () in
+  (* base pages with frames at matching offsets merge into one entry *)
+  Tlb.Psb_tlb.fill t (base_tr 0x10L 0x110L);
+  Tlb.Psb_tlb.fill t (base_tr 0x13L 0x113L);
+  Alcotest.(check bool) "first hits" true (Tlb.Psb_tlb.access t ~vpn:0x10L = `Hit);
+  Alcotest.(check bool) "second hits" true (Tlb.Psb_tlb.access t ~vpn:0x13L = `Hit);
+  Alcotest.(check bool) "unfilled offset misses as subblock" true
+    (Tlb.Psb_tlb.access t ~vpn:0x14L = `Subblock_miss)
+
+let test_psb_improper_placement_extra_entry () =
+  let t = Tlb.Psb_tlb.create ~entries:2 () in
+  Tlb.Psb_tlb.fill t (base_tr 0x10L 0x110L);
+  (* frame at wrong offset: cannot merge, consumes its own entry *)
+  Tlb.Psb_tlb.fill t (base_tr 0x13L 0x999L);
+  Alcotest.(check bool) "both resident" true
+    (Tlb.Psb_tlb.access t ~vpn:0x10L = `Hit
+    && Tlb.Psb_tlb.access t ~vpn:0x13L = `Hit);
+  (* a third incompatible fill in the same block evicts (2-entry TLB) *)
+  Tlb.Psb_tlb.fill t (base_tr 0x15L 0x777L);
+  Alcotest.(check int) "eviction happened" 1
+    (Tlb.Psb_tlb.stats t).Tlb.Stats.evictions
+
+let test_psb_fill_psb_translation () =
+  let t = Tlb.Psb_tlb.create ~entries:4 () in
+  Tlb.Psb_tlb.fill t (psb_tr ~vpn:0x25L ~vmask:0b1100100 ~ppn_base:0x400L);
+  Alcotest.(check bool) "bit 2 valid" true (Tlb.Psb_tlb.access t ~vpn:0x22L = `Hit);
+  Alcotest.(check bool) "bit 5 valid" true (Tlb.Psb_tlb.access t ~vpn:0x25L = `Hit);
+  Alcotest.(check bool) "bit 0 invalid" true
+    (Tlb.Psb_tlb.access t ~vpn:0x20L = `Subblock_miss)
+
+(* --- complete-subblock TLB --- *)
+
+let test_csb_miss_classes () =
+  let t = Tlb.Csb_tlb.create ~entries:4 () in
+  Alcotest.(check bool) "block miss first" true
+    (Tlb.Csb_tlb.access t ~vpn:0x10L = `Block_miss);
+  Tlb.Csb_tlb.fill t (base_tr 0x10L 0x999L);
+  Alcotest.(check bool) "same block other page: subblock miss" true
+    (Tlb.Csb_tlb.access t ~vpn:0x1FL = `Subblock_miss);
+  Tlb.Csb_tlb.fill t (base_tr 0x1FL 0x123L);
+  Alcotest.(check bool) "now hits" true (Tlb.Csb_tlb.access t ~vpn:0x1FL = `Hit);
+  let stats = Tlb.Csb_tlb.stats t in
+  Alcotest.(check int) "one block miss" 1 stats.Tlb.Stats.block_misses;
+  Alcotest.(check int) "one subblock miss" 1 stats.Tlb.Stats.subblock_misses
+
+let test_csb_arbitrary_frames () =
+  (* unlike partial-subblocking, complete subblocks take any frames *)
+  let t = Tlb.Csb_tlb.create ~entries:4 () in
+  Tlb.Csb_tlb.fill t (base_tr 0x10L 0x7L);
+  Tlb.Csb_tlb.fill t (base_tr 0x11L 0x1000L);
+  Alcotest.(check bool) "both hit one entry" true
+    (Tlb.Csb_tlb.access t ~vpn:0x10L = `Hit
+    && Tlb.Csb_tlb.access t ~vpn:0x11L = `Hit);
+  (* still a single tag: no eviction, entries=4 holds 1 *)
+  Alcotest.(check int) "no evictions" 0
+    (Tlb.Csb_tlb.stats t).Tlb.Stats.evictions
+
+let test_csb_prefetch_eliminates_subblock_misses () =
+  (* Section 4.4: loading all of a tag's mappings on the block miss
+     removes all subblock misses for a sweep *)
+  let sweep prefetch =
+    let t = Tlb.Csb_tlb.create ~entries:64 () in
+    for i = 0 to 255 do
+      let vpn = Int64.of_int i in
+      match Tlb.Csb_tlb.access t ~vpn with
+      | `Hit -> ()
+      | `Block_miss when prefetch ->
+          let block = Int64.mul (Int64.div vpn 16L) 16L in
+          Tlb.Csb_tlb.fill_block t
+            (List.init 16 (fun j ->
+                 let p = Int64.add block (Int64.of_int j) in
+                 (j, base_tr p p)))
+      | `Block_miss | `Subblock_miss -> Tlb.Csb_tlb.fill t (base_tr vpn vpn)
+    done;
+    Tlb.Csb_tlb.stats t
+  in
+  let without = sweep false in
+  let with_p = sweep true in
+  Alcotest.(check int) "no prefetch: a miss per page" 256
+    (Tlb.Stats.misses without);
+  Alcotest.(check int) "prefetch: a miss per block" 16
+    (Tlb.Stats.misses with_p);
+  Alcotest.(check int) "prefetch leaves no subblock misses" 0
+    with_p.Tlb.Stats.subblock_misses
+
+let test_csb_fill_psb_and_sp () =
+  let t = Tlb.Csb_tlb.create ~entries:4 () in
+  Tlb.Csb_tlb.fill t (psb_tr ~vpn:0x31L ~vmask:0b11 ~ppn_base:0x100L);
+  Alcotest.(check bool) "psb bit 0" true (Tlb.Csb_tlb.access t ~vpn:0x30L = `Hit);
+  Tlb.Csb_tlb.fill t
+    (sp_tr ~vpn:0x42L ~vpn_base:0x40L ~ppn_base:0x200L Addr.Page_size.kb64);
+  Alcotest.(check bool) "superpage fills all slots" true
+    (Tlb.Csb_tlb.access t ~vpn:0x4FL = `Hit)
+
+(* --- the shared associative store --- *)
+
+let test_assoc_store () =
+  let s = Tlb.Assoc.create ~entries:3 () in
+  Alcotest.(check int) "empty" 0 (Tlb.Assoc.occupied s);
+  ignore (Tlb.Assoc.insert s 1);
+  ignore (Tlb.Assoc.insert s 2);
+  Alcotest.(check (option int)) "find" (Some 2)
+    (Tlb.Assoc.find s ~f:(fun e -> e = 2));
+  ignore (Tlb.Assoc.insert s 3);
+  (* 1 is LRU *)
+  Alcotest.(check (option int)) "evicts LRU" (Some 1) (Tlb.Assoc.insert s 4);
+  Tlb.Assoc.flush s;
+  Alcotest.(check int) "flushed" 0 (Tlb.Assoc.occupied s)
+
+let prop_fa_never_exceeds_capacity =
+  QCheck.Test.make ~name:"TLB occupancy never exceeds capacity" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 200) (int_bound 50))
+    (fun vpns ->
+      let t = Tlb.Fa_tlb.create ~entries:8 () in
+      List.iter
+        (fun v ->
+          let vpn = Int64.of_int v in
+          match Tlb.Fa_tlb.access t ~vpn with
+          | `Hit -> ()
+          | _ -> Tlb.Fa_tlb.fill t (base_tr vpn vpn))
+        vpns;
+      (* re-access: at most 8 distinct pages can hit without a fill *)
+      let hits = ref 0 in
+      List.iter
+        (fun v ->
+          match Tlb.Fa_tlb.access t ~vpn:(Int64.of_int v) with
+          | `Hit -> incr hits
+          | _ -> ())
+        (List.sort_uniq compare vpns);
+      !hits <= 8)
+
+let suite =
+  ( "tlb",
+    [
+      Alcotest.test_case "fa hit/miss" `Quick test_fa_hit_miss;
+      Alcotest.test_case "fa LRU eviction" `Quick test_fa_lru_eviction;
+      Alcotest.test_case "fa loads base page only" `Quick test_fa_ignores_wide_kinds;
+      Alcotest.test_case "fa flush" `Quick test_fa_flush;
+      Alcotest.test_case "sp coverage" `Quick test_sp_coverage;
+      Alcotest.test_case "sp base entries" `Quick test_sp_base_entries_one_page;
+      Alcotest.test_case "sp sweep miss reduction" `Quick
+        test_sp_miss_reduction_on_sweep;
+      Alcotest.test_case "psb merge when placed" `Quick
+        test_psb_merge_properly_placed;
+      Alcotest.test_case "psb improper placement" `Quick
+        test_psb_improper_placement_extra_entry;
+      Alcotest.test_case "psb translation fill" `Quick test_psb_fill_psb_translation;
+      Alcotest.test_case "csb miss classes" `Quick test_csb_miss_classes;
+      Alcotest.test_case "csb arbitrary frames" `Quick test_csb_arbitrary_frames;
+      Alcotest.test_case "csb prefetch" `Quick
+        test_csb_prefetch_eliminates_subblock_misses;
+      Alcotest.test_case "csb psb/sp fills" `Quick test_csb_fill_psb_and_sp;
+      Alcotest.test_case "assoc store" `Quick test_assoc_store;
+      QCheck_alcotest.to_alcotest prop_fa_never_exceeds_capacity;
+    ] )
+
+(* --- ASID tagging --- *)
+
+let test_tagged_contexts_coexist () =
+  let t = Tlb.Tagged_tlb.create (Tlb.Intf.fa ~entries:8 ()) in
+  Tlb.Tagged_tlb.set_context t ~asid:1;
+  Tlb.Tagged_tlb.fill t (base_tr 5L 50L);
+  Tlb.Tagged_tlb.set_context t ~asid:2;
+  (* same VPN, different context: a miss *)
+  Alcotest.(check bool) "other context misses" true
+    (Tlb.Tagged_tlb.access t ~vpn:5L = `Block_miss);
+  Tlb.Tagged_tlb.fill t (base_tr 5L 99L);
+  (* both contexts now resident *)
+  Alcotest.(check bool) "context 2 hits" true
+    (Tlb.Tagged_tlb.access t ~vpn:5L = `Hit);
+  Tlb.Tagged_tlb.set_context t ~asid:1;
+  Alcotest.(check bool) "context 1 survived the switch" true
+    (Tlb.Tagged_tlb.access t ~vpn:5L = `Hit)
+
+let test_tagged_flush_and_bounds () =
+  let t = Tlb.Tagged_tlb.create ~asid_bits:4 (Tlb.Intf.fa ~entries:8 ()) in
+  Tlb.Tagged_tlb.set_context t ~asid:15;
+  Alcotest.(check int) "context readable" 15 (Tlb.Tagged_tlb.context t);
+  Alcotest.check_raises "asid out of range"
+    (Invalid_argument "Tagged_tlb.set_context") (fun () ->
+      Tlb.Tagged_tlb.set_context t ~asid:16);
+  Tlb.Tagged_tlb.fill t (base_tr 1L 2L);
+  Tlb.Tagged_tlb.flush t;
+  Alcotest.(check bool) "flush clears all contexts" true
+    (Tlb.Tagged_tlb.access t ~vpn:1L = `Block_miss)
+
+let test_tagged_block_arithmetic_preserved () =
+  (* tagging must not disturb VPBN/Boff splitting inside a csb TLB *)
+  let t = Tlb.Tagged_tlb.create (Tlb.Intf.csb ~entries:8 ()) in
+  Tlb.Tagged_tlb.set_context t ~asid:3;
+  Tlb.Tagged_tlb.fill t (base_tr 0x10L 0x100L);
+  Alcotest.(check bool) "same block, other page: subblock miss" true
+    (Tlb.Tagged_tlb.access t ~vpn:0x11L = `Subblock_miss);
+  Tlb.Tagged_tlb.set_context t ~asid:4;
+  Alcotest.(check bool) "other context: block miss" true
+    (Tlb.Tagged_tlb.access t ~vpn:0x11L = `Block_miss)
+
+let suite =
+  ( fst suite,
+    snd suite
+    @ [
+        Alcotest.test_case "tagged: contexts coexist" `Quick
+          test_tagged_contexts_coexist;
+        Alcotest.test_case "tagged: flush & bounds" `Quick
+          test_tagged_flush_and_bounds;
+        Alcotest.test_case "tagged: block arithmetic" `Quick
+          test_tagged_block_arithmetic_preserved;
+      ] )
+
+(* --- replacement policies --- *)
+
+let test_fifo_ignores_recency () =
+  let t = Tlb.Fa_tlb.create ~policy:Tlb.Assoc.Fifo ~entries:2 () in
+  Tlb.Fa_tlb.fill t (base_tr 1L 10L);
+  Tlb.Fa_tlb.fill t (base_tr 2L 20L);
+  (* touch 1 repeatedly: FIFO doesn't care, 1 is still the oldest *)
+  for _ = 1 to 5 do
+    ignore (Tlb.Fa_tlb.access t ~vpn:1L)
+  done;
+  Tlb.Fa_tlb.fill t (base_tr 3L 30L);
+  Alcotest.(check bool) "oldest evicted despite hits" true
+    (Tlb.Fa_tlb.access t ~vpn:1L = `Block_miss);
+  Alcotest.(check bool) "2 survived" true (Tlb.Fa_tlb.access t ~vpn:2L = `Hit)
+
+let test_random_is_deterministic_and_valid () =
+  let run () =
+    let t = Tlb.Fa_tlb.create ~policy:(Tlb.Assoc.Random 42L) ~entries:4 () in
+    for i = 0 to 63 do
+      let vpn = Int64.of_int i in
+      match Tlb.Fa_tlb.access t ~vpn with
+      | `Hit -> ()
+      | _ -> Tlb.Fa_tlb.fill t (base_tr vpn vpn)
+    done;
+    (* which of the last pages survived is seed-determined *)
+    List.filter
+      (fun v -> Tlb.Fa_tlb.access t ~vpn:(Int64.of_int v) = `Hit)
+      [ 60; 61; 62; 63 ]
+  in
+  Alcotest.(check (list int)) "same seed, same survivors" (run ()) (run ());
+  let t = Tlb.Fa_tlb.create ~policy:(Tlb.Assoc.Random 1L) ~entries:4 () in
+  for i = 0 to 99 do
+    let vpn = Int64.of_int i in
+    match Tlb.Fa_tlb.access t ~vpn with
+    | `Hit -> ()
+    | _ -> Tlb.Fa_tlb.fill t (base_tr vpn vpn)
+  done;
+  (* capacity never exceeded *)
+  let resident = ref 0 in
+  for i = 0 to 99 do
+    if Tlb.Fa_tlb.access t ~vpn:(Int64.of_int i) = `Hit then incr resident
+  done;
+  Alcotest.(check bool) "at most 4 resident" true (!resident <= 4)
+
+let test_lru_beats_fifo_on_loop_with_hot_page () =
+  (* a hot page re-touched between misses: LRU protects it, FIFO
+     cycles it out *)
+  let run policy =
+    let t = Tlb.Fa_tlb.create ~policy ~entries:4 () in
+    let misses = ref 0 in
+    for round = 0 to 63 do
+      (* hot page 0 every iteration *)
+      (match Tlb.Fa_tlb.access t ~vpn:0L with
+      | `Hit -> ()
+      | _ ->
+          incr misses;
+          Tlb.Fa_tlb.fill t (base_tr 0L 0L));
+      (* a stream of cold pages *)
+      let vpn = Int64.of_int (1 + round) in
+      match Tlb.Fa_tlb.access t ~vpn with
+      | `Hit -> ()
+      | _ ->
+          incr misses;
+          Tlb.Fa_tlb.fill t (base_tr vpn vpn)
+    done;
+    !misses
+  in
+  Alcotest.(check bool) "LRU keeps the hot page" true
+    (run Tlb.Assoc.Lru < run Tlb.Assoc.Fifo)
+
+let suite =
+  ( fst suite,
+    snd suite
+    @ [
+        Alcotest.test_case "fifo ignores recency" `Quick test_fifo_ignores_recency;
+        Alcotest.test_case "random deterministic & bounded" `Quick
+          test_random_is_deterministic_and_valid;
+        Alcotest.test_case "lru vs fifo hot page" `Quick
+          test_lru_beats_fifo_on_loop_with_hot_page;
+      ] )
