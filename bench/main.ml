@@ -226,21 +226,83 @@ let run_micro () =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   Printf.printf "\n== Microbenchmarks (ns per operation) ==\n%!";
-  List.iter
+  List.concat_map
     (fun test ->
-      List.iter
+      List.filter_map
         (fun elt ->
           let m = Benchmark.run cfg Instance.[ monotonic_clock ] elt in
           let est = Analyze.one ols Instance.monotonic_clock m in
           match Analyze.OLS.estimates est with
           | Some (t :: _) ->
-              Printf.printf "%-36s %10.1f ns/op\n%!" (Test.Elt.name elt) t
-          | _ -> Printf.printf "%-36s (no estimate)\n%!" (Test.Elt.name elt))
+              Printf.printf "%-36s %10.1f ns/op\n%!" (Test.Elt.name elt) t;
+              Some (Test.Elt.name elt, t)
+          | _ ->
+              Printf.printf "%-36s (no estimate)\n%!" (Test.Elt.name elt);
+              None)
         (Test.elements test))
     (Lazy.force tests)
 
+(* --json FILE: machine-readable results for cross-commit comparison *)
+let emit_json path ~quick ~domains ~experiments_s ~micro =
+  let oc = open_out path in
+  let json_string s =
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (function
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" quick;
+  Printf.fprintf oc "  \"domains\": %d,\n" domains;
+  Printf.fprintf oc "  \"experiments_wall_clock_s\": %.3f,\n" experiments_s;
+  Printf.fprintf oc "  \"micro_ns_per_op\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    { \"name\": %s, \"ns\": %.1f }%s\n"
+        (json_string name) ns
+        (if i = List.length micro - 1 then "" else ","))
+    micro;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n%!" path
+
+let arg_value flag =
+  let rec go i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = flag then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let json = arg_value "--json" in
+  let domains =
+    match arg_value "--domains" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some d when d >= 1 -> d
+        | _ ->
+            Printf.eprintf "bench: --domains expects an integer >= 1, got %S\n"
+              s;
+            exit 2)
+    | None -> Exec.Domain_pool.default_domains ()
+  in
   let options = { Sim.Runner.default_options with quick } in
-  Sim.Runner.all ~options ();
-  run_micro ()
+  let t0 = Unix.gettimeofday () in
+  Sim.Runner.all ~options ~domains ();
+  let experiments_s = Unix.gettimeofday () -. t0 in
+  Printf.printf "\nexperiments wall clock: %.1fs (%d domains)\n%!"
+    experiments_s domains;
+  let micro = run_micro () in
+  Option.iter
+    (fun path -> emit_json path ~quick ~domains ~experiments_s ~micro)
+    json

@@ -49,11 +49,47 @@ let options_term =
   in
   Term.(const options $ seed $ length $ placement $ quick $ csv)
 
-let run_table1 options = ignore (Sim.Runner.table1 ~options ())
+let domains_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some d when d >= 1 -> Ok d
+    | Some _ -> Error (`Msg "domain count must be >= 1")
+    | None -> Error (`Msg (Printf.sprintf "invalid domain count %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
 
-let run_figure9 options = ignore (Sim.Runner.figure9 ~options ())
+let domains_term =
+  Arg.(
+    value
+    & opt (some domains_conv) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Domains for the experiment pool (default: the host's \
+           recommended count; 1 runs the serial path).  Results are \
+           identical for every value.")
 
-let run_figure10 options = ignore (Sim.Runner.figure10 ~options ())
+(* the run header: which pool the experiments fan out over *)
+let announce_pool domains =
+  let n =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Exec.Domain_pool.default_domains ()
+  in
+  Printf.printf "domain pool: %d domain%s (host recommends %d)\n%!" n
+    (if n = 1 then "" else "s")
+    (Exec.Domain_pool.default_domains ())
+
+let run_table1 options domains =
+  announce_pool domains;
+  ignore (Sim.Runner.table1 ~options ?domains ())
+
+let run_figure9 options domains =
+  announce_pool domains;
+  ignore (Sim.Runner.figure9 ~options ?domains ())
+
+let run_figure10 options domains =
+  announce_pool domains;
+  ignore (Sim.Runner.figure10 ~options ?domains ())
 
 let design_of_string = function
   | "single" | "a" -> Ok Sim.Access_exp.Single
@@ -67,31 +103,39 @@ let design_conv =
     ( design_of_string,
       fun ppf d -> Format.pp_print_string ppf (Sim.Access_exp.design_name d) )
 
-let run_figure11 options design =
-  ignore (Sim.Runner.figure11 ~options ~design ())
+let run_figure11 options domains design =
+  announce_pool domains;
+  ignore (Sim.Runner.figure11 ~options ?domains ~design ())
 
-let run_table2 options = Sim.Runner.table2 ~options ()
+let run_table2 options domains =
+  announce_pool domains;
+  Sim.Runner.table2 ~options ?domains ()
 
-let run_ablations options =
-  ignore (Sim.Runner.ablation_line_size ~options ());
-  Sim.Runner.ablation_subblock ~options ();
-  ignore (Sim.Runner.ablation_buckets ~options ());
-  ignore (Sim.Runner.ablation_residency ~options ());
-  Sim.Runner.ablation_reverse_order ~options ();
-  ignore (Sim.Runner.ablation_asid ~options ());
-  Sim.Runner.ablation_placement ~options ();
-  Sim.Runner.ablation_tlb_size ~options ();
+let run_ablations options domains =
+  announce_pool domains;
+  ignore (Sim.Runner.ablation_line_size ~options ?domains ());
+  Sim.Runner.ablation_subblock ~options ?domains ();
+  ignore (Sim.Runner.ablation_buckets ~options ?domains ());
+  ignore (Sim.Runner.ablation_residency ~options ?domains ());
+  Sim.Runner.ablation_reverse_order ~options ?domains ();
+  ignore (Sim.Runner.ablation_asid ~options ?domains ());
+  Sim.Runner.ablation_placement ~options ?domains ();
+  Sim.Runner.ablation_tlb_size ~options ?domains ();
   Sim.Runner.ablation_software_tlb ~options ();
-  Sim.Runner.ablation_shared_table ~options ();
-  Sim.Runner.ablation_guarded ~options ();
-  Sim.Runner.ablation_nested_linear ~options ();
-  Sim.Runner.ablation_variable_factor ~options ();
-  Sim.Runner.ablation_replacement ~options ();
-  Sim.Runner.extension_future64 ~options ()
+  Sim.Runner.ablation_shared_table ~options ?domains ();
+  Sim.Runner.ablation_guarded ~options ?domains ();
+  Sim.Runner.ablation_nested_linear ~options ?domains ();
+  Sim.Runner.ablation_variable_factor ~options ?domains ();
+  Sim.Runner.ablation_replacement ~options ?domains ();
+  Sim.Runner.extension_future64 ~options ?domains ()
 
-let run_all options = Sim.Runner.all ~options ()
+let run_all options domains =
+  announce_pool domains;
+  Sim.Runner.all ~options ?domains ()
 
-let run_verify options = if not (Sim.Runner.verify ~options ()) then exit 1
+let run_verify options domains =
+  announce_pool domains;
+  if not (Sim.Runner.verify ~options ?domains ()) then exit 1
 
 let run_workload options name =
   match Workload.Table1.find name with
@@ -241,15 +285,15 @@ let cmd name doc term =
 let () =
   let table1 =
     cmd "table1" "Workload characteristics (Table 1)"
-      Term.(const run_table1 $ options_term)
+      Term.(const run_table1 $ options_term $ domains_term)
   in
   let figure9 =
     cmd "figure9" "Page table sizes, single page size (Figure 9)"
-      Term.(const run_figure9 $ options_term)
+      Term.(const run_figure9 $ options_term $ domains_term)
   in
   let figure10 =
     cmd "figure10" "Sizes with superpage/partial-subblock PTEs (Figure 10)"
-      Term.(const run_figure10 $ options_term)
+      Term.(const run_figure10 $ options_term $ domains_term)
   in
   let figure11 =
     let design =
@@ -260,23 +304,23 @@ let () =
             ~doc:"TLB design: single|superpage|psb|csb (or a|b|c|d).")
     in
     cmd "figure11" "Cache lines per TLB miss (Figure 11a-d)"
-      Term.(const run_figure11 $ options_term $ design)
+      Term.(const run_figure11 $ options_term $ domains_term $ design)
   in
   let table2 =
     cmd "table2" "Analytic-formula cross-check (Appendix Table 2)"
-      Term.(const run_table2 $ options_term)
+      Term.(const run_table2 $ options_term $ domains_term)
   in
   let ablations =
     cmd "ablations" "Line-size, subblock-factor and bucket sweeps"
-      Term.(const run_ablations $ options_term)
+      Term.(const run_ablations $ options_term $ domains_term)
   in
   let all =
     cmd "all" "Every table and figure, in paper order"
-      Term.(const run_all $ options_term)
+      Term.(const run_all $ options_term $ domains_term)
   in
   let verify =
     cmd "verify" "Check the paper's headline claims hold on this build"
-      Term.(const run_verify $ options_term)
+      Term.(const run_verify $ options_term $ domains_term)
   in
   let dump =
     let workload_name =

@@ -108,22 +108,24 @@ let compressed t n =
   | Child _ -> true
   | Word _ | Empty -> false
 
-let lookup t ~vpn =
-  let rec descend n walk =
+let lookup_into t acc ~vpn =
+  let rec descend n =
     let idx = index_at t ~level:n.level vpn in
-    let walk =
-      if compressed t n then walk
-      else
-        Types.walk_probe
-          (Types.walk_read walk ~addr:(slot_addr n idx) ~bytes:8)
-    in
+    if not (compressed t n) then begin
+      Mem.Walk_acc.read acc ~addr:(slot_addr n idx) ~bytes:8;
+      Mem.Walk_acc.probe acc
+    end;
     match n.slots.(idx) with
-    | Empty -> (None, walk)
-    | Word w ->
-        (Pt_common.Decode.translation_of_word ~subblock_factor:16 ~vpn w, walk)
-    | Child c -> descend c walk
+    | Empty -> None
+    | Word w -> Pt_common.Decode.translation_of_word ~subblock_factor:16 ~vpn w
+    | Child c -> descend c
   in
-  descend t.root Types.empty_walk
+  descend t.root
+
+let lookup t ~vpn =
+  let acc = Mem.Walk_acc.create ~capacity:8 () in
+  let tr = lookup_into t acc ~vpn in
+  (tr, Types.acc_to_walk acc)
 
 let lookup_block t ~vpn ~subblock_factor =
   (* descend once, then the block's leaf slots are adjacent memory *)

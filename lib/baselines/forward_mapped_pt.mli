@@ -44,6 +44,11 @@ val lookup :
 (** Charges one read per level descended (a failed walk stops at the
     first missing node). *)
 
+val lookup_into :
+  t -> Mem.Walk_acc.t -> vpn:int64 -> Pt_common.Types.translation option
+(** Allocation-free {!lookup}: appends the walk's reads and probes to
+    the caller's reusable accumulator. *)
+
 val lookup_block :
   t ->
   vpn:int64 ->

@@ -117,94 +117,103 @@ let node_matches t ~vpn n =
       Int64.equal n.tag (block_base t vpn)
       && Pte.Psb_pte.valid_at p ~boff:(boff t vpn)
 
-(* --- chain search, charging reads --- *)
+(* --- chain search, charging reads into the caller's accumulator --- *)
 
 (* A probe reads a node's tag and next pointer (16 bytes); interpreting
    the mapping reads its word (8 more bytes in the same node). *)
-let probe walk n = Types.walk_probe (Types.walk_read walk ~addr:n.addr ~bytes:16)
+let probe acc n =
+  Mem.Walk_acc.read acc ~addr:n.addr ~bytes:16;
+  Mem.Walk_acc.probe acc
 
-let read_word walk n = Types.walk_read walk ~addr:(Int64.add n.addr 16L) ~bytes:8
+let read_word acc n = Mem.Walk_acc.read acc ~addr:(Int64.add n.addr 16L) ~bytes:8
 
 (* An empty bucket still costs one read of its embedded head node. *)
-let charge_empty_head t ~heads_addr ~bucket walk =
-  Types.walk_probe
-    (Types.walk_read walk
-       ~addr:(Int64.add heads_addr (Int64.of_int (bucket * t.node_bytes)))
-       ~bytes:16)
+let charge_empty_head t ~heads_addr ~bucket acc =
+  Mem.Walk_acc.read acc
+    ~addr:(Int64.add heads_addr (Int64.of_int (bucket * t.node_bytes)))
+    ~bytes:16;
+  Mem.Walk_acc.probe acc
 
-let search_fine t ~vpn walk =
-  let rec go chain walk =
+let search_fine t acc ~vpn =
+  let rec go chain =
     match chain with
-    | None -> (None, walk)
+    | None -> None
     | Some n ->
-        let walk = probe walk n in
+        probe acc n;
         if Int64.equal n.tag vpn then begin
-          let walk = read_word walk n in
+          read_word acc n;
           match translation_of_word t ~vpn n.word with
-          | Some tr -> (Some tr, walk)
-          | None -> go n.next walk
+          | Some _ as tr -> tr
+          | None -> go n.next
         end
-        else go n.next walk
+        else go n.next
   in
   let bucket = hash t vpn in
   match t.fine.(bucket) with
   | None ->
-      (None, charge_empty_head t ~heads_addr:t.fine_heads_addr ~bucket walk)
-  | chain -> go chain walk
+      charge_empty_head t ~heads_addr:t.fine_heads_addr ~bucket acc;
+      None
+  | chain -> go chain
 
-let search_coarse t ~vpn walk =
-  let rec go chain walk =
+let search_coarse t acc ~vpn =
+  let rec go chain =
     match chain with
-    | None -> (None, walk)
+    | None -> None
     | Some n ->
-        let walk = probe walk n in
+        probe acc n;
         if Int64.equal n.tag (vpbn t vpn) then begin
-          let walk = read_word walk n in
+          read_word acc n;
           match translation_of_word t ~vpn n.word with
-          | Some tr -> (Some tr, walk)
-          | None -> go n.next walk
+          | Some _ as tr -> tr
+          | None -> go n.next
         end
-        else go n.next walk
+        else go n.next
   in
   let bucket = hash t (vpbn t vpn) in
   match t.coarse.(bucket) with
   | None ->
-      (None, charge_empty_head t ~heads_addr:t.coarse_heads_addr ~bucket walk)
-  | chain -> go chain walk
+      charge_empty_head t ~heads_addr:t.coarse_heads_addr ~bucket acc;
+      None
+  | chain -> go chain
 
-let search_spindex t ~vpn walk =
-  let rec go chain walk =
+let search_spindex t acc ~vpn =
+  let rec go chain =
     match chain with
-    | None -> (None, walk)
+    | None -> None
     | Some n ->
-        let walk = probe walk n in
+        probe acc n;
         if node_matches t ~vpn n then begin
-          let walk = read_word walk n in
+          read_word acc n;
           match translation_of_word t ~vpn n.word with
-          | Some tr -> (Some tr, walk)
-          | None -> go n.next walk
+          | Some _ as tr -> tr
+          | None -> go n.next
         end
-        else go n.next walk
+        else go n.next
   in
   let bucket = hash t (vpbn t vpn) in
   match t.fine.(bucket) with
   | None ->
-      (None, charge_empty_head t ~heads_addr:t.fine_heads_addr ~bucket walk)
-  | chain -> go chain walk
+      charge_empty_head t ~heads_addr:t.fine_heads_addr ~bucket acc;
+      None
+  | chain -> go chain
 
-let lookup t ~vpn =
+let lookup_into t acc ~vpn =
   match t.mode with
-  | No_superpages -> search_fine t ~vpn Types.empty_walk
-  | Superpage_index -> search_spindex t ~vpn Types.empty_walk
+  | No_superpages -> search_fine t acc ~vpn
+  | Superpage_index -> search_spindex t acc ~vpn
   | Two_tables { coarse_first } ->
       let first, second =
         if coarse_first then (search_coarse, search_fine)
         else (search_fine, search_coarse)
       in
-      let tr, walk = first t ~vpn Types.empty_walk in
-      (match tr with
-      | Some _ -> (tr, walk)
-      | None -> second t ~vpn walk)
+      (match first t acc ~vpn with
+      | Some _ as tr -> tr
+      | None -> second t acc ~vpn)
+
+let lookup t ~vpn =
+  let acc = Mem.Walk_acc.create ~capacity:8 () in
+  let tr = lookup_into t acc ~vpn in
+  (tr, Types.acc_to_walk acc)
 
 let lookup_block t ~vpn ~subblock_factor =
   (* One probe per base page: the cost that makes complete-subblock

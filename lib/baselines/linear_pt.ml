@@ -103,23 +103,27 @@ let set_leaf_word t vpn word =
 
 (* --- lookup --- *)
 
-let lookup t ~vpn =
+let lookup_into t acc ~vpn =
   (* one read of the leaf PTE; the page table's own mappings are
      assumed TLB-resident (reserved entries), which the access-time
      experiment charges as opportunity cost *)
   match find_page t ~level:1 vpn with
-  | None -> (None, Types.walk_probe Types.empty_walk)
+  | None ->
+      Mem.Walk_acc.probe acc;
+      None
   | Some leaf ->
       let slot = slot_at t ~level:1 vpn in
-      let walk =
-        Types.walk_probe
-          (Types.walk_read Types.empty_walk
-             ~addr:(Int64.add leaf.addr (Int64.of_int (8 * slot)))
-             ~bytes:8)
-      in
-      ( Pt_common.Decode.translation_of_word ~subblock_factor:16 ~vpn
-          leaf.words.(slot),
-        walk )
+      Mem.Walk_acc.read acc
+        ~addr:(Int64.add leaf.addr (Int64.of_int (8 * slot)))
+        ~bytes:8;
+      Mem.Walk_acc.probe acc;
+      Pt_common.Decode.translation_of_word ~subblock_factor:16 ~vpn
+        leaf.words.(slot)
+
+let lookup t ~vpn =
+  let acc = Mem.Walk_acc.create ~capacity:4 () in
+  let tr = lookup_into t acc ~vpn in
+  (tr, Types.acc_to_walk acc)
 
 let lookup_block t ~vpn ~subblock_factor =
   (* adjacent leaf PTEs: the block is one contiguous read *)

@@ -41,6 +41,11 @@ val create :
 val lookup :
   t -> vpn:int64 -> Pt_common.Types.translation option * Pt_common.Types.walk
 
+val lookup_into :
+  t -> Mem.Walk_acc.t -> vpn:int64 -> Pt_common.Types.translation option
+(** Allocation-free {!lookup}: appends the walk's reads and probes to
+    the caller's reusable accumulator. *)
+
 val lookup_block :
   t ->
   vpn:int64 ->

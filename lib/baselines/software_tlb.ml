@@ -111,6 +111,13 @@ let lookup t ~vpn =
       | _ -> ());
       (tr, Types.walk_join walk backing_walk)
 
+(* Cold path: translated through the legacy walk, then replayed into
+   the caller's accumulator. *)
+let lookup_into t acc ~vpn =
+  let tr, w = lookup t ~vpn in
+  Types.acc_add_walk acc w;
+  tr
+
 let lookup_block t ~vpn ~subblock_factor =
   let base =
     Int64.mul

@@ -149,6 +149,13 @@ let lookup t ~vpn =
       let tr, backing_walk = reload_block t ~vpn in
       (tr, Types.walk_join walk backing_walk)
 
+(* Cold path: translated through the legacy walk, then replayed into
+   the caller's accumulator. *)
+let lookup_into t acc ~vpn =
+  let tr, w = lookup t ~vpn in
+  Types.acc_add_walk acc w;
+  tr
+
 let lookup_block t ~vpn ~subblock_factor =
   if subblock_factor = t.factor then begin
     let s = slot_of t vpn in

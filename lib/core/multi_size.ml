@@ -27,6 +27,13 @@ let lookup t ~vpn =
       let tr, walk_coarse = Table.lookup t.coarse ~vpn in
       (tr, Types.walk_join walk_fine walk_coarse)
 
+(* Cold path: translated through the legacy walk, then replayed into
+   the caller's accumulator. *)
+let lookup_into t acc ~vpn =
+  let tr, w = lookup t ~vpn in
+  Types.acc_add_walk acc w;
+  tr
+
 let lookup_block t ~vpn ~subblock_factor =
   let found, walk = Table.lookup_block t.fine ~vpn ~subblock_factor in
   match found with

@@ -1,25 +1,40 @@
 module Types = Pt_common.Types
 
+(* Chain nodes carry their tag as an immediate [int] (a VPBN fits in
+   well under 62 bits) so the hot-path tag comparison is an unboxed
+   integer compare instead of [Int64.equal] on two boxed values, and
+   links are direct [node] pointers terminated by the [nil] sentinel
+   instead of [node option], so traversal never pattern-matches an
+   allocation. *)
 type node = {
-  mutable tag : int64;
+  tag : int;
   mutable words : int64 array;
   addr : int64;
   node_bytes : int;
-  mutable next : node option;
+  mutable next : node;
 }
+
+let rec nil = { tag = min_int; words = [||]; addr = -1L; node_bytes = 0; next = nil }
+
+let empty_tag = min_int
 
 type t = {
   config : Config.t;
   arena : Mem.Sim_memory.t;
-  buckets : node option array;
+  heads : node array;  (* nil = empty bucket *)
+  head_tags : int array;
+      (* the first node's tag, flattened into the bucket array — the
+         OCaml mirror of the [heads_addr] embedding below: a probe of
+         the bucket decides "empty / head matches / walk the chain"
+         without dereferencing any node *)
   heads_addr : int64;
       (* bucket array embedding the first nodes: an empty bucket's
          probe still reads one line *)
   unit_shift : int;  (* page_shift - 12: base pages per table unit *)
   factor_bits : int;
   sz_code_block : int;  (* SZ code of a whole page block *)
-  mutable logical_bytes : int;
-  mutable nodes : int;
+  logical_bytes : int Atomic.t;
+  nodes : int Atomic.t;
 }
 
 let name = "clustered"
@@ -33,7 +48,8 @@ let create ?arena config =
   {
     config;
     arena;
-    buckets = Array.make config.Config.buckets None;
+    heads = Array.make config.Config.buckets nil;
+    head_tags = Array.make config.Config.buckets empty_tag;
     heads_addr =
       Mem.Sim_memory.alloc arena
         ~bytes:(config.Config.buckets * 16)
@@ -41,8 +57,8 @@ let create ?arena config =
     unit_shift;
     factor_bits;
     sz_code_block = unit_shift + factor_bits;
-    logical_bytes = 0;
-    nodes = 0;
+    logical_bytes = Atomic.make 0;
+    nodes = Atomic.make 0;
   }
 
 let config t = t.config
@@ -67,19 +83,23 @@ let alloc_node t ~tag ~words =
     Mem.Sim_memory.alloc t.arena ~bytes:node_bytes
       ~align:t.config.Config.node_align
   in
-  t.logical_bytes <- t.logical_bytes + node_bytes;
-  t.nodes <- t.nodes + 1;
-  { tag; words; addr; node_bytes; next = None }
+  ignore (Atomic.fetch_and_add t.logical_bytes node_bytes);
+  ignore (Atomic.fetch_and_add t.nodes 1);
+  { tag; words; addr; node_bytes; next = nil }
 
 let release_node t n =
   Mem.Sim_memory.free t.arena ~addr:n.addr ~bytes:n.node_bytes
     ~align:t.config.Config.node_align;
-  t.logical_bytes <- t.logical_bytes - n.node_bytes;
-  t.nodes <- t.nodes - 1
+  ignore (Atomic.fetch_and_add t.logical_bytes (-n.node_bytes));
+  ignore (Atomic.fetch_and_add t.nodes (-1))
+
+let set_head t bucket n =
+  t.heads.(bucket) <- n;
+  t.head_tags.(bucket) <- if n == nil then empty_tag else n.tag
 
 let link t bucket n =
-  n.next <- t.buckets.(bucket);
-  t.buckets.(bucket) <- Some n
+  n.next <- t.heads.(bucket);
+  set_head t bucket n
 
 let invalid_base_word = Pte.Base_pte.(encode invalid)
 
@@ -158,38 +178,47 @@ let node_translation t n ~vpn ~boff =
 
 let word_addr n i = Int64.add n.addr (Int64.of_int (16 + (8 * i)))
 
-let charge_empty_head t ~bucket walk =
-  Types.walk_probe
-    (Types.walk_read walk
-       ~addr:(Int64.add t.heads_addr (Int64.of_int (bucket * 16)))
-       ~bytes:16)
+let charge_empty_head_acc t ~bucket acc =
+  Mem.Walk_acc.read acc
+    ~addr:(Int64.add t.heads_addr (Int64.of_int (bucket * 16)))
+    ~bytes:16;
+  Mem.Walk_acc.probe acc
+
+let lookup_into t acc ~vpn =
+  let vpbn, boff = split t vpn in
+  let tag = Int64.to_int vpbn in
+  let bucket = Config.hash t.config vpbn in
+  if t.head_tags.(bucket) = empty_tag then begin
+    charge_empty_head_acc t ~bucket acc;
+    None
+  end
+  else begin
+    let rec go n =
+      if n == nil then None
+      else begin
+        (* tag and next pointer: the first sixteen bytes of the node *)
+        Mem.Walk_acc.read acc ~addr:n.addr ~bytes:16;
+        Mem.Walk_acc.probe acc;
+        if n.tag <> tag then go n.next
+        else begin
+          (* the S check always reads mapping[0] (Figure 8) ... *)
+          Mem.Walk_acc.read acc ~addr:(word_addr n 0) ~bytes:8;
+          (* ... and a base-format node then reads mapping[Boff] *)
+          if boff <> 0 && not (is_single t n) then
+            Mem.Walk_acc.read acc ~addr:(word_addr n boff) ~bytes:8;
+          match node_translation t n ~vpn ~boff with
+          | Some _ as tr -> tr
+          | None -> go n.next
+        end
+      end
+    in
+    go t.heads.(bucket)
+  end
 
 let lookup t ~vpn =
-  let vpbn, boff = split t vpn in
-  let bucket = Config.hash t.config vpbn in
-  let rec go chain walk =
-    match chain with
-    | None -> (None, walk)
-    | Some n ->
-        (* tag and next pointer: the first sixteen bytes of the node *)
-        let walk = Types.walk_probe (Types.walk_read walk ~addr:n.addr ~bytes:16) in
-        if not (Int64.equal n.tag vpbn) then go n.next walk
-        else
-          (* the S check always reads mapping[0] (Figure 8) ... *)
-          let walk = Types.walk_read walk ~addr:(word_addr n 0) ~bytes:8 in
-          (* ... and a base-format node then reads mapping[Boff] *)
-          let walk =
-            if boff <> 0 && not (is_single t n) then
-              Types.walk_read walk ~addr:(word_addr n boff) ~bytes:8
-            else walk
-          in
-          (match node_translation t n ~vpn ~boff with
-          | Some tr -> (Some tr, walk)
-          | None -> go n.next walk)
-  in
-  match t.buckets.(bucket) with
-  | None -> (None, charge_empty_head t ~bucket Types.empty_walk)
-  | chain -> go chain Types.empty_walk
+  let acc = Mem.Walk_acc.create ~capacity:8 () in
+  let tr = lookup_into t acc ~vpn in
+  (tr, Types.acc_to_walk acc)
 
 let lookup_block t ~vpn ~subblock_factor =
   if subblock_factor = t.config.Config.subblock_factor && t.unit_shift = 0 then begin
@@ -197,44 +226,41 @@ let lookup_block t ~vpn ~subblock_factor =
        block's base pages are adjacent in the matching nodes
        (Section 4.4: prefetch penalty is "reasonable" for clustered) *)
     let vpbn, _ = split t vpn in
+    let tag = Int64.to_int vpbn in
     let block_base = Int64.shift_left vpbn t.factor_bits in
     let found = Array.make subblock_factor None in
-    let rec go chain walk =
-      match chain with
-      | None -> walk
-      | Some n ->
-          let walk =
-            Types.walk_probe (Types.walk_read walk ~addr:n.addr ~bytes:16)
-          in
-          if not (Int64.equal n.tag vpbn) then go n.next walk
-          else begin
-            let walk =
-              Types.walk_read walk ~addr:(word_addr n 0)
-                ~bytes:(8 * Array.length n.words)
-            in
-            for i = 0 to subblock_factor - 1 do
-              if found.(i) = None then
-                let page = Int64.add block_base (Int64.of_int i) in
-                match node_translation t n ~vpn:page ~boff:i with
-                | Some tr -> found.(i) <- Some tr
-                | None -> ()
-            done;
-            go n.next walk
-          end
+    let acc = Mem.Walk_acc.create ~capacity:8 () in
+    let rec go n =
+      if n == nil then ()
+      else begin
+        Mem.Walk_acc.read acc ~addr:n.addr ~bytes:16;
+        Mem.Walk_acc.probe acc;
+        if n.tag <> tag then go n.next
+        else begin
+          Mem.Walk_acc.read acc ~addr:(word_addr n 0)
+            ~bytes:(8 * Array.length n.words);
+          for i = 0 to subblock_factor - 1 do
+            if found.(i) = None then
+              let page = Int64.add block_base (Int64.of_int i) in
+              match node_translation t n ~vpn:page ~boff:i with
+              | Some tr -> found.(i) <- Some tr
+              | None -> ()
+          done;
+          go n.next
+        end
+      end
     in
     let bucket = Config.hash t.config vpbn in
-    let walk =
-      match t.buckets.(bucket) with
-      | None -> charge_empty_head t ~bucket Types.empty_walk
-      | chain -> go chain Types.empty_walk
-    in
+    if t.head_tags.(bucket) = empty_tag then
+      charge_empty_head_acc t ~bucket acc
+    else go t.heads.(bucket);
     let results = ref [] in
     for i = subblock_factor - 1 downto 0 do
       match found.(i) with
       | Some tr -> results := (i, tr) :: !results
       | None -> ()
     done;
-    (!results, walk)
+    (!results, Types.acc_to_walk acc)
   end
   else begin
     (* mismatched factor: gather page by page *)
@@ -258,24 +284,24 @@ let lookup_block t ~vpn ~subblock_factor =
 
 (* --- insertion --- *)
 
-let find_block_node t bucket vpbn =
-  let rec go = function
-    | None -> None
-    | Some n ->
-        if Int64.equal n.tag vpbn && not (is_single t n) then Some n
-        else go n.next
+let find_block_node t bucket tag =
+  let rec go n =
+    if n == nil then None
+    else if n.tag = tag && not (is_single t n) then Some n
+    else go n.next
   in
-  go t.buckets.(bucket)
+  go t.heads.(bucket)
 
 let get_or_create_block_node t vpbn =
   let bucket = Config.hash t.config vpbn in
-  match find_block_node t bucket vpbn with
+  let tag = Int64.to_int vpbn in
+  match find_block_node t bucket tag with
   | Some n -> n
   | None ->
       let words =
         Array.make t.config.Config.subblock_factor invalid_base_word
       in
-      let n = alloc_node t ~tag:vpbn ~words in
+      let n = alloc_node t ~tag ~words in
       link t bucket n;
       n
 
@@ -301,17 +327,17 @@ let insert_superpage t ~vpn ~size ~ppn ~attr =
     for i = 0 to n_blocks - 1 do
       let vpbn = Int64.add first_vpbn (Int64.of_int i) in
       let bucket = Config.hash t.config vpbn in
-      let rec find = function
-        | None -> None
-        | Some n -> (
-            if not (Int64.equal n.tag vpbn) then find n.next
-            else
-              match classify t n with Single_sp _ -> Some n | _ -> find n.next)
+      let tag = Int64.to_int vpbn in
+      let rec find n =
+        if n == nil then None
+        else if n.tag <> tag then find n.next
+        else
+          match classify t n with Single_sp _ -> Some n | _ -> find n.next
       in
-      match find t.buckets.(bucket) with
+      match find t.heads.(bucket) with
       | Some n -> n.words.(0) <- word
       | None ->
-          let n = alloc_node t ~tag:vpbn ~words:[| word |] in
+          let n = alloc_node t ~tag ~words:[| word |] in
           link t bucket n
     done
   end
@@ -332,13 +358,14 @@ let insert_psb t ~vpbn ~vmask ~ppn ~attr =
   if vmask land lnot (factor_mask t) <> 0 then
     invalid_arg "Clustered_pt.insert_psb: vmask exceeds subblock factor";
   let bucket = Config.hash t.config vpbn in
-  let rec find = function
-    | None -> None
-    | Some n -> (
-        if not (Int64.equal n.tag vpbn) then find n.next
-        else match classify t n with Single_psb p -> Some (n, p) | _ -> find n.next)
+  let tag = Int64.to_int vpbn in
+  let rec find n =
+    if n == nil then None
+    else if n.tag <> tag then find n.next
+    else
+      match classify t n with Single_psb p -> Some (n, p) | _ -> find n.next
   in
-  match find t.buckets.(bucket) with
+  match find t.heads.(bucket) with
   | Some (n, existing) when Int64.equal existing.Pte.Psb_pte.ppn ppn ->
       let merged = existing.Pte.Psb_pte.vmask lor vmask in
       n.words.(0) <- Pte.Psb_pte.(encode (make ~vmask:merged ~ppn ~attr))
@@ -346,7 +373,7 @@ let insert_psb t ~vpbn ~vmask ~ppn ~attr =
       n.words.(0) <- Pte.Psb_pte.(encode (make ~vmask ~ppn ~attr))
   | None ->
       let word = Pte.Psb_pte.(encode (make ~vmask ~ppn ~attr)) in
-      let n = alloc_node t ~tag:vpbn ~words:[| word |] in
+      let n = alloc_node t ~tag ~words:[| word |] in
       link t bucket n
 
 (* --- removal --- *)
@@ -389,31 +416,26 @@ let remove_from_node t n ~boff =
 
 let remove t ~vpn =
   let vpbn, boff = split t vpn in
+  let tag = Int64.to_int vpbn in
   let bucket = Config.hash t.config vpbn in
-  let rec go chain =
-    match chain with
-    | None -> (None, false)
-    | Some n ->
-        if not (Int64.equal n.tag vpbn) then begin
-          let rest, removed = go n.next in
-          n.next <- rest;
-          (Some n, removed)
-        end
-        else begin
-          match remove_from_node t n ~boff with
-          | `Unlink ->
-              let rest = n.next in
-              release_node t n;
-              (rest, true)
-          | `Removed -> (Some n, true)
-          | `Not_here ->
-              let rest, removed = go n.next in
-              n.next <- rest;
-              (Some n, removed)
-        end
+  let rec go n =
+    if n == nil then nil
+    else if n.tag <> tag then begin
+      n.next <- go n.next;
+      n
+    end
+    else
+      match remove_from_node t n ~boff with
+      | `Unlink ->
+          let rest = n.next in
+          release_node t n;
+          rest
+      | `Removed -> n
+      | `Not_here ->
+          n.next <- go n.next;
+          n
   in
-  let chain, _removed = go t.buckets.(bucket) in
-  t.buckets.(bucket) <- chain
+  set_head t bucket (go t.heads.(bucket))
 
 (* --- range attribute updates --- *)
 
@@ -435,63 +457,66 @@ let set_attr_range t region ~f =
       (fun (vpbn, first_boff, count) ->
         incr searches;
         let bucket = Config.hash t.config vpbn in
-        let rec go = function
-          | None -> ()
-          | Some n ->
-              (if Int64.equal n.tag vpbn then
-                 match classify t n with
-                 | Single_psb _ | Single_sp _ -> (
-                     match Pt_common.Decode.reencode_attr n.words.(0) ~f with
-                     | Some w -> n.words.(0) <- w
-                     | None -> ())
-                 | Block ->
-                     (* update words in range; a small-superpage word is
-                        updated across all its replicas for coherence *)
-                     let touched = Array.make (Array.length n.words) false in
-                     for i = first_boff to first_boff + count - 1 do
-                       if not touched.(i) then begin
-                         match Pte.Word.decode n.words.(i) with
-                         | Pte.Word.Superpage sp when sp.valid ->
-                             let sz = Addr.Page_size.sz_code sp.size in
-                             let covered = 1 lsl (sz - t.unit_shift) in
-                             let first = i land lnot (covered - 1) in
-                             (match Pt_common.Decode.reencode_attr n.words.(i) ~f with
-                             | Some w ->
-                                 for j = first to first + covered - 1 do
-                                   n.words.(j) <- w;
-                                   touched.(j) <- true
-                                 done
-                             | None -> ())
-                         | _ -> (
-                             match Pt_common.Decode.reencode_attr n.words.(i) ~f with
-                             | Some w ->
-                                 n.words.(i) <- w;
-                                 touched.(i) <- true
-                             | None -> ())
-                       end
-                     done);
-              go n.next
+        let tag = Int64.to_int vpbn in
+        let rec go n =
+          if n == nil then ()
+          else begin
+            (if n.tag = tag then
+               match classify t n with
+               | Single_psb _ | Single_sp _ -> (
+                   match Pt_common.Decode.reencode_attr n.words.(0) ~f with
+                   | Some w -> n.words.(0) <- w
+                   | None -> ())
+               | Block ->
+                   (* update words in range; a small-superpage word is
+                      updated across all its replicas for coherence *)
+                   let touched = Array.make (Array.length n.words) false in
+                   for i = first_boff to first_boff + count - 1 do
+                     if not touched.(i) then begin
+                       match Pte.Word.decode n.words.(i) with
+                       | Pte.Word.Superpage sp when sp.valid ->
+                           let sz = Addr.Page_size.sz_code sp.size in
+                           let covered = 1 lsl (sz - t.unit_shift) in
+                           let first = i land lnot (covered - 1) in
+                           (match Pt_common.Decode.reencode_attr n.words.(i) ~f with
+                           | Some w ->
+                               for j = first to first + covered - 1 do
+                                 n.words.(j) <- w;
+                                 touched.(j) <- true
+                               done
+                           | None -> ())
+                       | _ -> (
+                           match Pt_common.Decode.reencode_attr n.words.(i) ~f with
+                           | Some w ->
+                               n.words.(i) <- w;
+                               touched.(i) <- true
+                           | None -> ())
+                     end
+                   done);
+            go n.next
+          end
         in
-        go t.buckets.(bucket))
+        go t.heads.(bucket))
       blocks;
     !searches
   end
 
 (* --- accounting --- *)
 
-let size_bytes t = t.logical_bytes
+let size_bytes t = Atomic.get t.logical_bytes
 
 let iter_nodes t f =
   Array.iter
     (fun chain ->
-      let rec go = function
-        | None -> ()
-        | Some n ->
-            f n;
-            go n.next
+      let rec go n =
+        if n == nil then ()
+        else begin
+          f n;
+          go n.next
+        end
       in
       go chain)
-    t.buckets
+    t.heads
 
 let unit_pages t = 1 lsl t.unit_shift
 
@@ -521,25 +546,27 @@ let clear t =
   let to_free = ref [] in
   iter_nodes t (fun n -> to_free := n :: !to_free);
   List.iter (fun n -> release_node t n) !to_free;
-  Array.fill t.buckets 0 (Array.length t.buckets) None
+  Array.fill t.heads 0 (Array.length t.heads) nil;
+  Array.fill t.head_tags 0 (Array.length t.head_tags) empty_tag
 
-let node_count t = t.nodes
+let node_count t = Atomic.get t.nodes
 
 let chain_length t ~bucket =
-  let rec go acc = function None -> acc | Some n -> go (acc + 1) n.next in
-  go 0 t.buckets.(bucket)
+  let rec go acc n = if n == nil then acc else go (acc + 1) n.next in
+  go 0 t.heads.(bucket)
 
 let load_factor t =
-  float_of_int t.nodes /. float_of_int (Array.length t.buckets)
+  float_of_int (Atomic.get t.nodes) /. float_of_int (Array.length t.heads)
 
 let iter_chain_tags t ~bucket f =
-  let rec go = function
-    | None -> ()
-    | Some n ->
-        f n.tag;
-        go n.next
+  let rec go n =
+    if n == nil then ()
+    else begin
+      f (Int64.of_int n.tag);
+      go n.next
+    end
   in
-  go t.buckets.(bucket)
+  go t.heads.(bucket)
 
 (* --- promotion support (Section 5) --- *)
 
@@ -552,34 +579,36 @@ type block_summary = {
 
 let block_summary t ~vpn =
   let vpbn, _ = split t vpn in
+  let tag = Int64.to_int vpbn in
   let bucket = Config.hash t.config vpbn in
   let base_vmask = ref 0 and psb_vmask = ref 0 and sp_pages = ref 0 in
   let base_words = Array.make t.config.Config.subblock_factor None in
-  let rec go = function
-    | None -> ()
-    | Some n ->
-        (if Int64.equal n.tag vpbn then
-           match classify t n with
-           | Single_psb p -> psb_vmask := !psb_vmask lor (p.vmask land factor_mask t)
-           | Single_sp sp ->
-               if sp.valid then
-                 sp_pages := !sp_pages + t.config.Config.subblock_factor
-           | Block ->
-               Array.iteri
-                 (fun i w ->
-                   match Pte.Word.decode w with
-                   | Pte.Word.Base b when b.valid ->
-                       if !base_vmask land (1 lsl i) = 0 then begin
-                         base_vmask := !base_vmask lor (1 lsl i);
-                         base_words.(i) <- Some b
-                       end
-                   | Pte.Word.Superpage sp when sp.valid -> incr sp_pages
-                   | Pte.Word.Base _ | Pte.Word.Superpage _ | Pte.Word.Psb _ ->
-                       ())
-                 n.words);
-        go n.next
+  let rec go n =
+    if n == nil then ()
+    else begin
+      (if n.tag = tag then
+         match classify t n with
+         | Single_psb p -> psb_vmask := !psb_vmask lor (p.vmask land factor_mask t)
+         | Single_sp sp ->
+             if sp.valid then
+               sp_pages := !sp_pages + t.config.Config.subblock_factor
+         | Block ->
+             Array.iteri
+               (fun i w ->
+                 match Pte.Word.decode w with
+                 | Pte.Word.Base b when b.valid ->
+                     if !base_vmask land (1 lsl i) = 0 then begin
+                       base_vmask := !base_vmask lor (1 lsl i);
+                       base_words.(i) <- Some b
+                     end
+                 | Pte.Word.Superpage sp when sp.valid -> incr sp_pages
+                 | Pte.Word.Base _ | Pte.Word.Superpage _ | Pte.Word.Psb _ ->
+                     ())
+               n.words);
+      go n.next
+    end
   in
-  go t.buckets.(bucket);
+  go t.heads.(bucket);
   let promotable_ppn =
     if !base_vmask <> factor_mask t then None
     else
@@ -635,18 +664,18 @@ let demote_block t ~vpn =
   if t.unit_shift <> 0 then false
   else
     let vpbn, _ = split t vpn in
+    let tag = Int64.to_int vpbn in
     let bucket = Config.hash t.config vpbn in
-    let rec find = function
-      | None -> None
-      | Some n -> (
-          if not (Int64.equal n.tag vpbn) then find n.next
-          else
-            match classify t n with
-            | Single_psb p -> Some (`Psb p)
-            | Single_sp sp when sp.valid -> Some (`Sp sp)
-            | _ -> find n.next)
+    let rec find n =
+      if n == nil then None
+      else if n.tag <> tag then find n.next
+      else
+        match classify t n with
+        | Single_psb p -> Some (`Psb p)
+        | Single_sp sp when sp.valid -> Some (`Sp sp)
+        | _ -> find n.next
     in
-    match find t.buckets.(bucket) with
+    match find t.heads.(bucket) with
     | None -> false
     | Some payload ->
         let block_base_vpn = Int64.shift_left vpbn t.factor_bits in

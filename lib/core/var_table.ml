@@ -126,6 +126,13 @@ let lookup t ~vpn =
   | None -> (None, charge_empty_head t ~bucket Types.empty_walk)
   | chain -> go chain Types.empty_walk
 
+(* Cold path: translated through the legacy walk, then replayed into
+   the caller's accumulator. *)
+let lookup_into t acc ~vpn =
+  let tr, w = lookup t ~vpn in
+  Types.acc_add_walk acc w;
+  tr
+
 let lookup_block t ~vpn ~subblock_factor =
   if subblock_factor <> factor then
     invalid_arg "Var_table.lookup_block: factor mismatch";

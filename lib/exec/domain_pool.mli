@@ -1,0 +1,27 @@
+(** Deterministic fork/join map over OCaml 5 domains.
+
+    Jobs are keyed by input index: a job must derive any seeds from its
+    index, not from execution order, and must not observe the others'
+    results.  Under that contract the result array is identical for any
+    domain count, including the serial [domains:1] path. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val clamp_domains : ?domains:int -> int -> int
+(** The pool size actually used for [n] jobs: [domains] (default
+    {!default_domains}) clamped to at least 1 and at most [n].  Raises
+    [Invalid_argument] when [domains < 1]. *)
+
+exception Job_failed of int * exn
+(** Raised by {!map} when job [i] raised; carries the original
+    exception. *)
+
+val map : ?domains:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** [map ~domains f inputs] computes [f i inputs.(i)] for every [i],
+    distributing indices over [domains] domains (work-stealing via a
+    shared claim counter).  [domains:1] runs serially in ascending
+    index order on the calling domain. *)
+
+val map_list : ?domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists, preserving order. *)

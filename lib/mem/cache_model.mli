@@ -30,6 +30,10 @@ val create_counter : ?line_size:int -> unit -> counter
 val record_walk : counter -> access list -> int
 (** Record one TLB miss's walk; returns the lines it touched. *)
 
+val record_acc : counter -> Walk_acc.t -> int
+(** Like {!record_walk}, but reads the accesses out of a reusable
+    accumulator without allocating (in-place scratch sort). *)
+
 val record_lines : counter -> int -> unit
 (** Record a walk whose line count was computed elsewhere (e.g. the
     linear page table's reserved-TLB-entry model). *)

@@ -4,10 +4,21 @@ type t = {
   mutable live : int;
   mutable total : int;
   free_lists : (int * int, int64 list ref) Hashtbl.t;
+  lock : Mutex.t;
+      (* tables sharing one arena may now be driven from several
+         domains (per-bucket locking covers the chains, not the
+         allocator), so the allocator itself must be serialized *)
 }
 
 let create ?(base = 0x1000_0000L) () =
-  { base; next = base; live = 0; total = 0; free_lists = Hashtbl.create 16 }
+  {
+    base;
+    next = base;
+    live = 0;
+    total = 0;
+    free_lists = Hashtbl.create 16;
+    lock = Mutex.create ();
+  }
 
 let check_class bytes align =
   if bytes <= 0 then invalid_arg "Sim_memory: bytes must be positive";
@@ -22,33 +33,46 @@ let free_list t bytes align =
       Hashtbl.add t.free_lists (bytes, align) l;
       l
 
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+      Mutex.unlock t.lock;
+      v
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+
 let alloc t ~bytes ~align =
   check_class bytes align;
-  t.live <- t.live + bytes;
-  let fl = free_list t bytes align in
-  match !fl with
-  | addr :: rest ->
-      fl := rest;
-      addr
-  | [] ->
-      let shift = Addr.Bits.log2_exact align in
-      let addr = Addr.Bits.align_up t.next shift in
-      t.next <- Int64.add addr (Int64.of_int bytes);
-      t.total <- t.total + bytes;
-      addr
+  locked t (fun () ->
+      t.live <- t.live + bytes;
+      let fl = free_list t bytes align in
+      match !fl with
+      | addr :: rest ->
+          fl := rest;
+          addr
+      | [] ->
+          let shift = Addr.Bits.log2_exact align in
+          let addr = Addr.Bits.align_up t.next shift in
+          t.next <- Int64.add addr (Int64.of_int bytes);
+          t.total <- t.total + bytes;
+          addr)
 
 let free t ~addr ~bytes ~align =
   check_class bytes align;
-  t.live <- t.live - bytes;
-  let fl = free_list t bytes align in
-  fl := addr :: !fl
+  locked t (fun () ->
+      t.live <- t.live - bytes;
+      let fl = free_list t bytes align in
+      fl := addr :: !fl)
 
 let live_bytes t = t.live
 
 let total_allocated_bytes t = t.total
 
 let reset t =
-  t.next <- t.base;
-  t.live <- 0;
-  t.total <- 0;
-  Hashtbl.reset t.free_lists
+  locked t (fun () ->
+      t.next <- t.base;
+      t.live <- 0;
+      t.total <- 0;
+      Hashtbl.reset t.free_lists)

@@ -1,0 +1,68 @@
+(* Reusable walk accumulator for the TLB-miss hot path.
+
+   The original walk representation accumulated every memory read of a
+   page-table search in a fresh cons cell ([Types.walk_read] prepended
+   to a list).  Under the parallel experiment runner, each domain
+   replays hundreds of thousands of misses, and the per-miss list
+   churn dominated minor-GC time.  An accumulator is allocated once
+   per replay loop and [reset] per miss; [read] only writes into the
+   preallocated arrays (growing them by doubling on the rare overflow,
+   so the steady state allocates nothing). *)
+
+type t = {
+  mutable addrs : int64 array;
+  mutable sizes : int array;
+  mutable n : int;
+  mutable probes : int;
+  mutable nested_misses : int;
+}
+
+let default_capacity = 64
+
+let create ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Walk_acc.create";
+  {
+    addrs = Array.make capacity 0L;
+    sizes = Array.make capacity 0;
+    n = 0;
+    probes = 0;
+    nested_misses = 0;
+  }
+
+let reset t =
+  t.n <- 0;
+  t.probes <- 0;
+  t.nested_misses <- 0
+
+let grow t =
+  let cap = 2 * Array.length t.addrs in
+  let addrs = Array.make cap 0L and sizes = Array.make cap 0 in
+  Array.blit t.addrs 0 addrs 0 t.n;
+  Array.blit t.sizes 0 sizes 0 t.n;
+  t.addrs <- addrs;
+  t.sizes <- sizes
+
+let read t ~addr ~bytes =
+  if t.n = Array.length t.addrs then grow t;
+  t.addrs.(t.n) <- addr;
+  t.sizes.(t.n) <- bytes;
+  t.n <- t.n + 1
+
+let probe t = t.probes <- t.probes + 1
+
+let add_nested t k = t.nested_misses <- t.nested_misses + k
+
+let count t = t.n
+
+let probes t = t.probes
+
+let nested_misses t = t.nested_misses
+
+let addr t i = t.addrs.(i)
+
+let bytes t i = t.sizes.(i)
+
+let iter t f =
+  for i = 0 to t.n - 1 do
+    f t.addrs.(i) t.sizes.(i)
+  done

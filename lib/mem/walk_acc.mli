@@ -1,0 +1,40 @@
+(** Reusable walk accumulator for the TLB-miss hot path.
+
+    Replaces the list-building walk representation in replay loops:
+    allocate one accumulator per loop, [reset] it per miss, and let the
+    page table's [lookup_into] append reads and probes into the
+    preallocated arrays.  Steady state allocates nothing. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is the initial number of reads the accumulator holds
+    without growing (default 64); it grows by doubling. *)
+
+val reset : t -> unit
+(** Forget all recorded reads, probes and nested misses. *)
+
+val read : t -> addr:int64 -> bytes:int -> unit
+(** Append one memory read. *)
+
+val probe : t -> unit
+(** Count one more node/level visit. *)
+
+val add_nested : t -> int -> unit
+(** Add nested TLB misses (linear page tables). *)
+
+val count : t -> int
+(** Number of reads recorded. *)
+
+val probes : t -> int
+
+val nested_misses : t -> int
+
+val addr : t -> int -> int64
+(** [addr t i] is the address of the [i]th read, in chronological
+    order. *)
+
+val bytes : t -> int -> int
+
+val iter : t -> (int64 -> int -> unit) -> unit
+(** Iterate reads in chronological order as [f addr bytes]. *)

@@ -23,6 +23,13 @@ module type PAGE_TABLE = sig
       records every memory read the handler performed, successful or
       not. *)
 
+  val lookup_into :
+    t -> Mem.Walk_acc.t -> vpn:int64 -> Types.translation option
+  (** Allocation-free variant of {!lookup} for miss-replay hot loops:
+      the handler's reads and probes are appended to the caller's
+      reusable accumulator (not reset here) instead of materializing a
+      {!Types.walk}.  Charges exactly the reads {!lookup} would. *)
+
   val lookup_block :
     t ->
     vpn:int64 ->
@@ -81,6 +88,8 @@ type instance =
 let instance_name (Instance ((module P), _)) = P.name
 
 let lookup (Instance ((module P), t)) ~vpn = P.lookup t ~vpn
+
+let lookup_into (Instance ((module P), t)) acc ~vpn = P.lookup_into t acc ~vpn
 
 let lookup_block (Instance ((module P), t)) ~vpn ~subblock_factor =
   P.lookup_block t ~vpn ~subblock_factor

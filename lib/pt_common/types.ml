@@ -44,6 +44,42 @@ let walk_join a b =
 let walk_lines ?(line_size = Mem.Cache_model.default_line_size) w =
   Mem.Cache_model.distinct_lines ~line_size w.accesses
 
+(* --- reusable accumulator bridge (the allocation-free miss path) ---
+
+   Hot paths thread a {!Mem.Walk_acc.t} through [lookup_into] instead
+   of building [walk] lists.  These helpers convert between the two
+   representations; [acc_to_walk] reproduces the exact list a
+   [walk_read]-built walk would hold (reverse-chronological, from
+   prepending), so legacy callers observe bit-identical walks. *)
+
+type acc = Mem.Walk_acc.t
+
+let acc_to_walk (acc : acc) =
+  let accesses = ref [] in
+  for i = 0 to Mem.Walk_acc.count acc - 1 do
+    accesses :=
+      { Mem.Cache_model.addr = Mem.Walk_acc.addr acc i;
+        bytes = Mem.Walk_acc.bytes acc i }
+      :: !accesses
+  done;
+  {
+    accesses = !accesses;
+    probes = Mem.Walk_acc.probes acc;
+    nested_misses = Mem.Walk_acc.nested_misses acc;
+  }
+
+(* Append a walk's reads to an accumulator in chronological order
+   (walk lists are reverse-chronological). *)
+let acc_add_walk (acc : acc) w =
+  List.iter
+    (fun (a : Mem.Cache_model.access) ->
+      Mem.Walk_acc.read acc ~addr:a.addr ~bytes:a.bytes)
+    (List.rev w.accesses);
+  for _ = 1 to w.probes do
+    Mem.Walk_acc.probe acc
+  done;
+  Mem.Walk_acc.add_nested acc w.nested_misses
+
 let pp_kind ppf = function
   | Base -> Format.fprintf ppf "base"
   | Superpage size -> Format.fprintf ppf "sp:%a" Addr.Page_size.pp size

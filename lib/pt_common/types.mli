@@ -49,4 +49,16 @@ val walk_join : walk -> walk -> walk
 val walk_lines : ?line_size:int -> walk -> int
 (** Distinct cache lines the walk touched (default 256-byte lines). *)
 
+type acc = Mem.Walk_acc.t
+(** Reusable walk accumulator threaded through the allocation-free
+    lookup path ([lookup_into]). *)
+
+val acc_to_walk : acc -> walk
+(** Materialize a legacy {!walk} from an accumulator.  The accesses
+    list is reverse-chronological, exactly as {!walk_read} builds it. *)
+
+val acc_add_walk : acc -> walk -> unit
+(** Append a walk's reads, probes and nested misses to an accumulator
+    in chronological order. *)
+
 val pp_translation : Format.formatter -> translation -> unit

@@ -73,6 +73,7 @@ type miss = { proc : int; vpn : int64; block_miss : bool }
    (Section 4.4). *)
 let record_misses trace tlb ~reference ~design ~subblock_factor =
   let misses = ref [] and count = ref 0 in
+  let acc = Mem.Walk_acc.create () in
   Array.iter
     (function
       | Workload.Trace.Switch _ -> Tlb.Intf.flush tlb
@@ -89,24 +90,29 @@ let record_misses trace tlb ~reference ~design ~subblock_factor =
                 Tlb.Intf.fill_block tlb found
               end
               else begin
-                match Intf.lookup pt ~vpn with
-                | Some tr, _ -> Tlb.Intf.fill tlb tr
-                | None, _ -> ()
+                Mem.Walk_acc.reset acc;
+                match Intf.lookup_into pt acc ~vpn with
+                | Some tr -> Tlb.Intf.fill tlb tr
+                | None -> ()
               end))
     trace;
   (List.rev !misses, !count)
 
 let replay_misses misses tables ~design ~line_size ~subblock_factor =
   let counter = Mem.Cache_model.create_counter ~line_size () in
+  let acc = Mem.Walk_acc.create () in
   List.iter
     (fun { proc; vpn; block_miss } ->
       let pt = tables.(proc) in
-      let walk =
-        if design = Csb && block_miss then
-          snd (Intf.lookup_block pt ~vpn ~subblock_factor)
-        else snd (Intf.lookup pt ~vpn)
-      in
-      ignore (Mem.Cache_model.record_walk counter walk.Pt_common.Types.accesses))
+      if design = Csb && block_miss then
+        let walk = snd (Intf.lookup_block pt ~vpn ~subblock_factor) in
+        ignore
+          (Mem.Cache_model.record_walk counter walk.Pt_common.Types.accesses)
+      else begin
+        Mem.Walk_acc.reset acc;
+        ignore (Intf.lookup_into pt acc ~vpn);
+        ignore (Mem.Cache_model.record_acc counter acc)
+      end)
     misses;
   Mem.Cache_model.total_lines counter
 
@@ -196,7 +202,7 @@ let run ?(seed = 0x7ACE_1995L) ?(length = 80_000)
 
 let run_residency ?(seed = 0x7ACE_1995L) ?(length = 80_000)
     ?(placement_p = 0.95) ?(line_size = Mem.Cache_model.default_line_size)
-    ~sets ~ways ~pt_kinds spec =
+    ?domains ~sets ~ways ~pt_kinds spec =
   let subblock_factor = 16 in
   let snap = Workload.Snapshot.generate spec ~seed in
   let assignments =
@@ -224,22 +230,27 @@ let run_residency ?(seed = 0x7ACE_1995L) ?(length = 80_000)
   let misses, n =
     record_misses trace tlb ~reference ~design:Single ~subblock_factor
   in
-  List.map
-    (fun kind ->
+  Exec.Domain_pool.map_list ?domains
+    (fun _ kind ->
       let tables = build kind in
       let cache = Mem.Cache_sim.create ~line_size ~sets ~ways () in
       let cold = ref 0 and warm = ref 0 in
+      let acc = Mem.Walk_acc.create () in
+      let cold_counter = Mem.Cache_model.create_counter ~line_size () in
       List.iter
         (fun { proc; vpn; _ } ->
-          let _, walk = Intf.lookup tables.(proc) ~vpn in
-          cold := !cold + Pt_common.Types.walk_lines ~line_size walk;
-          List.iter
-            (fun (a : Mem.Cache_model.access) ->
-              let _hits, misses =
-                Mem.Cache_sim.access_bytes cache ~addr:a.addr ~bytes:a.bytes
-              in
-              warm := !warm + misses)
-            walk.Pt_common.Types.accesses)
+          Mem.Walk_acc.reset acc;
+          ignore (Intf.lookup_into tables.(proc) acc ~vpn);
+          cold := !cold + Mem.Cache_model.record_acc cold_counter acc;
+          (* replay into the warm cache in the walk list's order
+             (reverse-chronological), as the legacy path did *)
+          for i = Mem.Walk_acc.count acc - 1 downto 0 do
+            let _hits, misses =
+              Mem.Cache_sim.access_bytes cache ~addr:(Mem.Walk_acc.addr acc i)
+                ~bytes:(Mem.Walk_acc.bytes acc i)
+            in
+            warm := !warm + misses
+          done)
         misses;
       {
         res_pt = Factory.name kind;

@@ -71,6 +71,7 @@ val run_residency :
   ?length:int ->
   ?placement_p:float ->
   ?line_size:int ->
+  ?domains:int ->
   sets:int ->
   ways:int ->
   pt_kinds:Factory.kind list ->

@@ -13,63 +13,75 @@ let trace_specs options =
     [ Workload.Table1.coral; Workload.Table1.gcc; Workload.Table1.nasa7 ]
   else Workload.Table1.all
 
+(* Fan independent jobs (one per workload or configuration) out to a
+   domain pool, then print from the joined results.  Each job derives
+   its seeds from its own spec/index, never from execution order, so
+   every entry point is bit-identical for any [domains], including the
+   serial [~domains:1] legacy path. *)
+let par_map ?domains f xs =
+  Exec.Domain_pool.map_list ?domains (fun _ x -> f x) xs
+
 (* --- Table 1 --- *)
 
-let table1 ?(options = default_options) () =
+let table1 ?(options = default_options) ?domains () =
   let specs = trace_specs options in
-  let rows = ref [] and out = ref [] in
-  List.iter
-    (fun spec ->
-      let run =
-        Access_exp.run ~seed:options.seed ~length:options.length
-          ~placement_p:options.placement_p ~design:Access_exp.Single
-          ~pt_kinds:[ Factory.Hashed ] spec
-      in
-      let snap = Workload.Snapshot.generate spec ~seed:options.seed in
-      let assignments =
-        List.mapi
-          (fun i proc ->
-            Builder.assign proc ~placement_p:options.placement_p
-              ~seed:(Int64.add options.seed (Int64.of_int (i + 1)))
-              ())
-          snap.Workload.Snapshot.procs
-      in
-      let hashed_bytes =
-        Size_exp.size_of Factory.Hashed ~policy:`Base ~assignments
-      in
-      (* 40-cycle miss penalty (Section 6.2).  Trace events are
-         page-granular; one event stands for ~25 in-page references of
-         a real instruction stream (calibration constant, see
-         EXPERIMENTS.md). *)
-      let refs_per_event = 25.0 in
-      let m = float_of_int run.Access_exp.base_misses in
-      let a = float_of_int run.Access_exp.accesses *. refs_per_event in
-      let pct = 100.0 *. (m *. 40.0) /. (a +. (m *. 40.0)) in
-      let paper = spec.Workload.Spec.paper in
-      out := (spec.Workload.Spec.name, run.Access_exp.base_misses, pct, hashed_bytes) :: !out;
-      rows :=
-        [
-          spec.Workload.Spec.name;
-          string_of_int paper.Workload.Spec.tlb_misses_k ^ "k";
-          string_of_int run.Access_exp.base_misses;
-          Printf.sprintf "%d%%" paper.Workload.Spec.pct_tlb;
-          Printf.sprintf "%.0f%%" pct;
-          string_of_int paper.Workload.Spec.hashed_kb ^ "KB";
-          Report.kb hashed_bytes;
-        ]
-        :: !rows)
-    specs;
+  let computed =
+    par_map ?domains
+      (fun spec ->
+        let run =
+          Access_exp.run ~seed:options.seed ~length:options.length
+            ~placement_p:options.placement_p ~design:Access_exp.Single
+            ~pt_kinds:[ Factory.Hashed ] spec
+        in
+        let snap = Workload.Snapshot.generate spec ~seed:options.seed in
+        let assignments =
+          List.mapi
+            (fun i proc ->
+              Builder.assign proc ~placement_p:options.placement_p
+                ~seed:(Int64.add options.seed (Int64.of_int (i + 1)))
+                ())
+            snap.Workload.Snapshot.procs
+        in
+        let hashed_bytes =
+          Size_exp.size_of Factory.Hashed ~policy:`Base ~assignments
+        in
+        (* 40-cycle miss penalty (Section 6.2).  Trace events are
+           page-granular; one event stands for ~25 in-page references of
+           a real instruction stream (calibration constant, see
+           EXPERIMENTS.md). *)
+        let refs_per_event = 25.0 in
+        let m = float_of_int run.Access_exp.base_misses in
+        let a = float_of_int run.Access_exp.accesses *. refs_per_event in
+        let pct = 100.0 *. (m *. 40.0) /. (a +. (m *. 40.0)) in
+        let paper = spec.Workload.Spec.paper in
+        let row =
+          [
+            spec.Workload.Spec.name;
+            string_of_int paper.Workload.Spec.tlb_misses_k ^ "k";
+            string_of_int run.Access_exp.base_misses;
+            Printf.sprintf "%d%%" paper.Workload.Spec.pct_tlb;
+            Printf.sprintf "%.0f%%" pct;
+            string_of_int paper.Workload.Spec.hashed_kb ^ "KB";
+            Report.kb hashed_bytes;
+          ]
+        in
+        ( (spec.Workload.Spec.name, run.Access_exp.base_misses, pct,
+           hashed_bytes),
+          row ))
+      specs
+  in
+  let out = List.map fst computed and rows = List.map snd computed in
   Report.print_table ~title:"Table 1: workload characteristics"
     ~header:
       [
         "workload"; "paper misses"; "sim misses"; "paper %tlb"; "sim %tlb";
         "paper hashed"; "sim hashed";
       ]
-    ~rows:(List.rev !rows);
+    ~rows;
   Report.note
     "Simulated traces are scaled-down (default 80k accesses); compare \
      percentages and sizes, not absolute miss counts.";
-  List.rev !out
+  out
 
 (* --- Figures 9 and 10 --- *)
 
@@ -92,14 +104,15 @@ let print_size_rows ~title rows =
       Report.print_table ~title ~header ~rows:body;
       Report.note "Normalized to hashed page table size (= 1.00)."
 
-let figure9 ?(options = default_options) () =
-  let rows = Size_exp.figure9 ~seed:options.seed () in
+let figure9 ?(options = default_options) ?domains () =
+  let rows = Size_exp.figure9 ~seed:options.seed ?domains () in
   print_size_rows ~title:"Figure 9: page table size, single page size" rows;
   rows
 
-let figure10 ?(options = default_options) () =
+let figure10 ?(options = default_options) ?domains () =
   let rows =
-    Size_exp.figure10 ~seed:options.seed ~placement_p:options.placement_p ()
+    Size_exp.figure10 ~seed:options.seed ?domains
+      ~placement_p:options.placement_p ()
   in
   print_size_rows
     ~title:"Figure 10: page table size with superpage/partial-subblock PTEs"
@@ -108,10 +121,10 @@ let figure10 ?(options = default_options) () =
 
 (* --- Figure 11 --- *)
 
-let figure11 ?(options = default_options) ~design () =
+let figure11 ?(options = default_options) ?domains ~design () =
   let specs = trace_specs options in
   let runs =
-    List.map
+    par_map ?domains
       (fun spec ->
         Access_exp.run ~seed:options.seed ~length:options.length
           ~placement_p:options.placement_p ~design
@@ -157,9 +170,9 @@ let nactive snap p =
     (fun acc proc -> acc + Workload.Snapshot.active_blocks ~subblock_factor:p proc)
     0 snap.Workload.Snapshot.procs
 
-let table2 ?(options = default_options) () =
+let table2 ?(options = default_options) ?domains () =
   let rows =
-    List.map
+    par_map ?domains
       (fun spec ->
         let snap = Workload.Snapshot.generate spec ~seed:options.seed in
         let assignments =
@@ -216,10 +229,10 @@ let table2 ?(options = default_options) () =
 
 (* --- Ablations (Sections 6.3 and 7) --- *)
 
-let ablation_line_size ?(options = default_options) () =
+let ablation_line_size ?(options = default_options) ?domains () =
   let spec = Workload.Table1.coral in
   let out =
-    List.map
+    par_map ?domains
       (fun line_size ->
         let run =
           Access_exp.run ~seed:options.seed ~length:options.length
@@ -248,10 +261,10 @@ let ablation_line_size ?(options = default_options) () =
      predicts +0.125 at 128B and +0.625 at 64B over the 256B baseline.";
   out
 
-let ablation_subblock ?(options = default_options) () =
+let ablation_subblock ?(options = default_options) ?domains () =
   let factors = [ 2; 4; 8; 16 ] in
   let rows =
-    List.map
+    par_map ?domains
       (fun spec ->
         let sweep = Size_exp.subblock_sweep ~seed:options.seed ~factors spec in
         spec.Workload.Spec.name
@@ -262,7 +275,7 @@ let ablation_subblock ?(options = default_options) () =
     ~header:("workload" :: List.map (fun f -> Printf.sprintf "k=%d" f) factors)
     ~rows
 
-let ablation_buckets ?(options = default_options) () =
+let ablation_buckets ?(options = default_options) ?domains () =
   let spec = Workload.Table1.ml in
   let snap = Workload.Snapshot.generate spec ~seed:options.seed in
   let assignments =
@@ -274,7 +287,7 @@ let ablation_buckets ?(options = default_options) () =
       snap.Workload.Snapshot.procs
   in
   let out =
-    List.map
+    par_map ?domains
       (fun buckets ->
         (* build a clustered table with this bucket count and measure
            chain behaviour over every mapped page *)
@@ -286,6 +299,7 @@ let ablation_buckets ?(options = default_options) () =
         in
         List.iter (fun a -> Builder.populate instance a ~policy:`Base) assignments;
         let counter = Mem.Cache_model.create_counter () in
+        let acc = Mem.Walk_acc.create () in
         List.iter
           (fun a ->
             List.iter
@@ -297,10 +311,9 @@ let ablation_buckets ?(options = default_options) () =
                         (Int64.shift_left b.Builder.vpbn 4)
                         (Int64.of_int boff)
                     in
-                    let _, walk = Clustered_pt.Table.lookup table ~vpn in
-                    ignore
-                      (Mem.Cache_model.record_walk counter
-                         walk.Pt_common.Types.accesses))
+                    Mem.Walk_acc.reset acc;
+                    ignore (Clustered_pt.Table.lookup_into table acc ~vpn);
+                    ignore (Mem.Cache_model.record_acc counter acc))
                   b.Builder.boffs_ppns)
               a.Builder.blocks)
           assignments;
@@ -326,11 +339,11 @@ let ablation_buckets ?(options = default_options) () =
      locality in real lookups lands close to it.";
   out
 
-let ablation_residency ?(options = default_options) () =
+let ablation_residency ?(options = default_options) ?domains () =
   let spec = Workload.Table1.ml in
   let out =
     Access_exp.run_residency ~seed:options.seed ~length:options.length
-      ~placement_p:options.placement_p ~sets:1024 ~ways:4
+      ~placement_p:options.placement_p ?domains ~sets:1024 ~ways:4
       ~pt_kinds:
         [
           Factory.Linear1;
@@ -359,10 +372,10 @@ let ablation_residency ?(options = default_options) () =
      confirms it.";
   out
 
-let ablation_reverse_order ?(options = default_options) () =
+let ablation_reverse_order ?(options = default_options) ?domains () =
   let specs = trace_specs options in
   let rows =
-    List.map
+    par_map ?domains
       (fun spec ->
         let run =
           Access_exp.run ~seed:options.seed ~length:options.length
@@ -390,10 +403,10 @@ let ablation_reverse_order ?(options = default_options) () =
     "Section 6.3: \"doing the page traversals in the reverse order ... \
      would be a better option\" when most misses hit psb PTEs."
 
-let ablation_asid ?(options = default_options) () =
+let ablation_asid ?(options = default_options) ?domains () =
   let specs = [ Workload.Table1.compress; Workload.Table1.gcc ] in
   let out =
-    List.map
+    par_map ?domains
       (fun spec ->
         let snap = Workload.Snapshot.generate spec ~seed:options.seed in
         let reference =
@@ -418,6 +431,11 @@ let ablation_asid ?(options = default_options) () =
             ~seed:(Int64.add options.seed 0x77L)
             ~length:options.length
         in
+        let acc = Mem.Walk_acc.create () in
+        let refill proc vpn =
+          Mem.Walk_acc.reset acc;
+          Pt_common.Intf.lookup_into reference.(proc) acc ~vpn
+        in
         let flush_run entries () =
           let tlb = Tlb.Intf.fa ~entries () in
           Array.iter
@@ -427,9 +445,9 @@ let ablation_asid ?(options = default_options) () =
                   match Tlb.Intf.access tlb ~vpn with
                   | `Hit -> ()
                   | `Block_miss | `Subblock_miss -> (
-                      match Pt_common.Intf.lookup reference.(proc) ~vpn with
-                      | Some tr, _ -> Tlb.Intf.fill tlb tr
-                      | None, _ -> ())))
+                      match refill proc vpn with
+                      | Some tr -> Tlb.Intf.fill tlb tr
+                      | None -> ())))
             trace;
           Tlb.Stats.misses (Tlb.Intf.stats tlb)
         in
@@ -444,9 +462,9 @@ let ablation_asid ?(options = default_options) () =
                   match Tlb.Tagged_tlb.access tlb ~vpn with
                   | `Hit -> ()
                   | `Block_miss | `Subblock_miss -> (
-                      match Pt_common.Intf.lookup reference.(proc) ~vpn with
-                      | Some tr, _ -> Tlb.Tagged_tlb.fill tlb tr
-                      | None, _ -> ())))
+                      match refill proc vpn with
+                      | Some tr -> Tlb.Tagged_tlb.fill tlb tr
+                      | None -> ())))
             trace;
           Tlb.Stats.misses (Tlb.Tagged_tlb.stats tlb)
         in
@@ -486,13 +504,14 @@ let ablation_asid ?(options = default_options) () =
      Tagging pays off once the TLB can hold several contexts at once.";
   List.map (fun (name, f64, t64, _, _) -> (name, f64, t64)) out
 
-let ablation_placement ?(options = default_options) () =
+let ablation_placement ?(options = default_options) ?domains () =
   let spec = Workload.Table1.ml in
   let rows =
-    List.map
+    par_map ?domains
       (fun p ->
         let rows =
-          Size_exp.figure10 ~seed:options.seed ~placement_p:p ~specs:[ spec ] ()
+          Size_exp.figure10 ~seed:options.seed ~domains:1 ~placement_p:p
+            ~specs:[ spec ] ()
         in
         let row = List.hd rows in
         let get label =
@@ -516,12 +535,12 @@ let ablation_placement ?(options = default_options) () =
      system may not be able to use superpages or partial-subblocking as \
      effectively\"."
 
-let ablation_tlb_size ?(options = default_options) () =
+let ablation_tlb_size ?(options = default_options) ?domains () =
   let specs =
     [ Workload.Table1.coral; Workload.Table1.nasa7; Workload.Table1.ml ]
   in
   let rows =
-    List.map
+    par_map ?domains
       (fun spec ->
         let snap = Workload.Snapshot.generate spec ~seed:options.seed in
         let reference =
@@ -543,6 +562,7 @@ let ablation_tlb_size ?(options = default_options) () =
             ~seed:(Int64.add options.seed 0x77L)
             ~length:options.length
         in
+        let acc = Mem.Walk_acc.create () in
         let misses entries =
           let tlb = Tlb.Intf.fa ~entries () in
           Array.iter
@@ -552,9 +572,12 @@ let ablation_tlb_size ?(options = default_options) () =
                   match Tlb.Intf.access tlb ~vpn with
                   | `Hit -> ()
                   | `Block_miss | `Subblock_miss -> (
-                      match Pt_common.Intf.lookup reference.(proc) ~vpn with
-                      | Some tr, _ -> Tlb.Intf.fill tlb tr
-                      | None, _ -> ())))
+                      Mem.Walk_acc.reset acc;
+                      match
+                        Pt_common.Intf.lookup_into reference.(proc) acc ~vpn
+                      with
+                      | Some tr -> Tlb.Intf.fill tlb tr
+                      | None -> ())))
             trace;
           Tlb.Stats.misses (Tlb.Intf.stats tlb)
         in
@@ -567,10 +590,10 @@ let ablation_tlb_size ?(options = default_options) () =
     ~header:[ "workload"; "32"; "64"; "128"; "256" ]
     ~rows
 
-let ablation_guarded ?(options = default_options) () =
+let ablation_guarded ?(options = default_options) ?domains () =
   let specs = [ Workload.Table1.gcc; Workload.Table1.ml ] in
   let rows =
-    List.map
+    par_map ?domains
       (fun spec ->
         let run =
           Access_exp.run ~seed:options.seed ~length:options.length
@@ -598,7 +621,7 @@ let ablation_guarded ?(options = default_options) () =
      Section 2 calls the technique \"partially effective but still \
      require many levels\"."
 
-let ablation_shared_table ?(options = default_options) () =
+let ablation_shared_table ?(options = default_options) ?domains () =
   (* gcc: four processes.  Per-process: one clustered table each, its
      own 4096 buckets.  Shared: one table, same total bucket count,
      VPNs tagged with the process id in the top bits. *)
@@ -616,7 +639,10 @@ let ablation_shared_table ?(options = default_options) () =
     Int64.logor vpn (Int64.shift_left (Int64.of_int (proc + 1)) 52)
   in
   let per_process_tables =
-    List.map
+    (* independent tables: build one per domain-pool job.  The shared
+       table below stays serial — its chain order depends on global
+       insertion order *)
+    par_map ?domains
       (fun a ->
         let t = Clustered_pt.Table.create (Clustered_pt.Config.make ()) in
         Builder.populate
@@ -659,6 +685,7 @@ let ablation_shared_table ?(options = default_options) () =
   (* mean lines over each process's pages, both ways *)
   let counter_pp = Mem.Cache_model.create_counter () in
   let counter_sh = Mem.Cache_model.create_counter () in
+  let acc = Mem.Walk_acc.create () in
   List.iteri
     (fun proc a ->
       List.iter
@@ -670,16 +697,13 @@ let ablation_shared_table ?(options = default_options) () =
                   (Int64.shift_left b.Builder.vpbn 4)
                   (Int64.of_int boff)
               in
-              let _, w1 = Pt_common.Intf.lookup per_process.(proc) ~vpn in
+              Mem.Walk_acc.reset acc;
+              ignore (Pt_common.Intf.lookup_into per_process.(proc) acc ~vpn);
+              ignore (Mem.Cache_model.record_acc counter_pp acc);
+              Mem.Walk_acc.reset acc;
               ignore
-                (Mem.Cache_model.record_walk counter_pp
-                   w1.Pt_common.Types.accesses);
-              let _, w2 =
-                Clustered_pt.Table.lookup shared ~vpn:(tag proc vpn)
-              in
-              ignore
-                (Mem.Cache_model.record_walk counter_sh
-                   w2.Pt_common.Types.accesses))
+                (Clustered_pt.Table.lookup_into shared acc ~vpn:(tag proc vpn));
+              ignore (Mem.Cache_model.record_acc counter_sh acc))
             b.Builder.boffs_ppns)
         a.Builder.blocks)
     assignments;
@@ -708,6 +732,7 @@ let ablation_shared_table ?(options = default_options) () =
     "Section 7: a shared table's hash distribution depends on the whole \
      process mix; per-process tables keep lookups predictable."
 
+(* Serial: one spec, and both software TLBs mutate as the trace runs. *)
 let ablation_software_tlb ?(options = default_options) () =
   let spec = Workload.Table1.ml in
   let snap = Workload.Snapshot.generate spec ~seed:options.seed in
@@ -742,6 +767,7 @@ let ablation_software_tlb ?(options = default_options) () =
   let tlb = Tlb.Intf.fa ~entries:64 () in
   let c_conv = Mem.Cache_model.create_counter () in
   let c_clus = Mem.Cache_model.create_counter () in
+  let acc = Mem.Walk_acc.create () in
   Array.iter
     (function
       | Workload.Trace.Switch _ -> Tlb.Intf.flush tlb
@@ -749,14 +775,12 @@ let ablation_software_tlb ?(options = default_options) () =
           match Tlb.Intf.access tlb ~vpn with
           | `Hit -> ()
           | `Block_miss | `Subblock_miss -> (
-              let tr1, w1 = Pt_common.Intf.lookup conventional_i ~vpn in
-              ignore
-                (Mem.Cache_model.record_walk c_conv
-                   w1.Pt_common.Types.accesses);
-              let _, w2 = Pt_common.Intf.lookup clustered_i ~vpn in
-              ignore
-                (Mem.Cache_model.record_walk c_clus
-                   w2.Pt_common.Types.accesses);
+              Mem.Walk_acc.reset acc;
+              let tr1 = Pt_common.Intf.lookup_into conventional_i acc ~vpn in
+              ignore (Mem.Cache_model.record_acc c_conv acc);
+              Mem.Walk_acc.reset acc;
+              ignore (Pt_common.Intf.lookup_into clustered_i acc ~vpn);
+              ignore (Mem.Cache_model.record_acc c_clus acc);
               match tr1 with
               | Some tr -> Tlb.Intf.fill tlb tr
               | None -> ())))
@@ -795,9 +819,9 @@ let ablation_software_tlb ?(options = default_options) () =
     "Section 7 / [Tall95]: clustering the software TLB gives one tag per \
      page block, tripling reach at equal bytes."
 
-let ablation_nested_linear ?(options = default_options) () =
+let ablation_nested_linear ?(options = default_options) ?domains () =
   let rows =
-    List.map
+    par_map ?domains
       (fun spec ->
         let snap = Workload.Snapshot.generate spec ~seed:options.seed in
         let assignments =
@@ -863,6 +887,7 @@ let ablation_nested_linear ?(options = default_options) () =
         let reserved = Tlb.Intf.fa ~entries:8 () in
         let misses = ref 0 and nested = ref 0 in
         let counter = Mem.Cache_model.create_counter () in
+        let acc = Mem.Walk_acc.create () in
         Array.iter
           (function
             | Workload.Trace.Switch _ -> Tlb.Intf.flush tlb
@@ -874,28 +899,25 @@ let ablation_nested_linear ?(options = default_options) () =
                     let leaf =
                       Baselines.Linear_pt.leaf_page_vpn linears.(proc) ~vpn
                     in
-                    let _, leaf_walk =
-                      Baselines.Linear_pt.lookup linears.(proc) ~vpn
-                    in
-                    let walk =
-                      match Tlb.Intf.access reserved ~vpn:leaf with
-                      | `Hit -> leaf_walk
-                      | `Block_miss | `Subblock_miss ->
-                          incr nested;
-                          let side_tr, side_walk =
-                            Baselines.Hashed_pt.lookup side ~vpn:leaf
-                          in
-                          (match side_tr with
-                          | Some tr -> Tlb.Intf.fill reserved tr
-                          | None -> ());
-                          Pt_common.Types.walk_join leaf_walk side_walk
-                    in
+                    Mem.Walk_acc.reset acc;
                     ignore
-                      (Mem.Cache_model.record_walk counter
-                         walk.Pt_common.Types.accesses);
-                    match Pt_common.Intf.lookup reference.(proc) ~vpn with
-                    | Some tr, _ -> Tlb.Intf.fill tlb tr
-                    | None, _ -> ())))
+                      (Baselines.Linear_pt.lookup_into linears.(proc) acc ~vpn);
+                    (match Tlb.Intf.access reserved ~vpn:leaf with
+                    | `Hit -> ()
+                    | `Block_miss | `Subblock_miss -> (
+                        incr nested;
+                        match
+                          Baselines.Hashed_pt.lookup_into side acc ~vpn:leaf
+                        with
+                        | Some tr -> Tlb.Intf.fill reserved tr
+                        | None -> ()));
+                    ignore (Mem.Cache_model.record_acc counter acc);
+                    Mem.Walk_acc.reset acc;
+                    match
+                      Pt_common.Intf.lookup_into reference.(proc) acc ~vpn
+                    with
+                    | Some tr -> Tlb.Intf.fill tlb tr
+                    | None -> ())))
           trace;
         let r = float_of_int !nested /. float_of_int (max 1 !misses) in
         [
@@ -916,7 +938,7 @@ let ablation_nested_linear ?(options = default_options) () =
     "Table 2's 1 + r*m: the paper's 32-bit workloads never overflow the \
      reserved entries (footnote 2); a sparse 64-bit address space does."
 
-let ablation_variable_factor ?(options = default_options) () =
+let ablation_variable_factor ?(options = default_options) ?domains () =
   let specs =
     [
       Workload.Table1.ml;
@@ -927,7 +949,7 @@ let ablation_variable_factor ?(options = default_options) () =
     ]
   in
   let rows =
-    List.map
+    par_map ?domains
       (fun spec ->
         let assignments =
           let snap = Workload.Snapshot.generate spec ~seed:options.seed in
@@ -960,10 +982,10 @@ let ablation_variable_factor ?(options = default_options) () =
      workload's density: \"better memory utilization\" for a few extra \
      miss-handler instructions."
 
-let ablation_replacement ?(options = default_options) () =
+let ablation_replacement ?(options = default_options) ?domains () =
   let specs = trace_specs options in
   let rows =
-    List.map
+    par_map ?domains
       (fun spec ->
         let snap = Workload.Snapshot.generate spec ~seed:options.seed in
         let reference =
@@ -985,6 +1007,7 @@ let ablation_replacement ?(options = default_options) () =
             ~seed:(Int64.add options.seed 0x77L)
             ~length:options.length
         in
+        let acc = Mem.Walk_acc.create () in
         let misses policy =
           let tlb = Tlb.Intf.fa ~policy ~entries:64 () in
           Array.iter
@@ -994,9 +1017,12 @@ let ablation_replacement ?(options = default_options) () =
                   match Tlb.Intf.access tlb ~vpn with
                   | `Hit -> ()
                   | `Block_miss | `Subblock_miss -> (
-                      match Pt_common.Intf.lookup reference.(proc) ~vpn with
-                      | Some tr, _ -> Tlb.Intf.fill tlb tr
-                      | None, _ -> ())))
+                      Mem.Walk_acc.reset acc;
+                      match
+                        Pt_common.Intf.lookup_into reference.(proc) acc ~vpn
+                      with
+                      | Some tr -> Tlb.Intf.fill tlb tr
+                      | None -> ())))
             trace;
           Tlb.Stats.misses (Tlb.Intf.stats tlb)
         in
@@ -1014,9 +1040,10 @@ let ablation_replacement ?(options = default_options) () =
     "The paper assumes LRU; the MIPS R4000 replaces a random non-wired \
      entry.  Figure 11's lines-per-miss metric is unchanged by policy."
 
-let extension_future64 ?(options = default_options) () =
+let extension_future64 ?(options = default_options) ?domains () =
   let rows =
-    Size_exp.figure9 ~seed:options.seed ~specs:[ Workload.Table1.future64 ] ()
+    Size_exp.figure9 ~seed:options.seed ?domains
+      ~specs:[ Workload.Table1.future64 ] ()
   in
   (match rows with
   | [ row ] ->
@@ -1039,32 +1066,32 @@ let extension_future64 ?(options = default_options) () =
      workloads would make ... both hashed and clustered page tables more \
      attractive\" (Section 6.2)."
 
-let all ?(options = default_options) () =
-  ignore (table1 ~options ());
-  ignore (figure9 ~options ());
-  ignore (figure10 ~options ());
-  ignore (figure11 ~options ~design:Access_exp.Single ());
-  ignore (figure11 ~options ~design:Access_exp.Superpage ());
-  ignore (figure11 ~options ~design:Access_exp.Psb ());
-  ignore (figure11 ~options ~design:Access_exp.Csb ());
-  table2 ~options ();
-  ignore (ablation_line_size ~options ());
-  ablation_subblock ~options ();
-  ignore (ablation_buckets ~options ());
-  ignore (ablation_residency ~options ());
-  ablation_reverse_order ~options ();
-  ignore (ablation_asid ~options ());
-  ablation_placement ~options ();
-  ablation_tlb_size ~options ();
+let all ?(options = default_options) ?domains () =
+  ignore (table1 ~options ?domains ());
+  ignore (figure9 ~options ?domains ());
+  ignore (figure10 ~options ?domains ());
+  ignore (figure11 ~options ?domains ~design:Access_exp.Single ());
+  ignore (figure11 ~options ?domains ~design:Access_exp.Superpage ());
+  ignore (figure11 ~options ?domains ~design:Access_exp.Psb ());
+  ignore (figure11 ~options ?domains ~design:Access_exp.Csb ());
+  table2 ~options ?domains ();
+  ignore (ablation_line_size ~options ?domains ());
+  ablation_subblock ~options ?domains ();
+  ignore (ablation_buckets ~options ?domains ());
+  ignore (ablation_residency ~options ?domains ());
+  ablation_reverse_order ~options ?domains ();
+  ignore (ablation_asid ~options ?domains ());
+  ablation_placement ~options ?domains ();
+  ablation_tlb_size ~options ?domains ();
   ablation_software_tlb ~options ();
-  ablation_shared_table ~options ();
-  ablation_guarded ~options ();
-  ablation_nested_linear ~options ();
-  ablation_variable_factor ~options ();
-  ablation_replacement ~options ();
-  extension_future64 ~options ()
+  ablation_shared_table ~options ?domains ();
+  ablation_guarded ~options ?domains ();
+  ablation_nested_linear ~options ?domains ();
+  ablation_variable_factor ~options ?domains ();
+  ablation_replacement ~options ?domains ();
+  extension_future64 ~options ?domains ()
 
-let verify ?(options = default_options) () =
+let verify ?(options = default_options) ?domains () =
   let ok = ref true in
   let check name cond =
     Printf.printf "  [%s] %s\n%!" (if cond then "PASS" else "FAIL") name;
@@ -1072,7 +1099,7 @@ let verify ?(options = default_options) () =
   in
   Printf.printf "\n== Verifying the paper's headline claims ==\n";
   (* Figure 9 *)
-  let rows = Size_exp.figure9 ~seed:options.seed () in
+  let rows = Size_exp.figure9 ~seed:options.seed ?domains () in
   let get row label =
     (List.find (fun c -> c.Size_exp.label = label) row.Size_exp.cells)
       .Size_exp.ratio
@@ -1090,7 +1117,8 @@ let verify ?(options = default_options) () =
           rows));
   (* Figure 10 *)
   let rows10 =
-    Size_exp.figure10 ~seed:options.seed ~placement_p:options.placement_p ()
+    Size_exp.figure10 ~seed:options.seed ?domains
+      ~placement_p:options.placement_p ()
   in
   (* the paper's claims are "upto 75%" / "upto 80%": best-case cuts *)
   let best f =

@@ -1,6 +1,12 @@
 (** One entry point per table or figure of the paper's evaluation,
     each printing its reproduction to stdout and returning the data for
-    programmatic use (benchmarks, tests, EXPERIMENTS.md). *)
+    programmatic use (benchmarks, tests, EXPERIMENTS.md).
+
+    Every entry point takes [?domains]: its independent workloads fan
+    out over a {!Exec.Domain_pool} of that many domains (default
+    [Domain.recommended_domain_count ()]).  Results are deterministic —
+    identical for every domain count, including [~domains:1], which
+    runs the legacy serial path. *)
 
 type options = {
   seed : int64;
@@ -11,54 +17,59 @@ type options = {
 
 val default_options : options
 
-val table1 : ?options:options -> unit -> (string * int * float * int) list
+val table1 :
+  ?options:options -> ?domains:int -> unit ->
+  (string * int * float * int) list
 (** Per workload: (name, measured 64-entry TLB misses, measured % time
     in miss handling at a 40-cycle penalty, measured hashed-table
     bytes); prints paper values alongside. *)
 
-val figure9 : ?options:options -> unit -> Size_exp.row list
+val figure9 : ?options:options -> ?domains:int -> unit -> Size_exp.row list
 
-val figure10 : ?options:options -> unit -> Size_exp.row list
+val figure10 : ?options:options -> ?domains:int -> unit -> Size_exp.row list
 
 val figure11 :
-  ?options:options -> design:Access_exp.design -> unit ->
+  ?options:options -> ?domains:int -> design:Access_exp.design -> unit ->
   Access_exp.workload_run list
 
-val table2 : ?options:options -> unit -> unit
+val table2 : ?options:options -> ?domains:int -> unit -> unit
 (** Cross-checks simulated sizes against the appendix formulae and
     prints simulated/analytic ratios. *)
 
-val ablation_line_size : ?options:options -> unit -> (int * float) list
+val ablation_line_size :
+  ?options:options -> ?domains:int -> unit -> (int * float) list
 (** Clustered cache-lines-per-miss at 64/128/256-byte lines
     (Section 6.3's sensitivity discussion). *)
 
-val ablation_subblock : ?options:options -> unit -> unit
+val ablation_subblock : ?options:options -> ?domains:int -> unit -> unit
 (** Clustered size ratio at subblock factors 2..16 per workload. *)
 
-val ablation_buckets : ?options:options -> unit -> (int * float * float) list
+val ablation_buckets :
+  ?options:options -> ?domains:int -> unit -> (int * float * float) list
 (** Hash-bucket sweep on the densest workload: (buckets, load factor,
     mean lines per miss) — the Section 7 load-factor discussion. *)
 
 val ablation_residency :
-  ?options:options -> unit -> Access_exp.residency list
+  ?options:options -> ?domains:int -> unit -> Access_exp.residency list
 (** Replay Figure 11a's miss stream through a 1 MB 4-way L2 holding
     page-table data: quantifies the cache-residency effect the metric
     ignores (Section 6.1's first drawback). *)
 
-val ablation_reverse_order : ?options:options -> unit -> unit
+val ablation_reverse_order : ?options:options -> ?domains:int -> unit -> unit
 (** Section 6.3: probing the 64 KB table before the 4 KB table under a
     partial-subblock TLB. *)
 
-val ablation_asid : ?options:options -> unit -> (string * int * int) list
+val ablation_asid :
+  ?options:options -> ?domains:int -> unit -> (string * int * int) list
 (** Section 7's multiprogramming discussion: TLB misses of the
     multiprogrammed workloads with flush-on-switch vs an ASID-tagged
     TLB.  Returns (workload, flush misses, tagged misses). *)
 
-val ablation_placement : ?options:options -> unit -> unit
+val ablation_placement : ?options:options -> ?domains:int -> unit -> unit
 (** Figure 10's clustered+psb column as reservation success degrades —
     memory pressure per the Section 7 discussion. *)
 
-val ablation_tlb_size : ?options:options -> unit -> unit
+val ablation_tlb_size : ?options:options -> ?domains:int -> unit -> unit
 (** Miss counts at 32/64/128/256 TLB entries (Section 6.1 sensitivity). *)
 
 val ablation_software_tlb : ?options:options -> unit -> unit
@@ -66,49 +77,50 @@ val ablation_software_tlb : ?options:options -> unit -> unit
     and the page table.  Compares a conventional direct-mapped TSB
     against the clustered TSB at a similar byte budget: one tag per
     page block triples the reach, so the clustered TSB's hit ratio and
-    lines-per-miss win on block-local workloads. *)
+    lines-per-miss win on block-local workloads.  (Serial: a single
+    spec whose software TLBs mutate as the trace runs.) *)
 
-val ablation_guarded : ?options:options -> unit -> unit
+val ablation_guarded : ?options:options -> ?domains:int -> unit -> unit
 (** Section 2's guarded page tables [Lied95]: path compression helps
     forward-mapped tables on sparse spaces but remains "partially
     effective" — many levels survive wherever the tree branches. *)
 
-val ablation_shared_table : ?options:options -> unit -> unit
+val ablation_shared_table : ?options:options -> ?domains:int -> unit -> unit
 (** Section 7: a single page table shared by all processes (VPNs
     tagged with the process id in high bits) vs per-process tables.
     The shared table's chain distribution depends on the whole process
     mix; per-process tables keep it predictable. *)
 
-val ablation_nested_linear : ?options:options -> unit -> unit
+val ablation_nested_linear : ?options:options -> ?domains:int -> unit -> unit
 (** The appendix's linear-table cost formula 1 + r*m, measured: eight
     reserved TLB entries hold the page table's own mappings (footnote
     2: sufficient for the 32-bit workloads, so r = 0), and the
     synthetic 64-bit workload overflows them, paying nested misses
     resolved through a hashed side table ("Linear with Hashed"). *)
 
-val ablation_variable_factor : ?options:options -> unit -> unit
+val ablation_variable_factor : ?options:options -> ?domains:int -> unit -> unit
 (** Section 3 / [Tall95]: PTEs with varying subblock factors.  Sparse
     blocks ride 48-byte quarter nodes, dense blocks merge into full
     nodes — "better memory utilization" across the whole density
     range. *)
 
-val ablation_replacement : ?options:options -> unit -> unit
+val ablation_replacement : ?options:options -> ?domains:int -> unit -> unit
 (** TLB replacement policy (the paper assumes LRU; the MIPS R4000
     replaces at random): miss counts under LRU / FIFO / random for a
     64-entry conventional TLB.  The page-table comparison is
     insensitive to this — the metric normalizes per miss — but the
     absolute miss counts move. *)
 
-val extension_future64 : ?options:options -> unit -> unit
+val extension_future64 : ?options:options -> ?domains:int -> unit -> unit
 (** Section 6.2's prediction, instantiated: a large sparse 64-bit
     object store, where linear and forward-mapped tables blow up and
     "both hashed and clustered page tables [become] more
     attractive". *)
 
-val all : ?options:options -> unit -> unit
+val all : ?options:options -> ?domains:int -> unit -> unit
 (** Every table and figure in paper order. *)
 
-val verify : ?options:options -> unit -> bool
+val verify : ?options:options -> ?domains:int -> unit -> bool
 (** Self-check: re-derive the paper's headline claims (Figure 9's
     clustered-wins-everywhere, Figure 10's compaction magnitudes,
     Figure 11's per-design orderings, the Table 2 formula equalities)

@@ -48,8 +48,8 @@ let row_of spec ~seed ~placement_p ~columns =
     cells;
   }
 
-let figure9 ?(seed = default_seed) ?(specs = Workload.Table1.all_with_kernel)
-    () =
+let figure9 ?(seed = default_seed) ?domains
+    ?(specs = Workload.Table1.all_with_kernel) () =
   let columns =
     [
       ("linear-6L", Factory.Linear6, `Base);
@@ -59,9 +59,11 @@ let figure9 ?(seed = default_seed) ?(specs = Workload.Table1.all_with_kernel)
       ("clustered", Factory.clustered16, `Base);
     ]
   in
-  List.map (fun spec -> row_of spec ~seed ~placement_p:0.95 ~columns) specs
+  Exec.Domain_pool.map_list ?domains
+    (fun _ spec -> row_of spec ~seed ~placement_p:0.95 ~columns)
+    specs
 
-let figure10 ?(seed = default_seed) ?(placement_p = 0.95)
+let figure10 ?(seed = default_seed) ?domains ?(placement_p = 0.95)
     ?(specs = Workload.Table1.all_with_kernel) () =
   let columns =
     [
@@ -74,7 +76,9 @@ let figure10 ?(seed = default_seed) ?(placement_p = 0.95)
       ("clustered+both", Factory.clustered16, `Mixed);
     ]
   in
-  List.map (fun spec -> row_of spec ~seed ~placement_p ~columns) specs
+  Exec.Domain_pool.map_list ?domains
+    (fun _ spec -> row_of spec ~seed ~placement_p ~columns)
+    specs
 
 let subblock_sweep ?(seed = default_seed) ~factors spec =
   let assignments = assignments_of spec ~seed ~placement_p:0.95 in

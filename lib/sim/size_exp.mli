@@ -13,12 +13,21 @@ type row = {
   cells : cell list;
 }
 
-val figure9 : ?seed:int64 -> ?specs:Workload.Spec.t list -> unit -> row list
+val figure9 :
+  ?seed:int64 ->
+  ?domains:int ->
+  ?specs:Workload.Spec.t list ->
+  unit ->
+  row list
 (** Single-page-size tables: linear 6-level, linear 1-level,
-    forward-mapped, hashed, clustered (factor 16). *)
+    forward-mapped, hashed, clustered (factor 16).  Workloads fan out
+    over [domains] domains (default
+    [Domain.recommended_domain_count ()]); results are identical for
+    any domain count. *)
 
 val figure10 :
   ?seed:int64 ->
+  ?domains:int ->
   ?placement_p:float ->
   ?specs:Workload.Spec.t list ->
   unit ->

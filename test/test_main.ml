@@ -15,4 +15,6 @@ let () =
       Test_sim.suite;
       Test_edge.suite;
       Test_runner.suite;
+      Test_parallel.suite;
+      Test_bucket_stress.suite;
     ]

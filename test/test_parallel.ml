@@ -1,0 +1,77 @@
+(* The parallel harness contract: every experiment entry point returns
+   bit-identical results for any domain count, because jobs derive all
+   randomness from their workload index, never from execution order. *)
+
+let options =
+  {
+    Sim.Runner.seed = 0xAAAL;
+    length = 8_000;
+    placement_p = 0.9;
+    quick = true;
+  }
+
+let test_pool_map_order () =
+  let inputs = Array.init 100 (fun i -> i) in
+  let out = Exec.Domain_pool.map ~domains:4 (fun _ x -> x * x) inputs in
+  Alcotest.(check (array int))
+    "results land at their input's index"
+    (Array.map (fun x -> x * x) inputs)
+    out
+
+let test_pool_map_empty () =
+  Alcotest.(check (array int))
+    "empty input" [||]
+    (Exec.Domain_pool.map ~domains:4 (fun _ x -> x) [||])
+
+let test_pool_serial_matches_parallel () =
+  let inputs = Array.init 33 (fun i -> i) in
+  let f _ x = (x * 7) + 1 in
+  Alcotest.(check (array int))
+    "domains:1 = domains:4"
+    (Exec.Domain_pool.map ~domains:1 f inputs)
+    (Exec.Domain_pool.map ~domains:4 f inputs)
+
+let test_pool_propagates_failure () =
+  match
+    Exec.Domain_pool.map ~domains:4
+      (fun _ x -> if x = 5 then failwith "boom" else x)
+      (Array.init 16 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "expected Job_failed"
+  | exception Exec.Domain_pool.Job_failed (5, Failure _) -> ()
+  | exception e -> raise e
+
+let test_figure9_deterministic () =
+  let serial = Sim.Runner.figure9 ~options ~domains:1 () in
+  let parallel = Sim.Runner.figure9 ~options ~domains:4 () in
+  Alcotest.(check bool)
+    "figure 9 rows identical across domain counts" true (serial = parallel)
+
+let test_figure11_deterministic () =
+  let run domains =
+    Sim.Runner.figure11 ~options ~domains ~design:Sim.Access_exp.Single ()
+  in
+  Alcotest.(check bool)
+    "figure 11a runs identical across domain counts" true (run 1 = run 4)
+
+let test_residency_deterministic () =
+  let run domains = Sim.Runner.ablation_residency ~options ~domains () in
+  Alcotest.(check bool)
+    "residency rows identical across domain counts" true (run 1 = run 4)
+
+let suite =
+  ( "parallel",
+    [
+      Alcotest.test_case "pool map order" `Quick test_pool_map_order;
+      Alcotest.test_case "pool empty input" `Quick test_pool_map_empty;
+      Alcotest.test_case "pool serial = parallel" `Quick
+        test_pool_serial_matches_parallel;
+      Alcotest.test_case "pool failure propagation" `Quick
+        test_pool_propagates_failure;
+      Alcotest.test_case "figure 9 domain-count invariance" `Slow
+        test_figure9_deterministic;
+      Alcotest.test_case "figure 11 domain-count invariance" `Slow
+        test_figure11_deterministic;
+      Alcotest.test_case "residency domain-count invariance" `Slow
+        test_residency_deterministic;
+    ] )
