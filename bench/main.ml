@@ -242,8 +242,11 @@ let run_micro () =
         (Test.elements test))
     (Lazy.force tests)
 
-(* --json FILE: machine-readable results for cross-commit comparison *)
-let emit_json path ~quick ~domains ~experiments_s ~micro =
+(* --json FILE: machine-readable results for cross-commit comparison.
+   schema_version 2: results grouped per experiment name under
+   "experiments", plus the flat micro list. *)
+let emit_json path ~quick ~domains ~experiments_s ~churn_s ~churn_rows ~micro
+    =
   let oc = open_out path in
   let json_string s =
     let b = Buffer.create (String.length s + 2) in
@@ -260,9 +263,32 @@ let emit_json path ~quick ~domains ~experiments_s ~micro =
     Buffer.contents b
   in
   Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema_version\": 2,\n";
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
   Printf.fprintf oc "  \"domains\": %d,\n" domains;
-  Printf.fprintf oc "  \"experiments_wall_clock_s\": %.3f,\n" experiments_s;
+  Printf.fprintf oc "  \"experiments\": {\n";
+  Printf.fprintf oc "    \"paper_suite\": { \"wall_clock_s\": %.3f },\n"
+    experiments_s;
+  Printf.fprintf oc "    \"churn\": {\n";
+  Printf.fprintf oc "      \"wall_clock_s\": %.3f,\n" churn_s;
+  Printf.fprintf oc "      \"tables\": [\n";
+  List.iteri
+    (fun i (r : Sim.Runner.churn_row) ->
+      Printf.fprintf oc
+        "        { \"table\": %s, \"policy\": %s, \"seeds\": %d, \
+         \"peak_kb\": %.1f, \"final_bytes\": %.0f, \"insert_lines\": %.3f, \
+         \"delete_lines\": %.3f, \"promotions\": %d, \"demotions\": %d, \
+         \"cow_breaks\": %d, \"final_nodes\": %d }%s\n"
+        (json_string r.Sim.Runner.churn_name)
+        (json_string r.Sim.Runner.churn_policy)
+        r.Sim.Runner.churn_seeds r.Sim.Runner.churn_peak_kb
+        r.Sim.Runner.churn_final_bytes r.Sim.Runner.churn_insert_lines
+        r.Sim.Runner.churn_delete_lines r.Sim.Runner.churn_promotions
+        r.Sim.Runner.churn_demotions r.Sim.Runner.churn_cow_breaks
+        r.Sim.Runner.churn_final_nodes
+        (if i = List.length churn_rows - 1 then "" else ","))
+    churn_rows;
+  Printf.fprintf oc "      ]\n    }\n  },\n";
   Printf.fprintf oc "  \"micro_ns_per_op\": [\n";
   List.iteri
     (fun i (name, ns) ->
@@ -302,7 +328,13 @@ let () =
   let experiments_s = Unix.gettimeofday () -. t0 in
   Printf.printf "\nexperiments wall clock: %.1fs (%d domains)\n%!"
     experiments_s domains;
+  let t1 = Unix.gettimeofday () in
+  let churn_rows = Sim.Runner.churn_for_suite ~options ~domains () in
+  let churn_s = Unix.gettimeofday () -. t1 in
+  Printf.printf "\nchurn wall clock: %.1fs (%d domains)\n%!" churn_s domains;
   let micro = run_micro () in
   Option.iter
-    (fun path -> emit_json path ~quick ~domains ~experiments_s ~micro)
+    (fun path ->
+      emit_json path ~quick ~domains ~experiments_s ~churn_s ~churn_rows
+        ~micro)
     json

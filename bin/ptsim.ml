@@ -129,9 +129,51 @@ let run_ablations options domains =
   Sim.Runner.ablation_replacement ~options ?domains ();
   Sim.Runner.extension_future64 ~options ?domains ()
 
+(* machine-readable churn rows, for CI artifacts and cross-commit
+   comparison; same row shape as the bench JSON's churn section *)
+let churn_rows_json rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i (r : Sim.Runner.churn_row) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"table\": \"%s\", \"policy\": \"%s\", \"seeds\": %d, \
+            \"peak_kb\": %.1f, \"final_bytes\": %.0f, \"insert_lines\": \
+            %.3f, \"delete_lines\": %.3f, \"promotions\": %d, \
+            \"demotions\": %d, \"cow_breaks\": %d, \"final_nodes\": %d }%s\n"
+           r.Sim.Runner.churn_name r.Sim.Runner.churn_policy
+           r.Sim.Runner.churn_seeds r.Sim.Runner.churn_peak_kb
+           r.Sim.Runner.churn_final_bytes r.Sim.Runner.churn_insert_lines
+           r.Sim.Runner.churn_delete_lines r.Sim.Runner.churn_promotions
+           r.Sim.Runner.churn_demotions r.Sim.Runner.churn_cow_breaks
+           r.Sim.Runner.churn_final_nodes
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string b "  ]";
+  Buffer.contents b
+
+let run_churn options domains ops seeds procs sample json =
+  announce_pool domains;
+  let rows =
+    Sim.Runner.churn ~options ?domains ~seeds ~ops ~procs
+      ~sample_every:sample ()
+  in
+  match json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n  \"schema_version\": 2,\n  \"experiment\": \"churn\",\n  \
+         \"ops\": %d,\n  \"seeds\": %d,\n  \"rows\": %s\n}\n"
+        ops seeds (churn_rows_json rows);
+      close_out oc;
+      Printf.printf "\nwrote %s\n%!" path
+
 let run_all options domains =
   announce_pool domains;
-  Sim.Runner.all ~options ?domains ()
+  Sim.Runner.all ~options ?domains ();
+  ignore (Sim.Runner.churn_for_suite ~options ?domains ())
 
 let run_verify options domains =
   announce_pool domains;
@@ -253,7 +295,8 @@ let run_replay options snap_path trace_path =
               misses := (proc, vpn) :: !misses;
               match Pt_common.Intf.lookup reference.(proc) ~vpn with
               | Some tr, _ -> Tlb.Intf.fill tlb tr
-              | None, _ -> ())))
+              | None, _ -> ()))
+      | _ -> ())
     trace;
   let misses = List.rev !misses in
   let n = List.length misses in
@@ -313,6 +356,43 @@ let () =
   let ablations =
     cmd "ablations" "Line-size, subblock-factor and bucket sweeps"
       Term.(const run_ablations $ options_term $ domains_term)
+  in
+  let churn =
+    let ops =
+      Arg.(
+        value & opt int 8_000
+        & info [ "ops" ] ~docv:"N" ~doc:"Lifecycle ops per churn stream.")
+    in
+    let seeds =
+      Arg.(
+        value & opt int 3
+        & info [ "seeds" ] ~docv:"S"
+            ~doc:"Independent streams per organization (averaged).")
+    in
+    let procs =
+      Arg.(
+        value & opt int 8
+        & info [ "procs" ] ~docv:"P" ~doc:"Cap on simultaneous processes.")
+    in
+    let sample =
+      Arg.(
+        value & opt int 0
+        & info [ "sample" ] ~docv:"K"
+            ~doc:"Ops between footprint samples (0 picks ops/16).")
+    in
+    let json =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "json" ] ~docv:"FILE"
+            ~doc:"Also write the summary rows as JSON to $(docv).")
+    in
+    cmd "churn"
+      "Dynamic churn: mmap/munmap/fork/exit/COW streams against every \
+       page table"
+      Term.(
+        const run_churn $ options_term $ domains_term $ ops $ seeds $ procs
+        $ sample $ json)
   in
   let all =
     cmd "all" "Every table and figure, in paper order"
@@ -376,6 +456,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            table1; figure9; figure10; figure11; table2; ablations; workload;
-            dump; replay; verify; all;
+            table1; figure9; figure10; figure11; table2; ablations; churn;
+            workload; dump; replay; verify; all;
           ]))

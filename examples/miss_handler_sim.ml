@@ -34,7 +34,7 @@ let () =
     Array.iter
       (function
         | Workload.Trace.Access (_, vpn) -> ignore (MH.access handler ~vpn)
-        | Workload.Trace.Switch _ -> ())
+        | _ -> ())
       trace;
     Printf.printf "  %-34s misses: %6d   lines/miss: %.2f\n" name
       (MH.tlb_misses handler)

@@ -64,6 +64,8 @@ let set_attr_range t region ~f =
 
 let size_bytes t = Table.size_bytes t.fine + Table.size_bytes t.coarse
 
+let node_count t = Table.node_count t.fine + Table.node_count t.coarse
+
 let population t = Table.population t.fine + Table.population t.coarse
 
 let clear t =

@@ -51,6 +51,9 @@ val set_attr_range :
 
 val size_bytes : t -> int
 
+val node_count : t -> int
+(** Live nodes across both tables. *)
+
 val population : t -> int
 
 val clear : t -> unit

@@ -7,7 +7,9 @@ module Types = Pt_common.Types
    instead of [node option], so traversal never pattern-matches an
    allocation. *)
 type node = {
-  tag : int;
+  mutable tag : int;
+      (* mutable so a reclaimed node can be retagged on reuse; live
+         nodes never change tag in place *)
   mutable words : int64 array;
   addr : int64;
   node_bytes : int;
@@ -35,6 +37,19 @@ type t = {
   sz_code_block : int;  (* SZ code of a whole page block *)
   logical_bytes : int Atomic.t;
   nodes : int Atomic.t;
+  (* Emptied nodes are kept on per-size free lists (threaded through
+     [next]) and reused before the arena grows: under churn, a
+     map/unmap cycle settles into a steady state where node memory is
+     recycled instead of leaking bump-allocator address space.  Freed
+     nodes are excluded from [logical_bytes]/[nodes] — they are
+     capacity, not live page-table state. *)
+  mutable free_single : node;  (* 24-byte single-word nodes *)
+  mutable free_block : node;  (* full block nodes *)
+  mutable free_single_n : int;
+  mutable free_block_n : int;
+  free_lock : Mutex.t;
+      (* like the arena's lock: per-bucket locking covers the chains,
+         not this cross-bucket reclamation state *)
 }
 
 let name = "clustered"
@@ -59,6 +74,11 @@ let create ?arena config =
     sz_code_block = unit_shift + factor_bits;
     logical_bytes = Atomic.make 0;
     nodes = Atomic.make 0;
+    free_single = nil;
+    free_block = nil;
+    free_single_n = 0;
+    free_block_n = 0;
+    free_lock = Mutex.create ();
   }
 
 let config t = t.config
@@ -77,21 +97,65 @@ let factor_mask t = (1 lsl t.config.Config.subblock_factor) - 1
 
 (* --- node management --- *)
 
+let pop_free t ~single =
+  Mutex.lock t.free_lock;
+  let n = if single then t.free_single else t.free_block in
+  if n != nil then
+    if single then begin
+      t.free_single <- n.next;
+      t.free_single_n <- t.free_single_n - 1
+    end
+    else begin
+      t.free_block <- n.next;
+      t.free_block_n <- t.free_block_n - 1
+    end;
+  Mutex.unlock t.free_lock;
+  n
+
 let alloc_node t ~tag ~words =
   let node_bytes = 16 + (8 * Array.length words) in
-  let addr =
-    Mem.Sim_memory.alloc t.arena ~bytes:node_bytes
-      ~align:t.config.Config.node_align
-  in
   ignore (Atomic.fetch_and_add t.logical_bytes node_bytes);
   ignore (Atomic.fetch_and_add t.nodes 1);
-  { tag; words; addr; node_bytes; next = nil }
+  let reuse = pop_free t ~single:(Array.length words = 1) in
+  if reuse != nil then begin
+    (* reuse before growing: same size class, so the arena address and
+       byte accounting carry over unchanged *)
+    reuse.tag <- tag;
+    reuse.words <- words;
+    reuse.next <- nil;
+    reuse
+  end
+  else
+    let addr =
+      Mem.Sim_memory.alloc t.arena ~bytes:node_bytes
+        ~align:t.config.Config.node_align
+    in
+    { tag; words; addr; node_bytes; next = nil }
 
+(* Unlink bookkeeping: the node leaves the live set and parks on its
+   size class's free list.  The tag is reset to the unmatchable
+   [empty_tag] so a stale pointer can never tag-match. *)
 let release_node t n =
-  Mem.Sim_memory.free t.arena ~addr:n.addr ~bytes:n.node_bytes
-    ~align:t.config.Config.node_align;
   ignore (Atomic.fetch_and_add t.logical_bytes (-n.node_bytes));
-  ignore (Atomic.fetch_and_add t.nodes (-1))
+  ignore (Atomic.fetch_and_add t.nodes (-1));
+  n.tag <- empty_tag;
+  Mutex.lock t.free_lock;
+  if Array.length n.words = 1 then begin
+    n.next <- t.free_single;
+    t.free_single <- n;
+    t.free_single_n <- t.free_single_n + 1
+  end
+  else begin
+    n.next <- t.free_block;
+    t.free_block <- n;
+    t.free_block_n <- t.free_block_n + 1
+  end;
+  Mutex.unlock t.free_lock
+
+(* really return a node's bytes to the arena (only [clear] does) *)
+let arena_free t n =
+  Mem.Sim_memory.free t.arena ~addr:n.addr ~bytes:n.node_bytes
+    ~align:t.config.Config.node_align
 
 let set_head t bucket n =
   t.heads.(bucket) <- n;
@@ -543,11 +607,37 @@ let population t =
   !count
 
 let clear t =
+  (* [clear] really empties the table: live nodes and parked free-list
+     nodes alike give their bytes back to the arena *)
   let to_free = ref [] in
   iter_nodes t (fun n -> to_free := n :: !to_free);
-  List.iter (fun n -> release_node t n) !to_free;
+  List.iter
+    (fun n ->
+      ignore (Atomic.fetch_and_add t.logical_bytes (-n.node_bytes));
+      ignore (Atomic.fetch_and_add t.nodes (-1));
+      arena_free t n)
+    !to_free;
+  let rec drain n =
+    if n != nil then begin
+      let next = n.next in
+      arena_free t n;
+      drain next
+    end
+  in
+  drain t.free_single;
+  drain t.free_block;
+  t.free_single <- nil;
+  t.free_block <- nil;
+  t.free_single_n <- 0;
+  t.free_block_n <- 0;
   Array.fill t.heads 0 (Array.length t.heads) nil;
   Array.fill t.head_tags 0 (Array.length t.head_tags) empty_tag
+
+let free_nodes t =
+  Mutex.lock t.free_lock;
+  let n = t.free_single_n + t.free_block_n in
+  Mutex.unlock t.free_lock;
+  n
 
 let node_count t = Atomic.get t.nodes
 

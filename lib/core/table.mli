@@ -94,6 +94,12 @@ val demote_block : t -> vpn:int64 -> bool
     block holds no such node. *)
 
 val node_count : t -> int
+(** Live nodes only; reclaimed free-list nodes are not counted. *)
+
+val free_nodes : t -> int
+(** Nodes parked on the reclamation free lists, awaiting reuse.  Their
+    bytes stay allocated in the arena but are excluded from
+    {!size_bytes}: they are capacity, not page-table state. *)
 
 val chain_length : t -> bucket:int -> int
 

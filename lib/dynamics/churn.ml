@@ -1,0 +1,203 @@
+(* Deterministic generator of address-space lifecycle (churn) streams.
+
+   Like [Workload.Trace.generate] for access streams: everything comes
+   out of one seeded PRNG, so a (spec, seed) pair names one exact op
+   sequence.  The stream cycles through three phases — grow
+   (mmap-heavy), churn (balanced map/unmap with touch bursts) and
+   shrink (munmap-heavy) — so a page table under it sees its live
+   population rise, oscillate and fall, the pattern the paper's modify
+   costs (Section 3.1) are about.  Forks clone a process COW-style;
+   touch bursts after a fork are what break the sharing. *)
+
+module Prng = Workload.Prng
+module Trace = Workload.Trace
+
+type spec = {
+  ops : int;  (** events to generate (before the drain suffix) *)
+  max_procs : int;  (** cap on simultaneously-live processes *)
+  max_live_pages : int;  (** cap on mapped pages summed over processes *)
+  region_min : int;  (** smallest mmap, in pages *)
+  region_max : int;  (** largest mmap, in pages *)
+  touch_burst : int;  (** longest touch burst, in pages *)
+  drain : bool;  (** end by unmapping every region of every process *)
+}
+
+let default =
+  {
+    ops = 20_000;
+    max_procs = 8;
+    max_live_pages = 24_000;
+    region_min = 4;
+    region_max = 384;
+    touch_burst = 64;
+    drain = true;
+  }
+
+type proc_state = {
+  pid : int;
+  mutable regions : (int64 * int) list;  (* (first_vpn, pages), any order *)
+  mutable cursor : int64;  (* next unclaimed vpn in this space *)
+  mutable live : int;  (* pages currently mapped *)
+}
+
+let generate ?(spec = default) ~seed () : Trace.t =
+  let rng = Prng.create ~seed in
+  let events = ref [] and n = ref 0 in
+  let emit e =
+    events := e :: !events;
+    incr n
+  in
+  let procs : (int, proc_state) Hashtbl.t = Hashtbl.create 16 in
+  let new_proc pid = { pid; regions = []; cursor = 4096L; live = 0 } in
+  Hashtbl.add procs 0 (new_proc 0);
+  let next_pid = ref 1 in
+  let total_live = ref 0 in
+  let phase_len = max 64 (spec.ops / 6) in
+  let sorted_pids () =
+    List.sort compare (Hashtbl.fold (fun p _ acc -> p :: acc) procs [])
+  in
+  let pick_any () =
+    let ps = sorted_pids () in
+    Hashtbl.find procs (List.nth ps (Prng.int rng ~bound:(List.length ps)))
+  in
+  let pick_mapped () =
+    match
+      List.filter
+        (fun p -> (Hashtbl.find procs p).regions <> [])
+        (sorted_pids ())
+    with
+    | [] -> None
+    | ps ->
+        Some (Hashtbl.find procs (List.nth ps (Prng.int rng ~bound:(List.length ps))))
+  in
+  let pick_region st =
+    let rs = List.sort compare st.regions in
+    List.nth rs (Prng.int rng ~bound:(List.length rs))
+  in
+  let do_mmap () =
+    let st = pick_any () in
+    let pages =
+      spec.region_min
+      + Prng.int rng ~bound:(spec.region_max - spec.region_min + 1)
+    in
+    let pages = min pages (max 1 (spec.max_live_pages - !total_live)) in
+    (* usually block-aligned, so blocks can complete and promote;
+       sometimes offset by a page to seed partial blocks *)
+    let first =
+      if Prng.bool rng ~p:0.8 then Addr.Bits.align_up st.cursor 4
+      else Int64.add st.cursor 1L
+    in
+    st.cursor <- Int64.add first (Int64.of_int (pages + 1));
+    st.regions <- (first, pages) :: st.regions;
+    st.live <- st.live + pages;
+    total_live := !total_live + pages;
+    emit (Trace.Mmap (st.pid, first, pages))
+  in
+  let do_munmap st =
+    let ((first, pages) as r) = pick_region st in
+    st.regions <- List.filter (fun x -> x <> r) st.regions;
+    st.live <- st.live - pages;
+    total_live := !total_live - pages;
+    emit (Trace.Munmap (st.pid, first, pages))
+  in
+  let do_touch st =
+    let first, pages = pick_region st in
+    let start = Prng.int rng ~bound:pages in
+    let len = 1 + Prng.int rng ~bound:(min spec.touch_burst (pages - start)) in
+    for i = start to start + len - 1 do
+      emit (Trace.Touch (st.pid, Int64.add first (Int64.of_int i)))
+    done
+  in
+  let do_protect st =
+    let first, pages = pick_region st in
+    let writable = Prng.bool rng ~p:0.5 in
+    emit (Trace.Protect (st.pid, first, pages, writable))
+  in
+  let do_fork st =
+    let child = !next_pid in
+    incr next_pid;
+    let c =
+      { pid = child; regions = st.regions; cursor = st.cursor; live = st.live }
+    in
+    Hashtbl.add procs child c;
+    total_live := !total_live + st.live;
+    emit (Trace.Fork (st.pid, child))
+  in
+  let do_exit () =
+    match List.filter (fun p -> p <> 0) (sorted_pids ()) with
+    | [] -> None
+    | ps ->
+        let pid = List.nth ps (Prng.int rng ~bound:(List.length ps)) in
+        let st = Hashtbl.find procs pid in
+        total_live := !total_live - st.live;
+        Hashtbl.remove procs pid;
+        emit (Trace.Exit pid);
+        Some ()
+  in
+  while !n < spec.ops do
+    let phase = (!n / phase_len) mod 3 in
+    let r = Prng.int rng ~bound:100 in
+    let op =
+      if phase = 0 then
+        if r < 45 then `Mmap
+        else if r < 78 then `Touch
+        else if r < 84 then `Protect
+        else if r < 91 then `Fork
+        else if r < 97 then `Munmap
+        else `Exit
+      else if phase = 1 then
+        if r < 20 then `Mmap
+        else if r < 42 then `Munmap
+        else if r < 74 then `Touch
+        else if r < 84 then `Protect
+        else if r < 92 then `Fork
+        else `Exit
+      else if r < 45 then `Munmap
+      else if r < 70 then `Touch
+      else if r < 78 then `Mmap
+      else if r < 88 then `Protect
+      else if r < 95 then `Exit
+      else `Fork
+    in
+    (* capacity fallbacks: an op that cannot apply becomes the nearest
+       one that can, so the stream always makes progress *)
+    match op with
+    | `Mmap ->
+        if !total_live >= spec.max_live_pages then
+          match pick_mapped () with Some st -> do_munmap st | None -> do_mmap ()
+        else do_mmap ()
+    | `Munmap -> (
+        match pick_mapped () with Some st -> do_munmap st | None -> do_mmap ())
+    | `Touch -> (
+        match pick_mapped () with Some st -> do_touch st | None -> do_mmap ())
+    | `Protect -> (
+        match pick_mapped () with Some st -> do_protect st | None -> do_mmap ())
+    | `Fork -> (
+        let st = pick_any () in
+        if
+          Hashtbl.length procs >= spec.max_procs
+          || !total_live + st.live > spec.max_live_pages
+        then
+          match pick_mapped () with
+          | Some st -> do_touch st
+          | None -> do_mmap ()
+        else do_fork st)
+    | `Exit -> (
+        match do_exit () with
+        | Some () -> ()
+        | None -> (
+            match pick_mapped () with
+            | Some st -> do_munmap st
+            | None -> do_mmap ()))
+  done;
+  if spec.drain then
+    List.iter
+      (fun pid ->
+        let st = Hashtbl.find procs pid in
+        List.iter
+          (fun (first, pages) -> emit (Trace.Munmap (pid, first, pages)))
+          (List.sort compare st.regions);
+        st.regions <- [];
+        st.live <- 0)
+      (sorted_pids ());
+  Array.of_list (List.rev !events)

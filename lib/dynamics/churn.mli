@@ -1,0 +1,29 @@
+(** Deterministic address-space churn generator.
+
+    Emits a {!Workload.Trace.t} of lifecycle events — [Mmap], [Munmap],
+    [Protect], [Fork], [Exit] and [Touch] bursts — driven entirely by
+    one seeded PRNG, so a (spec, seed) pair names exactly one stream.
+    The stream cycles grow / churn / shrink phases so the page tables
+    driven by {!Engine} see their live population rise, oscillate and
+    fall. *)
+
+type spec = {
+  ops : int;  (** events to generate (before the drain suffix) *)
+  max_procs : int;  (** cap on simultaneously-live processes *)
+  max_live_pages : int;  (** cap on mapped pages summed over processes *)
+  region_min : int;  (** smallest mmap, in pages *)
+  region_max : int;  (** largest mmap, in pages *)
+  touch_burst : int;  (** longest touch burst, in pages *)
+  drain : bool;  (** end by unmapping every region of every process *)
+}
+
+val default : spec
+(** 20k ops, 8 processes, 24k live pages, 4–384-page regions, 64-page
+    bursts, drained. *)
+
+val generate : ?spec:spec -> seed:int64 -> unit -> Workload.Trace.t
+(** Deterministic in [seed].  Process 0 always exists and never exits.
+    When [spec.drain] is true the stream ends with [Munmap]s (sorted,
+    no [Exit]s) covering every live region of every process, so after
+    interpretation each page table holds zero mappings and its
+    footprint can be compared against an empty table. *)

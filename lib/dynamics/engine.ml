@@ -1,0 +1,243 @@
+(* Interpreter for churn streams: applies lifecycle events through
+   [Os_policy.Address_space] onto one page-table organization and
+   records the time-series the paper's Figure 9 and Section 3.1 modify
+   costs are about — resident page-table bytes, live node count, and
+   cache lines touched per insert / delete.
+
+   The run is strictly sequential and allocator uids are derived from
+   pids, so a (trace, config) pair produces one exact result no matter
+   what other domains are doing — [Runner.churn] relies on this to be
+   bit-identical for any [--domains]. *)
+
+module Intf = Pt_common.Intf
+module A = Os_policy.Address_space
+module Trace = Workload.Trace
+
+type config = {
+  make_pt : unit -> Intf.instance * (unit -> int) option;
+      (* fresh table + optional live-node probe; called once per
+         process (fork children get their own table) *)
+  policy : A.policy;
+  subblock_factor : int;
+  total_pages : int;  (* simulated physical memory, shared by all procs *)
+  sample_every : int;  (* ops between time-series samples *)
+  line_size : int;
+}
+
+type sample = { op : int; live_pages : int; pt_bytes : int; pt_nodes : int }
+
+type result = {
+  samples : sample array;
+  ops : int;
+  inserts : int;
+  deletes : int;
+  touches : int;
+  protects : int;
+  protect_searches : int;
+  forks : int;
+  exits : int;
+  cow_breaks : int;
+  cow_adoptions : int;
+  promotions : int;
+  demotions : int;
+  ooms : int;
+  insert_lines : float;  (* mean cache lines per insert's walk *)
+  delete_lines : float;  (* mean cache lines per delete's walk *)
+  peak_pt_bytes : int;  (* highest sampled total footprint *)
+  final_pt_bytes : int;
+  final_pt_nodes : int;
+  final_live_pages : int;
+}
+
+type proc = {
+  space : A.t;
+  pt : Intf.instance;
+  nodes : (unit -> int) option;
+}
+
+let sum_over procs f =
+  Hashtbl.fold (fun _ p acc -> acc + f p) procs 0
+
+let node_probe p = match p.nodes with Some f -> f () | None -> 0
+
+(* uids must be unique per allocator and independent of domain
+   scheduling; pids already are both *)
+let uid_of_pid pid = pid + 1
+
+let run (cfg : config) (trace : Trace.t) : result =
+  let procs : (int, proc) Hashtbl.t = Hashtbl.create 16 in
+  let alloc =
+    Mem.Phys_alloc.create ~total_pages:cfg.total_pages
+      ~subblock_factor:cfg.subblock_factor
+  in
+  let spawn pid =
+    let pt, nodes = cfg.make_pt () in
+    let space =
+      A.create ~pt ~allocator:alloc ~total_pages:cfg.total_pages
+        ~policy:cfg.policy ~subblock_factor:cfg.subblock_factor
+        ~uid:(uid_of_pid pid) ()
+    in
+    let p = { space; pt; nodes } in
+    Hashtbl.replace procs pid p;
+    p
+  in
+  ignore (spawn 0);
+  let acc = Mem.Walk_acc.create () in
+  let ins_ctr = Mem.Cache_model.create_counter ~line_size:cfg.line_size () in
+  let del_ctr = Mem.Cache_model.create_counter ~line_size:cfg.line_size () in
+  let inserts = ref 0
+  and deletes = ref 0
+  and touches = ref 0
+  and protects = ref 0
+  and protect_searches = ref 0
+  and forks = ref 0
+  and exits = ref 0
+  and cow_breaks = ref 0
+  and cow_adoptions = ref 0
+  and promotions = ref 0
+  and demotions = ref 0
+  and ooms = ref 0 in
+  (* the walk a miss on [vpn] would do right now: the paper's
+     cache-line metric applied to the modify op's search phase *)
+  let charge p ctr vpn =
+    Mem.Walk_acc.reset acc;
+    ignore (Intf.lookup_into p.pt acc ~vpn);
+    ignore (Mem.Cache_model.record_acc ctr acc)
+  in
+  let fault_in p vpn =
+    match A.fault p.space ~vpn with
+    | `Mapped _ ->
+        incr inserts;
+        charge p ins_ctr vpn
+    | `Already_mapped _ -> ()
+    | `Oom -> incr ooms
+    | `Segfault -> ()
+  in
+  let do_mmap pid first pages =
+    match Hashtbl.find_opt procs pid with
+    | None -> ()
+    | Some p ->
+        let region = Addr.Region.make ~first_vpn:first ~pages in
+        A.declare_region p.space region Pte.Attr.default;
+        Addr.Region.iter_vpns region (fun vpn -> fault_in p vpn)
+  in
+  let do_munmap pid first pages =
+    match Hashtbl.find_opt procs pid with
+    | None -> ()
+    | Some p ->
+        let region = Addr.Region.make ~first_vpn:first ~pages in
+        (* charge each page's delete with the walk that finds it, page
+           by page, so demotions mid-region are priced correctly *)
+        Addr.Region.iter_vpns region (fun vpn ->
+            match A.translate p.space ~vpn with
+            | Some _ ->
+                charge p del_ctr vpn;
+                incr deletes;
+                A.unmap_region p.space
+                  (Addr.Region.make ~first_vpn:vpn ~pages:1)
+            | None -> ());
+        A.munmap_region p.space region
+  in
+  let do_protect pid first pages writable =
+    match Hashtbl.find_opt procs pid with
+    | None -> ()
+    | Some p ->
+        let region = Addr.Region.make ~first_vpn:first ~pages in
+        incr protects;
+        protect_searches :=
+          !protect_searches
+          + A.protect_region p.space region
+              ~f:Pte.Attr.(fun a -> { a with writable })
+  in
+  let do_fork parent child =
+    match Hashtbl.find_opt procs parent with
+    | None -> ()
+    | Some p ->
+        let pt, nodes = cfg.make_pt () in
+        let space = A.fork p.space ~pt ~uid:(uid_of_pid child) () in
+        Hashtbl.replace procs child { space; pt; nodes };
+        incr forks
+  in
+  let harvest p =
+    promotions := !promotions + A.promotions p.space;
+    demotions := !demotions + A.demotions p.space
+  in
+  let do_exit pid =
+    match Hashtbl.find_opt procs pid with
+    | None -> ()
+    | Some p ->
+        harvest p;
+        A.release_all p.space;
+        Hashtbl.remove procs pid;
+        incr exits
+  in
+  let do_touch pid vpn =
+    match Hashtbl.find_opt procs pid with
+    | None -> ()
+    | Some p -> (
+        incr touches;
+        match A.touch p.space ~vpn with
+        | `Mapped _ ->
+            incr inserts;
+            charge p ins_ctr vpn
+        | `Cow_copied _ ->
+            incr cow_breaks;
+            charge p ins_ctr vpn
+        | `Cow_adopted -> incr cow_adoptions
+        | `Write | `Already_mapped _ | `Segfault -> ()
+        | `Oom -> incr ooms)
+  in
+  let samples = ref [] in
+  let take_sample op =
+    samples :=
+      {
+        op;
+        live_pages = sum_over procs (fun p -> A.mapped_pages p.space);
+        pt_bytes = sum_over procs (fun p -> Intf.size_bytes p.pt);
+        pt_nodes = sum_over procs node_probe;
+      }
+      :: !samples
+  in
+  take_sample 0;
+  Array.iteri
+    (fun i ev ->
+      (match ev with
+      | Trace.Mmap (pid, first, pages) -> do_mmap pid first pages
+      | Trace.Munmap (pid, first, pages) -> do_munmap pid first pages
+      | Trace.Protect (pid, first, pages, writable) ->
+          do_protect pid first pages writable
+      | Trace.Fork (parent, child) -> do_fork parent child
+      | Trace.Exit pid -> do_exit pid
+      | Trace.Touch (pid, vpn) -> do_touch pid vpn
+      (* plain access streams belong to System.run_trace; a mixed
+         trace's accesses and switches are no-ops here *)
+      | Trace.Access _ | Trace.Switch _ -> ());
+      if (i + 1) mod cfg.sample_every = 0 then take_sample (i + 1))
+    trace;
+  if Array.length trace mod cfg.sample_every <> 0 then
+    take_sample (Array.length trace);
+  Hashtbl.iter (fun _ p -> harvest p) procs;
+  let samples = Array.of_list (List.rev !samples) in
+  {
+    samples;
+    ops = Array.length trace;
+    inserts = !inserts;
+    deletes = !deletes;
+    touches = !touches;
+    protects = !protects;
+    protect_searches = !protect_searches;
+    forks = !forks;
+    exits = !exits;
+    cow_breaks = !cow_breaks;
+    cow_adoptions = !cow_adoptions;
+    promotions = !promotions;
+    demotions = !demotions;
+    ooms = !ooms;
+    insert_lines = Mem.Cache_model.mean_lines ins_ctr;
+    delete_lines = Mem.Cache_model.mean_lines del_ctr;
+    peak_pt_bytes =
+      Array.fold_left (fun m s -> max m s.pt_bytes) 0 samples;
+    final_pt_bytes = sum_over procs (fun p -> Intf.size_bytes p.pt);
+    final_pt_nodes = sum_over procs node_probe;
+    final_live_pages = sum_over procs (fun p -> A.mapped_pages p.space);
+  }

@@ -1,0 +1,60 @@
+(** Interpreter for churn streams.
+
+    Applies a lifecycle trace (see {!Churn}) through
+    {!Os_policy.Address_space} onto one page-table organization,
+    recording time-series footprint samples and per-modify-op cache-line
+    costs (the paper's Section 3.1 insert / delete costs and Figure 9's
+    size-over-time, under dynamic churn instead of a static snapshot).
+
+    Runs are strictly sequential and derive allocator uids from pids,
+    so a (trace, config) pair always produces the identical result —
+    regardless of how many domains {!Sim.Runner.churn} spreads seeds
+    over. *)
+
+type config = {
+  make_pt : unit -> Pt_common.Intf.instance * (unit -> int) option;
+      (** fresh page table plus an optional live-node-count probe;
+          called once per process — fork children get their own table *)
+  policy : Os_policy.Address_space.policy;
+  subblock_factor : int;
+  total_pages : int;
+      (** simulated physical frames shared by every process; must
+          comfortably exceed the generator's [max_live_pages] *)
+  sample_every : int;  (** ops between time-series samples *)
+  line_size : int;  (** cache-line size for modify-cost accounting *)
+}
+
+type sample = {
+  op : int;  (** index into the trace at which the sample was taken *)
+  live_pages : int;  (** mapped pages summed over live processes *)
+  pt_bytes : int;  (** page-table bytes summed over live processes *)
+  pt_nodes : int;  (** live nodes (0 for organizations without a probe) *)
+}
+
+type result = {
+  samples : sample array;  (** chronological, first at op 0 *)
+  ops : int;
+  inserts : int;  (** demand faults that installed a PTE *)
+  deletes : int;  (** pages removed by munmap *)
+  touches : int;
+  protects : int;
+  protect_searches : int;  (** page-table searches done by mprotects *)
+  forks : int;
+  exits : int;
+  cow_breaks : int;  (** stores that copied a shared frame *)
+  cow_adoptions : int;  (** stores that adopted the last reference *)
+  promotions : int;
+  demotions : int;
+  ooms : int;
+  insert_lines : float;  (** mean cache lines walked per insert *)
+  delete_lines : float;  (** mean cache lines walked per delete *)
+  peak_pt_bytes : int;  (** largest sampled total footprint *)
+  final_pt_bytes : int;  (** footprint left after the whole trace *)
+  final_pt_nodes : int;
+  final_live_pages : int;
+}
+
+val run : config -> Workload.Trace.t -> result
+(** Interpret [trace] from a single initial process (pid 0).  [Access]
+    and [Switch] events are ignored — plain access streams belong to
+    {!Os_policy.System.run_trace}. *)

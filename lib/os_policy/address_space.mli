@@ -22,18 +22,26 @@ type t
 
 type fault_result = [ `Mapped of int64 | `Already_mapped of int64 | `Segfault | `Oom ]
 
+type touch_result =
+  [ fault_result | `Write | `Cow_copied of int64 | `Cow_adopted ]
+
 val create :
   pt:Pt_common.Intf.instance ->
   ?allocator:Mem.Phys_alloc.t ->
   total_pages:int ->
   ?policy:policy ->
   ?subblock_factor:int ->
+  ?uid:int ->
   unit ->
   t
 (** [total_pages] sizes simulated physical memory; pass [allocator] to
     share one physical memory between several address spaces (the
     multi-process case — see {!System}).  When [allocator] is given its
-    subblock factor must equal [subblock_factor]. *)
+    subblock factor must equal [subblock_factor].  [uid] overrides the
+    global identity counter — deterministic drivers (the churn engine)
+    pass explicit uids so results cannot depend on how many spaces
+    other domains have created; uids must be unique among spaces
+    sharing one allocator. *)
 
 val policy : t -> policy
 
@@ -52,7 +60,37 @@ val fault : t -> vpn:int64 -> fault_result
     reservation), update the page table per the policy. *)
 
 val unmap_region : t -> Addr.Region.t -> unit
-(** Remove mappings and free frames; the area stays declared. *)
+(** Remove mappings and free frames; the area stays declared.  Under
+    [Superpage_promotion], removing one page of a promoted block
+    demotes the block: the covering superpage PTE is dropped and the
+    surviving pages are reinserted as base PTEs (counted in
+    {!demotions}). *)
+
+val munmap_region : t -> Addr.Region.t -> unit
+(** {!unmap_region}, and areas wholly inside the range are undeclared
+    so the range can be declared again later (the churn engine's
+    munmap).  Partially-overlapped areas stay declared. *)
+
+val fork : t -> pt:Pt_common.Intf.instance -> ?uid:int -> unit -> t
+(** A child sharing this space's areas, frames and physical allocator,
+    with its own page table built from [pt].  Every currently-mapped
+    frame becomes copy-on-write: both copies are write-protected and a
+    store ({!touch}) breaks the share.  Frames are reference-counted
+    across the fork family and freed under the original owner's
+    allocator key on last release. *)
+
+val touch : t -> vpn:int64 -> touch_result
+(** A store to [vpn].  Unmapped: demand-faults like {!fault}.  Mapped
+    and private: [`Write].  Mapped and COW-shared: the share is broken
+    — [`Cow_copied ppn] when other references remain (a fresh frame is
+    allocated and the page table updated), [`Cow_adopted] when this was
+    the last reference (the frame is kept and write-enabled in
+    place). *)
+
+val release_all : t -> unit
+(** Process exit: free every frame (COW frames only on last family
+    reference), clear the page table and undeclare every area.  The
+    page table ends at its empty-table footprint. *)
 
 val protect_region : t -> Addr.Region.t -> f:(Pte.Attr.t -> Pte.Attr.t) -> int
 (** Change attributes over a range; returns the number of page-table
@@ -69,3 +107,14 @@ val allocator_stats : t -> Mem.Phys_alloc.stats
 
 val promotions : t -> int
 (** Blocks promoted to superpages so far ([Superpage_promotion]). *)
+
+val demotions : t -> int
+(** Promoted blocks broken back into base PTEs by partial unmaps or
+    COW breaks. *)
+
+val shared_frames : t -> int
+(** Frames in this space's fork family currently shared by more than
+    one space. *)
+
+val cow_pages : t -> int
+(** This space's pages still marked copy-on-write. *)

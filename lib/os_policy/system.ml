@@ -124,7 +124,14 @@ let run_trace t trace =
       | Workload.Trace.Switch pid -> switch_to t ~pid
       | Workload.Trace.Access (pid, vpn) ->
           switch_to t ~pid;
-          ignore (access t ~vpn))
+          ignore (access t ~vpn)
+      | Workload.Trace.Mmap _ | Workload.Trace.Munmap _
+      | Workload.Trace.Protect _ | Workload.Trace.Fork _
+      | Workload.Trace.Exit _ | Workload.Trace.Touch _ ->
+          (* lifecycle ops need an interpreter that creates and destroys
+             address spaces — that is [Dynamics.Engine]'s job; this
+             replay loop runs over a fixed process set *)
+          invalid_arg "System.run_trace: churn event in an access trace")
     trace
 
 let tlb_stats t =

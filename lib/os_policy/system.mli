@@ -52,8 +52,11 @@ val access : t -> vpn:int64 -> outcome
     declared regions. *)
 
 val run_trace : t -> Workload.Trace.t -> unit
-(** Replay a trace: [Access (pid, vpn)] switches to [pid] if needed
-    and performs the access; [Switch pid] is an explicit yield. *)
+(** Replay an access trace: [Access (pid, vpn)] switches to [pid] if
+    needed and performs the access; [Switch pid] is an explicit yield.
+    Raises [Invalid_argument] on lifecycle (churn) events — those need
+    the interpreter in [Dynamics.Engine], which creates and destroys
+    address spaces as the trace demands. *)
 
 val tlb_misses : t -> int
 

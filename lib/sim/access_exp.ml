@@ -94,7 +94,8 @@ let record_misses trace tlb ~reference ~design ~subblock_factor =
                 match Intf.lookup_into pt acc ~vpn with
                 | Some tr -> Tlb.Intf.fill tlb tr
                 | None -> ()
-              end))
+              end)
+      | _ -> () (* churn ops never appear in access traces *))
     trace;
   (List.rev !misses, !count)
 

@@ -40,62 +40,76 @@ let name = function
   | Software_tlb -> "software-tlb"
   | Clustered_tsb -> "clustered-tsb"
 
-let make kind : Intf.instance =
+(* [make_probed] pairs the instance with a live-node-count probe where
+   the organization keeps one (node-based tables), so the churn engine
+   can report node counts alongside byte footprints.  Organizations
+   whose footprint is page- or slot-granular return [None]. *)
+let make_probed kind : Intf.instance * (unit -> int) option =
   match kind with
   | Linear6 ->
-      Intf.Instance
-        ( (module Baselines.Linear_pt),
-          Baselines.Linear_pt.create ~size_variant:`Six_level () )
+      let t = Baselines.Linear_pt.create ~size_variant:`Six_level () in
+      (Intf.Instance ((module Baselines.Linear_pt), t), None)
   | Linear1 ->
-      Intf.Instance
-        ( (module Baselines.Linear_pt),
-          Baselines.Linear_pt.create ~size_variant:`One_level () )
+      let t = Baselines.Linear_pt.create ~size_variant:`One_level () in
+      (Intf.Instance ((module Baselines.Linear_pt), t), None)
   | Linear_hashed ->
-      Intf.Instance
-        ( (module Baselines.Linear_pt),
-          Baselines.Linear_pt.create ~size_variant:`Leaf_plus_hash () )
+      let t = Baselines.Linear_pt.create ~size_variant:`Leaf_plus_hash () in
+      (Intf.Instance ((module Baselines.Linear_pt), t), None)
   | Forward_mapped ->
-      Intf.Instance
-        ((module Baselines.Forward_mapped_pt), Baselines.Forward_mapped_pt.create ())
+      let t = Baselines.Forward_mapped_pt.create () in
+      ( Intf.Instance ((module Baselines.Forward_mapped_pt), t),
+        Some (fun () -> Baselines.Forward_mapped_pt.node_count t) )
   | Forward_guarded ->
-      Intf.Instance
-        ( (module Baselines.Forward_mapped_pt),
-          Baselines.Forward_mapped_pt.create ~guarded:true () )
+      let t = Baselines.Forward_mapped_pt.create ~guarded:true () in
+      ( Intf.Instance ((module Baselines.Forward_mapped_pt), t),
+        Some (fun () -> Baselines.Forward_mapped_pt.node_count t) )
   | Hashed ->
-      Intf.Instance ((module Baselines.Hashed_pt), Baselines.Hashed_pt.create ())
+      let t = Baselines.Hashed_pt.create () in
+      ( Intf.Instance ((module Baselines.Hashed_pt), t),
+        Some (fun () -> Baselines.Hashed_pt.node_count t) )
   | Hashed_two_tables { coarse_first } ->
-      Intf.Instance
-        ( (module Baselines.Hashed_pt),
-          Baselines.Hashed_pt.create
-            ~mode:(Baselines.Hashed_pt.Two_tables { coarse_first })
-            () )
+      let t =
+        Baselines.Hashed_pt.create
+          ~mode:(Baselines.Hashed_pt.Two_tables { coarse_first })
+          ()
+      in
+      ( Intf.Instance ((module Baselines.Hashed_pt), t),
+        Some (fun () -> Baselines.Hashed_pt.node_count t) )
   | Hashed_spindex ->
-      Intf.Instance
-        ( (module Baselines.Hashed_pt),
-          Baselines.Hashed_pt.create ~mode:Baselines.Hashed_pt.Superpage_index
-            () )
+      let t =
+        Baselines.Hashed_pt.create ~mode:Baselines.Hashed_pt.Superpage_index ()
+      in
+      ( Intf.Instance ((module Baselines.Hashed_pt), t),
+        Some (fun () -> Baselines.Hashed_pt.node_count t) )
   | Hashed_packed ->
-      Intf.Instance
-        ((module Baselines.Hashed_pt), Baselines.Hashed_pt.create ~packed:true ())
+      let t = Baselines.Hashed_pt.create ~packed:true () in
+      ( Intf.Instance ((module Baselines.Hashed_pt), t),
+        Some (fun () -> Baselines.Hashed_pt.node_count t) )
   | Clustered { subblock_factor } ->
-      Intf.Instance
-        ( (module Clustered_pt.Table),
-          Clustered_pt.Table.create
-            (Clustered_pt.Config.make ~subblock_factor ()) )
+      let t =
+        Clustered_pt.Table.create (Clustered_pt.Config.make ~subblock_factor ())
+      in
+      ( Intf.Instance ((module Clustered_pt.Table), t),
+        Some (fun () -> Clustered_pt.Table.node_count t) )
   | Clustered_variable ->
-      Intf.Instance ((module Clustered_pt.Var_table), Clustered_pt.Var_table.create ())
+      let t = Clustered_pt.Var_table.create () in
+      ( Intf.Instance ((module Clustered_pt.Var_table), t),
+        Some (fun () -> Clustered_pt.Var_table.node_count t) )
   | Clustered_two_tables ->
-      Intf.Instance ((module Clustered_pt.Multi_size), Clustered_pt.Multi_size.create ())
+      let t = Clustered_pt.Multi_size.create () in
+      ( Intf.Instance ((module Clustered_pt.Multi_size), t),
+        Some (fun () -> Clustered_pt.Multi_size.node_count t) )
   | Inverted ->
       (* builder PPNs for unplaced pages start above 1M frames *)
-      Intf.Instance
-        ( (module Baselines.Inverted_pt),
-          Baselines.Inverted_pt.create ~frames:(1 lsl 21) () )
+      let t = Baselines.Inverted_pt.create ~frames:(1 lsl 21) () in
+      (Intf.Instance ((module Baselines.Inverted_pt), t), None)
   | Software_tlb ->
-      Intf.Instance
-        ((module Baselines.Software_tlb), Baselines.Software_tlb.create ())
+      let t = Baselines.Software_tlb.create () in
+      (Intf.Instance ((module Baselines.Software_tlb), t), None)
   | Clustered_tsb ->
-      Intf.Instance
-        ((module Clustered_pt.Clustered_tsb), Clustered_pt.Clustered_tsb.create ())
+      let t = Clustered_pt.Clustered_tsb.create () in
+      (Intf.Instance ((module Clustered_pt.Clustered_tsb), t), None)
+
+let make kind : Intf.instance = fst (make_probed kind)
 
 let clustered16 = Clustered { subblock_factor = 16 }

@@ -28,5 +28,12 @@ val name : kind -> string
 
 val make : kind -> Pt_common.Intf.instance
 
+val make_probed : kind -> Pt_common.Intf.instance * (unit -> int) option
+(** {!make}, paired with a live-node-count probe for node-based
+    organizations (hashed, forward-mapped, clustered) — the shape
+    {!Dynamics.Engine.config} wants.  [None] for organizations whose
+    footprint is page- or slot-granular (linear, inverted, the
+    TSBs). *)
+
 val clustered16 : kind
 (** The paper's default configuration: factor 16, 4096 buckets. *)

@@ -447,7 +447,8 @@ let ablation_asid ?(options = default_options) ?domains () =
                   | `Block_miss | `Subblock_miss -> (
                       match refill proc vpn with
                       | Some tr -> Tlb.Intf.fill tlb tr
-                      | None -> ())))
+                      | None -> ()))
+              | _ -> ())
             trace;
           Tlb.Stats.misses (Tlb.Intf.stats tlb)
         in
@@ -464,7 +465,8 @@ let ablation_asid ?(options = default_options) ?domains () =
                   | `Block_miss | `Subblock_miss -> (
                       match refill proc vpn with
                       | Some tr -> Tlb.Tagged_tlb.fill tlb tr
-                      | None -> ())))
+                      | None -> ()))
+              | _ -> ())
             trace;
           Tlb.Stats.misses (Tlb.Tagged_tlb.stats tlb)
         in
@@ -577,7 +579,8 @@ let ablation_tlb_size ?(options = default_options) ?domains () =
                         Pt_common.Intf.lookup_into reference.(proc) acc ~vpn
                       with
                       | Some tr -> Tlb.Intf.fill tlb tr
-                      | None -> ())))
+                      | None -> ()))
+              | _ -> ())
             trace;
           Tlb.Stats.misses (Tlb.Intf.stats tlb)
         in
@@ -783,7 +786,8 @@ let ablation_software_tlb ?(options = default_options) () =
               ignore (Mem.Cache_model.record_acc c_clus acc);
               match tr1 with
               | Some tr -> Tlb.Intf.fill tlb tr
-              | None -> ())))
+              | None -> ()))
+      | _ -> ())
     trace;
   let ratio hits misses =
     let t = hits + misses in
@@ -917,7 +921,8 @@ let ablation_nested_linear ?(options = default_options) ?domains () =
                       Pt_common.Intf.lookup_into reference.(proc) acc ~vpn
                     with
                     | Some tr -> Tlb.Intf.fill tlb tr
-                    | None -> ())))
+                    | None -> ()))
+            | _ -> ())
           trace;
         let r = float_of_int !nested /. float_of_int (max 1 !misses) in
         [
@@ -1022,7 +1027,8 @@ let ablation_replacement ?(options = default_options) ?domains () =
                         Pt_common.Intf.lookup_into reference.(proc) acc ~vpn
                       with
                       | Some tr -> Tlb.Intf.fill tlb tr
-                      | None -> ())))
+                      | None -> ()))
+              | _ -> ())
             trace;
           Tlb.Stats.misses (Tlb.Intf.stats tlb)
         in
@@ -1066,6 +1072,186 @@ let extension_future64 ?(options = default_options) ?domains () =
      workloads would make ... both hashed and clustered page tables more \
      attractive\" (Section 6.2)."
 
+(* --- Extension: dynamic address-space churn (lib/dynamics) --- *)
+
+type churn_row = {
+  churn_name : string;  (* table label, e.g. "clustered-16" *)
+  churn_policy : string;  (* "base" | "sp" | "psb" *)
+  churn_seeds : int;
+  churn_peak_kb : float;  (* mean over seeds of the sampled peak *)
+  churn_final_bytes : float;  (* mean over seeds, after the drain *)
+  churn_insert_lines : float;  (* mean cache lines per insert walk *)
+  churn_delete_lines : float;
+  churn_promotions : int;  (* summed over seeds *)
+  churn_demotions : int;
+  churn_cow_breaks : int;
+  churn_final_nodes : int;  (* seed-0 run; 0 when the org has no probe *)
+  churn_series : (int * int * int) list;
+      (* seed-0 time series: (op, live pages, pt bytes) *)
+}
+
+let churn_policy_tag = function
+  | Os_policy.Address_space.Base_only -> "base"
+  | Os_policy.Address_space.Partial_subblock -> "psb"
+  | Os_policy.Address_space.Superpage_promotion -> "sp"
+
+(* Every organization family, each under the strongest page-size policy
+   it supports: orgs without superpage storage run base-only, the rest
+   promote, and clustered additionally runs the psb policy. *)
+let churn_configs =
+  [
+    (Factory.Linear1, Os_policy.Address_space.Superpage_promotion);
+    (Factory.Forward_mapped, Os_policy.Address_space.Superpage_promotion);
+    (Factory.Hashed, Os_policy.Address_space.Base_only);
+    ( Factory.Hashed_two_tables { coarse_first = false },
+      Os_policy.Address_space.Superpage_promotion );
+    (Factory.Inverted, Os_policy.Address_space.Base_only);
+    (Factory.Software_tlb, Os_policy.Address_space.Base_only);
+    (Factory.clustered16, Os_policy.Address_space.Superpage_promotion);
+    (Factory.clustered16, Os_policy.Address_space.Partial_subblock);
+    (Factory.Clustered_variable, Os_policy.Address_space.Superpage_promotion);
+    (Factory.Clustered_two_tables, Os_policy.Address_space.Superpage_promotion);
+  ]
+
+let churn ?(options = default_options) ?domains ?(seeds = 3) ?(ops = 8_000)
+    ?(procs = 8) ?(sample_every = 0) () =
+  let seeds = max 1 seeds in
+  let sample_every =
+    if sample_every <= 0 then max 1 (ops / 16) else sample_every
+  in
+  let spec = { Dynamics.Churn.default with ops; max_procs = max 1 procs } in
+  (* jobs are (config, seed-index) pairs; both the trace seed and the
+     engine are functions of the pair alone, so the fan-out is
+     bit-identical for any domain count *)
+  let jobs =
+    List.concat_map
+      (fun cfg -> List.init seeds (fun s -> (cfg, s)))
+      churn_configs
+  in
+  let results =
+    par_map ?domains
+      (fun ((kind, policy), s) ->
+        let seed = Int64.add options.seed (Int64.of_int (0x6C1 * s)) in
+        let trace = Dynamics.Churn.generate ~spec ~seed () in
+        let cfg =
+          {
+            Dynamics.Engine.make_pt = (fun () -> Factory.make_probed kind);
+            policy;
+            subblock_factor = 16;
+            total_pages = 1 lsl 18;
+            sample_every;
+            line_size = Mem.Cache_model.default_line_size;
+          }
+        in
+        Dynamics.Engine.run cfg trace)
+      jobs
+  in
+  let rec chunk = function
+    | [] -> []
+    | rs ->
+        let rec split i acc = function
+          | r :: tl when i < seeds -> split (i + 1) (r :: acc) tl
+          | tl -> (List.rev acc, tl)
+        in
+        let group, rest = split 0 [] rs in
+        group :: chunk rest
+  in
+  let groups = chunk results in
+  let mean f rs =
+    List.fold_left (fun acc r -> acc +. f r) 0.0 rs /. float_of_int seeds
+  in
+  let sum f rs = List.fold_left (fun acc r -> acc + f r) 0 rs in
+  let rows =
+    List.map2
+      (fun (kind, policy) rs ->
+        let first = List.hd rs in
+        {
+          churn_name = Factory.name kind;
+          churn_policy = churn_policy_tag policy;
+          churn_seeds = seeds;
+          churn_peak_kb =
+            mean
+              (fun r ->
+                float_of_int r.Dynamics.Engine.peak_pt_bytes /. 1024.0)
+              rs;
+          churn_final_bytes =
+            mean (fun r -> float_of_int r.Dynamics.Engine.final_pt_bytes) rs;
+          churn_insert_lines = mean (fun r -> r.Dynamics.Engine.insert_lines) rs;
+          churn_delete_lines = mean (fun r -> r.Dynamics.Engine.delete_lines) rs;
+          churn_promotions = sum (fun r -> r.Dynamics.Engine.promotions) rs;
+          churn_demotions = sum (fun r -> r.Dynamics.Engine.demotions) rs;
+          churn_cow_breaks = sum (fun r -> r.Dynamics.Engine.cow_breaks) rs;
+          churn_final_nodes = first.Dynamics.Engine.final_pt_nodes;
+          churn_series =
+            Array.to_list
+              (Array.map
+                 (fun (s : Dynamics.Engine.sample) ->
+                   (s.op, s.live_pages, s.pt_bytes))
+                 first.Dynamics.Engine.samples);
+        })
+      churn_configs groups
+  in
+  let label row = row.churn_name ^ "/" ^ row.churn_policy in
+  Report.print_table
+    ~title:
+      (Printf.sprintf
+         "Churn: page-table modify costs under address-space churn (%d ops, \
+          %d seed%s)"
+         ops seeds
+         (if seeds = 1 then "" else "s"))
+    ~header:
+      [
+        "table"; "peak KB"; "final B"; "ins lines"; "del lines"; "promote";
+        "demote"; "cow copy";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             label r;
+             Printf.sprintf "%.1f" r.churn_peak_kb;
+             Printf.sprintf "%.0f" r.churn_final_bytes;
+             Report.lines_metric r.churn_insert_lines;
+             Report.lines_metric r.churn_delete_lines;
+             string_of_int r.churn_promotions;
+             string_of_int r.churn_demotions;
+             string_of_int r.churn_cow_breaks;
+           ])
+         rows);
+  Report.note
+    "Mmap/munmap/fork/exit/COW streams from lib/dynamics: inserts and \
+     deletes are charged the cache lines of the walk that finds the slot \
+     (Section 3.1); the drain suffix unmaps everything, so 'final B' is \
+     each table's empty footprint — node-based and linear tables reclaim \
+     fully, forward-mapped keeps its upper-level directory, and the \
+     fixed-size structures (inverted frame table, TSB arrays) never \
+     shrink.";
+  (* the Figure-9-over-time headline: footprint tracking live mappings *)
+  (match rows with
+  | first :: _ ->
+      let steps = List.length first.churn_series in
+      let series_rows =
+        List.init steps (fun i ->
+            let op, live, _ = List.nth first.churn_series i in
+            string_of_int op :: string_of_int live
+            :: List.map
+                 (fun r ->
+                   let _, _, bytes = List.nth r.churn_series i in
+                   Printf.sprintf "%.1f" (float_of_int bytes /. 1024.0))
+                 rows)
+      in
+      Report.print_table
+        ~title:"Churn: page-table KB over time (seed 0)"
+        ~header:("op" :: "live pages" :: List.map label rows)
+        ~rows:series_rows;
+      Report.note
+        "Clustered footprints track the live-page curve through the \
+         grow/churn/shrink phases and return to the empty-table baseline \
+         after the drain; replicating organizations swing far wider for \
+         the same mappings."
+  | [] -> ());
+  rows
+
 let all ?(options = default_options) ?domains () =
   ignore (table1 ~options ?domains ());
   ignore (figure9 ~options ?domains ());
@@ -1090,6 +1276,13 @@ let all ?(options = default_options) ?domains () =
   ablation_variable_factor ~options ?domains ();
   ablation_replacement ~options ?domains ();
   extension_future64 ~options ?domains ()
+
+(* churn defaults scaled for [all]-style full runs vs --quick smokes *)
+let churn_for_suite ?(options = default_options) ?domains () =
+  churn ~options ?domains
+    ~seeds:(if options.quick then 1 else 2)
+    ~ops:(if options.quick then 2_000 else 6_000)
+    ()
 
 let verify ?(options = default_options) ?domains () =
   let ok = ref true in

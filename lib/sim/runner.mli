@@ -117,8 +117,51 @@ val extension_future64 : ?options:options -> ?domains:int -> unit -> unit
     "both hashed and clustered page tables [become] more
     attractive". *)
 
+type churn_row = {
+  churn_name : string;  (** table label, e.g. "clustered-16" *)
+  churn_policy : string;  (** "base", "sp" or "psb" *)
+  churn_seeds : int;
+  churn_peak_kb : float;  (** mean over seeds of the sampled peak footprint *)
+  churn_final_bytes : float;  (** mean over seeds, after the drain suffix *)
+  churn_insert_lines : float;  (** mean cache lines per insert's walk *)
+  churn_delete_lines : float;  (** mean cache lines per delete's walk *)
+  churn_promotions : int;  (** summed over seeds *)
+  churn_demotions : int;
+  churn_cow_breaks : int;
+  churn_final_nodes : int;
+      (** live nodes left after the drain (seed 0); 0 for organizations
+          without a node probe *)
+  churn_series : (int * int * int) list;
+      (** seed-0 time series: (op index, live pages, page-table bytes) *)
+}
+
+val churn :
+  ?options:options ->
+  ?domains:int ->
+  ?seeds:int ->
+  ?ops:int ->
+  ?procs:int ->
+  ?sample_every:int ->
+  unit ->
+  churn_row list
+(** The {!Dynamics} extension: run a seeded mmap/munmap/fork/exit/COW
+    churn stream (see {!Dynamics.Churn}) against every page-table
+    organization, reporting modify-op cache-line costs, promotion /
+    demotion / COW activity, and a footprint-over-time series — the
+    dynamic counterpart of Figure 9's static sizes.  One engine run per
+    (organization, seed) fans out over the domain pool; results are
+    bit-identical for every [domains].  [sample_every <= 0] (the
+    default) picks ops/16. *)
+
+val churn_for_suite :
+  ?options:options -> ?domains:int -> unit -> churn_row list
+(** {!churn} at the suite's standard scale (2 seeds x 6k ops; 1 x 2k
+    under [--quick]) — what [ptsim all] and the benchmark harness
+    append after the paper suite. *)
+
 val all : ?options:options -> ?domains:int -> unit -> unit
-(** Every table and figure in paper order. *)
+(** Every table and figure in paper order (the churn extension is
+    separate — see {!churn_for_suite}). *)
 
 val verify : ?options:options -> ?domains:int -> unit -> bool
 (** Self-check: re-derive the paper's headline claims (Figure 9's

@@ -1,6 +1,16 @@
-type event = Access of int * int64 | Switch of int
+type event =
+  | Access of int * int64
+  | Switch of int
+  | Mmap of int * int64 * int
+  | Munmap of int * int64 * int
+  | Protect of int * int64 * int * bool
+  | Fork of int * int
+  | Exit of int
+  | Touch of int * int64
 
 type t = event array
+
+let format_version = 2
 
 (* Emission buffer *)
 type buf = { mutable events : event list; mutable n_accesses : int }
@@ -172,16 +182,56 @@ let generate ?(quantum = 400) (spec : Spec.t) (snap : Snapshot.t) ~seed ~length 
       | [] -> ()));
   Array.of_list (List.rev b.events)
 
+let header_prefix = "# ptsim-trace v"
+
 let save t path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
+      Printf.fprintf oc "%s%d\n" header_prefix format_version;
       Array.iter
         (function
           | Access (p, vpn) -> Printf.fprintf oc "A %d %Lx\n" p vpn
-          | Switch p -> Printf.fprintf oc "S %d\n" p)
+          | Switch p -> Printf.fprintf oc "S %d\n" p
+          | Mmap (p, vpn, pages) -> Printf.fprintf oc "M %d %Lx %d\n" p vpn pages
+          | Munmap (p, vpn, pages) ->
+              Printf.fprintf oc "U %d %Lx %d\n" p vpn pages
+          | Protect (p, vpn, pages, w) ->
+              Printf.fprintf oc "P %d %Lx %d %d\n" p vpn pages
+                (if w then 1 else 0)
+          | Fork (parent, child) -> Printf.fprintf oc "F %d %d\n" parent child
+          | Exit p -> Printf.fprintf oc "X %d\n" p
+          | Touch (p, vpn) -> Printf.fprintf oc "T %d %Lx\n" p vpn)
         t)
+
+let parse_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "A"; p; vpn ] ->
+      Some (Access (int_of_string p, Int64.of_string ("0x" ^ vpn)))
+  | [ "S"; p ] -> Some (Switch (int_of_string p))
+  | [ "M"; p; vpn; pages ] ->
+      Some
+        (Mmap
+           (int_of_string p, Int64.of_string ("0x" ^ vpn), int_of_string pages))
+  | [ "U"; p; vpn; pages ] ->
+      Some
+        (Munmap
+           (int_of_string p, Int64.of_string ("0x" ^ vpn), int_of_string pages))
+  | [ "P"; p; vpn; pages; w ] ->
+      Some
+        (Protect
+           ( int_of_string p,
+             Int64.of_string ("0x" ^ vpn),
+             int_of_string pages,
+             int_of_string w <> 0 ))
+  | [ "F"; parent; child ] ->
+      Some (Fork (int_of_string parent, int_of_string child))
+  | [ "X"; p ] -> Some (Exit (int_of_string p))
+  | [ "T"; p; vpn ] ->
+      Some (Touch (int_of_string p, Int64.of_string ("0x" ^ vpn)))
+  | [ "" ] | [] -> None
+  | _ -> failwith ("Trace.load: bad line: " ^ line)
 
 let load path =
   let ic = open_in path in
@@ -189,31 +239,59 @@ let load path =
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let events = ref [] in
+      let first = ref true in
       (try
          while true do
            let line = input_line ic in
-           match String.split_on_char ' ' (String.trim line) with
-           | [ "A"; p; vpn ] ->
-               events :=
-                 Access (int_of_string p, Int64.of_string ("0x" ^ vpn))
-                 :: !events
-           | [ "S"; p ] -> events := Switch (int_of_string p) :: !events
-           | [ "" ] | [] -> ()
-           | _ -> failwith ("Trace.load: bad line: " ^ line)
+           if !first then begin
+             first := false;
+             let n = String.length header_prefix in
+             if
+               String.length line > n && String.sub line 0 n = header_prefix
+             then begin
+               (* versioned header: reject files written by a format we
+                  do not know how to read *)
+               let v =
+                 match
+                   int_of_string_opt
+                     (String.trim
+                        (String.sub line n (String.length line - n)))
+                 with
+                 | Some v -> v
+                 | None -> failwith ("Trace.load: bad header: " ^ line)
+               in
+               if v < 1 || v > format_version then
+                 failwith
+                   (Printf.sprintf
+                      "Trace.load: unsupported trace format v%d (this build \
+                       reads up to v%d)"
+                      v format_version)
+             end
+             else begin
+               (* headerless v1 file: first line is already an event *)
+               match parse_line line with
+               | Some e -> events := e :: !events
+               | None -> ()
+             end
+           end
+           else
+             match parse_line line with
+             | Some e -> events := e :: !events
+             | None -> ()
          done
        with End_of_file -> ());
       Array.of_list (List.rev !events))
 
 let accesses t =
   Array.fold_left
-    (fun acc -> function Access _ -> acc + 1 | Switch _ -> acc)
+    (fun acc -> function Access _ -> acc + 1 | _ -> acc)
     0 t
 
 let distinct_pages t =
   let seen = Hashtbl.create 1024 in
   Array.iter
     (function
-      | Access (p, vpn) -> Hashtbl.replace seen (p, vpn) ()
-      | Switch _ -> ())
+      | Access (p, vpn) | Touch (p, vpn) -> Hashtbl.replace seen (p, vpn) ()
+      | _ -> ())
     t;
   Hashtbl.length seen

@@ -12,8 +12,24 @@
 type event =
   | Access of int * int64  (** (process index, VPN) *)
   | Switch of int  (** context switch to process index: TLB flush *)
+  | Mmap of int * int64 * int
+      (** (process, first VPN, pages): map an anonymous region *)
+  | Munmap of int * int64 * int  (** (process, first VPN, pages) *)
+  | Protect of int * int64 * int * bool
+      (** (process, first VPN, pages, writable): mprotect a range *)
+  | Fork of int * int
+      (** (parent, child): child shares the parent's frames COW-style *)
+  | Exit of int  (** process exits; every mapping is released *)
+  | Touch of int * int64
+      (** (process, VPN): a store — faults the page in if needed and
+          breaks copy-on-write sharing *)
 
 type t = event array
+
+val format_version : int
+(** Version written by {!save} (["# ptsim-trace v2"]).  v1 is the
+    headerless access/switch-only format of earlier builds; {!load}
+    reads both and rejects anything newer. *)
 
 val generate :
   ?quantum:int -> Spec.t -> Snapshot.t -> seed:int64 -> length:int -> t
@@ -25,10 +41,16 @@ val generate :
     often. *)
 
 val save : t -> string -> unit
-(** One line per event: ["A <pid> <vpn-hex>"] or ["S <pid>"]. *)
+(** A version header, then one line per event: ["A <pid> <vpn-hex>"],
+    ["S <pid>"], ["M <pid> <vpn-hex> <pages>"] (mmap),
+    ["U <pid> <vpn-hex> <pages>"] (munmap),
+    ["P <pid> <vpn-hex> <pages> <0|1>"] (protect),
+    ["F <parent> <child>"], ["X <pid>"] (exit) or ["T <pid> <vpn-hex>"]
+    (touch). *)
 
 val load : string -> t
-(** Inverse of {!save}.  Raises [Failure] on malformed input. *)
+(** Inverse of {!save}; also reads headerless v1 files.  Raises
+    [Failure] on malformed input or an unsupported format version. *)
 
 val accesses : t -> int
 

@@ -95,6 +95,90 @@ let test_stress () =
     done
   done
 
+(* Single-bucket insert/remove interleaving: every page block hashes to
+   bucket 0, so the chain grows long and every unlink path (head,
+   middle, tail, last-node-empties-bucket) gets exercised.  After the
+   full unmap the table must be indistinguishable from empty — zero
+   live nodes, zero logical bytes, head_tags mirror showing the bucket
+   empty — with the emptied nodes parked on the free list for reuse. *)
+let test_single_bucket_reclaim () =
+  let config =
+    Clustered_pt.Config.make ~subblock_factor:factor ~buckets:1 ()
+  in
+  let arena = Mem.Sim_memory.create () in
+  let table = Clustered_pt.Table.create ~arena config in
+  let blocks = 64 in
+  let page b k = Int64.of_int ((b * factor) + k) in
+  let live = Hashtbl.create 97 in
+  let insert v =
+    Clustered_pt.Table.insert_base table ~vpn:v ~ppn:(ppn_of v) ~attr;
+    Hashtbl.replace live v ()
+  in
+  let remove v =
+    Clustered_pt.Table.remove table ~vpn:v;
+    Hashtbl.remove live v
+  in
+  (* interleave: fill odd-k of every block, empty half the blocks, fill
+     even-k, then check everything still reads back *)
+  for b = 0 to blocks - 1 do
+    for k = 0 to factor - 1 do
+      if k mod 2 = 1 then insert (page b k)
+    done
+  done;
+  for b = 0 to blocks - 1 do
+    if b mod 2 = 0 then
+      for k = 0 to factor - 1 do
+        if k mod 2 = 1 then remove (page b k)
+      done
+  done;
+  for b = 0 to blocks - 1 do
+    for k = 0 to factor - 1 do
+      if k mod 2 = 0 then insert (page b k)
+    done
+  done;
+  Hashtbl.iter
+    (fun v () ->
+      match fst (Clustered_pt.Table.lookup table ~vpn:v) with
+      | Some tr when tr.Pt_common.Types.ppn = ppn_of v -> ()
+      | Some _ -> Alcotest.failf "wrong translation at vpn %Ld" v
+      | None -> Alcotest.failf "lost vpn %Ld mid-interleave" v)
+    live;
+  let peak_nodes = Clustered_pt.Table.node_count table in
+  let peak_arena = Mem.Sim_memory.total_allocated_bytes arena in
+  Alcotest.(check bool) "chains actually built up" true (peak_nodes > 0);
+  (* full unmap, removals striped so head/middle/tail unlinks all occur *)
+  let remaining = Hashtbl.fold (fun v () acc -> v :: acc) live [] in
+  let remaining = List.sort compare remaining in
+  let stripes = [ (fun v -> Int64.rem v 3L = 0L); (fun v -> Int64.rem v 3L = 1L); (fun _ -> true) ] in
+  List.iter
+    (fun select -> List.iter (fun v -> if select v && Hashtbl.mem live v then remove v) remaining)
+    stripes;
+  Alcotest.(check int) "live nodes return to zero" 0
+    (Clustered_pt.Table.node_count table);
+  Alcotest.(check int) "footprint equals empty baseline" 0
+    (Clustered_pt.Table.size_bytes table);
+  Alcotest.(check int) "population is zero" 0
+    (Clustered_pt.Table.population table);
+  Alcotest.(check bool) "emptied nodes parked for reuse" true
+    (Clustered_pt.Table.free_nodes table > 0);
+  (match fst (Clustered_pt.Table.lookup table ~vpn:(page 0 1)) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "lookup found a mapping in a drained table");
+  (* refill: the free list must satisfy the rebuild without growing the
+     arena past its high-water mark (reuse before growing) *)
+  for b = 0 to blocks - 1 do
+    for k = 0 to factor - 1 do
+      insert (page b k)
+    done
+  done;
+  Alcotest.(check int) "rebuild reuses reclaimed nodes, arena untouched"
+    peak_arena
+    (Mem.Sim_memory.total_allocated_bytes arena)
+
 let suite =
   ( "bucket-lock stress",
-    [ Alcotest.test_case "concurrent insert/read/remove" `Slow test_stress ] )
+    [
+      Alcotest.test_case "concurrent insert/read/remove" `Slow test_stress;
+      Alcotest.test_case "single-bucket interleaved reclaim" `Quick
+        test_single_bucket_reclaim;
+    ] )

@@ -17,4 +17,5 @@ let () =
       Test_runner.suite;
       Test_parallel.suite;
       Test_bucket_stress.suite;
+      Test_dynamics.suite;
     ]

@@ -545,3 +545,32 @@ let prop_differential_all_tables =
 let suite =
   ( fst suite,
     snd suite @ [ QCheck_alcotest.to_alcotest prop_differential_all_tables ] )
+
+(* lookup_into (the allocation-free miss path) agrees with the legacy
+   lookup — translation and charged walk — on every organization *)
+let walk_equiv_tests =
+  List.map
+    (fun kind ->
+      Pt_model.walk_equiv_test
+        ~name:("lookup_into = lookup: " ^ Sim.Factory.name kind)
+        ~make:(fun () -> Sim.Factory.make kind))
+    [
+      Sim.Factory.Linear6;
+      Sim.Factory.Linear1;
+      Sim.Factory.Linear_hashed;
+      Sim.Factory.Forward_mapped;
+      Sim.Factory.Forward_guarded;
+      Sim.Factory.Hashed;
+      Sim.Factory.Hashed_two_tables { coarse_first = false };
+      Sim.Factory.Hashed_spindex;
+      Sim.Factory.Hashed_packed;
+      Sim.Factory.clustered16;
+      Sim.Factory.Clustered_variable;
+      Sim.Factory.Clustered_two_tables;
+      Sim.Factory.Inverted;
+      Sim.Factory.Software_tlb;
+      Sim.Factory.Clustered_tsb;
+    ]
+
+let suite =
+  (fst suite, snd suite @ List.map QCheck_alcotest.to_alcotest walk_equiv_tests)

@@ -134,7 +134,7 @@ let test_trace_only_touches_mapped_pages () =
               if not (Hashtbl.mem mapped (p, vpn)) then
                 Alcotest.failf "%s touches unmapped page %Lx"
                   spec.Workload.Spec.name vpn
-          | Workload.Trace.Switch _ -> ())
+          | _ -> ())
         trace)
     Workload.Table1.all
 
@@ -162,7 +162,7 @@ let test_multiprog_switches () =
   Array.iter
     (function
       | Workload.Trace.Access (p, _) -> Hashtbl.replace seen p ()
-      | Workload.Trace.Switch _ -> ())
+      | _ -> ())
     trace;
   Alcotest.(check int) "all processes run" 4 (Hashtbl.length seen)
 
@@ -222,6 +222,56 @@ let test_load_rejects_garbage () =
       | exception Failure _ -> ()
       | _ -> Alcotest.fail "expected Failure")
 
+(* every churn op kind survives a save/load round trip *)
+let test_churn_trace_roundtrip () =
+  let trace =
+    [|
+      Workload.Trace.Mmap (0, 0x1000L, 64);
+      Workload.Trace.Touch (0, 0x1003L);
+      Workload.Trace.Protect (0, 0x1000L, 16, false);
+      Workload.Trace.Fork (0, 1);
+      Workload.Trace.Touch (1, 0x1003L);
+      Workload.Trace.Access (1, 0x1004L);
+      Workload.Trace.Munmap (0, 0x1010L, 16);
+      Workload.Trace.Switch (1);
+      Workload.Trace.Protect (1, 0x1020L, 8, true);
+      Workload.Trace.Exit 1;
+      Workload.Trace.Exit 0;
+    |]
+  in
+  with_tmp (fun path ->
+      Workload.Trace.save trace path;
+      let back = Workload.Trace.load path in
+      Alcotest.(check bool) "identical" true (trace = back))
+
+let test_load_rejects_unknown_version () =
+  with_tmp (fun path ->
+      let oc = open_out path in
+      Printf.fprintf oc "# ptsim-trace v%d\nA 0 10\n"
+        (Workload.Trace.format_version + 1);
+      close_out oc;
+      match Workload.Trace.load path with
+      | exception Failure msg ->
+          Alcotest.(check bool) "message names the version" true
+            (String.length msg > 0)
+      | _ -> Alcotest.fail "expected Failure on a future format version")
+
+(* a headerless v1 file (written before the version header existed)
+   still loads *)
+let test_load_headerless_v1 () =
+  with_tmp (fun path ->
+      let oc = open_out path in
+      output_string oc "A 0 1f\nS 1\nA 1 2a\n";
+      close_out oc;
+      let back = Workload.Trace.load path in
+      Alcotest.(check bool) "identical" true
+        (back
+        = [|
+            Workload.Trace.Access (0, 0x1fL);
+            Workload.Trace.Switch 1;
+            Workload.Trace.Access (1, 0x2aL);
+          |]))
+
 let suite =
   ( fst suite,
     snd suite
@@ -229,6 +279,11 @@ let suite =
         Alcotest.test_case "snapshot save/load" `Quick test_snapshot_roundtrip;
         Alcotest.test_case "trace save/load" `Quick test_trace_roundtrip;
         Alcotest.test_case "load rejects garbage" `Quick test_load_rejects_garbage;
+        Alcotest.test_case "churn trace save/load" `Quick
+          test_churn_trace_roundtrip;
+        Alcotest.test_case "load rejects unknown version" `Quick
+          test_load_rejects_unknown_version;
+        Alcotest.test_case "headerless v1 load" `Quick test_load_headerless_v1;
       ] )
 
 (* random profiles always produce valid snapshots: exact page counts,
