@@ -243,10 +243,15 @@ let run_micro () =
     (Lazy.force tests)
 
 (* --json FILE: machine-readable results for cross-commit comparison.
-   schema_version 2: results grouped per experiment name under
-   "experiments", plus the flat micro list. *)
-let emit_json path ~quick ~domains ~experiments_s ~churn_s ~churn_rows ~micro
-    =
+   schema_version 3: results grouped per experiment name under
+   "experiments" — the paper-claim booleans and cache-lines-per-miss
+   values ("claims", "lines_per_miss"), the churn tables, and the
+   concurrent-service throughput rows — plus the flat micro list.  CI
+   diffs the deterministic fields of this file against a committed
+   baseline (tools/bench_diff); timing fields (wall clocks, ops/sec,
+   ns/op) are emitted for humans and skipped by the diff. *)
+let emit_json path ~quick ~domains ~experiments_s ~churn_s ~churn_rows
+    ~(report : Sim.Runner.verify_report) ~throughput_rows ~micro =
   let oc = open_out path in
   let json_string s =
     let b = Buffer.create (String.length s + 2) in
@@ -263,12 +268,30 @@ let emit_json path ~quick ~domains ~experiments_s ~churn_s ~churn_rows ~micro
     Buffer.contents b
   in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema_version\": 2,\n";
+  Printf.fprintf oc "  \"schema_version\": 3,\n";
   Printf.fprintf oc "  \"quick\": %b,\n" quick;
   Printf.fprintf oc "  \"domains\": %d,\n" domains;
   Printf.fprintf oc "  \"experiments\": {\n";
   Printf.fprintf oc "    \"paper_suite\": { \"wall_clock_s\": %.3f },\n"
     experiments_s;
+  Printf.fprintf oc "    \"claims\": [\n";
+  List.iteri
+    (fun i (name, holds) ->
+      Printf.fprintf oc "      { \"claim\": %s, \"holds\": %b }%s\n"
+        (json_string name) holds
+        (if i = List.length report.Sim.Runner.claims - 1 then "" else ","))
+    report.Sim.Runner.claims;
+  Printf.fprintf oc "    ],\n";
+  Printf.fprintf oc "    \"lines_per_miss\": [\n";
+  List.iteri
+    (fun i (design, pt, lines) ->
+      Printf.fprintf oc
+        "      { \"design\": %s, \"pt\": %s, \"lines\": %.4f }%s\n"
+        (json_string design) (json_string pt) lines
+        (if i = List.length report.Sim.Runner.lines_per_miss - 1 then ""
+         else ","))
+    report.Sim.Runner.lines_per_miss;
+  Printf.fprintf oc "    ],\n";
   Printf.fprintf oc "    \"churn\": {\n";
   Printf.fprintf oc "      \"wall_clock_s\": %.3f,\n" churn_s;
   Printf.fprintf oc "      \"tables\": [\n";
@@ -288,6 +311,24 @@ let emit_json path ~quick ~domains ~experiments_s ~churn_s ~churn_rows ~micro
         r.Sim.Runner.churn_final_nodes
         (if i = List.length churn_rows - 1 then "" else ","))
     churn_rows;
+  Printf.fprintf oc "      ]\n    },\n";
+  Printf.fprintf oc "    \"throughput\": {\n";
+  Printf.fprintf oc "      \"rows\": [\n";
+  List.iteri
+    (fun i (r : Sim.Runner.throughput_row) ->
+      Printf.fprintf oc
+        "        { \"table\": %s, \"locking\": %s, \"domains\": %d, \
+         \"total_ops\": %d, \"read_locks\": %d, \"write_locks\": %d, \
+         \"population\": %d, \"ops_per_sec\": %.0f, \"elapsed_s\": %.3f \
+         }%s\n"
+        (json_string r.Sim.Runner.tp_org)
+        (json_string r.Sim.Runner.tp_locking)
+        r.Sim.Runner.tp_domains r.Sim.Runner.tp_total_ops
+        r.Sim.Runner.tp_read_locks r.Sim.Runner.tp_write_locks
+        r.Sim.Runner.tp_population r.Sim.Runner.tp_ops_per_sec
+        r.Sim.Runner.tp_elapsed_s
+        (if i = List.length throughput_rows - 1 then "" else ","))
+    throughput_rows;
   Printf.fprintf oc "      ]\n    }\n  },\n";
   Printf.fprintf oc "  \"micro_ns_per_op\": [\n";
   List.iteri
@@ -332,9 +373,14 @@ let () =
   let churn_rows = Sim.Runner.churn_for_suite ~options ~domains () in
   let churn_s = Unix.gettimeofday () -. t1 in
   Printf.printf "\nchurn wall clock: %.1fs (%d domains)\n%!" churn_s domains;
+  let report = Sim.Runner.verify_report ~options ~domains () in
+  Printf.printf "\nheadline claims: %d/%d hold\n%!"
+    (List.length (List.filter snd report.Sim.Runner.claims))
+    (List.length report.Sim.Runner.claims);
+  let throughput_rows = Sim.Runner.throughput_for_suite ~options () in
   let micro = run_micro () in
   Option.iter
     (fun path ->
       emit_json path ~quick ~domains ~experiments_s ~churn_s ~churn_rows
-        ~micro)
+        ~report ~throughput_rows ~micro)
     json

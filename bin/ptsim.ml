@@ -170,10 +170,63 @@ let run_churn options domains ops seeds procs sample json =
       close_out oc;
       Printf.printf "\nwrote %s\n%!" path
 
+(* machine-readable throughput rows; deterministic fields first, the
+   timing fields last (CI diffs the former, ignores the latter) *)
+let throughput_rows_json rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i (r : Sim.Runner.throughput_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"table\": \"%s\", \"locking\": \"%s\", \"domains\": %d, \
+            \"total_ops\": %d, \"read_locks\": %d, \"write_locks\": %d, \
+            \"population\": %d, \"ops_per_sec\": %.0f, \"elapsed_s\": %.3f \
+            }%s\n"
+           r.Sim.Runner.tp_org r.Sim.Runner.tp_locking r.Sim.Runner.tp_domains
+           r.Sim.Runner.tp_total_ops r.Sim.Runner.tp_read_locks
+           r.Sim.Runner.tp_write_locks r.Sim.Runner.tp_population
+           r.Sim.Runner.tp_ops_per_sec r.Sim.Runner.tp_elapsed_s
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]";
+  Buffer.contents buf
+
+let run_throughput domains_list ops vpns seed org locking json =
+  let orgs =
+    match org with
+    | `All -> [ Pt_service.Service.Clustered; Pt_service.Service.Hashed ]
+    | `One o -> [ o ]
+  in
+  let lockings =
+    match locking with
+    | `All -> [ Pt_service.Service.Striped; Pt_service.Service.Global ]
+    | `One l -> [ l ]
+  in
+  let pairs =
+    List.concat_map (fun o -> List.map (fun l -> (o, l)) lockings) orgs
+  in
+  let rows =
+    Sim.Runner.throughput ~domains_list ~ops_per_domain:ops
+      ~vpns_per_domain:vpns ~seed ~pairs ()
+  in
+  match json with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n  \"schema_version\": 2,\n  \"experiment\": \"throughput\",\n  \
+         \"ops_per_domain\": %d,\n  \"vpns_per_domain\": %d,\n  \"seed\": \
+         %d,\n  \"rows\": %s\n}\n"
+        ops vpns seed (throughput_rows_json rows);
+      close_out oc;
+      Printf.printf "\nwrote %s\n%!" path
+
 let run_all options domains =
   announce_pool domains;
   Sim.Runner.all ~options ?domains ();
-  ignore (Sim.Runner.churn_for_suite ~options ?domains ())
+  ignore (Sim.Runner.churn_for_suite ~options ?domains ());
+  ignore (Sim.Runner.throughput_for_suite ~options ())
 
 let run_verify options domains =
   announce_pool domains;
@@ -394,6 +447,76 @@ let () =
         const run_churn $ options_term $ domains_term $ ops $ seeds $ procs
         $ sample $ json)
   in
+  let throughput =
+    let domains_list =
+      Arg.(
+        value
+        & opt (list domains_conv) [ 1; 2; 4; 8 ]
+        & info [ "domains" ] ~docv:"N[,N...]"
+            ~doc:
+              "Worker-domain counts to sweep (comma-separated), each \
+               driving mixed traffic against one shared table.")
+    in
+    let ops =
+      Arg.(
+        value & opt int 100_000
+        & info [ "ops" ] ~docv:"N" ~doc:"Operations per worker domain.")
+    in
+    let vpns =
+      Arg.(
+        value & opt int 4_096
+        & info [ "vpns" ] ~docv:"N"
+            ~doc:"Pages in each domain's (disjoint) working set.")
+    in
+    let seed =
+      Arg.(
+        value & opt int 42
+        & info [ "seed" ] ~docv:"SEED" ~doc:"Per-domain traffic PRNG seed.")
+    in
+    let org_conv =
+      Arg.enum
+        [
+          ("all", `All);
+          ("clustered", `One Pt_service.Service.Clustered);
+          ("hashed", `One Pt_service.Service.Hashed);
+        ]
+    in
+    let org =
+      Arg.(
+        value & opt org_conv `All
+        & info [ "org" ] ~docv:"ORG"
+            ~doc:"Table organization: all|clustered|hashed.")
+    in
+    let locking_conv =
+      Arg.enum
+        [
+          ("all", `All);
+          ("striped", `One Pt_service.Service.Striped);
+          ("global", `One Pt_service.Service.Global);
+        ]
+    in
+    let locking =
+      Arg.(
+        value & opt locking_conv `All
+        & info [ "locking" ] ~docv:"LOCKING"
+            ~doc:
+              "Lock strategy: all|striped (per-bucket readers-writer) \
+               |global (one mutex).")
+    in
+    let json =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "json" ] ~docv:"FILE"
+            ~doc:"Also write the rows as JSON to $(docv).")
+    in
+    cmd "throughput"
+      "Concurrent service: mixed ops/sec from N domains sharing one page \
+       table"
+      Term.(
+        const run_throughput $ domains_list $ ops $ vpns $ seed $ org
+        $ locking $ json)
+  in
   let all =
     cmd "all" "Every table and figure, in paper order"
       Term.(const run_all $ options_term $ domains_term)
@@ -452,10 +575,16 @@ let () =
          hashed, under conventional, superpage, partial-subblock and \
          complete-subblock TLBs."
   in
+  (* a bare "ptsim" is an error, not a successful usage dump: without a
+     default term, Cmd.group prints help and exits 0, which lets typo'd
+     scripts (and CI steps) sail through green *)
+  let default =
+    Term.(ret (const (fun () -> `Error (true, "missing subcommand")) $ const ()))
+  in
   exit
     (Cmd.eval
-       (Cmd.group info
+       (Cmd.group ~default info
           [
             table1; figure9; figure10; figure11; table2; ablations; churn;
-            workload; dump; replay; verify; all;
+            throughput; workload; dump; replay; verify; all;
           ]))

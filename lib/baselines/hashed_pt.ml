@@ -27,8 +27,10 @@ type t = {
   (* Two_tables mode only; empty array otherwise *)
   coarse : node option array;
   coarse_heads_addr : int64;
-  mutable fine_nodes : int;
-  mutable coarse_nodes : int;
+  (* atomic: concurrent mutators serialize per bucket (lib/service),
+     and the node counts are the only cross-bucket mutable state *)
+  fine_nodes : int Atomic.t;
+  coarse_nodes : int Atomic.t;
 }
 
 let name = "hashed"
@@ -68,8 +70,8 @@ let create ?arena ?(buckets = 4096) ?(subblock_factor = 16) ?(packed = false)
     fine_heads_addr;
     coarse;
     coarse_heads_addr;
-    fine_nodes = 0;
-    coarse_nodes = 0;
+    fine_nodes = Atomic.make 0;
+    coarse_nodes = Atomic.make 0;
   }
 
 let mode t = t.mode
@@ -291,8 +293,10 @@ let insert_node t ~coarse ~tag ~word =
       let n = alloc_node t ~coarse ~tag ~word in
       n.next <- table.(bucket);
       table.(bucket) <- Some n;
-      if coarse then t.coarse_nodes <- t.coarse_nodes + 1
-      else t.fine_nodes <- t.fine_nodes + 1
+      ignore
+        (Atomic.fetch_and_add
+           (if coarse then t.coarse_nodes else t.fine_nodes)
+           1)
 
 (* In superpage-index mode, tags of different kinds coexist in a
    bucket; replace only a node of the same tag AND kind. *)
@@ -318,7 +322,7 @@ let insert_node_spindex t ~bucket_key ~tag ~word =
       let n = alloc_node t ~coarse:false ~tag ~word in
       n.next <- t.fine.(bucket);
       t.fine.(bucket) <- Some n;
-      t.fine_nodes <- t.fine_nodes + 1
+      ignore (Atomic.fetch_and_add t.fine_nodes 1)
 
 let insert_base t ~vpn ~ppn ~attr =
   let word = Pte.Base_pte.(encode (make ~ppn ~attr ())) in
@@ -404,8 +408,10 @@ let remove_in_chain t table bucket ~select ~coarse =
         match select n with
         | `Unlink ->
             release_node t n;
-            if coarse then t.coarse_nodes <- t.coarse_nodes - 1
-            else t.fine_nodes <- t.fine_nodes - 1;
+            ignore
+              (Atomic.fetch_and_add
+                 (if coarse then t.coarse_nodes else t.fine_nodes)
+                 (-1));
             (n.next, true)
         | `Updated -> (Some n, true)
         | `Skip ->
@@ -523,7 +529,18 @@ let set_attr_range t region ~f =
 
 (* --- accounting --- *)
 
-let size_bytes t = (t.fine_nodes + t.coarse_nodes) * t.node_bytes
+let size_bytes t =
+  (Atomic.get t.fine_nodes + Atomic.get t.coarse_nodes) * t.node_bytes
+
+let buckets t = t.buckets
+
+let bucket_of t ~vpn =
+  (* the fine-table bucket: the only chain the single-table modes touch
+     for [vpn].  Two-table modes also probe a coarse bucket and need
+     coarser exclusion than one stripe. *)
+  match t.mode with
+  | No_superpages | Two_tables _ -> hash t vpn
+  | Superpage_index -> hash t (vpbn t vpn)
 
 let iter_nodes t f =
   let iter_table table =
@@ -564,9 +581,10 @@ let clear t =
   Array.fill t.fine 0 (Array.length t.fine) None;
   if Array.length t.coarse > 0 then
     Array.fill t.coarse 0 (Array.length t.coarse) None;
-  t.fine_nodes <- 0;
-  t.coarse_nodes <- 0
+  Atomic.set t.fine_nodes 0;
+  Atomic.set t.coarse_nodes 0
 
-let node_count t = t.fine_nodes + t.coarse_nodes
+let node_count t = Atomic.get t.fine_nodes + Atomic.get t.coarse_nodes
 
-let load_factor t = float_of_int t.fine_nodes /. float_of_int t.buckets
+let load_factor t =
+  float_of_int (Atomic.get t.fine_nodes) /. float_of_int t.buckets

@@ -41,6 +41,16 @@ val create :
 
 val mode : t -> sp_mode
 
+val buckets : t -> int
+
+val bucket_of : t -> vpn:int64 -> int
+(** The fine-table hash bucket serving [vpn] — the stripe an external
+    per-bucket lock table (see [lib/service]) must hold to make an
+    operation on [vpn] atomic.  Sufficient for [No_superpages] and
+    [Superpage_index] modes, whose entry points touch exactly one
+    bucket; [Two_tables] mode also probes a coarse bucket and needs
+    coarser exclusion. *)
+
 val lookup :
   t -> vpn:int64 -> Pt_common.Types.translation option * Pt_common.Types.walk
 

@@ -72,6 +72,10 @@ module Real = struct
     mutable readers : int;
     mutable writer : bool;
     mutable writers_waiting : int;
+    (* acquisition counters live in the slot and are bumped under its
+       mutex, so the hot path never touches a shared cache line *)
+    mutable reads_granted : int;
+    mutable writes_granted : int;
   }
 
   type t = slot array
@@ -86,7 +90,11 @@ module Real = struct
           readers = 0;
           writer = false;
           writers_waiting = 0;
+          reads_granted = 0;
+          writes_granted = 0;
         })
+
+  let buckets t = Array.length t
 
   let slot t bucket =
     if bucket < 0 || bucket >= Array.length t then
@@ -101,6 +109,7 @@ module Real = struct
       Condition.wait s.readable s.m
     done;
     s.readers <- s.readers + 1;
+    s.reads_granted <- s.reads_granted + 1;
     Mutex.unlock s.m;
     let finish () =
       Mutex.lock s.m;
@@ -125,6 +134,7 @@ module Real = struct
     done;
     s.writers_waiting <- s.writers_waiting - 1;
     s.writer <- true;
+    s.writes_granted <- s.writes_granted + 1;
     Mutex.unlock s.m;
     let finish () =
       Mutex.lock s.m;
@@ -140,4 +150,22 @@ module Real = struct
     | exception e ->
         finish ();
         raise e
+
+  (* The inspection entry points take each slot's mutex, so they are
+     exact at quiescence and merely consistent-per-slot under load. *)
+  let sum_slots t f =
+    Array.fold_left
+      (fun acc s ->
+        Mutex.lock s.m;
+        let v = f s in
+        Mutex.unlock s.m;
+        acc + v)
+      0 t
+
+  let read_acquisitions t = sum_slots t (fun s -> s.reads_granted)
+
+  let write_acquisitions t = sum_slots t (fun s -> s.writes_granted)
+
+  let currently_held t =
+    sum_slots t (fun s -> if s.writer || s.readers > 0 then 1 else 0)
 end

@@ -45,7 +45,21 @@ module Real : sig
 
   val create : buckets:int -> t
 
+  val buckets : t -> int
+
   val with_read : t -> bucket:int -> (unit -> 'a) -> 'a
 
   val with_write : t -> bucket:int -> (unit -> 'a) -> 'a
+
+  val read_acquisitions : t -> int
+  (** Total granted read acquisitions, summed over buckets.  Counters
+      are kept per slot (bumped under the slot mutex, so the hot path
+      shares no cache line); the sum is exact once the lock is
+      quiescent. *)
+
+  val write_acquisitions : t -> int
+
+  val currently_held : t -> int
+  (** Number of buckets held in either mode right now; must return to
+      zero whenever all critical sections have exited. *)
 end

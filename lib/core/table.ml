@@ -95,6 +95,12 @@ let split t vpn =
 
 let factor_mask t = (1 lsl t.config.Config.subblock_factor) - 1
 
+let buckets t = Array.length t.heads
+
+let bucket_of t ~vpn =
+  let vpbn, _ = split t vpn in
+  Config.hash t.config vpbn
+
 (* --- node management --- *)
 
 let pop_free t ~single =

@@ -33,6 +33,15 @@ val config : t -> Config.t
 
 val name : string
 
+val buckets : t -> int
+
+val bucket_of : t -> vpn:int64 -> int
+(** The hash bucket whose chain holds (or would hold) [vpn]'s page
+    block.  External per-bucket lock tables (see {!Bucket_lock.Real}
+    and [lib/service]) key their stripes by this: every entry point
+    that touches [vpn] touches only this bucket's chain, so holding its
+    lock makes the operation atomic with respect to other buckets. *)
+
 val lookup : t -> vpn:int64 -> Pt_common.Types.translation option * Pt_common.Types.walk
 
 val lookup_into :

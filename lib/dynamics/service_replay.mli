@@ -1,0 +1,38 @@
+(** Churn replay through the concurrent page-table service.
+
+    Where {!Engine} interprets a lifecycle trace sequentially with one
+    private table per process, this replay drives the same trace at a
+    shared {!Pt_service.Service.t}: all processes' pages in ONE table
+    (pid folded into the key, like an address-space id tag), with
+    independent process families — pids connected by [Fork] — replayed
+    concurrently on separate worker domains.
+
+    Families touch disjoint keys and each replays in trace order, so
+    the result is deterministic: identical populations, tallies and
+    lock totals for every [domains] count, while the bucket stripes
+    underneath are genuinely contended. *)
+
+type result = {
+  events : int;  (** trace length, including ignored access events *)
+  families : int;  (** independent process families found *)
+  inserts : int;  (** pages mapped by [Mmap] and [Fork] copies *)
+  removes : int;  (** pages unmapped by [Munmap] (not [Exit] teardown) *)
+  protects : int;  (** [Protect] range operations *)
+  protect_searches : int;  (** hash searches those protects performed *)
+  touch_hits : int;  (** [Touch] lookups that hit *)
+  touch_faults : int;  (** [Touch] lookups that demand-faulted a page *)
+  forks : int;
+  exits : int;
+  final_population : int;  (** mapped pages left in the shared table *)
+  read_locks : int;  (** total lock acquisitions over the replay *)
+  write_locks : int;
+}
+
+val run :
+  ?domains:int ->
+  org:Pt_service.Service.org ->
+  locking:Pt_service.Service.locking ->
+  Workload.Trace.t ->
+  result
+(** Replay a {!Churn}-generated trace (default [domains:1]).  [Access]
+    and [Switch] events are ignored, as in {!Engine}. *)

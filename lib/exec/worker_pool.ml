@@ -1,0 +1,125 @@
+(* Long-lived worker domains.
+
+   Domain_pool forks and joins a fresh set of domains per call, which
+   is fine for coarse experiment fan-out but wrong for a shared-memory
+   service benchmark: domain startup (~hundreds of microseconds plus
+   GC registration) would sit inside the timed region, and a
+   lookup/insert service wants the same domains to run phase after
+   phase against the same shared structure.
+
+   A pool spawns its domains once.  Each [run] publishes one job under
+   the pool mutex, bumps an epoch, and wakes every worker; workers run
+   the job with their domain index and report back, and [run] returns
+   when all of them have.  The caller's domain never runs jobs — with
+   [domains:n] exactly [n] workers execute, so scaling curves compare
+   like with like. *)
+
+type job = int -> unit
+
+type t = {
+  n : int;
+  m : Mutex.t;
+  wake : Condition.t;  (* workers wait here for a new epoch / shutdown *)
+  idle : Condition.t;  (* the caller waits here for completions *)
+  mutable epoch : int;
+  mutable job : job option;
+  mutable completed : int;
+  mutable failure : exn option;  (* first failure of the current epoch *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+}
+
+exception Worker_failed of exn
+
+let () =
+  Printexc.register_printer (function
+    | Worker_failed e ->
+        Some (Printf.sprintf "Worker_pool.Worker_failed(%s)" (Printexc.to_string e))
+    | _ -> None)
+
+let worker_at t index () =
+  let seen = ref 0 in
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.m;
+    while t.epoch = !seen && not t.stopping do
+      Condition.wait t.wake t.m
+    done;
+    if t.stopping then begin
+      Mutex.unlock t.m;
+      continue := false
+    end
+    else begin
+      seen := t.epoch;
+      let job = Option.get t.job in
+      Mutex.unlock t.m;
+      let outcome = match job index with () -> None | exception e -> Some e in
+      Mutex.lock t.m;
+      (match outcome with
+      | Some e when t.failure = None -> t.failure <- Some e
+      | Some _ | None -> ());
+      t.completed <- t.completed + 1;
+      if t.completed = t.n then Condition.signal t.idle;
+      Mutex.unlock t.m
+    end
+  done
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Worker_pool.create: domains must be >= 1";
+  let t =
+    {
+      n = domains;
+      m = Mutex.create ();
+      wake = Condition.create ();
+      idle = Condition.create ();
+      epoch = 0;
+      job = None;
+      completed = 0;
+      failure = None;
+      stopping = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init domains (fun i -> Domain.spawn (worker_at t i));
+  t
+
+let size t = t.n
+
+let run t f =
+  Mutex.lock t.m;
+  if t.stopping then begin
+    Mutex.unlock t.m;
+    invalid_arg "Worker_pool.run: pool is shut down"
+  end;
+  t.job <- Some f;
+  t.completed <- 0;
+  t.failure <- None;
+  t.epoch <- t.epoch + 1;
+  Condition.broadcast t.wake;
+  while t.completed < t.n do
+    Condition.wait t.idle t.m
+  done;
+  let failure = t.failure in
+  t.job <- None;
+  Mutex.unlock t.m;
+  match failure with Some e -> raise (Worker_failed e) | None -> ()
+
+let shutdown t =
+  Mutex.lock t.m;
+  if not t.stopping then begin
+    t.stopping <- true;
+    Condition.broadcast t.wake
+  end;
+  Mutex.unlock t.m;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  match f t with
+  | v ->
+      shutdown t;
+      v
+  | exception e ->
+      shutdown t;
+      raise e

@@ -1,0 +1,36 @@
+(** A pool of long-lived worker domains.
+
+    {!Domain_pool} forks and joins fresh domains on every call, which
+    puts domain startup inside any timed region and gives each phase a
+    cold set of domains.  A [Worker_pool.t] spawns its domains once at
+    {!create}; each {!run} dispatches one job to all of them and
+    barriers until every worker has finished, so repeated phases (warm
+    up, measure, verify) reuse the same domains against the same shared
+    structures — the shape a shared-memory page-table service benchmark
+    needs. *)
+
+type t
+
+exception Worker_failed of exn
+(** Raised by {!run} with the first exception any worker raised during
+    that job.  The run still waits for every worker to finish first. *)
+
+val create : domains:int -> t
+(** Spawn [domains] worker domains, parked awaiting work.  The calling
+    domain never executes jobs: with [domains:n], exactly [n] workers
+    run each job, so scaling measurements compare like with like.
+    Raises [Invalid_argument] if [domains < 1]. *)
+
+val size : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f index] on every worker, [index] ranging over
+    [0 .. size t - 1], and returns once all have completed.  Not
+    reentrant: one job at a time per pool. *)
+
+val shutdown : t -> unit
+(** Stop and join all workers.  Idempotent; {!run} after [shutdown]
+    raises [Invalid_argument]. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [create], apply, [shutdown] — also on exception. *)

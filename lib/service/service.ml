@@ -1,0 +1,206 @@
+(* A shared-memory page-table service (paper, Section 3.1).
+
+   One page table — hashed or clustered — shared by N domains, with
+   the locking protocol the paper describes for multi-threaded
+   operating systems: a readers-writer lock per hash bucket, striped
+   over the table's own buckets, plus a coarse single-mutex baseline
+   for comparison.
+
+   The locking is layered strictly outside the tables.  The tables'
+   entry points are bucket-local (every lookup/insert/remove touches
+   exactly the chain of [bucket_of vpn]; range protects touch one
+   bucket per block or per page), and their cross-bucket shared state
+   — node counters, arena allocation, free lists — is independently
+   thread-safe (atomics and internal mutexes).  Holding the stripe for
+   an operation's bucket therefore makes the operation atomic with
+   respect to every other operation.
+
+   The hashed backend is restricted to [No_superpages] mode: its other
+   modes probe a second (coarse) bucket per operation, which a single
+   stripe does not cover. *)
+
+type org = Hashed | Clustered
+
+let org_name = function Hashed -> "hashed" | Clustered -> "clustered"
+
+type locking = Global | Striped
+
+let locking_name = function Global -> "global" | Striped -> "striped"
+
+type backend = H of Baselines.Hashed_pt.t | C of Clustered_pt.Table.t
+
+(* The coarse baseline is one exclusive mutex.  Acquisitions are
+   tallied by intent (read for lookups, write for mutations) so its
+   accounting lines up with the striped lock's, even though every
+   acquisition excludes everyone. *)
+type global_lock = {
+  m : Mutex.t;
+  mutable g_reads : int;
+  mutable g_writes : int;
+  mutable g_held : int;
+}
+
+type locks =
+  | Global_lock of global_lock
+  | Striped_lock of Clustered_pt.Bucket_lock.Real.t
+
+type t = {
+  org : org;
+  locking : locking;
+  backend : backend;
+  locks : locks;
+  subblock_factor : int;
+}
+
+let create ?(buckets = 4096) ?(subblock_factor = 16) ~org ~locking () =
+  let backend =
+    match org with
+    | Hashed ->
+        H
+          (Baselines.Hashed_pt.create ~buckets ~subblock_factor
+             ~mode:Baselines.Hashed_pt.No_superpages ())
+    | Clustered ->
+        C
+          (Clustered_pt.Table.create
+             (Clustered_pt.Config.make ~buckets ~subblock_factor ()))
+  in
+  let locks =
+    match locking with
+    | Global ->
+        Global_lock
+          { m = Mutex.create (); g_reads = 0; g_writes = 0; g_held = 0 }
+    | Striped -> Striped_lock (Clustered_pt.Bucket_lock.Real.create ~buckets)
+  in
+  { org; locking; backend; locks; subblock_factor }
+
+let org t = t.org
+let locking t = t.locking
+let subblock_factor t = t.subblock_factor
+
+let bucket_of t ~vpn =
+  match t.backend with
+  | H h -> Baselines.Hashed_pt.bucket_of h ~vpn
+  | C c -> Clustered_pt.Table.bucket_of c ~vpn
+
+let with_read t ~vpn f =
+  match t.locks with
+  | Global_lock g ->
+      Mutex.lock g.m;
+      g.g_reads <- g.g_reads + 1;
+      g.g_held <- g.g_held + 1;
+      Fun.protect
+        ~finally:(fun () ->
+          g.g_held <- g.g_held - 1;
+          Mutex.unlock g.m)
+        f
+  | Striped_lock l ->
+      Clustered_pt.Bucket_lock.Real.with_read l ~bucket:(bucket_of t ~vpn) f
+
+let with_write t ~vpn f =
+  match t.locks with
+  | Global_lock g ->
+      Mutex.lock g.m;
+      g.g_writes <- g.g_writes + 1;
+      g.g_held <- g.g_held + 1;
+      Fun.protect
+        ~finally:(fun () ->
+          g.g_held <- g.g_held - 1;
+          Mutex.unlock g.m)
+        f
+  | Striped_lock l ->
+      Clustered_pt.Bucket_lock.Real.with_write l ~bucket:(bucket_of t ~vpn) f
+
+let lookup_into t acc ~vpn =
+  with_read t ~vpn (fun () ->
+      match t.backend with
+      | H h -> Baselines.Hashed_pt.lookup_into h acc ~vpn <> None
+      | C c -> Clustered_pt.Table.lookup_into c acc ~vpn <> None)
+
+let lookup t ~vpn =
+  with_read t ~vpn (fun () ->
+      match t.backend with
+      | H h -> fst (Baselines.Hashed_pt.lookup h ~vpn) <> None
+      | C c -> fst (Clustered_pt.Table.lookup c ~vpn) <> None)
+
+let insert t ~vpn ~ppn ~attr =
+  with_write t ~vpn (fun () ->
+      match t.backend with
+      | H h -> Baselines.Hashed_pt.insert_base h ~vpn ~ppn ~attr
+      | C c -> Clustered_pt.Table.insert_base c ~vpn ~ppn ~attr)
+
+let remove t ~vpn =
+  with_write t ~vpn (fun () ->
+      match t.backend with
+      | H h -> Baselines.Hashed_pt.remove h ~vpn
+      | C c -> Clustered_pt.Table.remove c ~vpn)
+
+(* Range protect.  This is where lock granularity diverges (the
+   Section 3.1 claim the tests verify): clustered takes one write lock
+   per page *block*, hashed one per base *page*.  Under the global
+   lock both take a single acquisition for the whole range. *)
+let protect t region ~writable =
+  let f attr = { attr with Pte.Attr.writable } in
+  match t.locks with
+  | Global_lock _ ->
+      (* representative vpn only selects the (single) lock *)
+      with_write t ~vpn:region.Addr.Region.first_vpn (fun () ->
+          match t.backend with
+          | H h -> Baselines.Hashed_pt.set_attr_range h region ~f
+          | C c -> Clustered_pt.Table.set_attr_range c region ~f)
+  | Striped_lock _ -> (
+      match t.backend with
+      | C c ->
+          let blocks =
+            Addr.Region.blocks ~subblock_factor:t.subblock_factor region
+          in
+          List.fold_left
+            (fun acc (vpbn, first_boff, count) ->
+              let first_vpn =
+                Int64.add
+                  (Int64.mul vpbn (Int64.of_int t.subblock_factor))
+                  (Int64.of_int first_boff)
+              in
+              let sub = Addr.Region.make ~first_vpn ~pages:count in
+              acc
+              + with_write t ~vpn:first_vpn (fun () ->
+                    Clustered_pt.Table.set_attr_range c sub ~f))
+            0 blocks
+      | H h ->
+          Addr.Region.fold_vpns region ~init:0 ~f:(fun acc vpn ->
+              let sub = Addr.Region.make ~first_vpn:vpn ~pages:1 in
+              acc
+              + with_write t ~vpn (fun () ->
+                    Baselines.Hashed_pt.set_attr_range h sub ~f)))
+
+let population t =
+  match t.backend with
+  | H h -> Baselines.Hashed_pt.population h
+  | C c -> Clustered_pt.Table.population c
+
+let size_bytes t =
+  match t.backend with
+  | H h -> Baselines.Hashed_pt.size_bytes h
+  | C c -> Clustered_pt.Table.size_bytes c
+
+type lock_stats = {
+  read_acquisitions : int;
+  write_acquisitions : int;
+  currently_held : int;
+}
+
+let lock_stats t =
+  match t.locks with
+  | Global_lock g ->
+      (* mutate-free reads of monotonic counters; exact when quiescent,
+         like the striped per-slot sums *)
+      {
+        read_acquisitions = g.g_reads;
+        write_acquisitions = g.g_writes;
+        currently_held = g.g_held;
+      }
+  | Striped_lock l ->
+      {
+        read_acquisitions = Clustered_pt.Bucket_lock.Real.read_acquisitions l;
+        write_acquisitions = Clustered_pt.Bucket_lock.Real.write_acquisitions l;
+        currently_held = Clustered_pt.Bucket_lock.Real.currently_held l;
+      }

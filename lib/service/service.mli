@@ -1,0 +1,74 @@
+(** A concurrent shared-memory page-table service (paper,
+    Section 3.1).
+
+    One page table — {!Hashed} or {!Clustered} — shared by N OCaml 5
+    domains.  Locking follows the paper's protocol for multi-threaded
+    operating systems: a readers-writer lock per hash bucket
+    ({!Striped}, stripes keyed by the table's own buckets), or a
+    coarse single-mutex baseline ({!Global}).
+
+    Lock-acquisition accounting is part of the service so tests can
+    verify the paper's granularity claim: a range {!protect} on a
+    clustered table takes one write lock per page {e block} where a
+    hashed table takes one per base {e page}.
+
+    The hashed backend runs in [No_superpages] mode (single bucket per
+    operation — the precondition for striping). *)
+
+type org = Hashed | Clustered
+
+val org_name : org -> string
+
+type locking = Global | Striped
+
+val locking_name : locking -> string
+
+type t
+
+val create :
+  ?buckets:int -> ?subblock_factor:int -> org:org -> locking:locking -> unit -> t
+(** Defaults: 4096 buckets, factor 16 (the paper's defaults). *)
+
+val org : t -> org
+
+val locking : t -> locking
+
+val subblock_factor : t -> int
+
+val bucket_of : t -> vpn:int64 -> int
+(** The stripe serving [vpn] (the backing table's hash bucket). *)
+
+val lookup : t -> vpn:int64 -> bool
+(** Under a read lock on [vpn]'s stripe. *)
+
+val lookup_into : t -> Mem.Walk_acc.t -> vpn:int64 -> bool
+(** Allocation-free {!lookup} for benchmark hot loops: walk reads and
+    probes append to the caller's accumulator.  The accumulator must
+    be private to the calling domain. *)
+
+val insert : t -> vpn:int64 -> ppn:int64 -> attr:Pte.Attr.t -> unit
+(** Insert a base-page mapping under a write lock on [vpn]'s stripe. *)
+
+val remove : t -> vpn:int64 -> unit
+
+val protect : t -> Addr.Region.t -> writable:bool -> int
+(** Set the [writable] attribute across a region; returns the number
+    of hash searches performed.  Striped locking acquires one write
+    lock per page block (clustered) or per base page (hashed); the
+    global lock is taken once for the whole range. *)
+
+val population : t -> int
+
+val size_bytes : t -> int
+
+type lock_stats = {
+  read_acquisitions : int;
+  write_acquisitions : int;
+  currently_held : int;
+}
+
+val lock_stats : t -> lock_stats
+(** Totals since {!create}; exact when no operation is in flight.
+    [currently_held] must be zero at quiescence.  Global-lock
+    acquisitions are tallied by intent (lookups as reads, mutations as
+    writes) so the two strategies' accounting is comparable. *)

@@ -1,0 +1,139 @@
+(* Per-domain throughput benchmark for the shared service.
+
+   N worker domains (a long-lived {!Exec.Worker_pool}) issue mixed
+   lookup/insert/remove/protect traffic against one shared table.
+   Each domain owns a disjoint VPN range — keys never collide, so the
+   final table state is independent of interleaving — but ranges hash
+   into the same 4096 buckets, so stripes are genuinely contended.
+
+   Phases: prepopulate (each domain inserts every other page of its
+   range, untimed) then a timed mixed loop.  The pool is created
+   before and shut down after the timed region, so domain startup is
+   never measured; lookups go through the allocation-free
+   [lookup_into] path with a per-domain accumulator, so the timed loop
+   is GC-quiet. *)
+
+type mix = {
+  lookup_pct : int;
+  insert_pct : int;
+  remove_pct : int;
+  protect_pct : int;
+}
+
+let default_mix =
+  { lookup_pct = 70; insert_pct = 15; remove_pct = 10; protect_pct = 5 }
+
+let check_mix m =
+  if m.lookup_pct < 0 || m.insert_pct < 0 || m.remove_pct < 0
+     || m.protect_pct < 0
+     || m.lookup_pct + m.insert_pct + m.remove_pct + m.protect_pct <> 100
+  then invalid_arg "Throughput: mix percentages must be >= 0 and sum to 100"
+
+type config = {
+  domains : int;
+  ops_per_domain : int;
+  vpns_per_domain : int;
+  protect_pages : int;  (** span of each protect region *)
+  mix : mix;
+  seed : int;
+}
+
+let default_config =
+  {
+    domains = 1;
+    ops_per_domain = 100_000;
+    vpns_per_domain = 4_096;
+    protect_pages = 64;
+    mix = default_mix;
+    seed = 42;
+  }
+
+type result = {
+  org : Service.org;
+  locking : Service.locking;
+  domains : int;
+  total_ops : int;
+  elapsed_s : float;
+  ops_per_sec : float;
+  lookups_hit : int;
+  read_locks : int;
+  write_locks : int;
+  population : int;
+}
+
+(* Each domain's keys start well away from VPN 0 and from each other;
+   the stride keeps ranges disjoint for any sane config. *)
+let domain_base cfg index =
+  Int64.add 0x10_0000L
+    (Int64.mul (Int64.of_int index) (Int64.of_int cfg.vpns_per_domain))
+
+(* identity placement folded into the PTE's 28-bit PPN field *)
+let ppn_for vpn = Int64.logand vpn 0xFFF_FFFFL
+
+let prepopulate svc cfg index =
+  let base = domain_base cfg index in
+  let i = ref 0 in
+  while !i < cfg.vpns_per_domain do
+    let vpn = Int64.add base (Int64.of_int !i) in
+    Service.insert svc ~vpn ~ppn:(ppn_for vpn) ~attr:Pte.Attr.default;
+    i := !i + 2
+  done
+
+let mixed_loop svc cfg index hits =
+  let rng = Random.State.make [| cfg.seed; index; 0x9e3779b9 |] in
+  let acc = Mem.Walk_acc.create () in
+  let base = domain_base cfg index in
+  let m = cfg.mix in
+  let hit = ref 0 in
+  for _ = 1 to cfg.ops_per_domain do
+    let o = Random.State.int rng cfg.vpns_per_domain in
+    let vpn = Int64.add base (Int64.of_int o) in
+    let r = Random.State.int rng 100 in
+    if r < m.lookup_pct then begin
+      Mem.Walk_acc.reset acc;
+      if Service.lookup_into svc acc ~vpn then incr hit
+    end
+    else if r < m.lookup_pct + m.insert_pct then
+      Service.insert svc ~vpn ~ppn:(ppn_for vpn) ~attr:Pte.Attr.default
+    else if r < m.lookup_pct + m.insert_pct + m.remove_pct then
+      Service.remove svc ~vpn
+    else begin
+      let pages = min cfg.protect_pages (cfg.vpns_per_domain - o) in
+      let region = Addr.Region.make ~first_vpn:vpn ~pages in
+      ignore (Service.protect svc region ~writable:(r land 1 = 0))
+    end
+  done;
+  hits.(index) <- !hit
+
+let run ~org ~locking cfg =
+  check_mix cfg.mix;
+  if cfg.domains < 1 then invalid_arg "Throughput.run: domains must be >= 1";
+  if cfg.vpns_per_domain < 2 then
+    invalid_arg "Throughput.run: vpns_per_domain must be >= 2";
+  let svc = Service.create ~org ~locking () in
+  let hits = Array.make cfg.domains 0 in
+  Exec.Worker_pool.with_pool ~domains:cfg.domains (fun pool ->
+      Exec.Worker_pool.run pool (prepopulate svc cfg);
+      let stats0 = Service.lock_stats svc in
+      let t0 = Unix.gettimeofday () in
+      Exec.Worker_pool.run pool (fun index -> mixed_loop svc cfg index hits);
+      let t1 = Unix.gettimeofday () in
+      let stats1 = Service.lock_stats svc in
+      let total_ops = cfg.domains * cfg.ops_per_domain in
+      let elapsed_s = t1 -. t0 in
+      {
+        org;
+        locking;
+        domains = cfg.domains;
+        total_ops;
+        elapsed_s;
+        ops_per_sec =
+          (if elapsed_s > 0. then float_of_int total_ops /. elapsed_s
+           else infinity);
+        lookups_hit = Array.fold_left ( + ) 0 hits;
+        read_locks =
+          stats1.Service.read_acquisitions - stats0.Service.read_acquisitions;
+        write_locks =
+          stats1.Service.write_acquisitions - stats0.Service.write_acquisitions;
+        population = Service.population svc;
+      })

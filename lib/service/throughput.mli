@@ -1,0 +1,48 @@
+(** Per-domain throughput benchmark for the shared {!Service}.
+
+    N long-lived worker domains issue mixed
+    lookup/insert/remove/protect traffic against one shared table.
+    Each domain owns a disjoint VPN range (final state is independent
+    of interleaving) but all ranges hash into the shared buckets, so
+    lock stripes are contended.  Prepopulation and domain startup
+    happen outside the timed region; lookups use the allocation-free
+    path, so the measured loop is GC-quiet. *)
+
+type mix = {
+  lookup_pct : int;
+  insert_pct : int;
+  remove_pct : int;
+  protect_pct : int;
+}
+(** Must sum to 100. *)
+
+val default_mix : mix
+(** 70 / 15 / 10 / 5. *)
+
+type config = {
+  domains : int;
+  ops_per_domain : int;
+  vpns_per_domain : int;
+  protect_pages : int;  (** span of each protect region *)
+  mix : mix;
+  seed : int;
+}
+
+val default_config : config
+(** 1 domain, 100k ops, 4096-page working set per domain, 64-page
+    protects, default mix, seed 42. *)
+
+type result = {
+  org : Service.org;
+  locking : Service.locking;
+  domains : int;
+  total_ops : int;
+  elapsed_s : float;
+  ops_per_sec : float;
+  lookups_hit : int;  (** sanity: > 0 under any default-mix run *)
+  read_locks : int;  (** lock acquisitions inside the timed region *)
+  write_locks : int;
+  population : int;  (** final mapped pages; deterministic per config *)
+}
+
+val run : org:Service.org -> locking:Service.locking -> config -> result

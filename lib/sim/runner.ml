@@ -1284,13 +1284,14 @@ let churn_for_suite ?(options = default_options) ?domains () =
     ~ops:(if options.quick then 2_000 else 6_000)
     ()
 
-let verify ?(options = default_options) ?domains () =
-  let ok = ref true in
-  let check name cond =
-    Printf.printf "  [%s] %s\n%!" (if cond then "PASS" else "FAIL") name;
-    if not cond then ok := false
-  in
-  Printf.printf "\n== Verifying the paper's headline claims ==\n";
+type verify_report = {
+  claims : (string * bool) list;
+  lines_per_miss : (string * string * float) list;
+}
+
+let verify_report ?(options = default_options) ?domains () =
+  let acc = ref [] in
+  let check name cond = acc := (name, cond) :: !acc in
   (* Figure 9 *)
   let rows = Size_exp.figure9 ~seed:options.seed ?domains () in
   let get row label =
@@ -1367,6 +1368,102 @@ let verify ?(options = default_options) ?domains () =
   check "Table 2: hashed size = 24 * Nactive(1)"
     (Size_exp.size_of Factory.Hashed ~policy:`Base ~assignments
     = Analytic.hashed_size ~nactive1:(n 1));
+  let lines_of tag run =
+    List.map
+      (fun r -> (tag, r.Access_exp.pt, r.Access_exp.mean_lines))
+      run.Access_exp.results
+  in
+  {
+    claims = List.rev !acc;
+    lines_per_miss =
+      lines_of "single" a @ lines_of "superpage" b @ lines_of "csb" d;
+  }
+
+let verify ?(options = default_options) ?domains () =
+  Printf.printf "\n== Verifying the paper's headline claims ==\n";
+  let report = verify_report ~options ?domains () in
+  List.iter
+    (fun (name, cond) ->
+      Printf.printf "  [%s] %s\n%!" (if cond then "PASS" else "FAIL") name)
+    report.claims;
+  let ok = List.for_all snd report.claims in
   Printf.printf "%s\n"
-    (if !ok then "All headline claims hold." else "SOME CLAIMS FAILED.");
-  !ok
+    (if ok then "All headline claims hold." else "SOME CLAIMS FAILED.");
+  ok
+
+(* --- service throughput (lib/service): ops/sec vs domains --- *)
+
+type throughput_row = {
+  tp_org : string;
+  tp_locking : string;
+  tp_domains : int;
+  tp_total_ops : int;
+  tp_elapsed_s : float;
+  tp_ops_per_sec : float;
+  tp_read_locks : int;
+  tp_write_locks : int;
+  tp_population : int;
+}
+
+let throughput ?(domains_list = [ 1; 2; 4; 8 ]) ?(ops_per_domain = 100_000)
+    ?(vpns_per_domain = 4_096) ?(seed = 42)
+    ?(pairs =
+      Pt_service.Service.
+        [
+          (Clustered, Striped);
+          (Clustered, Global);
+          (Hashed, Striped);
+          (Hashed, Global);
+        ]) () =
+  let m = Pt_service.Throughput.default_mix in
+  Printf.printf "\n== Service throughput: mixed ops against one shared table ==\n";
+  Printf.printf
+    "  mix %d/%d/%d/%d lookup/insert/remove/protect; %d ops, %d-page \
+     working set per domain\n"
+    m.Pt_service.Throughput.lookup_pct m.Pt_service.Throughput.insert_pct
+    m.Pt_service.Throughput.remove_pct m.Pt_service.Throughput.protect_pct
+    ops_per_domain vpns_per_domain;
+  Printf.printf "  %-10s %-8s %8s %14s %9s %12s %12s\n" "table" "locking"
+    "domains" "ops/sec" "speedup" "read locks" "write locks";
+  List.concat_map
+    (fun (org, locking) ->
+      let base_rate = ref 0.0 in
+      List.map
+        (fun domains ->
+          let cfg =
+            {
+              Pt_service.Throughput.default_config with
+              domains;
+              ops_per_domain;
+              vpns_per_domain;
+              seed;
+            }
+          in
+          let r = Pt_service.Throughput.run ~org ~locking cfg in
+          if !base_rate = 0.0 then
+            base_rate := r.Pt_service.Throughput.ops_per_sec;
+          Printf.printf "  %-10s %-8s %8d %14.0f %8.2fx %12d %12d\n%!"
+            (Pt_service.Service.org_name org)
+            (Pt_service.Service.locking_name locking)
+            domains r.Pt_service.Throughput.ops_per_sec
+            (r.Pt_service.Throughput.ops_per_sec /. !base_rate)
+            r.Pt_service.Throughput.read_locks
+            r.Pt_service.Throughput.write_locks;
+          {
+            tp_org = Pt_service.Service.org_name org;
+            tp_locking = Pt_service.Service.locking_name locking;
+            tp_domains = domains;
+            tp_total_ops = r.Pt_service.Throughput.total_ops;
+            tp_elapsed_s = r.Pt_service.Throughput.elapsed_s;
+            tp_ops_per_sec = r.Pt_service.Throughput.ops_per_sec;
+            tp_read_locks = r.Pt_service.Throughput.read_locks;
+            tp_write_locks = r.Pt_service.Throughput.write_locks;
+            tp_population = r.Pt_service.Throughput.population;
+          })
+        domains_list)
+    pairs
+
+let throughput_for_suite ?(options = default_options) () =
+  if options.quick then
+    throughput ~domains_list:[ 1; 2 ] ~ops_per_domain:20_000 ()
+  else throughput ()

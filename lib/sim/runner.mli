@@ -163,9 +163,59 @@ val all : ?options:options -> ?domains:int -> unit -> unit
 (** Every table and figure in paper order (the churn extension is
     separate — see {!churn_for_suite}). *)
 
-val verify : ?options:options -> ?domains:int -> unit -> bool
-(** Self-check: re-derive the paper's headline claims (Figure 9's
+type verify_report = {
+  claims : (string * bool) list;
+      (** the paper's headline claims, in presentation order:
+          (claim name, holds?) *)
+  lines_per_miss : (string * string * float) list;
+      (** deterministic cache-lines-per-miss numbers backing the
+          claims: (design, page table, mean lines) on the nasa7
+          workload, designs "single" / "superpage" / "csb" *)
+}
+
+val verify_report : ?options:options -> ?domains:int -> unit -> verify_report
+(** Re-derive the paper's headline claims (Figure 9's
     clustered-wins-everywhere, Figure 10's compaction magnitudes,
     Figure 11's per-design orderings, the Table 2 formula equalities)
-    and print PASS/FAIL per claim.  Returns true iff everything
-    holds — the release-user analogue of the test suite. *)
+    without printing.  Every field is deterministic for fixed
+    [options] — the benchmark JSON embeds this report and CI diffs it
+    across commits. *)
+
+val verify : ?options:options -> ?domains:int -> unit -> bool
+(** {!verify_report}, printed as PASS/FAIL lines.  Returns true iff
+    every claim holds — the release-user analogue of the test
+    suite. *)
+
+type throughput_row = {
+  tp_org : string;  (** "clustered" or "hashed" *)
+  tp_locking : string;  (** "striped" or "global" *)
+  tp_domains : int;
+  tp_total_ops : int;
+  tp_elapsed_s : float;
+  tp_ops_per_sec : float;
+  tp_read_locks : int;
+      (** lock acquisitions inside the timed region; deterministic for
+          a fixed config, unlike the timing fields *)
+  tp_write_locks : int;
+  tp_population : int;  (** final mapped pages; deterministic *)
+}
+
+val throughput :
+  ?domains_list:int list ->
+  ?ops_per_domain:int ->
+  ?vpns_per_domain:int ->
+  ?seed:int ->
+  ?pairs:(Pt_service.Service.org * Pt_service.Service.locking) list ->
+  unit ->
+  throughput_row list
+(** The {!Pt_service} extension: N worker domains issue mixed
+    lookup/insert/remove/protect traffic against one shared page table
+    (see {!Pt_service.Throughput}), for each (organization, locking)
+    pair and each domain count.  Defaults: domains 1/2/4/8, 100k ops
+    per domain, all four pairs.  Prints ops/sec and the speedup over
+    the pair's first domain count. *)
+
+val throughput_for_suite : ?options:options -> unit -> throughput_row list
+(** {!throughput} at the suite's standard scale (1/2/4/8 domains x
+    100k ops; 1/2 x 20k under [--quick]) — what the benchmark harness
+    appends after churn. *)

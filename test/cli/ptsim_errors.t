@@ -1,0 +1,43 @@
+ptsim must never report success for an invocation it did not run.  A
+bare invocation used to print generic usage on stdout and exit 0,
+letting typo'd scripts and CI steps sail through green; it is now an
+error on stderr with a nonzero exit, like every other malformed
+invocation.
+
+Bare invocation:
+
+  $ ptsim
+  ptsim: missing subcommand
+  Usage: ptsim [COMMAND] …
+  Try 'ptsim --help' for more information.
+  [124]
+
+An unknown subcommand names the offending token:
+
+  $ ptsim nonsense
+  ptsim: unknown command 'nonsense', must be one of 'ablations', 'all', 'churn', 'dump', 'figure10', 'figure11', 'figure9', 'replay', 'table1', 'table2', 'throughput', 'verify' or 'workload'.
+  Usage: ptsim [COMMAND] …
+  Try 'ptsim --help' for more information.
+  [124]
+
+So does an unknown option on a valid subcommand:
+
+  $ ptsim verify --bogus
+  ptsim: unknown option '--bogus'.
+  Usage: ptsim verify [OPTION]…
+  Try 'ptsim verify --help' or 'ptsim --help' for more information.
+  [124]
+
+And a malformed option value:
+
+  $ ptsim throughput --domains zero
+  ptsim: option '--domains': invalid element in list ('zero'): invalid domain
+         count "zero"
+  Usage: ptsim throughput [OPTION]…
+  Try 'ptsim throughput --help' or 'ptsim --help' for more information.
+  [124]
+
+Nothing of the above may leak to stdout (scripts parse it):
+
+  $ ptsim 2>/dev/null
+  [124]

@@ -273,3 +273,59 @@ let mixed_agrees ~make ops =
 let mixed_model_test ~name ~make =
   QCheck.Test.make ~name ~count:100 (mixed_ops_arbitrary ~blocks:8 ~len:60)
     (fun ops -> mixed_agrees ~make ops)
+
+(* --- concurrent history checking (the lib/service oracle) ---
+
+   Each service domain records the operations it issued, in program
+   order, together with what it observed.  When every domain owns a
+   disjoint key set, per-domain program order IS a linearization of
+   the per-key histories: replaying each domain's history against this
+   sequential model must reproduce every observation, and merging the
+   models must reproduce the final table.  Any lost insert, resurrected
+   remove, or torn lookup under concurrency shows up as a divergence. *)
+
+type hist_op =
+  | HInsert of int64 * int64  (* vpn, ppn *)
+  | HRemove of int64
+  | HLookup of int64 * bool  (* vpn, observed hit *)
+  | HProtect of int64 * int * int  (* first vpn, pages, observed searches *)
+
+(* Replay one domain's history into [model]; false on the first
+   observation the sequential model cannot explain. *)
+let replay_history model hist =
+  List.for_all
+    (function
+      | HInsert (vpn, ppn) ->
+          Hashtbl.replace model vpn ppn;
+          true
+      | HRemove vpn ->
+          Hashtbl.remove model vpn;
+          true
+      | HLookup (vpn, hit) -> Hashtbl.mem model vpn = hit
+      | HProtect (_, _, searches) -> searches >= 0)
+    hist
+
+let touched_keys histories =
+  let keys = Hashtbl.create 1024 in
+  List.iter
+    (List.iter (function
+      | HInsert (v, _) | HRemove v | HLookup (v, _) ->
+          Hashtbl.replace keys v ()
+      | HProtect (first, pages, _) ->
+          for i = 0 to pages - 1 do
+            Hashtbl.replace keys (Int64.add first (Int64.of_int i)) ()
+          done))
+    histories;
+  Hashtbl.fold (fun k () acc -> k :: acc) keys []
+
+(* Check per-domain histories (disjoint key sets) against the final
+   service state: every observation sequentially explainable, every
+   touched key's final presence agreed (mapped AND unmapped), and the
+   population identical. *)
+let check_histories ~lookup ~population histories =
+  let model : (int64, int64) Hashtbl.t = Hashtbl.create 1024 in
+  List.for_all (replay_history model) histories
+  && List.for_all
+       (fun vpn -> lookup vpn = Hashtbl.mem model vpn)
+       (touched_keys histories)
+  && population = Hashtbl.length model

@@ -68,10 +68,28 @@ let test_stress () =
   let lock =
     Clustered_pt.Bucket_lock.Real.create ~buckets:config.Clustered_pt.Config.buckets
   in
+  let quiescent label =
+    Alcotest.(check int)
+      (label ^ ": no bucket still held")
+      0
+      (Clustered_pt.Bucket_lock.Real.currently_held lock)
+  in
   in_domains (fun ~domain ->
       insert_range table lock ~domain;
       read_back_range table lock ~domain);
+  quiescent "after insert+read round";
   in_domains (remove_every_other table lock);
+  quiescent "after remove round";
+  (* every acquisition the rounds issued is on the counters: one write
+     per insert, one read per read-back, one write per removal *)
+  let issued_writes =
+    (num_domains * vpns_per_domain) + (num_domains * (vpns_per_domain / 2))
+  in
+  Alcotest.(check int) "write acquisitions accounted" issued_writes
+    (Clustered_pt.Bucket_lock.Real.write_acquisitions lock);
+  Alcotest.(check int) "read acquisitions accounted"
+    (num_domains * vpns_per_domain)
+    (Clustered_pt.Bucket_lock.Real.read_acquisitions lock);
   (* serial reference over the same surviving VPNs *)
   let reference = Clustered_pt.Table.create config in
   for domain = 0 to num_domains - 1 do
@@ -175,10 +193,74 @@ let test_single_bucket_reclaim () =
     peak_arena
     (Mem.Sim_memory.total_allocated_bytes arena)
 
+(* Writer preference (Section 3.1: "don't starve pending range
+   operations").  Readers cycle a bucket's read lock continuously and
+   only stop once they observe the writer's side effect — so if a
+   continuous reader stream could starve the writer, this test would
+   never terminate.  Afterwards the lock must be fully released and
+   the per-slot counters must equal exactly the acquisitions issued:
+   each reader's local count of granted reads, one write. *)
+let test_writer_preference () =
+  let lock = Clustered_pt.Bucket_lock.Real.create ~buckets:1 in
+  let wrote = Atomic.make false in
+  let n_readers = 3 in
+  let readers =
+    Array.init n_readers (fun _ ->
+        Domain.spawn (fun () ->
+            let reads = ref 0 in
+            while not (Atomic.get wrote) do
+              Clustered_pt.Bucket_lock.Real.with_read lock ~bucket:0
+                (fun () -> incr reads)
+            done;
+            !reads))
+  in
+  let writer =
+    Domain.spawn (fun () ->
+        Clustered_pt.Bucket_lock.Real.with_write lock ~bucket:0 (fun () ->
+            Atomic.set wrote true))
+  in
+  Domain.join writer;
+  let reads = Array.fold_left (fun acc d -> acc + Domain.join d) 0 readers in
+  Alcotest.(check int) "lock fully released" 0
+    (Clustered_pt.Bucket_lock.Real.currently_held lock);
+  Alcotest.(check int) "exactly one write granted" 1
+    (Clustered_pt.Bucket_lock.Real.write_acquisitions lock);
+  Alcotest.(check int) "every granted read counted" reads
+    (Clustered_pt.Bucket_lock.Real.read_acquisitions lock)
+
+(* Repeated contended rounds: currently_held must return to zero after
+   every round, not just at the end of one lucky schedule. *)
+let test_held_returns_to_zero () =
+  let lock = Clustered_pt.Bucket_lock.Real.create ~buckets:8 in
+  for round = 1 to 5 do
+    let ds =
+      Array.init 4 (fun d ->
+          Domain.spawn (fun () ->
+              for k = 0 to 499 do
+                let bucket = (d + k) land 7 in
+                if k land 3 = 0 then
+                  Clustered_pt.Bucket_lock.Real.with_write lock ~bucket
+                    (fun () -> ())
+                else
+                  Clustered_pt.Bucket_lock.Real.with_read lock ~bucket
+                    (fun () -> ())
+              done))
+    in
+    Array.iter Domain.join ds;
+    Alcotest.(check int)
+      (Printf.sprintf "round %d leaves no bucket held" round)
+      0
+      (Clustered_pt.Bucket_lock.Real.currently_held lock)
+  done
+
 let suite =
   ( "bucket-lock stress",
     [
       Alcotest.test_case "concurrent insert/read/remove" `Slow test_stress;
       Alcotest.test_case "single-bucket interleaved reclaim" `Quick
         test_single_bucket_reclaim;
+      Alcotest.test_case "writer preference under reader stream" `Quick
+        test_writer_preference;
+      Alcotest.test_case "held count returns to zero each round" `Quick
+        test_held_returns_to_zero;
     ] )

@@ -18,4 +18,5 @@ let () =
       Test_parallel.suite;
       Test_bucket_stress.suite;
       Test_dynamics.suite;
+      Test_service.suite;
     ]

@@ -41,6 +41,50 @@ let test_pool_propagates_failure () =
   | exception Exec.Domain_pool.Job_failed (5, Failure _) -> ()
   | exception e -> raise e
 
+(* --- Worker_pool: the long-lived variant --- *)
+
+let test_worker_pool_runs_each_index_once () =
+  Exec.Worker_pool.with_pool ~domains:4 (fun pool ->
+      let hits = Array.make 4 0 in
+      Exec.Worker_pool.run pool (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check (array int))
+        "each worker index ran exactly once" [| 1; 1; 1; 1 |] hits)
+
+let test_worker_pool_reuse_across_jobs () =
+  Exec.Worker_pool.with_pool ~domains:3 (fun pool ->
+      let acc = Array.make 3 0 in
+      for _ = 1 to 10 do
+        Exec.Worker_pool.run pool (fun i -> acc.(i) <- acc.(i) + 1)
+      done;
+      Alcotest.(check (array int))
+        "ten jobs through the same domains" [| 10; 10; 10 |] acc)
+
+let test_worker_pool_propagates_failure () =
+  Exec.Worker_pool.with_pool ~domains:4 (fun pool ->
+      (match
+         Exec.Worker_pool.run pool (fun i ->
+             if i = 2 then failwith "boom")
+       with
+      | () -> Alcotest.fail "expected Worker_failed"
+      | exception Exec.Worker_pool.Worker_failed (Failure m) ->
+          Alcotest.(check string) "original exception carried" "boom" m
+      | exception e -> raise e);
+      (* the pool must survive a failed job *)
+      let ok = Array.make 4 false in
+      Exec.Worker_pool.run pool (fun i -> ok.(i) <- true);
+      Alcotest.(check bool)
+        "pool still dispatches after a failure" true
+        (Array.for_all Fun.id ok))
+
+let test_worker_pool_shutdown_idempotent () =
+  let pool = Exec.Worker_pool.create ~domains:2 in
+  Exec.Worker_pool.run pool (fun _ -> ());
+  Exec.Worker_pool.shutdown pool;
+  Exec.Worker_pool.shutdown pool;
+  match Exec.Worker_pool.run pool (fun _ -> ()) with
+  | () -> Alcotest.fail "run after shutdown must be rejected"
+  | exception Invalid_argument _ -> ()
+
 let test_figure9_deterministic () =
   let serial = Sim.Runner.figure9 ~options ~domains:1 () in
   let parallel = Sim.Runner.figure9 ~options ~domains:4 () in
@@ -68,6 +112,14 @@ let suite =
         test_pool_serial_matches_parallel;
       Alcotest.test_case "pool failure propagation" `Quick
         test_pool_propagates_failure;
+      Alcotest.test_case "worker pool index coverage" `Quick
+        test_worker_pool_runs_each_index_once;
+      Alcotest.test_case "worker pool reuse across jobs" `Quick
+        test_worker_pool_reuse_across_jobs;
+      Alcotest.test_case "worker pool failure propagation" `Quick
+        test_worker_pool_propagates_failure;
+      Alcotest.test_case "worker pool shutdown" `Quick
+        test_worker_pool_shutdown_idempotent;
       Alcotest.test_case "figure 9 domain-count invariance" `Slow
         test_figure9_deterministic;
       Alcotest.test_case "figure 11 domain-count invariance" `Slow

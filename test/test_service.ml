@@ -1,0 +1,254 @@
+(* The concurrent page-table service (lib/service): a
+   linearizability-style oracle, the Section 3.1 lock-granularity
+   claim, and determinism of the churn replay.
+
+   Oracle shape: N domains hammer one shared service with mixed
+   lookup/insert/remove/protect traffic.  Each domain owns a disjoint
+   key set (buckets still collide, so stripes are contended) and
+   records its operations and observations in program order; replaying
+   those histories against the sequential Hashtbl model (Pt_model)
+   must explain every observation and reproduce the final table. *)
+
+module Service = Pt_service.Service
+
+let attr = Pte.Attr.default
+
+(* --- concurrent history oracle --- *)
+
+let ops_per_domain = 3_000
+
+let num_domains = 4
+
+let vpns_per_domain = 512
+
+(* interleaved ranges: consecutive keys belong to different domains,
+   so neighbouring buckets and blocks are shared between domains even
+   though keys are not *)
+let vpn_of ~domain ~o =
+  Int64.of_int ((o * num_domains) + domain)
+
+let domain_traffic svc ~domain =
+  let rng = Random.State.make [| 0xC0FFEE; domain |] in
+  let hist = ref [] in
+  let record op = hist := op :: !hist in
+  for _ = 1 to ops_per_domain do
+    let o = Random.State.int rng vpns_per_domain in
+    let vpn = vpn_of ~domain ~o in
+    match Random.State.int rng 100 with
+    | r when r < 40 ->
+        let hit = Service.lookup svc ~vpn in
+        record (Pt_model.HLookup (vpn, hit))
+    | r when r < 70 ->
+        let ppn = Int64.of_int (Random.State.int rng 0xFFFFF) in
+        Service.insert svc ~vpn ~ppn ~attr;
+        record (Pt_model.HInsert (vpn, ppn))
+    | r when r < 95 ->
+        Service.remove svc ~vpn;
+        record (Pt_model.HRemove vpn)
+    | _ ->
+        (* a protect over this domain's keys only: strided keys mean a
+           contiguous region would cross ownership, so protect exactly
+           one page (granularity is covered by its own test below) *)
+        let searches =
+          Service.protect svc
+            (Addr.Region.make ~first_vpn:vpn ~pages:1)
+            ~writable:(Random.State.int rng 2 = 0)
+        in
+        record (Pt_model.HProtect (vpn, 1, searches))
+  done;
+  List.rev !hist
+
+let oracle ~org ~locking () =
+  let svc = Service.create ~org ~locking () in
+  let histories = Array.make num_domains [] in
+  Exec.Worker_pool.with_pool ~domains:num_domains (fun pool ->
+      Exec.Worker_pool.run pool (fun domain ->
+          histories.(domain) <- domain_traffic svc ~domain));
+  Alcotest.(check bool)
+    "every observation explained by the sequential model; final state \
+     reproduced"
+    true
+    (Pt_model.check_histories
+       ~lookup:(fun vpn -> Service.lookup svc ~vpn)
+       ~population:(Service.population svc)
+       (Array.to_list histories));
+  Alcotest.(check int) "all stripes released"
+    0
+    (Service.lock_stats svc).Service.currently_held
+
+let test_oracle_clustered_striped () =
+  oracle ~org:Service.Clustered ~locking:Service.Striped ()
+
+let test_oracle_hashed_striped () =
+  oracle ~org:Service.Hashed ~locking:Service.Striped ()
+
+let test_oracle_clustered_global () =
+  oracle ~org:Service.Clustered ~locking:Service.Global ()
+
+let test_oracle_hashed_global () =
+  oracle ~org:Service.Hashed ~locking:Service.Global ()
+
+(* --- Section 3.1 lock granularity ---
+
+   A range operation on a clustered table acquires one write lock per
+   page *block*; on a hashed table, one per base *page*; under the
+   global lock, one for the whole range. *)
+
+let write_locks_for ~org ~locking region =
+  let svc = Service.create ~org ~locking () in
+  (* populate the region so the protect really edits PTEs *)
+  Addr.Region.iter_vpns region (fun vpn ->
+      Service.insert svc ~vpn ~ppn:(Int64.logand vpn 0xFFF_FFFFL) ~attr);
+  let before = (Service.lock_stats svc).Service.write_acquisitions in
+  ignore (Service.protect svc region ~writable:false);
+  (Service.lock_stats svc).Service.write_acquisitions - before
+
+let test_protect_lock_granularity () =
+  (* 100 pages starting mid-block: offset 7 in block 4 -> touches
+     blocks 4..10 inclusive = 7 blocks of factor 16 *)
+  let region = Addr.Region.make ~first_vpn:0x47L ~pages:100 in
+  let blocks = List.length (Addr.Region.blocks ~subblock_factor:16 region) in
+  Alcotest.(check int) "sanity: the region spans 7 blocks" 7 blocks;
+  Alcotest.(check int) "clustered+striped: one lock per block" blocks
+    (write_locks_for ~org:Service.Clustered ~locking:Service.Striped region);
+  Alcotest.(check int) "hashed+striped: one lock per page" 100
+    (write_locks_for ~org:Service.Hashed ~locking:Service.Striped region);
+  Alcotest.(check int) "clustered+global: one lock per range" 1
+    (write_locks_for ~org:Service.Clustered ~locking:Service.Global region);
+  Alcotest.(check int) "hashed+global: one lock per range" 1
+    (write_locks_for ~org:Service.Hashed ~locking:Service.Global region)
+
+(* protect must actually flip the attribute it claims to *)
+let test_protect_applies () =
+  let svc = Service.create ~org:Service.Clustered ~locking:Service.Striped () in
+  let region = Addr.Region.make ~first_vpn:0x100L ~pages:32 in
+  Addr.Region.iter_vpns region (fun vpn ->
+      Service.insert svc ~vpn ~ppn:vpn ~attr);
+  let searches = Service.protect svc region ~writable:false in
+  Alcotest.(check int) "one search per touched block" 2 searches;
+  Alcotest.(check bool) "pages still mapped" true
+    (Service.lookup svc ~vpn:0x100L)
+
+(* --- throughput driver sanity (correctness, never timing) --- *)
+
+let test_throughput_deterministic_fields () =
+  let cfg =
+    {
+      Pt_service.Throughput.default_config with
+      domains = 2;
+      ops_per_domain = 2_000;
+      vpns_per_domain = 256;
+    }
+  in
+  let a =
+    Pt_service.Throughput.run ~org:Service.Clustered ~locking:Service.Striped
+      cfg
+  in
+  let b =
+    Pt_service.Throughput.run ~org:Service.Clustered ~locking:Service.Striped
+      cfg
+  in
+  Alcotest.(check int) "total ops" (2 * 2_000) a.Pt_service.Throughput.total_ops;
+  Alcotest.(check bool) "some lookups hit" true
+    (a.Pt_service.Throughput.lookups_hit > 0);
+  Alcotest.(check int) "population reproducible"
+    a.Pt_service.Throughput.population b.Pt_service.Throughput.population;
+  Alcotest.(check int) "read locks reproducible"
+    a.Pt_service.Throughput.read_locks b.Pt_service.Throughput.read_locks;
+  Alcotest.(check int) "write locks reproducible"
+    a.Pt_service.Throughput.write_locks b.Pt_service.Throughput.write_locks;
+  Alcotest.(check int) "hits reproducible" a.Pt_service.Throughput.lookups_hit
+    b.Pt_service.Throughput.lookups_hit
+
+(* organizations see the same traffic: identical op streams -> same
+   populations and read-lock totals; write totals differ only through
+   protect granularity *)
+let test_throughput_orgs_agree () =
+  let cfg =
+    {
+      Pt_service.Throughput.default_config with
+      domains = 2;
+      ops_per_domain = 2_000;
+      vpns_per_domain = 256;
+    }
+  in
+  let c =
+    Pt_service.Throughput.run ~org:Service.Clustered ~locking:Service.Striped
+      cfg
+  in
+  let h =
+    Pt_service.Throughput.run ~org:Service.Hashed ~locking:Service.Striped cfg
+  in
+  Alcotest.(check int) "same final population"
+    c.Pt_service.Throughput.population h.Pt_service.Throughput.population;
+  Alcotest.(check int) "same read-lock totals"
+    c.Pt_service.Throughput.read_locks h.Pt_service.Throughput.read_locks;
+  Alcotest.(check bool)
+    "hashed pays at least as many write locks (per-page protects)" true
+    (h.Pt_service.Throughput.write_locks
+    >= c.Pt_service.Throughput.write_locks)
+
+(* --- churn replay through the service --- *)
+
+let test_service_replay_domain_invariance () =
+  let spec =
+    {
+      Dynamics.Churn.default with
+      Dynamics.Churn.ops = 2_000;
+      max_procs = 6;
+      max_live_pages = 4_000;
+    }
+  in
+  let trace = Dynamics.Churn.generate ~spec ~seed:0x5EEDL () in
+  let run domains =
+    Dynamics.Service_replay.run ~domains ~org:Service.Clustered
+      ~locking:Service.Striped trace
+  in
+  let serial = run 1 in
+  let parallel = run 3 in
+  Alcotest.(check bool)
+    "replay results identical for 1 and 3 domains (tallies, population, \
+     lock totals)"
+    true (serial = parallel);
+  Alcotest.(check bool) "replay did real work" true
+    (serial.Dynamics.Service_replay.inserts > 0
+    && serial.Dynamics.Service_replay.families > 0)
+
+let test_service_replay_drains () =
+  (* a drained trace must leave the shared table empty: every family's
+     teardown went through the same concurrent service *)
+  let spec =
+    { Dynamics.Churn.default with Dynamics.Churn.ops = 1_500; max_procs = 5 }
+  in
+  let trace = Dynamics.Churn.generate ~spec ~seed:0xABCL () in
+  let r =
+    Dynamics.Service_replay.run ~domains:2 ~org:Service.Hashed
+      ~locking:Service.Striped trace
+  in
+  Alcotest.(check int) "shared table drained" 0
+    r.Dynamics.Service_replay.final_population
+
+let suite =
+  ( "service",
+    [
+      Alcotest.test_case "oracle: clustered striped" `Slow
+        test_oracle_clustered_striped;
+      Alcotest.test_case "oracle: hashed striped" `Slow
+        test_oracle_hashed_striped;
+      Alcotest.test_case "oracle: clustered global" `Slow
+        test_oracle_clustered_global;
+      Alcotest.test_case "oracle: hashed global" `Slow
+        test_oracle_hashed_global;
+      Alcotest.test_case "protect lock granularity" `Quick
+        test_protect_lock_granularity;
+      Alcotest.test_case "protect applies under striping" `Quick
+        test_protect_applies;
+      Alcotest.test_case "throughput deterministic fields" `Quick
+        test_throughput_deterministic_fields;
+      Alcotest.test_case "throughput organizations agree" `Quick
+        test_throughput_orgs_agree;
+      Alcotest.test_case "service replay domain invariance" `Slow
+        test_service_replay_domain_invariance;
+      Alcotest.test_case "service replay drains" `Slow
+        test_service_replay_drains;
+    ] )

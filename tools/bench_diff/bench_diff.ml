@@ -1,0 +1,328 @@
+(* bench_diff BASELINE.json CURRENT.json
+
+   CI regression gate for the benchmark harness's --json output
+   (schema_version 3).  Compares only the fields that are
+   deterministic for a fixed (seed, --quick, --domains) invocation:
+
+     - schema_version, quick, domains, the experiment key set
+     - every claim name and its boolean
+     - every lines-per-miss value
+     - the churn tables minus wall clocks
+     - the throughput rows minus ops/sec and elapsed time
+     - the micro-benchmark name list (not the timings)
+
+   Timing numbers vary run to run and machine to machine, so they are
+   ignored; everything else drifting means the simulation's behaviour
+   changed and the committed baseline must be regenerated consciously.
+
+   Exit 0 when equivalent, 1 on drift (each difference on stderr),
+   2 on usage or parse errors.  No dependencies beyond the stdlib. *)
+
+(* --- a minimal JSON reader (objects keep field order) --- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          if !pos >= n then fail "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              (* the emitter only escapes control characters; decode
+                 the low byte and move past the four hex digits *)
+              if !pos + 4 >= n then fail "truncated \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+              Buffer.add_char b (Char.chr (code land 0xFF));
+              pos := !pos + 4
+          | c -> fail (Printf.sprintf "bad escape \\%C" c));
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected a number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* --- accessors --- *)
+
+let obj_find key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let get path root =
+  List.fold_left
+    (fun acc key ->
+      match acc with Some v -> obj_find key v | None -> None)
+    (Some root) path
+
+let to_list = function List l -> Some l | _ -> None
+
+let pp = function
+  | Null -> "null"
+  | Bool b -> string_of_bool b
+  | Num f -> Printf.sprintf "%g" f
+  | Str s -> Printf.sprintf "%S" s
+  | List _ -> "<list>"
+  | Obj _ -> "<object>"
+
+(* --- the comparison --- *)
+
+let drift = ref 0
+
+let report fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr drift;
+      Printf.eprintf "DRIFT: %s\n" msg)
+    fmt
+
+let check_scalar label path a b =
+  match (get path a, get path b) with
+  | Some va, Some vb when va = vb -> ()
+  | Some va, Some vb -> report "%s: baseline %s, current %s" label (pp va) (pp vb)
+  | None, Some _ -> report "%s: missing from baseline" label
+  | Some _, None -> report "%s: missing from current" label
+  | None, None -> report "%s: missing from both files" label
+
+let rows_of path root =
+  match get path root with Some v -> to_list v | None -> None
+
+(* compare two row lists field-by-field, ignoring [ignored] keys;
+   [key_of] names a row in messages *)
+
+let check_row_list label path ~key_of ~ignored a b =
+  match (rows_of path a, rows_of path b) with
+  | None, None -> report "%s: missing from both files" label
+  | None, Some _ -> report "%s: missing from baseline" label
+  | Some _, None -> report "%s: missing from current" label
+  | Some ra, Some rb ->
+      if List.length ra <> List.length rb then
+        report "%s: %d rows in baseline, %d in current" label
+          (List.length ra) (List.length rb)
+      else
+        List.iter2
+          (fun rowa rowb ->
+            let name = key_of rowa in
+            match (rowa, rowb) with
+            | Obj fa, Obj fb ->
+                let keys l = List.map fst l in
+                if
+                  List.filter (fun k -> not (List.mem k ignored)) (keys fa)
+                  <> List.filter (fun k -> not (List.mem k ignored)) (keys fb)
+                then report "%s[%s]: field sets differ" label name
+                else
+                  List.iter
+                    (fun (k, va) ->
+                      if not (List.mem k ignored) then
+                        match List.assoc_opt k fb with
+                        | Some vb when va = vb -> ()
+                        | Some vb ->
+                            report "%s[%s].%s: baseline %s, current %s" label
+                              name k (pp va) (pp vb)
+                        | None -> ())
+                    fa
+            | _ -> report "%s[%s]: row is not an object" label name)
+          ra rb
+
+let key_str k row = match obj_find k row with Some (Str s) -> s | _ -> "?"
+
+let () =
+  (match Sys.argv with
+  | [| _; _; _ |] -> ()
+  | _ ->
+      prerr_endline "usage: bench_diff BASELINE.json CURRENT.json";
+      exit 2);
+  let load path =
+    let ic =
+      try open_in_bin path
+      with Sys_error e ->
+        Printf.eprintf "bench_diff: %s\n" e;
+        exit 2
+    in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    match parse s with
+    | v -> v
+    | exception Parse_error e ->
+        Printf.eprintf "bench_diff: %s: %s\n" path e;
+        exit 2
+  in
+  let a = load Sys.argv.(1) and b = load Sys.argv.(2) in
+  check_scalar "schema_version" [ "schema_version" ] a b;
+  check_scalar "quick" [ "quick" ] a b;
+  check_scalar "domains" [ "domains" ] a b;
+  (* the experiment set itself *)
+  (match (get [ "experiments" ] a, get [ "experiments" ] b) with
+  | Some (Obj ea), Some (Obj eb) ->
+      if List.map fst ea <> List.map fst eb then
+        report "experiments: key sets differ (baseline %s; current %s)"
+          (String.concat "," (List.map fst ea))
+          (String.concat "," (List.map fst eb))
+  | _ -> report "experiments: missing object");
+  check_row_list "claims"
+    [ "experiments"; "claims" ]
+    ~key_of:(key_str "claim") ~ignored:[] a b;
+  check_row_list "lines_per_miss"
+    [ "experiments"; "lines_per_miss" ]
+    ~key_of:(fun row ->
+      Printf.sprintf "%s/%s" (key_str "design" row) (key_str "pt" row))
+    ~ignored:[] a b;
+  check_row_list "churn"
+    [ "experiments"; "churn"; "tables" ]
+    ~key_of:(fun row ->
+      Printf.sprintf "%s/%s" (key_str "table" row) (key_str "policy" row))
+    ~ignored:[] a b;
+  check_row_list "throughput"
+    [ "experiments"; "throughput"; "rows" ]
+    ~key_of:(fun row ->
+      Printf.sprintf "%s/%s/%s" (key_str "table" row) (key_str "locking" row)
+        (match obj_find "domains" row with
+        | Some (Num d) -> string_of_int (int_of_float d)
+        | _ -> "?"))
+    ~ignored:[ "ops_per_sec"; "elapsed_s" ]
+    a b;
+  (* micro-benchmark names (the set of measured operations), not times *)
+  (let names root =
+     match rows_of [ "micro_ns_per_op" ] root with
+     | Some rows -> Some (List.map (key_str "name") rows)
+     | None -> None
+   in
+   match (names a, names b) with
+   | Some na, Some nb when na = nb -> ()
+   | Some _, Some _ -> report "micro_ns_per_op: benchmark name lists differ"
+   | _ -> report "micro_ns_per_op: missing from a file");
+  if !drift = 0 then begin
+    print_endline "bench_diff: no drift in deterministic fields";
+    exit 0
+  end
+  else begin
+    Printf.eprintf "bench_diff: %d field(s) drifted\n" !drift;
+    exit 1
+  end
