@@ -329,7 +329,16 @@ let emit_json path ~quick ~domains ~experiments_s ~churn_s ~churn_rows
         r.Sim.Runner.tp_elapsed_s
         (if i = List.length throughput_rows - 1 then "" else ","))
     throughput_rows;
-  Printf.fprintf oc "      ]\n    }\n  },\n";
+  Printf.fprintf oc "      ]\n    },\n";
+  (* every counter and histogram the suite's instrumented paths
+     recorded, merged across domains; bench_diff ignores this section
+     (histogram sums carry no timing, but the set of metrics grows
+     with instrumentation and should not fail the baseline diff) *)
+  Printf.fprintf oc "    \"telemetry\": {";
+  let buf = Buffer.create 4096 in
+  Obs.Metrics.write_json_fields buf (Obs.Ambient.merged ());
+  output_string oc (Buffer.contents buf);
+  Printf.fprintf oc "}\n  },\n";
   Printf.fprintf oc "  \"micro_ns_per_op\": [\n";
   List.iteri
     (fun i (name, ns) ->

@@ -192,7 +192,7 @@ let throughput_rows_json rows =
   Buffer.add_string buf "  ]";
   Buffer.contents buf
 
-let run_throughput domains_list ops vpns seed org locking json =
+let run_throughput domains_list streams ops vpns seed org locking json =
   let orgs =
     match org with
     | `All -> [ Pt_service.Service.Clustered; Pt_service.Service.Hashed ]
@@ -207,7 +207,7 @@ let run_throughput domains_list ops vpns seed org locking json =
     List.concat_map (fun o -> List.map (fun l -> (o, l)) lockings) orgs
   in
   let rows =
-    Sim.Runner.throughput ~domains_list ~ops_per_domain:ops
+    Sim.Runner.throughput ~domains_list ~streams ~ops_per_domain:ops
       ~vpns_per_domain:vpns ~seed ~pairs ()
   in
   match json with
@@ -375,8 +375,81 @@ let run_replay options snap_path trace_path =
         (Mem.Cache_model.mean_lines counter))
     kinds
 
+let run_inspect options domains org =
+  announce_pool domains;
+  ignore (Sim.Runner.inspect ~options ?domains ~org ())
+
+(* --- unified telemetry: --metrics-out / --trace-out on every subcommand --- *)
+
+let telemetry_term =
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's merged metrics registry (counters and log2 \
+             histograms) as JSON to $(docv).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record events and write Chrome trace-event JSON \
+             (Perfetto-loadable) to $(docv).")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 65_536
+      & info [ "trace-capacity" ] ~docv:"N"
+          ~doc:
+            "Events kept per domain ring before the trace wraps (with \
+             --trace-out).")
+  in
+  Term.(const (fun m t c -> (m, t, c)) $ metrics $ trace $ capacity)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let telemetry_start ((_, trace_out, capacity) as tele) =
+  Obs.Ambient.reset ();
+  Obs.Tracer.reset ();
+  if trace_out <> None then Obs.Tracer.enable ~capacity ();
+  tele
+
+let telemetry_finish name (metrics_out, trace_out, _) =
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf "{\"schema_version\":1,\"command\":\"";
+      Buffer.add_string buf name;
+      Buffer.add_string buf "\",";
+      Obs.Metrics.write_json_fields buf (Obs.Ambient.merged ());
+      Buffer.add_string buf "}\n";
+      write_file path (Buffer.contents buf);
+      Printf.printf "wrote %s\n%!" path);
+  match trace_out with
+  | None -> ()
+  | Some path ->
+      write_file path (Obs.Tracer.to_chrome_json ());
+      Printf.printf "wrote %s (%d events, %d dropped)\n%!" path
+        (Obs.Tracer.event_count ())
+        (Obs.Tracer.dropped_count ());
+      Obs.Tracer.disable ()
+
+(* cmdliner evaluates the function side of [$] before the argument
+   side, so [telemetry_start] runs before the experiment term's side
+   effects and [telemetry_finish] after — giving every subcommand
+   --metrics-out/--trace-out without touching its run function *)
 let cmd name doc term =
-  Cmd.v (Cmd.info name ~doc) Term.(const (fun o -> o) $ term)
+  let finish tele () = telemetry_finish name tele in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const finish $ (const telemetry_start $ telemetry_term) $ term)
 
 let () =
   let table1 =
@@ -457,10 +530,19 @@ let () =
               "Worker-domain counts to sweep (comma-separated), each \
                driving mixed traffic against one shared table.")
     in
+    let streams =
+      Arg.(
+        value & opt int 0
+        & info [ "streams" ] ~docv:"N"
+            ~doc:
+              "Logical work streams dealt round-robin over the domains (0 \
+               = one per domain).  Fix it across a domain sweep to make \
+               the merged telemetry domain-count invariant.")
+    in
     let ops =
       Arg.(
         value & opt int 100_000
-        & info [ "ops" ] ~docv:"N" ~doc:"Operations per worker domain.")
+        & info [ "ops" ] ~docv:"N" ~doc:"Operations per worker stream.")
     in
     let vpns =
       Arg.(
@@ -514,8 +596,21 @@ let () =
       "Concurrent service: mixed ops/sec from N domains sharing one page \
        table"
       Term.(
-        const run_throughput $ domains_list $ ops $ vpns $ seed $ org
-        $ locking $ json)
+        const run_throughput $ domains_list $ streams $ ops $ vpns $ seed
+        $ org $ locking $ json)
+  in
+  let inspect =
+    let org_conv = Arg.enum [ ("clustered", `Clustered); ("hashed", `Hashed) ] in
+    let org =
+      Arg.(
+        value & opt org_conv `Clustered
+        & info [ "org" ] ~docv:"ORG"
+            ~doc:"Table organization to probe: clustered|hashed.")
+    in
+    cmd "inspect"
+      "Probe built tables: chain-length, occupancy and node-utilization \
+       histograms vs the analytic load factor"
+      Term.(const run_inspect $ options_term $ domains_term $ org)
   in
   let all =
     cmd "all" "Every table and figure, in paper order"
@@ -586,5 +681,5 @@ let () =
        (Cmd.group ~default info
           [
             table1; figure9; figure10; figure11; table2; ablations; churn;
-            throughput; workload; dump; replay; verify; all;
+            throughput; inspect; workload; dump; replay; verify; all;
           ]))

@@ -586,5 +586,20 @@ let clear t =
 
 let node_count t = Atomic.get t.fine_nodes + Atomic.get t.coarse_nodes
 
+let subblock_factor t = t.factor
+
+let chain_length t ~bucket =
+  let rec go acc = function None -> acc | Some n -> go (acc + 1) n.next in
+  go 0 t.fine.(bucket)
+
+let iter_chain_words t ~bucket f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        f n.word;
+        go n.next
+  in
+  go t.fine.(bucket)
+
 let load_factor t =
   float_of_int (Atomic.get t.fine_nodes) /. float_of_int t.buckets

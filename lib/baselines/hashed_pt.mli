@@ -88,5 +88,15 @@ val clear : t -> unit
 
 val node_count : t -> int
 
+val subblock_factor : t -> int
+
 val load_factor : t -> float
 (** Base-table nodes per bucket (the formulae's alpha). *)
+
+(** {2 Structure inspection (telemetry probes, tests)} *)
+
+val chain_length : t -> bucket:int -> int
+(** Nodes on the fine-table chain of [bucket]. *)
+
+val iter_chain_words : t -> bucket:int -> (int64 -> unit) -> unit
+(** The PTE word of every node on the fine-table chain of [bucket]. *)

@@ -59,6 +59,10 @@ let read_acquisitions t = t.read_acquisitions
 
 let write_acquisitions t = t.write_acquisitions
 
+let reset_counters t =
+  t.read_acquisitions <- 0;
+  t.write_acquisitions <- 0
+
 let currently_held t =
   Array.fold_left
     (fun acc s -> if s.writer || s.readers > 0 then acc + 1 else acc)
@@ -165,6 +169,15 @@ module Real = struct
   let read_acquisitions t = sum_slots t (fun s -> s.reads_granted)
 
   let write_acquisitions t = sum_slots t (fun s -> s.writes_granted)
+
+  let reset_counters t =
+    Array.iter
+      (fun s ->
+        Mutex.lock s.m;
+        s.reads_granted <- 0;
+        s.writes_granted <- 0;
+        Mutex.unlock s.m)
+      t
 
   let currently_held t =
     sum_slots t (fun s -> if s.writer || s.readers > 0 then 1 else 0)

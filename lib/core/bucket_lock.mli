@@ -32,6 +32,11 @@ val read_acquisitions : t -> int
 
 val write_acquisitions : t -> int
 
+val reset_counters : t -> unit
+(** Zero the acquisition tallies.  Hold state (which buckets are
+    locked right now) is live protocol state, not a counter, and is
+    untouched. *)
+
 val currently_held : t -> int
 (** Number of buckets currently locked in either mode. *)
 
@@ -58,6 +63,10 @@ module Real : sig
       quiescent. *)
 
   val write_acquisitions : t -> int
+
+  val reset_counters : t -> unit
+  (** Zero every slot's acquisition tallies (taking each slot mutex).
+      Call at quiescence; hold state is untouched. *)
 
   val currently_held : t -> int
   (** Number of buckets held in either mode right now; must return to

@@ -85,6 +85,14 @@ let run (cfg : config) (trace : Trace.t) : result =
   let acc = Mem.Walk_acc.create () in
   let ins_ctr = Mem.Cache_model.create_counter ~line_size:cfg.line_size () in
   let del_ctr = Mem.Cache_model.create_counter ~line_size:cfg.line_size () in
+  (* telemetry handles, hoisted: the interpreter runs inside one
+     domain, so its shard is fixed for the whole trace *)
+  let shard = Obs.Ambient.get () in
+  let m_ops = Obs.Metrics.counter shard "churn.ops"
+  and m_inserts = Obs.Metrics.counter shard "churn.inserts"
+  and m_deletes = Obs.Metrics.counter shard "churn.deletes"
+  and h_insert_lines = Obs.Metrics.hist shard "churn.insert_lines"
+  and h_delete_lines = Obs.Metrics.hist shard "churn.delete_lines" in
   let inserts = ref 0
   and deletes = ref 0
   and touches = ref 0
@@ -99,16 +107,17 @@ let run (cfg : config) (trace : Trace.t) : result =
   and ooms = ref 0 in
   (* the walk a miss on [vpn] would do right now: the paper's
      cache-line metric applied to the modify op's search phase *)
-  let charge p ctr vpn =
+  let charge p ctr hist vpn =
     Mem.Walk_acc.reset acc;
     ignore (Intf.lookup_into p.pt acc ~vpn);
-    ignore (Mem.Cache_model.record_acc ctr acc)
+    Obs.Hist.observe hist (Mem.Cache_model.record_acc ctr acc)
   in
   let fault_in p vpn =
     match A.fault p.space ~vpn with
     | `Mapped _ ->
         incr inserts;
-        charge p ins_ctr vpn
+        Obs.Metrics.incr m_inserts;
+        charge p ins_ctr h_insert_lines vpn
     | `Already_mapped _ -> ()
     | `Oom -> incr ooms
     | `Segfault -> ()
@@ -131,8 +140,9 @@ let run (cfg : config) (trace : Trace.t) : result =
         Addr.Region.iter_vpns region (fun vpn ->
             match A.translate p.space ~vpn with
             | Some _ ->
-                charge p del_ctr vpn;
+                charge p del_ctr h_delete_lines vpn;
                 incr deletes;
+                Obs.Metrics.incr m_deletes;
                 A.unmap_region p.space
                   (Addr.Region.make ~first_vpn:vpn ~pages:1)
             | None -> ());
@@ -179,10 +189,11 @@ let run (cfg : config) (trace : Trace.t) : result =
         match A.touch p.space ~vpn with
         | `Mapped _ ->
             incr inserts;
-            charge p ins_ctr vpn
+            Obs.Metrics.incr m_inserts;
+            charge p ins_ctr h_insert_lines vpn
         | `Cow_copied _ ->
             incr cow_breaks;
-            charge p ins_ctr vpn
+            charge p ins_ctr h_insert_lines vpn
         | `Cow_adopted -> incr cow_adoptions
         | `Write | `Already_mapped _ | `Segfault -> ()
         | `Oom -> incr ooms)
@@ -202,13 +213,31 @@ let run (cfg : config) (trace : Trace.t) : result =
   Array.iteri
     (fun i ev ->
       (match ev with
-      | Trace.Mmap (pid, first, pages) -> do_mmap pid first pages
-      | Trace.Munmap (pid, first, pages) -> do_munmap pid first pages
+      | Trace.Mmap (pid, first, pages) ->
+          Obs.Metrics.incr m_ops;
+          Obs.Tracer.instant Obs.Tracer.ev_churn_mmap pages;
+          do_mmap pid first pages
+      | Trace.Munmap (pid, first, pages) ->
+          Obs.Metrics.incr m_ops;
+          Obs.Tracer.instant Obs.Tracer.ev_churn_munmap pages;
+          do_munmap pid first pages
       | Trace.Protect (pid, first, pages, writable) ->
+          Obs.Metrics.incr m_ops;
+          Obs.Tracer.instant Obs.Tracer.ev_churn_protect pages;
           do_protect pid first pages writable
-      | Trace.Fork (parent, child) -> do_fork parent child
-      | Trace.Exit pid -> do_exit pid
-      | Trace.Touch (pid, vpn) -> do_touch pid vpn
+      | Trace.Fork (parent, child) ->
+          Obs.Metrics.incr m_ops;
+          Obs.Tracer.instant Obs.Tracer.ev_churn_fork child;
+          do_fork parent child
+      | Trace.Exit pid ->
+          Obs.Metrics.incr m_ops;
+          Obs.Tracer.instant Obs.Tracer.ev_churn_exit pid;
+          do_exit pid
+      | Trace.Touch (pid, vpn) ->
+          Obs.Metrics.incr m_ops;
+          Obs.Tracer.instant Obs.Tracer.ev_churn_touch
+            (Int64.to_int vpn land max_int);
+          do_touch pid vpn
       (* plain access streams belong to System.run_trace; a mixed
          trace's accesses and switches are no-ops here *)
       | Trace.Access _ | Trace.Switch _ -> ());

@@ -1,0 +1,30 @@
+let lock = Mutex.create ()
+
+let shards : Metrics.t list ref = ref []
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let m = Metrics.create () in
+      Mutex.lock lock;
+      shards := m :: !shards;
+      Mutex.unlock lock;
+      m)
+
+let get () = Domain.DLS.get key
+
+let counter name = Metrics.counter (get ()) name
+
+let hist name = Metrics.hist (get ()) name
+
+let all_shards () =
+  Mutex.lock lock;
+  let l = !shards in
+  Mutex.unlock lock;
+  l
+
+let merged () =
+  let dst = Metrics.create () in
+  List.iter (fun src -> Metrics.merge_into ~src ~dst) (all_shards ());
+  dst
+
+let reset () = List.iter Metrics.clear (all_shards ())

@@ -1,0 +1,33 @@
+(** Per-domain metric shards.
+
+    Threading a registry through every entry point of the simulator
+    would touch twenty signatures; instead each domain lazily gets its
+    own private {!Metrics.t} shard (domain-local storage), instrumented
+    code bumps the current domain's shard with no locking or sharing,
+    and a reader merges all shards after the parallel sections join.
+
+    Because {!Metrics.merge_into} is a commutative, associative sum,
+    the merged registry does not depend on how work was split over
+    domains: an experiment that is bit-identical for any [--domains]
+    count produces bit-identical merged metrics too.
+
+    Shards persist for the life of their domain; [reset] zeroes every
+    shard's contents (call it at the start of a CLI run).  [merged]
+    must only be called while no other domain is mutating its shard —
+    i.e. after the pool joins, which is the only place the runner reads
+    metrics. *)
+
+val get : unit -> Metrics.t
+(** The calling domain's shard. *)
+
+val counter : string -> Metrics.counter
+(** [Metrics.counter (get ()) name] — cache the handle in setup code
+    running on the domain that will bump it. *)
+
+val hist : string -> Hist.t
+
+val merged : unit -> Metrics.t
+(** A fresh registry holding the sum of every live shard. *)
+
+val reset : unit -> unit
+(** Zero the contents of every shard (registrations persist). *)

@@ -1,0 +1,100 @@
+type t = {
+  mutable count : int;
+  mutable sum : int;
+  mutable vmin : int;
+  mutable vmax : int;
+  buckets : int array;
+}
+
+let bucket_count = 64
+
+let create () =
+  {
+    count = 0;
+    sum = 0;
+    vmin = max_int;
+    vmax = min_int;
+    buckets = Array.make bucket_count 0;
+  }
+
+(* Bucket 0 for v <= 0; otherwise 1 + floor(log2 v), so bucket k holds
+   [2^(k-1), 2^k - 1].  A loop, not a float log: no allocation and no
+   rounding at bucket edges. *)
+let index_of_value v =
+  if v <= 0 then 0
+  else begin
+    let x = ref v and i = ref 0 in
+    while !x > 0 do
+      incr i;
+      x := !x lsr 1
+    done;
+    !i
+  end
+
+let observe t v =
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v;
+  let i = index_of_value v in
+  t.buckets.(i) <- t.buckets.(i) + 1
+
+let clear t =
+  t.count <- 0;
+  t.sum <- 0;
+  t.vmin <- max_int;
+  t.vmax <- min_int;
+  Array.fill t.buckets 0 bucket_count 0
+
+let count t = t.count
+
+let sum t = t.sum
+
+let min_value t = if t.count = 0 then 0 else t.vmin
+
+let max_value t = if t.count = 0 then 0 else t.vmax
+
+let mean t =
+  if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
+
+let bucket_lo k = if k <= 0 then 0 else 1 lsl (k - 1)
+
+let bucket_hi k = if k <= 0 then 0 else (1 lsl k) - 1
+
+let iter_nonzero t f =
+  for k = 0 to bucket_count - 1 do
+    if t.buckets.(k) <> 0 then f k t.buckets.(k)
+  done
+
+let merge_into ~src ~dst =
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum + src.sum;
+  if src.vmin < dst.vmin then dst.vmin <- src.vmin;
+  if src.vmax > dst.vmax then dst.vmax <- src.vmax;
+  for k = 0 to bucket_count - 1 do
+    dst.buckets.(k) <- dst.buckets.(k) + src.buckets.(k)
+  done
+
+let copy t =
+  let c = create () in
+  merge_into ~src:t ~dst:c;
+  c
+
+let equal a b =
+  a.count = b.count && a.sum = b.sum
+  && a.buckets = b.buckets
+  && (a.count = 0 || (a.vmin = b.vmin && a.vmax = b.vmax))
+
+let pp ppf t =
+  Format.fprintf ppf "count=%d mean=%.3f min=%d max=%d" t.count (mean t)
+    (min_value t) (max_value t);
+  let widest =
+    let w = ref 0 in
+    iter_nonzero t (fun _ c -> if c > !w then w := c);
+    !w
+  in
+  iter_nonzero t (fun k c ->
+      let bar = if widest = 0 then 0 else max 1 (c * 40 / widest) in
+      Format.fprintf ppf "@\n  [%6d, %6d] %8d %s" (bucket_lo k) (bucket_hi k)
+        c
+        (String.make bar '#'))

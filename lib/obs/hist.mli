@@ -1,0 +1,63 @@
+(** Fixed-bucket log2 histogram.
+
+    Values land in power-of-two buckets: bucket 0 holds values [<= 0],
+    bucket [k >= 1] holds values in [[2^(k-1), 2^k - 1]].  Alongside
+    the buckets the histogram keeps the exact count, sum, minimum and
+    maximum, so the mean is exact even though the distribution is
+    bucketed.
+
+    [observe] allocates nothing — it is safe on the per-TLB-miss hot
+    path.  Merging is a field-wise sum (min/max fold), so it is
+    associative and commutative: per-domain shards merged in any order
+    produce the same histogram as a single-domain run over the same
+    observations. *)
+
+type t
+
+val bucket_count : int
+(** Number of buckets (64: one underflow bucket plus one per power of
+    two an OCaml [int] can hold). *)
+
+val create : unit -> t
+
+val observe : t -> int -> unit
+(** Record one value.  Zero allocation. *)
+
+val clear : t -> unit
+
+val count : t -> int
+
+val sum : t -> int
+
+val min_value : t -> int
+(** 0 when the histogram is empty. *)
+
+val max_value : t -> int
+(** 0 when the histogram is empty. *)
+
+val mean : t -> float
+(** Exact mean ([sum/count]); 0 when empty. *)
+
+val bucket_lo : int -> int
+(** Smallest value landing in bucket [k]. *)
+
+val bucket_hi : int -> int
+(** Largest value landing in bucket [k]. *)
+
+val iter_nonzero : t -> (int -> int -> unit) -> unit
+(** [iter_nonzero t f] calls [f k count] for every bucket with a
+    nonzero count, in increasing bucket order. *)
+
+val merge_into : src:t -> dst:t -> unit
+(** Add [src]'s observations into [dst].  [src] is unchanged. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+(** Structural equality of the observation multiset as the histogram
+    sees it: counts, sums, bucket contents, and (when nonempty)
+    min/max. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line rendering: summary line plus one bar per nonzero
+    bucket. *)

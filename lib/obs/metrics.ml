@@ -1,0 +1,120 @@
+type counter = { mutable value : int }
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  hists : (string, Hist.t) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; hists = Hashtbl.create 16 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+      let c = { value = 0 } in
+      Hashtbl.add t.counters name c;
+      c
+
+let hist t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+      let h = Hist.create () in
+      Hashtbl.add t.hists name h;
+      h
+
+let incr c = c.value <- c.value + 1
+
+let add c n = c.value <- c.value + n
+
+let value c = c.value
+
+let clear t =
+  Hashtbl.iter (fun _ c -> c.value <- 0) t.counters;
+  Hashtbl.iter (fun _ h -> Hist.clear h) t.hists
+
+let merge_into ~src ~dst =
+  Hashtbl.iter
+    (fun name (c : counter) ->
+      let d = counter dst name in
+      d.value <- d.value + c.value)
+    src.counters;
+  Hashtbl.iter
+    (fun name h -> Hist.merge_into ~src:h ~dst:(hist dst name))
+    src.hists
+
+let by_name l = List.sort (fun (a, _) (b, _) -> String.compare a b) l
+
+let counters t =
+  by_name (Hashtbl.fold (fun k c acc -> (k, c.value) :: acc) t.counters [])
+
+let hists t = by_name (Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.hists [])
+
+let equal a b =
+  let nonzero l = List.filter (fun (_, v) -> v <> 0) l in
+  let nonempty l = List.filter (fun (_, h) -> Hist.count h <> 0) l in
+  nonzero (counters a) = nonzero (counters b)
+  &&
+  let ha = nonempty (hists a) and hb = nonempty (hists b) in
+  List.length ha = List.length hb
+  && List.for_all2
+       (fun (na, va) (nb, vb) -> String.equal na nb && Hist.equal va vb)
+       ha hb
+
+(* --- JSON --- *)
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let write_json_fields buf t =
+  Buffer.add_string buf "\"counters\":[";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "{\"name\":\"";
+      add_escaped buf name;
+      Buffer.add_string buf (Printf.sprintf "\",\"value\":%d}" v))
+    (counters t);
+  Buffer.add_string buf "],\"histograms\":[";
+  List.iteri
+    (fun i (name, h) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "{\"name\":\"";
+      add_escaped buf name;
+      Buffer.add_string buf
+        (Printf.sprintf "\",\"count\":%d,\"sum\":%d,\"min\":%d,\"max\":%d"
+           (Hist.count h) (Hist.sum h) (Hist.min_value h) (Hist.max_value h));
+      Buffer.add_string buf ",\"buckets\":[";
+      let first = ref true in
+      Hist.iter_nonzero h (fun k c ->
+          if not !first then Buffer.add_char buf ',';
+          first := false;
+          Buffer.add_string buf
+            (Printf.sprintf "{\"lo\":%d,\"hi\":%d,\"count\":%d}"
+               (Hist.bucket_lo k) (Hist.bucket_hi k) c));
+      Buffer.add_string buf "]}")
+    (hists t);
+  Buffer.add_char buf ']'
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_char buf '{';
+  write_json_fields buf t;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let pp ppf t =
+  List.iter (fun (name, v) -> Format.fprintf ppf "%s = %d@\n" name v)
+    (counters t);
+  List.iter
+    (fun (name, h) -> Format.fprintf ppf "%s: %a@\n" name Hist.pp h)
+    (hists t)

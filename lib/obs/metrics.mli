@@ -1,0 +1,59 @@
+(** A registry of named counters and {!Hist} histograms.
+
+    One registry is a single-domain object: lookups hand back mutable
+    handles ([counter], [hist]) that hot paths cache once and then bump
+    without hashing, allocating, or locking.  Cross-domain use goes
+    through {!Ambient}, which gives every domain its own shard and
+    merges them after the joins.
+
+    JSON output sorts entries by name, so two registries holding the
+    same data serialize identically regardless of insertion order. *)
+
+type t
+
+type counter
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Find or register the named counter.  Allocates only on first
+    registration — cache the handle outside loops. *)
+
+val hist : t -> string -> Hist.t
+(** Find or register the named histogram. *)
+
+val incr : counter -> unit
+(** Zero allocation. *)
+
+val add : counter -> int -> unit
+(** Zero allocation. *)
+
+val value : counter -> int
+
+val clear : t -> unit
+(** Zero every counter and histogram, keeping registrations. *)
+
+val merge_into : src:t -> dst:t -> unit
+(** Add [src]'s counters and histograms into [dst], registering any
+    names [dst] lacks.  Order-independent: merging shards in any order
+    yields the same registry. *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val hists : t -> (string * Hist.t) list
+(** Sorted by name. *)
+
+val equal : t -> t -> bool
+(** Equality of contents, ignoring zero-valued counters and empty
+    histograms (a registered-but-untouched name is not data). *)
+
+val write_json_fields : Buffer.t -> t -> unit
+(** Append ["counters":[...],"histograms":[...]] — the fields of a
+    JSON object, without the surrounding braces, for embedding in a
+    larger document. *)
+
+val to_json : t -> string
+(** The two fields of {!write_json_fields} wrapped in an object. *)
+
+val pp : Format.formatter -> t -> unit

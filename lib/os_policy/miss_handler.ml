@@ -11,10 +11,19 @@ type t = {
   factor : int;
   counter : Mem.Cache_model.counter;
   mutable page_faults : int;
+  (* telemetry handles into the creating domain's shard, resolved once
+     here so the per-miss cost is a field bump (create the handler on
+     the domain that will run it, which every runner does) *)
+  m_tlb_hits : Obs.Metrics.counter;
+  m_tlb_misses : Obs.Metrics.counter;
+  m_page_faults : Obs.Metrics.counter;
+  m_walk_reads : Obs.Hist.t;
+  m_walk_lines : Obs.Hist.t;
 }
 
 let create ~tlb ~pt ?aspace ?(prefetch = false) ?(subblock_factor = 16)
     ?line_size () =
+  let shard = Obs.Ambient.get () in
   {
     tlb;
     pt;
@@ -23,10 +32,22 @@ let create ~tlb ~pt ?aspace ?(prefetch = false) ?(subblock_factor = 16)
     factor = subblock_factor;
     counter = Mem.Cache_model.create_counter ?line_size ();
     page_faults = 0;
+    m_tlb_hits = Obs.Metrics.counter shard "os.tlb_hits";
+    m_tlb_misses = Obs.Metrics.counter shard "os.tlb_misses";
+    m_page_faults = Obs.Metrics.counter shard "os.page_faults";
+    m_walk_reads = Obs.Metrics.hist shard "os.walk_reads";
+    m_walk_lines = Obs.Metrics.hist shard "os.walk_lines";
   }
 
 let record t (walk : Types.walk) =
-  ignore (Mem.Cache_model.record_walk t.counter walk.accesses)
+  let lines = Mem.Cache_model.record_walk t.counter walk.accesses in
+  Obs.Hist.observe t.m_walk_reads (List.length walk.accesses);
+  Obs.Hist.observe t.m_walk_lines lines;
+  if Obs.Tracer.enabled () then
+    List.iter
+      (fun (a : Mem.Cache_model.access) ->
+        Obs.Tracer.instant Obs.Tracer.ev_walk_read a.bytes)
+      walk.accesses
 
 (* Section 3.1: the handler updates reference/modified bits in place,
    without locks, as part of servicing the miss. *)
@@ -61,28 +82,38 @@ let walk_and_fill t ~vpn ~block_miss =
     | None -> `Missing
   end
 
+let service_miss t ~vpn ~write ~block_miss =
+  match walk_and_fill t ~vpn ~block_miss with
+  | `Filled ->
+      update_ref_mod t ~vpn ~write;
+      `Filled
+  | `Missing -> (
+      match t.aspace with
+      | None -> `Fault
+      | Some aspace -> (
+          match Address_space.fault aspace ~vpn with
+          | `Mapped _ | `Already_mapped _ -> (
+              t.page_faults <- t.page_faults + 1;
+              Obs.Metrics.incr t.m_page_faults;
+              match walk_and_fill t ~vpn ~block_miss with
+              | `Filled ->
+                  update_ref_mod t ~vpn ~write;
+                  `Page_fault_filled
+              | `Missing -> `Fault)
+          | `Segfault | `Oom -> `Fault))
+
 let access ?(write = false) t ~vpn =
   match Tlb.Intf.access t.tlb ~vpn with
-  | `Hit -> `Tlb_hit
-  | (`Block_miss | `Subblock_miss) as miss -> (
+  | `Hit ->
+      Obs.Metrics.incr t.m_tlb_hits;
+      `Tlb_hit
+  | (`Block_miss | `Subblock_miss) as miss ->
+      Obs.Metrics.incr t.m_tlb_misses;
       let block_miss = miss = `Block_miss in
-      match walk_and_fill t ~vpn ~block_miss with
-      | `Filled ->
-          update_ref_mod t ~vpn ~write;
-          `Filled
-      | `Missing -> (
-          match t.aspace with
-          | None -> `Fault
-          | Some aspace -> (
-              match Address_space.fault aspace ~vpn with
-              | `Mapped _ | `Already_mapped _ -> (
-                  t.page_faults <- t.page_faults + 1;
-                  match walk_and_fill t ~vpn ~block_miss with
-                  | `Filled ->
-                      update_ref_mod t ~vpn ~write;
-                      `Page_fault_filled
-                  | `Missing -> `Fault)
-              | `Segfault | `Oom -> `Fault)))
+      Obs.Tracer.begin_ Obs.Tracer.ev_miss (Int64.to_int vpn land max_int);
+      let outcome = service_miss t ~vpn ~write ~block_miss in
+      Obs.Tracer.end_ Obs.Tracer.ev_miss;
+      outcome
 
 let access_addr ?write t vaddr = access ?write t ~vpn:(Addr.Vaddr.vpn vaddr)
 

@@ -82,33 +82,66 @@ let bucket_of t ~vpn =
   | H h -> Baselines.Hashed_pt.bucket_of h ~vpn
   | C c -> Clustered_pt.Table.bucket_of c ~vpn
 
+(* Lock holds are trace slices (arg: the stripe, or -1 for the global
+   mutex).  The begin event precedes acquisition, so the slice also
+   shows time spent blocked behind the holder.  With tracing disabled
+   each emit point is one branch and the locking code is exactly the
+   untraced version — no wrapper closures on the hot path. *)
+let traced ev arg body =
+  Obs.Tracer.begin_ ev arg;
+  match body () with
+  | v ->
+      Obs.Tracer.end_ ev;
+      v
+  | exception e ->
+      Obs.Tracer.end_ ev;
+      raise e
+
+let with_read_global g f =
+  Mutex.lock g.m;
+  g.g_reads <- g.g_reads + 1;
+  g.g_held <- g.g_held + 1;
+  Fun.protect
+    ~finally:(fun () ->
+      g.g_held <- g.g_held - 1;
+      Mutex.unlock g.m)
+    f
+
 let with_read t ~vpn f =
   match t.locks with
   | Global_lock g ->
-      Mutex.lock g.m;
-      g.g_reads <- g.g_reads + 1;
-      g.g_held <- g.g_held + 1;
-      Fun.protect
-        ~finally:(fun () ->
-          g.g_held <- g.g_held - 1;
-          Mutex.unlock g.m)
-        f
+      if Obs.Tracer.enabled () then
+        traced Obs.Tracer.ev_lock_read (-1) (fun () -> with_read_global g f)
+      else with_read_global g f
   | Striped_lock l ->
-      Clustered_pt.Bucket_lock.Real.with_read l ~bucket:(bucket_of t ~vpn) f
+      let bucket = bucket_of t ~vpn in
+      if Obs.Tracer.enabled () then
+        traced Obs.Tracer.ev_lock_read bucket (fun () ->
+            Clustered_pt.Bucket_lock.Real.with_read l ~bucket f)
+      else Clustered_pt.Bucket_lock.Real.with_read l ~bucket f
+
+let with_write_global g f =
+  Mutex.lock g.m;
+  g.g_writes <- g.g_writes + 1;
+  g.g_held <- g.g_held + 1;
+  Fun.protect
+    ~finally:(fun () ->
+      g.g_held <- g.g_held - 1;
+      Mutex.unlock g.m)
+    f
 
 let with_write t ~vpn f =
   match t.locks with
   | Global_lock g ->
-      Mutex.lock g.m;
-      g.g_writes <- g.g_writes + 1;
-      g.g_held <- g.g_held + 1;
-      Fun.protect
-        ~finally:(fun () ->
-          g.g_held <- g.g_held - 1;
-          Mutex.unlock g.m)
-        f
+      if Obs.Tracer.enabled () then
+        traced Obs.Tracer.ev_lock_write (-1) (fun () -> with_write_global g f)
+      else with_write_global g f
   | Striped_lock l ->
-      Clustered_pt.Bucket_lock.Real.with_write l ~bucket:(bucket_of t ~vpn) f
+      let bucket = bucket_of t ~vpn in
+      if Obs.Tracer.enabled () then
+        traced Obs.Tracer.ev_lock_write bucket (fun () ->
+            Clustered_pt.Bucket_lock.Real.with_write l ~bucket f)
+      else Clustered_pt.Bucket_lock.Real.with_write l ~bucket f
 
 let lookup_into t acc ~vpn =
   with_read t ~vpn (fun () ->
@@ -204,3 +237,15 @@ let lock_stats t =
         write_acquisitions = Clustered_pt.Bucket_lock.Real.write_acquisitions l;
         currently_held = Clustered_pt.Bucket_lock.Real.currently_held l;
       }
+
+let reset_lock_stats t =
+  match t.locks with
+  | Global_lock g ->
+      g.g_reads <- 0;
+      g.g_writes <- 0
+  | Striped_lock l -> Clustered_pt.Bucket_lock.Real.reset_counters l
+
+let probe ?into t =
+  match t.backend with
+  | H h -> Obs.Probe.hashed ?into h
+  | C c -> Obs.Probe.clustered ?into c

@@ -68,7 +68,19 @@ type lock_stats = {
 }
 
 val lock_stats : t -> lock_stats
-(** Totals since {!create}; exact when no operation is in flight.
-    [currently_held] must be zero at quiescence.  Global-lock
-    acquisitions are tallied by intent (lookups as reads, mutations as
-    writes) so the two strategies' accounting is comparable. *)
+(** Totals since {!create} (or the last {!reset_lock_stats}); exact
+    when no operation is in flight.  [currently_held] must be zero at
+    quiescence.  Global-lock acquisitions are tallied by intent
+    (lookups as reads, mutations as writes) so the two strategies'
+    accounting is comparable. *)
+
+val reset_lock_stats : t -> unit
+(** Zero the acquisition counters of either locking strategy, leaving
+    the service as freshly created as far as {!lock_stats} is
+    concerned ([currently_held] is live state, not a counter).  Call
+    at quiescence. *)
+
+val probe : ?into:Obs.Probe.report -> t -> Obs.Probe.report
+(** Structural telemetry of the backing table (chain lengths, bucket
+    occupancy, node utilization).  Takes no locks: only run it while
+    no other domain is mutating the service. *)

@@ -1,17 +1,34 @@
 (* Per-domain throughput benchmark for the shared service.
 
-   N worker domains (a long-lived {!Exec.Worker_pool}) issue mixed
-   lookup/insert/remove/protect traffic against one shared table.
-   Each domain owns a disjoint VPN range — keys never collide, so the
+   The unit of work is a *stream*: a seeded, self-contained
+   lookup/insert/remove/protect loop over its own disjoint VPN range.
+   [streams] logical streams are dealt round-robin over [domains]
+   physical worker domains (stream [s] runs on domain [s mod domains]),
+   so the set of operations issued — and everything derived from a
+   single stream's history — depends only on the stream count, never
+   on how many domains execute them.  [streams = 0] (the default)
+   means one stream per domain: exactly the pre-streams behaviour.
+
+   Each stream owns a disjoint VPN range — keys never collide, so the
    final table state is independent of interleaving — but ranges hash
    into the same 4096 buckets, so stripes are genuinely contended.
 
-   Phases: prepopulate (each domain inserts every other page of its
+   Phases: prepopulate (each stream inserts every other page of its
    range, untimed) then a timed mixed loop.  The pool is created
    before and shut down after the timed region, so domain startup is
    never measured; lookups go through the allocation-free
-   [lookup_into] path with a per-domain accumulator, so the timed loop
-   is GC-quiet. *)
+   [lookup_into] path with a per-stream accumulator, so the timed loop
+   is GC-quiet.
+
+   Telemetry (into the executing domain's {!Obs.Ambient} shard) is
+   restricted to interleaving-invariant quantities: per-op-kind
+   counters, lookup hits/misses (a stream only looks up its own keys),
+   and the protect-search histogram.  Per-lookup walk lengths are NOT
+   recorded here — shared chains make them depend on the interleaving
+   — so the merged registry of a run is identical for any [domains]
+   given the same [streams], seed and op count.  A structural probe of
+   the final table (also interleaving-invariant) lands under
+   [service.*]. *)
 
 type mix = {
   lookup_pct : int;
@@ -31,6 +48,7 @@ let check_mix m =
 
 type config = {
   domains : int;
+  streams : int;  (** 0 = one stream per domain *)
   ops_per_domain : int;
   vpns_per_domain : int;
   protect_pages : int;  (** span of each protect region *)
@@ -41,12 +59,15 @@ type config = {
 let default_config =
   {
     domains = 1;
+    streams = 0;
     ops_per_domain = 100_000;
     vpns_per_domain = 4_096;
     protect_pages = 64;
     mix = default_mix;
     seed = 42;
   }
+
+let stream_count cfg = if cfg.streams = 0 then cfg.domains else cfg.streams
 
 type result = {
   org : Service.org;
@@ -61,17 +82,27 @@ type result = {
   population : int;
 }
 
-(* Each domain's keys start well away from VPN 0 and from each other;
+(* Each stream's keys start well away from VPN 0 and from each other;
    the stride keeps ranges disjoint for any sane config. *)
-let domain_base cfg index =
+let stream_base cfg stream =
   Int64.add 0x10_0000L
-    (Int64.mul (Int64.of_int index) (Int64.of_int cfg.vpns_per_domain))
+    (Int64.mul (Int64.of_int stream) (Int64.of_int cfg.vpns_per_domain))
 
 (* identity placement folded into the PTE's 28-bit PPN field *)
 let ppn_for vpn = Int64.logand vpn 0xFFF_FFFFL
 
-let prepopulate svc cfg index =
-  let base = domain_base cfg index in
+(* streams dealt round-robin: domain [index] runs streams [s] with
+   [s mod domains = index], in increasing [s] *)
+let iter_streams cfg index f =
+  let n = stream_count cfg in
+  let s = ref index in
+  while !s < n do
+    f !s;
+    s := !s + cfg.domains
+  done
+
+let prepopulate svc cfg stream =
+  let base = stream_base cfg stream in
   let i = ref 0 in
   while !i < cfg.vpns_per_domain do
     let vpn = Int64.add base (Int64.of_int !i) in
@@ -79,61 +110,94 @@ let prepopulate svc cfg index =
     i := !i + 2
   done
 
-let mixed_loop svc cfg index hits =
-  let rng = Random.State.make [| cfg.seed; index; 0x9e3779b9 |] in
+let mixed_loop svc cfg stream hits =
+  let rng = Random.State.make [| cfg.seed; stream; 0x9e3779b9 |] in
   let acc = Mem.Walk_acc.create () in
-  let base = domain_base cfg index in
+  let base = stream_base cfg stream in
   let m = cfg.mix in
   let hit = ref 0 in
+  (* handles into this domain's metric shard, hoisted off the loop *)
+  let shard = Obs.Ambient.get () in
+  let c_lookup = Obs.Metrics.counter shard "throughput.ops.lookup"
+  and c_insert = Obs.Metrics.counter shard "throughput.ops.insert"
+  and c_remove = Obs.Metrics.counter shard "throughput.ops.remove"
+  and c_protect = Obs.Metrics.counter shard "throughput.ops.protect"
+  and c_hit = Obs.Metrics.counter shard "throughput.lookup.hit"
+  and c_miss = Obs.Metrics.counter shard "throughput.lookup.miss"
+  and h_searches = Obs.Metrics.hist shard "throughput.protect_searches" in
   for _ = 1 to cfg.ops_per_domain do
     let o = Random.State.int rng cfg.vpns_per_domain in
     let vpn = Int64.add base (Int64.of_int o) in
     let r = Random.State.int rng 100 in
     if r < m.lookup_pct then begin
+      Obs.Metrics.incr c_lookup;
       Mem.Walk_acc.reset acc;
-      if Service.lookup_into svc acc ~vpn then incr hit
+      if Service.lookup_into svc acc ~vpn then begin
+        incr hit;
+        Obs.Metrics.incr c_hit
+      end
+      else Obs.Metrics.incr c_miss
     end
-    else if r < m.lookup_pct + m.insert_pct then
+    else if r < m.lookup_pct + m.insert_pct then begin
+      Obs.Metrics.incr c_insert;
       Service.insert svc ~vpn ~ppn:(ppn_for vpn) ~attr:Pte.Attr.default
-    else if r < m.lookup_pct + m.insert_pct + m.remove_pct then
+    end
+    else if r < m.lookup_pct + m.insert_pct + m.remove_pct then begin
+      Obs.Metrics.incr c_remove;
       Service.remove svc ~vpn
+    end
     else begin
+      Obs.Metrics.incr c_protect;
       let pages = min cfg.protect_pages (cfg.vpns_per_domain - o) in
       let region = Addr.Region.make ~first_vpn:vpn ~pages in
-      ignore (Service.protect svc region ~writable:(r land 1 = 0))
+      let searches = Service.protect svc region ~writable:(r land 1 = 0) in
+      Obs.Hist.observe h_searches searches
     end
   done;
-  hits.(index) <- !hit
+  hits.(stream) <- !hit
 
 let run ~org ~locking cfg =
   check_mix cfg.mix;
   if cfg.domains < 1 then invalid_arg "Throughput.run: domains must be >= 1";
+  if cfg.streams < 0 then invalid_arg "Throughput.run: streams must be >= 0";
   if cfg.vpns_per_domain < 2 then
     invalid_arg "Throughput.run: vpns_per_domain must be >= 2";
+  let streams = stream_count cfg in
   let svc = Service.create ~org ~locking () in
-  let hits = Array.make cfg.domains 0 in
-  Exec.Worker_pool.with_pool ~domains:cfg.domains (fun pool ->
-      Exec.Worker_pool.run pool (prepopulate svc cfg);
-      let stats0 = Service.lock_stats svc in
-      let t0 = Unix.gettimeofday () in
-      Exec.Worker_pool.run pool (fun index -> mixed_loop svc cfg index hits);
-      let t1 = Unix.gettimeofday () in
-      let stats1 = Service.lock_stats svc in
-      let total_ops = cfg.domains * cfg.ops_per_domain in
-      let elapsed_s = t1 -. t0 in
-      {
-        org;
-        locking;
-        domains = cfg.domains;
-        total_ops;
-        elapsed_s;
-        ops_per_sec =
-          (if elapsed_s > 0. then float_of_int total_ops /. elapsed_s
-           else infinity);
-        lookups_hit = Array.fold_left ( + ) 0 hits;
-        read_locks =
-          stats1.Service.read_acquisitions - stats0.Service.read_acquisitions;
-        write_locks =
-          stats1.Service.write_acquisitions - stats0.Service.write_acquisitions;
-        population = Service.population svc;
-      })
+  let hits = Array.make streams 0 in
+  let result =
+    Exec.Worker_pool.with_pool ~domains:cfg.domains (fun pool ->
+        Exec.Worker_pool.run pool (fun index ->
+            iter_streams cfg index (prepopulate svc cfg));
+        let stats0 = Service.lock_stats svc in
+        let t0 = Unix.gettimeofday () in
+        Exec.Worker_pool.run pool (fun index ->
+            iter_streams cfg index (fun s -> mixed_loop svc cfg s hits));
+        let t1 = Unix.gettimeofday () in
+        let stats1 = Service.lock_stats svc in
+        let total_ops = streams * cfg.ops_per_domain in
+        let elapsed_s = t1 -. t0 in
+        {
+          org;
+          locking;
+          domains = cfg.domains;
+          total_ops;
+          elapsed_s;
+          ops_per_sec =
+            (if elapsed_s > 0. then float_of_int total_ops /. elapsed_s
+             else infinity);
+          lookups_hit = Array.fold_left ( + ) 0 hits;
+          read_locks =
+            stats1.Service.read_acquisitions - stats0.Service.read_acquisitions;
+          write_locks =
+            stats1.Service.write_acquisitions
+            - stats0.Service.write_acquisitions;
+          population = Service.population svc;
+        })
+  in
+  (* structural telemetry of the final table: the mapping set is
+     interleaving-invariant (disjoint per-stream key ranges), and the
+     histograms cannot see chain order *)
+  Obs.Probe.to_metrics (Obs.Ambient.get ()) ~prefix:"service"
+    (Service.probe svc);
+  result

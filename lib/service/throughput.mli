@@ -1,12 +1,23 @@
 (** Per-domain throughput benchmark for the shared {!Service}.
 
-    N long-lived worker domains issue mixed
-    lookup/insert/remove/protect traffic against one shared table.
-    Each domain owns a disjoint VPN range (final state is independent
-    of interleaving) but all ranges hash into the shared buckets, so
-    lock stripes are contended.  Prepopulation and domain startup
-    happen outside the timed region; lookups use the allocation-free
-    path, so the measured loop is GC-quiet. *)
+    The unit of work is a {e stream}: a seeded, self-contained mixed
+    lookup/insert/remove/protect loop over its own disjoint VPN range.
+    [streams] logical streams are dealt round-robin over [domains]
+    physical worker domains, so everything derived from the streams'
+    operation histories — including the {!Obs.Ambient} telemetry —
+    depends only on the stream count, seed and op count, never on the
+    domain count.  [streams = 0] (the default) runs one stream per
+    domain, the original behaviour.
+
+    Prepopulation and domain startup happen outside the timed region;
+    lookups use the allocation-free path, so the measured loop is
+    GC-quiet.
+
+    Telemetry recorded per op: [throughput.ops.*] kind counters,
+    [throughput.lookup.hit]/[.miss], and the
+    [throughput.protect_searches] histogram — all
+    interleaving-invariant.  A structural probe of the final table is
+    merged into the calling domain's shard under [service.*]. *)
 
 type mix = {
   lookup_pct : int;
@@ -21,16 +32,21 @@ val default_mix : mix
 
 type config = {
   domains : int;
-  ops_per_domain : int;
-  vpns_per_domain : int;
+  streams : int;
+      (** logical streams of work; 0 = one per domain.  Fix this
+          across a domain sweep to make the telemetry comparable. *)
+  ops_per_domain : int;  (** ops per {e stream} *)
+  vpns_per_domain : int;  (** working-set pages per {e stream} *)
   protect_pages : int;  (** span of each protect region *)
   mix : mix;
   seed : int;
 }
 
 val default_config : config
-(** 1 domain, 100k ops, 4096-page working set per domain, 64-page
-    protects, default mix, seed 42. *)
+(** 1 domain, streams follow domains, 100k ops, 4096-page working set
+    per stream, 64-page protects, default mix, seed 42. *)
+
+val stream_count : config -> int
 
 type result = {
   org : Service.org;

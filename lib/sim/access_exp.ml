@@ -99,21 +99,23 @@ let record_misses trace tlb ~reference ~design ~subblock_factor =
     trace;
   (List.rev !misses, !count)
 
-let replay_misses misses tables ~design ~line_size ~subblock_factor =
+let replay_misses ?hist misses tables ~design ~line_size ~subblock_factor =
   let counter = Mem.Cache_model.create_counter ~line_size () in
   let acc = Mem.Walk_acc.create () in
   List.iter
     (fun { proc; vpn; block_miss } ->
       let pt = tables.(proc) in
-      if design = Csb && block_miss then
-        let walk = snd (Intf.lookup_block pt ~vpn ~subblock_factor) in
-        ignore
-          (Mem.Cache_model.record_walk counter walk.Pt_common.Types.accesses)
-      else begin
-        Mem.Walk_acc.reset acc;
-        ignore (Intf.lookup_into pt acc ~vpn);
-        ignore (Mem.Cache_model.record_acc counter acc)
-      end)
+      let lines =
+        if design = Csb && block_miss then
+          let walk = snd (Intf.lookup_block pt ~vpn ~subblock_factor) in
+          Mem.Cache_model.record_walk counter walk.Pt_common.Types.accesses
+        else begin
+          Mem.Walk_acc.reset acc;
+          ignore (Intf.lookup_into pt acc ~vpn);
+          Mem.Cache_model.record_acc counter acc
+        end
+      in
+      match hist with Some h -> Obs.Hist.observe h lines | None -> ())
     misses;
   Mem.Cache_model.total_lines counter
 
@@ -174,6 +176,15 @@ let run ?(seed = 0x7ACE_1995L) ?(length = 80_000)
     end
     else None
   in
+  (* merged telemetry: the miss totals the design produced and, per
+     organization, the per-miss cache-line distribution the paper's
+     Figure 11 averages.  Each spec runs whole on one domain, so the
+     shard observations are deterministic and merge order-free. *)
+  let shard = Obs.Ambient.get () in
+  Obs.Metrics.add
+    (Obs.Metrics.counter shard "sim.accesses")
+    (Workload.Trace.accesses trace);
+  Obs.Metrics.add (Obs.Metrics.counter shard "sim.tlb_misses") n64;
   let results =
     List.map
       (fun kind ->
@@ -182,7 +193,10 @@ let run ?(seed = 0x7ACE_1995L) ?(length = 80_000)
           if is_linear kind then Option.get misses56 else misses64
         in
         let lines =
-          replay_misses miss_stream tables ~design ~line_size ~subblock_factor
+          replay_misses
+            ~hist:
+              (Obs.Metrics.hist shard ("sim.walk_lines." ^ Factory.name kind))
+            miss_stream tables ~design ~line_size ~subblock_factor
         in
         {
           workload = spec.Workload.Spec.name;

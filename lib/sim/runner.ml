@@ -1405,8 +1405,8 @@ type throughput_row = {
   tp_population : int;
 }
 
-let throughput ?(domains_list = [ 1; 2; 4; 8 ]) ?(ops_per_domain = 100_000)
-    ?(vpns_per_domain = 4_096) ?(seed = 42)
+let throughput ?(domains_list = [ 1; 2; 4; 8 ]) ?(streams = 0)
+    ?(ops_per_domain = 100_000) ?(vpns_per_domain = 4_096) ?(seed = 42)
     ?(pairs =
       Pt_service.Service.
         [
@@ -1434,6 +1434,7 @@ let throughput ?(domains_list = [ 1; 2; 4; 8 ]) ?(ops_per_domain = 100_000)
             {
               Pt_service.Throughput.default_config with
               domains;
+              streams;
               ops_per_domain;
               vpns_per_domain;
               seed;
@@ -1467,3 +1468,128 @@ let throughput_for_suite ?(options = default_options) () =
   if options.quick then
     throughput ~domains_list:[ 1; 2 ] ~ops_per_domain:20_000 ()
   else throughput ()
+
+(* --- ptsim inspect: structural telemetry for built tables --- *)
+
+type inspect_row = {
+  ins_workload : string;
+  ins_nodes : int;
+  ins_bucket_obs : int;  (** chain-length observations = buckets x procs *)
+  ins_chain_mean : float;
+  ins_alpha : float;  (** analytic load factor, Nactive(s) / buckets *)
+  ins_lines : float;  (** appendix lines-per-miss at that load factor *)
+  ins_report : Obs.Probe.report;
+}
+
+(* Build each workload's per-process tables exactly as the size
+   experiments do (fresh table per process, Base policy), probe their
+   structure, and put the measured chain-length mean next to the
+   appendix's load factor.  The probe observes every bucket, so the
+   mean is node_count / buckets — with one node per active block under
+   [`Base], that is alpha = Nactive(s) / buckets up to builder
+   rounding, which is the 5%-agreement check [verify] leans on. *)
+let inspect ?(options = default_options) ?domains
+    ?(org = `Clustered) () =
+  let specs = trace_specs options in
+  let factor = match org with `Clustered -> 16 | `Hashed -> 1 in
+  let org_name =
+    match org with `Clustered -> "clustered" | `Hashed -> "hashed"
+  in
+  let rows =
+    par_map ?domains
+      (fun spec ->
+        let snap = Workload.Snapshot.generate spec ~seed:options.seed in
+        let assignments =
+          List.mapi
+            (fun i proc ->
+              Builder.assign proc ~placement_p:options.placement_p
+                ~seed:(Int64.add options.seed (Int64.of_int (i + 1)))
+                ())
+            snap.Workload.Snapshot.procs
+        in
+        let report = Obs.Probe.create () in
+        let nodes = ref 0
+        and buckets = ref 0 in
+        List.iter
+          (fun a ->
+            match org with
+            | `Clustered ->
+                let table =
+                  Clustered_pt.Table.create (Clustered_pt.Config.make ())
+                in
+                let pt =
+                  Pt_common.Intf.Instance ((module Clustered_pt.Table), table)
+                in
+                Builder.populate pt a ~policy:`Base;
+                ignore (Obs.Probe.clustered ~into:report table);
+                nodes := !nodes + Clustered_pt.Table.node_count table;
+                buckets := !buckets + Clustered_pt.Table.buckets table
+            | `Hashed ->
+                let table = Baselines.Hashed_pt.create () in
+                let pt =
+                  Pt_common.Intf.Instance ((module Baselines.Hashed_pt), table)
+                in
+                Builder.populate pt a ~policy:`Base;
+                ignore (Obs.Probe.hashed ~into:report table);
+                nodes := !nodes + Baselines.Hashed_pt.node_count table;
+                buckets := !buckets + Baselines.Hashed_pt.buckets table)
+          assignments;
+        let alpha =
+          float_of_int (nactive snap factor) /. float_of_int !buckets
+        in
+        let lines =
+          match org with
+          | `Clustered -> Analytic.clustered_lines ~load_factor:alpha
+          | `Hashed -> Analytic.hashed_lines ~load_factor:alpha
+        in
+        (* export under a per-workload prefix so --metrics-out carries
+           the same distributions the report prints *)
+        Obs.Probe.to_metrics (Obs.Ambient.get ())
+          ~prefix:("inspect." ^ spec.Workload.Spec.name)
+          report;
+        {
+          ins_workload = spec.Workload.Spec.name;
+          ins_nodes = !nodes;
+          ins_bucket_obs = !buckets;
+          ins_chain_mean = Obs.Hist.mean report.Obs.Probe.chain_length;
+          ins_alpha = alpha;
+          ins_lines = lines;
+          ins_report = report;
+        })
+      specs
+  in
+  Printf.printf "\n== Structure: %s tables built per Table 1 workload ==\n"
+    org_name;
+  List.iter
+    (fun row ->
+      Printf.printf "\n-- %s (%d nodes over %d buckets) --\n" row.ins_workload
+        row.ins_nodes row.ins_bucket_obs;
+      Format.printf "%a@." Obs.Probe.pp row.ins_report)
+    rows;
+  Report.print_table
+    ~title:
+      (Printf.sprintf "Chain length vs appendix load factor (%s)" org_name)
+    ~header:
+      [ "workload"; "mean chain"; "analytic alpha"; "delta"; "lines/miss" ]
+    ~rows:
+      (List.map
+         (fun row ->
+           let delta =
+             if row.ins_alpha = 0.0 then 0.0
+             else
+               100.0
+               *. (row.ins_chain_mean -. row.ins_alpha)
+               /. row.ins_alpha
+           in
+           [
+             row.ins_workload;
+             Printf.sprintf "%.4f" row.ins_chain_mean;
+             Printf.sprintf "%.4f" row.ins_alpha;
+             Printf.sprintf "%+.1f%%" delta;
+             Printf.sprintf "%.3f" row.ins_lines;
+           ])
+         rows);
+  Report.note
+    "mean chain = nodes/buckets over every bucket; the appendix's \
+     lines-per-miss is 1 + alpha/2 (Table 2).";
+  rows

@@ -202,6 +202,7 @@ type throughput_row = {
 
 val throughput :
   ?domains_list:int list ->
+  ?streams:int ->
   ?ops_per_domain:int ->
   ?vpns_per_domain:int ->
   ?seed:int ->
@@ -213,9 +214,39 @@ val throughput :
     (see {!Pt_service.Throughput}), for each (organization, locking)
     pair and each domain count.  Defaults: domains 1/2/4/8, 100k ops
     per domain, all four pairs.  Prints ops/sec and the speedup over
-    the pair's first domain count. *)
+    the pair's first domain count.  [streams] fixes the logical stream
+    count across the domain sweep (0, the default, runs one stream per
+    domain); fixing it makes the merged telemetry identical for every
+    domain count. *)
 
 val throughput_for_suite : ?options:options -> unit -> throughput_row list
 (** {!throughput} at the suite's standard scale (1/2/4/8 domains x
     100k ops; 1/2 x 20k under [--quick]) — what the benchmark harness
     appends after churn. *)
+
+(** {1 Structural inspection (PR 4 telemetry)} *)
+
+type inspect_row = {
+  ins_workload : string;
+  ins_nodes : int;  (** table nodes summed over the per-process tables *)
+  ins_bucket_obs : int;  (** chain-length observations = buckets x procs *)
+  ins_chain_mean : float;  (** mean of the probed chain-length histogram *)
+  ins_alpha : float;  (** analytic load factor, Nactive(s) / buckets *)
+  ins_lines : float;  (** appendix lines-per-miss at [ins_alpha] *)
+  ins_report : Obs.Probe.report;
+}
+
+val inspect :
+  ?options:options ->
+  ?domains:int ->
+  ?org:[ `Clustered | `Hashed ] ->
+  unit ->
+  inspect_row list
+(** Build each Table 1 workload's per-process tables (Base policy, the
+    size experiments' construction), probe their structure with
+    {!Obs.Probe}, print the chain-length / occupancy / node-utilization
+    histograms, and tabulate the measured chain-length mean against the
+    appendix's load factor alpha = Nactive(s)/buckets — the two agree
+    within 5% (a tier-1 test holds this).  Also merges each workload's
+    histograms into the ambient metrics under [inspect.<workload>.*]
+    so [--metrics-out] captures them. *)

@@ -1,6 +1,9 @@
 type entry = {
   vpbn : int64;
   mutable vmask : int;
+  mutable sp_mask : int;
+      (* slots filled from a superpage translation; a later base /
+         partial-subblock fill of the same slot reclaims it *)
   ppns : int64 array;
   attrs : Pte.Attr.t array;
 }
@@ -37,9 +40,12 @@ let access t ~vpn =
   let vpbn, boff = split t vpn in
   let covers e = Int64.equal e.vpbn vpbn && e.vmask land (1 lsl boff) <> 0 in
   match Assoc.find t.store ~f:covers with
-  | Some _ ->
+  | Some e ->
       Assoc.touch t.store ~f:covers;
       t.stats.Stats.hits <- t.stats.Stats.hits + 1;
+      if e.sp_mask land (1 lsl boff) <> 0 then
+        t.stats.Stats.sp_hits <- t.stats.Stats.sp_hits + 1
+      else t.stats.Stats.base_hits <- t.stats.Stats.base_hits + 1;
       `Hit
   | None ->
       if Assoc.find t.store ~f:(fun e -> Int64.equal e.vpbn vpbn) <> None then begin
@@ -62,6 +68,7 @@ let get_or_insert_entry t vpbn =
         {
           vpbn;
           vmask = 0;
+          sp_mask = 0;
           ppns = Array.make t.factor 0L;
           attrs = Array.make t.factor Pte.Attr.default;
         }
@@ -71,8 +78,10 @@ let get_or_insert_entry t vpbn =
       | None -> ());
       e
 
-let set_slot e ~boff ~ppn ~attr =
+let set_slot e ~sp ~boff ~ppn ~attr =
   e.vmask <- e.vmask lor (1 lsl boff);
+  if sp then e.sp_mask <- e.sp_mask lor (1 lsl boff)
+  else e.sp_mask <- e.sp_mask land lnot (1 lsl boff);
   e.ppns.(boff) <- ppn;
   e.attrs.(boff) <- attr
 
@@ -102,16 +111,22 @@ let slots_of t vpbn (tr : Pt_common.Types.translation) =
       done;
       !out
 
+let is_sp (tr : Pt_common.Types.translation) =
+  match tr.kind with
+  | Pt_common.Types.Superpage _ -> true
+  | Pt_common.Types.Base | Pt_common.Types.Partial_subblock _ -> false
+
 let fill t (tr : Pt_common.Types.translation) =
   let vpbn, _ = split t tr.vpn in
   let e = get_or_insert_entry t vpbn in
   match tr.kind with
   | Pt_common.Types.Base ->
       let _, boff = split t tr.vpn in
-      set_slot e ~boff ~ppn:tr.ppn ~attr:tr.attr
+      set_slot e ~sp:false ~boff ~ppn:tr.ppn ~attr:tr.attr
   | Pt_common.Types.Partial_subblock _ | Pt_common.Types.Superpage _ ->
+      let sp = is_sp tr in
       List.iter
-        (fun (boff, ppn, attr) -> set_slot e ~boff ~ppn ~attr)
+        (fun (boff, ppn, attr) -> set_slot e ~sp ~boff ~ppn ~attr)
         (slots_of t vpbn tr)
 
 let fill_block t trs =
@@ -122,7 +137,7 @@ let fill_block t trs =
       let e = get_or_insert_entry t vpbn in
       List.iter
         (fun (boff, (tr : Pt_common.Types.translation)) ->
-          set_slot e ~boff ~ppn:tr.ppn ~attr:tr.attr)
+          set_slot e ~sp:(is_sp tr) ~boff ~ppn:tr.ppn ~attr:tr.attr)
         trs
 
 let flush t = Assoc.flush t.store

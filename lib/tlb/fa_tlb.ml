@@ -16,6 +16,8 @@ let access t ~vpn =
   | Some _ ->
       Assoc.touch t.store ~f:matches;
       t.stats.Stats.hits <- t.stats.Stats.hits + 1;
+      (* every entry maps exactly one base page *)
+      t.stats.Stats.base_hits <- t.stats.Stats.base_hits + 1;
       `Hit
   | None ->
       t.stats.Stats.block_misses <- t.stats.Stats.block_misses + 1;

@@ -1,6 +1,9 @@
 type entry = {
   vpbn : int64;
   mutable vmask : int;
+  mutable sp_mask : int;
+      (* vmask bits installed from a superpage translation; a later
+         base / partial-subblock fill of the same bit reclaims it *)
   ppn_base : int64; (* PPN of block offset 0; offset i maps to ppn_base+i *)
   attr : Pte.Attr.t;
 }
@@ -37,9 +40,12 @@ let access t ~vpn =
   let vpbn, boff = split t vpn in
   let covers e = Int64.equal e.vpbn vpbn && e.vmask land (1 lsl boff) <> 0 in
   match Assoc.find t.store ~f:covers with
-  | Some _ ->
+  | Some e ->
       Assoc.touch t.store ~f:covers;
       t.stats.Stats.hits <- t.stats.Stats.hits + 1;
+      if e.sp_mask land (1 lsl boff) <> 0 then
+        t.stats.Stats.sp_hits <- t.stats.Stats.sp_hits + 1
+      else t.stats.Stats.base_hits <- t.stats.Stats.base_hits + 1;
       `Hit
   | None ->
       if Assoc.find t.store ~f:(fun e -> Int64.equal e.vpbn vpbn) <> None then begin
@@ -57,27 +63,32 @@ let insert t e =
   | None -> ()
 
 (* Merge the bits [vmask] (whose pages map to [ppn_base] + offset) into
-   an existing compatible entry, or install a new entry. *)
-let fill_bits t ~vpbn ~vmask ~ppn_base ~attr =
+   an existing compatible entry, or install a new entry.  [sp] marks
+   the bits as superpage-derived for hit attribution. *)
+let fill_bits t ~sp ~vpbn ~vmask ~ppn_base ~attr =
   let compatible e =
     Int64.equal e.vpbn vpbn && Int64.equal e.ppn_base ppn_base
   in
   match Assoc.find t.store ~f:compatible with
   | Some e ->
       e.vmask <- e.vmask lor vmask;
+      if sp then e.sp_mask <- e.sp_mask lor vmask
+      else e.sp_mask <- e.sp_mask land lnot vmask;
       Assoc.touch t.store ~f:compatible
-  | None -> insert t { vpbn; vmask; ppn_base; attr }
+  | None ->
+      insert t
+        { vpbn; vmask; sp_mask = (if sp then vmask else 0); ppn_base; attr }
 
 let fill t (tr : Pt_common.Types.translation) =
   let vpbn, boff = split t tr.vpn in
   match tr.kind with
   | Pt_common.Types.Partial_subblock vmask ->
-      fill_bits t ~vpbn ~vmask ~ppn_base:tr.ppn_base ~attr:tr.attr
+      fill_bits t ~sp:false ~vpbn ~vmask ~ppn_base:tr.ppn_base ~attr:tr.attr
   | Pt_common.Types.Base ->
       (* merging requires proper placement: offset agreement between
          the entry's base PPN and this page's PPN *)
       let candidate_base = Int64.sub tr.ppn (Int64.of_int boff) in
-      fill_bits t ~vpbn ~vmask:(1 lsl boff) ~ppn_base:candidate_base
+      fill_bits t ~sp:false ~vpbn ~vmask:(1 lsl boff) ~ppn_base:candidate_base
         ~attr:tr.attr
   | Pt_common.Types.Superpage size ->
       let pages = Addr.Page_size.base_pages size in
@@ -87,13 +98,15 @@ let fill t (tr : Pt_common.Types.translation) =
         let ppn_base =
           Int64.add tr.ppn_base (Int64.sub block_base_vpn tr.vpn_base)
         in
-        fill_bits t ~vpbn ~vmask:((1 lsl t.factor) - 1) ~ppn_base ~attr:tr.attr
+        fill_bits t ~sp:true ~vpbn
+          ~vmask:((1 lsl t.factor) - 1)
+          ~ppn_base ~attr:tr.attr
       end
       else begin
         let _, first_boff = split t tr.vpn_base in
         let vmask = ((1 lsl pages) - 1) lsl first_boff in
         let ppn_base = Int64.sub tr.ppn_base (Int64.of_int first_boff) in
-        fill_bits t ~vpbn ~vmask ~ppn_base ~attr:tr.attr
+        fill_bits t ~sp:true ~vpbn ~vmask ~ppn_base ~attr:tr.attr
       end
 
 let fill_block t trs = List.iter (fun (_, tr) -> fill t tr) trs

@@ -1,13 +1,23 @@
 type t = {
   mutable accesses : int;
   mutable hits : int;
+  mutable base_hits : int;
+  mutable sp_hits : int;
   mutable block_misses : int;
   mutable subblock_misses : int;
   mutable evictions : int;
 }
 
 let create () =
-  { accesses = 0; hits = 0; block_misses = 0; subblock_misses = 0; evictions = 0 }
+  {
+    accesses = 0;
+    hits = 0;
+    base_hits = 0;
+    sp_hits = 0;
+    block_misses = 0;
+    subblock_misses = 0;
+    evictions = 0;
+  }
 
 let misses t = t.block_misses + t.subblock_misses
 
@@ -18,11 +28,15 @@ let miss_ratio t =
 let reset t =
   t.accesses <- 0;
   t.hits <- 0;
+  t.base_hits <- 0;
+  t.sp_hits <- 0;
   t.block_misses <- 0;
   t.subblock_misses <- 0;
   t.evictions <- 0
 
 let pp ppf t =
   Format.fprintf ppf
-    "accesses=%d hits=%d block_misses=%d subblock_misses=%d evictions=%d"
-    t.accesses t.hits t.block_misses t.subblock_misses t.evictions
+    "accesses=%d hits=%d (base=%d sp=%d) block_misses=%d subblock_misses=%d \
+     evictions=%d"
+    t.accesses t.hits t.base_hits t.sp_hits t.block_misses t.subblock_misses
+    t.evictions

@@ -3,11 +3,20 @@
     The complete-subblock TLB distinguishes block misses (a new entry
     is allocated, possibly evicting) from subblock misses (an existing
     entry gains one more PPN) — Section 4.4.  For other TLBs every
-    miss is a block miss. *)
+    miss is a block miss.
+
+    Hits are also attributed to the page size of the mapping that
+    served them: [base_hits] for base-page (4 KB) mappings,
+    [sp_hits] for mappings a superpage translation installed
+    (Section 4's motivation — how much of the hit stream superpages
+    actually carry).  Every hit is one or the other, so
+    [hits = base_hits + sp_hits] always holds. *)
 
 type t = {
   mutable accesses : int;
   mutable hits : int;
+  mutable base_hits : int;  (** hits served by a base-page mapping *)
+  mutable sp_hits : int;  (** hits served by a superpage-derived mapping *)
   mutable block_misses : int;
   mutable subblock_misses : int;
   mutable evictions : int;
@@ -21,5 +30,7 @@ val misses : t -> int
 val miss_ratio : t -> float
 
 val reset : t -> unit
+(** Zero {e every} field, leaving [t] structurally equal to
+    [create ()]. *)
 
 val pp : Format.formatter -> t -> unit

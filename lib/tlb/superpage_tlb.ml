@@ -22,9 +22,11 @@ let access t ~vpn =
   t.stats.Stats.accesses <- t.stats.Stats.accesses + 1;
   let matches e = covers e vpn in
   match Assoc.find t.store ~f:matches with
-  | Some _ ->
+  | Some e ->
       Assoc.touch t.store ~f:matches;
       t.stats.Stats.hits <- t.stats.Stats.hits + 1;
+      if e.pages > 1 then t.stats.Stats.sp_hits <- t.stats.Stats.sp_hits + 1
+      else t.stats.Stats.base_hits <- t.stats.Stats.base_hits + 1;
       `Hit
   | None ->
       t.stats.Stats.block_misses <- t.stats.Stats.block_misses + 1;

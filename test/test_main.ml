@@ -19,4 +19,5 @@ let () =
       Test_bucket_stress.suite;
       Test_dynamics.suite;
       Test_service.suite;
+      Test_obs.suite;
     ]

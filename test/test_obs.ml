@@ -1,0 +1,305 @@
+(* The telemetry layer (lib/obs): log2 histograms, the metrics
+   registry, per-domain ambient shards, the ring-buffer tracer, and
+   structural probes.  The load-bearing property throughout is that
+   merging per-domain observations is a commutative, associative sum —
+   that is what makes the merged telemetry of a parallel run equal to
+   the serial run's. *)
+
+module H = Obs.Hist
+module M = Obs.Metrics
+
+let hist_of values =
+  let h = H.create () in
+  List.iter (H.observe h) values;
+  h
+
+(* --- histogram bucketing and exact moments --- *)
+
+let test_hist_buckets () =
+  let h = hist_of [ 0; 1; 2; 3; 4; 7; 8; 1000 ] in
+  Alcotest.(check int) "count" 8 (H.count h);
+  Alcotest.(check int) "sum" 1025 (H.sum h);
+  Alcotest.(check int) "min" 0 (H.min_value h);
+  Alcotest.(check int) "max" 1000 (H.max_value h);
+  Alcotest.(check (float 1e-9)) "mean is exact" (1025.0 /. 8.0) (H.mean h);
+  let buckets = ref [] in
+  H.iter_nonzero h (fun k c -> buckets := (k, c) :: !buckets);
+  (* 0 | 1 | 2,3 | 4..7 | 8..15 | 512..1023 *)
+  Alcotest.(check (list (pair int int)))
+    "log2 bucket placement"
+    [ (0, 1); (1, 1); (2, 2); (3, 2); (4, 1); (10, 1) ]
+    (List.rev !buckets);
+  List.iter
+    (fun (k, _) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d bounds ordered" k)
+        true
+        (H.bucket_lo k <= H.bucket_hi k))
+    !buckets
+
+let test_hist_empty () =
+  let h = H.create () in
+  Alcotest.(check int) "count" 0 (H.count h);
+  Alcotest.(check (float 0.0)) "mean" 0.0 (H.mean h);
+  Alcotest.(check bool) "equal to fresh" true (H.equal h (H.create ()));
+  H.observe h 5;
+  H.clear h;
+  Alcotest.(check bool) "cleared = fresh" true (H.equal h (H.create ()))
+
+(* --- merge is a commutative, associative sum (satellite 3) --- *)
+
+let small_lists =
+  QCheck.(triple (list small_nat) (list small_nat) (list small_nat))
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"hist merge is commutative" ~count:200 small_lists
+    (fun (a, b, _) ->
+      let ab = hist_of a and ba = hist_of b in
+      H.merge_into ~src:(hist_of b) ~dst:ab;
+      H.merge_into ~src:(hist_of a) ~dst:ba;
+      H.equal ab ba)
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"hist merge is associative" ~count:200 small_lists
+    (fun (a, b, c) ->
+      (* (a + b) + c *)
+      let left = hist_of a in
+      H.merge_into ~src:(hist_of b) ~dst:left;
+      H.merge_into ~src:(hist_of c) ~dst:left;
+      (* a + (b + c) *)
+      let bc = hist_of b in
+      H.merge_into ~src:(hist_of c) ~dst:bc;
+      let right = hist_of a in
+      H.merge_into ~src:bc ~dst:right;
+      H.equal left right)
+
+let prop_shard_merge_equals_serial =
+  QCheck.Test.make
+    ~name:"sharded observation + merge = single-domain histogram" ~count:200
+    QCheck.(pair (list small_nat) (int_range 1 8))
+    (fun (values, shards) ->
+      (* deal the observation stream round-robin over [shards] hists,
+         exactly as streams are dealt over domains, then merge *)
+      let parts = Array.init shards (fun _ -> H.create ()) in
+      List.iteri (fun i v -> H.observe parts.(i mod shards) v) values;
+      let merged = H.create () in
+      Array.iter (fun p -> H.merge_into ~src:p ~dst:merged) parts;
+      H.equal merged (hist_of values))
+
+(* --- metrics registry --- *)
+
+let test_metrics_equal_ignores_zero () =
+  let a = M.create () and b = M.create () in
+  ignore (M.counter a "touched.but.zero");
+  ignore (M.hist a "empty.hist");
+  Alcotest.(check bool)
+    "zero counters and empty hists don't break equality" true (M.equal a b);
+  M.incr (M.counter a "x");
+  Alcotest.(check bool) "nonzero counter breaks it" false (M.equal a b)
+
+let test_metrics_merge_and_json () =
+  let a = M.create () and b = M.create () in
+  M.add (M.counter a "b.counter") 2;
+  M.incr (M.counter a "a.counter");
+  H.observe (M.hist a "h") 3;
+  M.add (M.counter b "b.counter") 5;
+  H.observe (M.hist b "h") 3;
+  M.merge_into ~src:b ~dst:a;
+  Alcotest.(check int) "merged counter" 7 (M.value (M.counter a "b.counter"));
+  Alcotest.(check int) "merged hist" 2 (H.count (M.hist a "h"));
+  let json = M.to_json a in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length json && (String.sub json i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool)
+    "counter emitted" true
+    (contains "{\"name\":\"b.counter\",\"value\":7}");
+  Alcotest.(check bool)
+    "hist emitted with exact moments" true
+    (contains "{\"name\":\"h\",\"count\":2,\"sum\":6,\"min\":3,\"max\":3");
+  (* names sorted: a.counter before b.counter *)
+  let idx sub =
+    let n = String.length sub in
+    let rec go i = if String.sub json i n = sub then i else go (i + 1) in
+    go 0
+  in
+  Alcotest.(check bool)
+    "counters sorted by name" true
+    (idx "a.counter" < idx "b.counter")
+
+(* --- ambient shards: per-domain, merged after join --- *)
+
+let test_ambient_parallel_merge () =
+  Obs.Ambient.reset ();
+  let domains =
+    Array.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            let shard = Obs.Ambient.get () in
+            M.add (M.counter shard "test.ambient.ctr") (i + 1);
+            H.observe (M.hist shard "test.ambient.hist") i))
+  in
+  Array.iter Domain.join domains;
+  let merged = Obs.Ambient.merged () in
+  Alcotest.(check int)
+    "counter summed over shards" 10
+    (M.value (M.counter merged "test.ambient.ctr"));
+  let h = M.hist merged "test.ambient.hist" in
+  Alcotest.(check int) "hist count" 4 (H.count h);
+  Alcotest.(check int) "hist sum" 6 (H.sum h);
+  Alcotest.(check bool)
+    "equals the serial histogram" true
+    (H.equal h (hist_of [ 0; 1; 2; 3 ]));
+  Obs.Ambient.reset ()
+
+(* --- tracer: one-branch when off, bounded ring when on --- *)
+
+let test_tracer_ring () =
+  Obs.Tracer.reset ();
+  Alcotest.(check bool) "disabled by default" false (Obs.Tracer.enabled ());
+  Obs.Tracer.instant Obs.Tracer.ev_walk_read 8;
+  Alcotest.(check int) "disabled emit records nothing" 0
+    (Obs.Tracer.event_count ());
+  Obs.Tracer.enable ~capacity:8 ();
+  for i = 1 to 2 do
+    Obs.Tracer.begin_ Obs.Tracer.ev_miss i;
+    Obs.Tracer.instant Obs.Tracer.ev_walk_read (8 * i);
+    Obs.Tracer.end_ Obs.Tracer.ev_miss
+  done;
+  Alcotest.(check int) "six events recorded" 6 (Obs.Tracer.event_count ());
+  Alcotest.(check int) "no drops yet" 0 (Obs.Tracer.dropped_count ());
+  for _ = 1 to 14 do
+    Obs.Tracer.instant Obs.Tracer.ev_churn_touch 1
+  done;
+  Alcotest.(check int)
+    "ring wraps at capacity" 8
+    (Obs.Tracer.event_count ());
+  Alcotest.(check int) "drops counted" 12 (Obs.Tracer.dropped_count ());
+  let json = Obs.Tracer.to_chrome_json () in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length json && (String.sub json i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun field ->
+      Alcotest.(check bool)
+        (Printf.sprintf "chrome JSON has %s" field)
+        true (contains field))
+    [ "\"traceEvents\""; "\"ph\""; "\"ts\""; "\"pid\""; "\"tid\"";
+      "\"churn_touch\"" ];
+  Obs.Tracer.disable ();
+  Obs.Tracer.reset ();
+  Alcotest.(check int) "reset drops events" 0 (Obs.Tracer.event_count ())
+
+(* --- structural probes --- *)
+
+let attr = Pte.Attr.default
+
+let test_probe_hashed () =
+  let t = Baselines.Hashed_pt.create ~buckets:64 () in
+  (* 200 mappings over 64 buckets: every bucket observed, mean chain =
+     nodes/buckets *)
+  for i = 0 to 199 do
+    Baselines.Hashed_pt.insert_base t ~vpn:(Int64.of_int (i * 97))
+      ~ppn:(Int64.of_int i) ~attr
+  done;
+  let r = Obs.Probe.hashed t in
+  Alcotest.(check int)
+    "one chain observation per bucket" 64
+    (H.count r.Obs.Probe.chain_length);
+  Alcotest.(check int)
+    "chains sum to node count"
+    (Baselines.Hashed_pt.node_count t)
+    (H.sum r.Obs.Probe.chain_length);
+  Alcotest.(check int)
+    "occupancy sums to population" 200
+    (H.sum r.Obs.Probe.occupancy);
+  Alcotest.(check int)
+    "one utilization observation per node"
+    (Baselines.Hashed_pt.node_count t)
+    (H.count r.Obs.Probe.node_util);
+  Alcotest.(check (float 1e-9))
+    "mean chain = load factor"
+    (Baselines.Hashed_pt.load_factor t)
+    (H.mean r.Obs.Probe.chain_length)
+
+let test_probe_clustered () =
+  let t =
+    Clustered_pt.Table.create (Clustered_pt.Config.make ~buckets:64 ())
+  in
+  (* 30 full blocks of 16 base pages: 30 nodes, 480 mappings, every
+     node fully utilized *)
+  for b = 0 to 29 do
+    for off = 0 to 15 do
+      let vpn = Int64.of_int ((b * 41 * 16) + off) in
+      Clustered_pt.Table.insert_base t ~vpn ~ppn:vpn ~attr
+    done
+  done;
+  let r = Obs.Probe.clustered t in
+  Alcotest.(check int)
+    "one chain observation per bucket" 64
+    (H.count r.Obs.Probe.chain_length);
+  Alcotest.(check int)
+    "chains sum to node count"
+    (Clustered_pt.Table.node_count t)
+    (H.sum r.Obs.Probe.chain_length);
+  Alcotest.(check int)
+    "occupancy sums to mappings" 480
+    (H.sum r.Obs.Probe.occupancy);
+  Alcotest.(check int)
+    "full blocks fully utilized" 16
+    (H.min_value r.Obs.Probe.node_util);
+  Alcotest.(check int) "node_util max" 16 (H.max_value r.Obs.Probe.node_util)
+
+(* --- the inspect acceptance: measured chain mean within 5% of the
+   analytic load factor, per Table 1 workload --- *)
+
+let inspect_options =
+  { Sim.Runner.default_options with Sim.Runner.quick = true }
+
+let test_inspect_matches_analytic () =
+  List.iter
+    (fun org ->
+      let rows = Sim.Runner.inspect ~options:inspect_options ~org () in
+      Alcotest.(check bool) "has rows" true (rows <> []);
+      List.iter
+        (fun (row : Sim.Runner.inspect_row) ->
+          let rel =
+            abs_float (row.Sim.Runner.ins_chain_mean -. row.Sim.Runner.ins_alpha)
+            /. row.Sim.Runner.ins_alpha
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s chain mean %.4f within 5%% of alpha %.4f"
+               row.Sim.Runner.ins_workload row.Sim.Runner.ins_chain_mean
+               row.Sim.Runner.ins_alpha)
+            true (rel <= 0.05))
+        rows)
+    [ `Clustered; `Hashed ]
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "hist bucketing and moments" `Quick test_hist_buckets;
+      Alcotest.test_case "hist empty and clear" `Quick test_hist_empty;
+      QCheck_alcotest.to_alcotest prop_merge_commutative;
+      QCheck_alcotest.to_alcotest prop_merge_associative;
+      QCheck_alcotest.to_alcotest prop_shard_merge_equals_serial;
+      Alcotest.test_case "metrics equality ignores zeros" `Quick
+        test_metrics_equal_ignores_zero;
+      Alcotest.test_case "metrics merge and JSON" `Quick
+        test_metrics_merge_and_json;
+      Alcotest.test_case "ambient shards merge to serial" `Quick
+        test_ambient_parallel_merge;
+      Alcotest.test_case "tracer ring wrap and export" `Quick test_tracer_ring;
+      Alcotest.test_case "probe hashed structure" `Quick test_probe_hashed;
+      Alcotest.test_case "probe clustered structure" `Quick
+        test_probe_clustered;
+      Alcotest.test_case "inspect matches analytic load factor" `Slow
+        test_inspect_matches_analytic;
+    ] )

@@ -103,6 +103,30 @@ let test_residency_deterministic () =
   Alcotest.(check bool)
     "residency rows identical across domain counts" true (run 1 = run 4)
 
+(* the PR 4 telemetry contract: per-domain metric shards merge to the
+   same registry however the jobs were dealt over domains, because the
+   merge is a commutative, associative sum of deterministic per-job
+   observations *)
+let test_telemetry_domain_invariance () =
+  let run domains =
+    Obs.Ambient.reset ();
+    ignore
+      (Sim.Runner.figure11 ~options ~domains ~design:Sim.Access_exp.Single ());
+    Obs.Ambient.merged ()
+  in
+  let serial = run 1 in
+  let parallel = run 4 in
+  Alcotest.(check bool)
+    "merged os.* metrics identical across domain counts" true
+    (Obs.Metrics.equal serial parallel);
+  Alcotest.(check bool)
+    "misses were recorded" true
+    (Obs.Metrics.value (Obs.Metrics.counter serial "sim.tlb_misses") > 0);
+  Alcotest.(check bool)
+    "walk-line histograms were recorded" true
+    (Obs.Hist.count (Obs.Metrics.hist serial "sim.walk_lines.hashed") > 0);
+  Obs.Ambient.reset ()
+
 let suite =
   ( "parallel",
     [
@@ -126,4 +150,6 @@ let suite =
         test_figure11_deterministic;
       Alcotest.test_case "residency domain-count invariance" `Slow
         test_residency_deterministic;
+      Alcotest.test_case "telemetry domain-count invariance" `Slow
+        test_telemetry_domain_invariance;
     ] )

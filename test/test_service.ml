@@ -228,6 +228,72 @@ let test_service_replay_drains () =
   Alcotest.(check int) "shared table drained" 0
     r.Dynamics.Service_replay.final_population
 
+(* --- PR 4 telemetry: lock-stat reset, domain-invariant metrics --- *)
+
+let test_lock_stats_reset () =
+  List.iter
+    (fun locking ->
+      let svc =
+        Service.create ~org:Service.Clustered ~locking ~buckets:64 ()
+      in
+      for i = 0 to 63 do
+        Service.insert svc ~vpn:(Int64.of_int i) ~ppn:(Int64.of_int i)
+          ~attr:Pte.Attr.default;
+        ignore (Service.lookup svc ~vpn:(Int64.of_int i))
+      done;
+      let before = Service.lock_stats svc in
+      Alcotest.(check bool)
+        "lock traffic recorded" true
+        (before.Service.read_acquisitions > 0
+        && before.Service.write_acquisitions > 0);
+      Service.reset_lock_stats svc;
+      let after = Service.lock_stats svc in
+      Alcotest.(check int) "reads zeroed" 0 after.Service.read_acquisitions;
+      Alcotest.(check int) "writes zeroed" 0 after.Service.write_acquisitions;
+      Alcotest.(check int) "nothing held" 0 after.Service.currently_held;
+      (* the service still works and counts from zero afterwards *)
+      ignore (Service.lookup svc ~vpn:1L);
+      Alcotest.(check int) "counting restarts" 1
+        (Service.lock_stats svc).Service.read_acquisitions)
+    [ Service.Striped; Service.Global ]
+
+let test_throughput_metrics_domain_invariant () =
+  (* the acceptance criterion: with the stream count pinned, the merged
+     telemetry of a 4-domain run is identical to the 1-domain run *)
+  let run domains =
+    Obs.Ambient.reset ();
+    let cfg =
+      {
+        Pt_service.Throughput.default_config with
+        domains;
+        streams = 4;
+        ops_per_domain = 2_000;
+        vpns_per_domain = 256;
+      }
+    in
+    let r =
+      Pt_service.Throughput.run ~org:Service.Clustered
+        ~locking:Service.Striped cfg
+    in
+    (r, Obs.Ambient.merged ())
+  in
+  let r1, m1 = run 1 in
+  let r4, m4 = run 4 in
+  Alcotest.(check int) "same total ops" r1.Pt_service.Throughput.total_ops
+    r4.Pt_service.Throughput.total_ops;
+  Alcotest.(check int) "same population" r1.Pt_service.Throughput.population
+    r4.Pt_service.Throughput.population;
+  Alcotest.(check bool)
+    "merged metrics identical for 1 and 4 domains" true
+    (Obs.Metrics.equal m1 m4);
+  Alcotest.(check bool)
+    "lookup traffic was recorded" true
+    (Obs.Metrics.value (Obs.Metrics.counter m4 "throughput.ops.lookup") > 0);
+  Alcotest.(check bool)
+    "structural probe was recorded" true
+    (Obs.Hist.count (Obs.Metrics.hist m4 "service.chain_length") > 0);
+  Obs.Ambient.reset ()
+
 let suite =
   ( "service",
     [
@@ -251,4 +317,7 @@ let suite =
         test_service_replay_domain_invariance;
       Alcotest.test_case "service replay drains" `Slow
         test_service_replay_drains;
+      Alcotest.test_case "lock stats reset" `Quick test_lock_stats_reset;
+      Alcotest.test_case "throughput metrics domain invariance" `Slow
+        test_throughput_metrics_domain_invariant;
     ] )

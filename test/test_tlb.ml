@@ -406,3 +406,82 @@ let suite =
         Alcotest.test_case "lru vs fifo hot page" `Quick
           test_lru_beats_fifo_on_loop_with_hot_page;
       ] )
+
+(* --- stats: per-page-size hit attribution and full reset (PR 4) --- *)
+
+let test_stats_reset_equals_fresh () =
+  let s = Tlb.Stats.create () in
+  s.Tlb.Stats.accesses <- 7;
+  s.Tlb.Stats.hits <- 5;
+  s.Tlb.Stats.base_hits <- 3;
+  s.Tlb.Stats.sp_hits <- 2;
+  s.Tlb.Stats.block_misses <- 1;
+  s.Tlb.Stats.subblock_misses <- 1;
+  s.Tlb.Stats.evictions <- 4;
+  Tlb.Stats.reset s;
+  Alcotest.(check bool)
+    "reset zeroes every field (structurally equal to fresh)" true
+    (s = Tlb.Stats.create ())
+
+let check_hit_split name stats ~base ~sp =
+  Alcotest.(check int) (name ^ ": base hits") base stats.Tlb.Stats.base_hits;
+  Alcotest.(check int) (name ^ ": sp hits") sp stats.Tlb.Stats.sp_hits;
+  Alcotest.(check int)
+    (name ^ ": hits = base + sp")
+    stats.Tlb.Stats.hits
+    (stats.Tlb.Stats.base_hits + stats.Tlb.Stats.sp_hits)
+
+let test_sp_hit_attribution () =
+  let t = Tlb.Superpage_tlb.create ~entries:8 () in
+  Tlb.Superpage_tlb.fill t
+    (sp_tr ~vpn:0x12L ~vpn_base:0x10L ~ppn_base:0x100L Addr.Page_size.kb16);
+  Tlb.Superpage_tlb.fill t (base_tr 1L 0x200L);
+  ignore (Tlb.Superpage_tlb.access t ~vpn:0x11L);
+  ignore (Tlb.Superpage_tlb.access t ~vpn:0x13L);
+  ignore (Tlb.Superpage_tlb.access t ~vpn:1L);
+  check_hit_split "superpage TLB" (Tlb.Superpage_tlb.stats t) ~base:1 ~sp:2
+
+let test_psb_hit_attribution () =
+  let t = Tlb.Psb_tlb.create ~entries:8 ~subblock_factor:16 () in
+  (* a full-block superpage marks all 16 bits superpage-derived *)
+  Tlb.Psb_tlb.fill t
+    (sp_tr ~vpn:0x20L ~vpn_base:0x20L ~ppn_base:0x400L Addr.Page_size.kb64);
+  ignore (Tlb.Psb_tlb.access t ~vpn:0x22L);
+  check_hit_split "psb after sp fill" (Tlb.Psb_tlb.stats t) ~base:0 ~sp:1;
+  (* a base fill of one page reclaims that bit for base attribution *)
+  Tlb.Psb_tlb.fill t (base_tr 0x22L 0x402L);
+  ignore (Tlb.Psb_tlb.access t ~vpn:0x22L);
+  ignore (Tlb.Psb_tlb.access t ~vpn:0x23L);
+  check_hit_split "psb after base refill" (Tlb.Psb_tlb.stats t) ~base:1 ~sp:2
+
+let test_csb_hit_attribution () =
+  let t = Tlb.Csb_tlb.create ~entries:8 ~subblock_factor:16 () in
+  Tlb.Csb_tlb.fill t
+    (sp_tr ~vpn:0x40L ~vpn_base:0x40L ~ppn_base:0x800L Addr.Page_size.kb64);
+  Tlb.Csb_tlb.fill t (base_tr 0x41L 0x900L);
+  ignore (Tlb.Csb_tlb.access t ~vpn:0x42L);
+  ignore (Tlb.Csb_tlb.access t ~vpn:0x41L);
+  check_hit_split "csb TLB" (Tlb.Csb_tlb.stats t) ~base:1 ~sp:1
+
+let test_fa_hits_are_base () =
+  let t = Tlb.Fa_tlb.create ~entries:4 () in
+  Tlb.Fa_tlb.fill t (base_tr 1L 100L);
+  ignore (Tlb.Fa_tlb.access t ~vpn:1L);
+  ignore (Tlb.Fa_tlb.access t ~vpn:1L);
+  check_hit_split "conventional TLB" (Tlb.Fa_tlb.stats t) ~base:2 ~sp:0
+
+let suite =
+  ( fst suite,
+    snd suite
+    @ [
+        Alcotest.test_case "stats reset = fresh" `Quick
+          test_stats_reset_equals_fresh;
+        Alcotest.test_case "sp TLB hit attribution" `Quick
+          test_sp_hit_attribution;
+        Alcotest.test_case "psb TLB hit attribution" `Quick
+          test_psb_hit_attribution;
+        Alcotest.test_case "csb TLB hit attribution" `Quick
+          test_csb_hit_attribution;
+        Alcotest.test_case "fa TLB hits are base hits" `Quick
+          test_fa_hits_are_base;
+      ] )

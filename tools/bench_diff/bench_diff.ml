@@ -278,13 +278,19 @@ let () =
   check_scalar "schema_version" [ "schema_version" ] a b;
   check_scalar "quick" [ "quick" ] a b;
   check_scalar "domains" [ "domains" ] a b;
-  (* the experiment set itself *)
+  (* the experiment set itself; "telemetry" (the merged metrics dump,
+     schema_version >= 3 with PR 4) is skipped entirely — the metric
+     set grows with instrumentation and carries histogram totals, not
+     paper results *)
   (match (get [ "experiments" ] a, get [ "experiments" ] b) with
   | Some (Obj ea), Some (Obj eb) ->
-      if List.map fst ea <> List.map fst eb then
+      let keys l =
+        List.filter (fun k -> k <> "telemetry") (List.map fst l)
+      in
+      if keys ea <> keys eb then
         report "experiments: key sets differ (baseline %s; current %s)"
-          (String.concat "," (List.map fst ea))
-          (String.concat "," (List.map fst eb))
+          (String.concat "," (keys ea))
+          (String.concat "," (keys eb))
   | _ -> report "experiments: missing object");
   check_row_list "claims"
     [ "experiments"; "claims" ]
