@@ -379,6 +379,113 @@ let run_inspect options domains org =
   announce_pool domains;
   ignore (Sim.Runner.inspect ~options ?domains ~org ())
 
+(* --- fsck / faultsim: breaking the table on purpose --- *)
+
+(* A deterministic demo population with every representation the
+   checker knows: base pages, one-block and multi-block superpages
+   (the latter give torn_replica a site), and partial subblocks. *)
+let fsck_build org seed =
+  let buckets = 512 and subblock_factor = 16 in
+  let rand i =
+    Addr.Bits.mix64 (Int64.logxor (Int64.of_int seed) (Int64.of_int (i + 1)))
+  in
+  let attr = Pte.Attr.default in
+  match org with
+  | Pt_service.Service.Clustered ->
+      let t =
+        Clustered_pt.Table.create
+          (Clustered_pt.Config.make ~buckets ~subblock_factor ())
+      in
+      for i = 0 to 383 do
+        let r = rand i in
+        let vpn = Int64.logand r 0xFFFFL in
+        let ppn = Int64.logand (Int64.shift_right_logical r 16) 0xFFFFFL in
+        Clustered_pt.Table.insert_base t ~vpn ~ppn ~attr
+      done;
+      Clustered_pt.Table.insert_superpage t ~vpn:0x40000L
+        ~size:Addr.Page_size.kb64 ~ppn:0x1000L ~attr;
+      Clustered_pt.Table.insert_superpage t ~vpn:0x80000L
+        ~size:Addr.Page_size.kb256 ~ppn:0x2000L ~attr;
+      Clustered_pt.Table.insert_psb t ~vpbn:0x3000L ~vmask:0b101
+        ~ppn:0x4000L ~attr;
+      Fsck.Clustered t
+  | Pt_service.Service.Hashed ->
+      let t =
+        Baselines.Hashed_pt.create ~buckets ~subblock_factor
+          ~mode:Baselines.Hashed_pt.No_superpages ()
+      in
+      for i = 0 to 383 do
+        let r = rand i in
+        let vpn = Int64.logand r 0xFFFFL in
+        let ppn = Int64.logand (Int64.shift_right_logical r 16) 0xFFFFFL in
+        Baselines.Hashed_pt.insert_base t ~vpn ~ppn ~attr
+      done;
+      Fsck.Hashed t
+
+let run_fsck seed org corruptions repair json =
+  let table = fsck_build org seed in
+  List.iter
+    (fun kind ->
+      if not (List.mem kind (Fsck.corruption_kinds table)) then (
+        Printf.eprintf "unknown corruption %S for %s (have: %s)\n%!" kind
+          (Pt_service.Service.org_name org)
+          (String.concat ", " (Fsck.corruption_kinds table));
+        exit 2);
+      if not (Fsck.corrupt_by_name table kind) then
+        Printf.eprintf "corruption %S found no applicable site\n%!" kind)
+    corruptions;
+  let report = Fsck.check table in
+  let report =
+    if repair && not (Fsck.clean report) then begin
+      let r = Fsck.repair table in
+      Printf.printf "repair: %d kept, %d dropped\n%!" r.Fsck.kept
+        r.Fsck.dropped;
+      Fsck.check table
+    end
+    else report
+  in
+  if json then print_endline (Fsck.report_to_json report)
+  else Format.printf "%a@." Fsck.pp_report report;
+  if not (Fsck.clean report) then exit 1
+
+let sites_conv =
+  let parse s =
+    let names = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest -> (
+          match Fault.site_of_name (String.trim n) with
+          | Some site -> go (site :: acc) rest
+          | None -> Error (`Msg (Printf.sprintf "unknown fault site %S" n)))
+    in
+    go [] names
+  in
+  let print ppf sites =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map Fault.site_name sites))
+  in
+  Arg.conv (parse, print)
+
+let run_faultsim seed rate sites domains streams ops org locking json =
+  let module F = Pt_service.Faultsim in
+  let cfg =
+    {
+      F.default_config with
+      seed;
+      rate_ppm = rate;
+      sites;
+      domains;
+      streams;
+      ops;
+      org;
+      locking;
+    }
+  in
+  let outcome = F.run cfg in
+  if json then print_endline (F.outcome_to_json outcome)
+  else Format.printf "@[<v>%a@]@." F.pp_outcome outcome;
+  if not outcome.F.fsck_clean then exit 1
+
 (* --- unified telemetry: --metrics-out / --trace-out on every subcommand --- *)
 
 let telemetry_term =
@@ -662,6 +769,130 @@ let () =
     cmd "workload" "Inspect a workload model: snapshot and trace statistics"
       Term.(const run_workload $ options_term $ workload_name)
   in
+  let service_org_conv =
+    Arg.enum
+      [
+        ("clustered", Pt_service.Service.Clustered);
+        ("hashed", Pt_service.Service.Hashed);
+      ]
+  in
+  let fsck =
+    let seed =
+      Arg.(
+        value & opt int 7
+        & info [ "seed" ] ~docv:"SEED" ~doc:"Seed for the demo population.")
+    in
+    let org =
+      Arg.(
+        value
+        & opt service_org_conv Pt_service.Service.Clustered
+        & info [ "org" ] ~docv:"ORG"
+            ~doc:"Table organization to check: clustered|hashed.")
+    in
+    let corruptions =
+      Arg.(
+        value & opt_all string []
+        & info [ "corrupt" ] ~docv:"KIND"
+            ~doc:
+              "Deliberately corrupt the table before checking \
+               (repeatable).  Kinds: cycle, cross_link, misplace, \
+               duplicate, torn, count, ... (per organization).")
+    in
+    let repair =
+      Arg.(
+        value & flag
+        & info [ "repair" ]
+            ~doc:
+              "Rebuild the table from surviving mappings when the check \
+               finds violations, then re-check.")
+    in
+    let json =
+      Arg.(
+        value & flag
+        & info [ "json" ] ~doc:"Print the report as one JSON object.")
+    in
+    cmd "fsck"
+      "Build a table, optionally corrupt it, and run the integrity \
+       checker (exit 1 on findings)"
+      Term.(const run_fsck $ seed $ org $ corruptions $ repair $ json)
+  in
+  let faultsim =
+    let seed =
+      Arg.(
+        value & opt int 1
+        & info [ "seed" ] ~docv:"SEED"
+            ~doc:"Fault-plan and workload seed.")
+    in
+    let rate =
+      Arg.(
+        value & opt int 20_000
+        & info [ "rate" ] ~docv:"PPM"
+            ~doc:"Per-site fault arming rate, parts per million.")
+    in
+    let sites =
+      Arg.(
+        value
+        & opt sites_conv Fault.all_sites
+        & info [ "sites" ] ~docv:"SITE[,SITE...]"
+            ~doc:
+              "Fault sites to arm: alloc_node, alloc_phys, lock_timeout, \
+               domain_crash, torn_write (default: all).")
+    in
+    let domains =
+      Arg.(
+        value & opt domains_conv 1
+        & info [ "domains" ] ~docv:"N"
+            ~doc:
+              "Worker domains.  The outcome (and --json byte stream) is \
+               identical for every value.")
+    in
+    let streams =
+      Arg.(
+        value & opt int 4
+        & info [ "streams" ] ~docv:"N" ~doc:"Logical operation streams.")
+    in
+    let ops =
+      Arg.(
+        value & opt int 2_000
+        & info [ "ops" ] ~docv:"N" ~doc:"Operations per stream.")
+    in
+    let org =
+      Arg.(
+        value
+        & opt service_org_conv Pt_service.Service.Clustered
+        & info [ "org" ] ~docv:"ORG"
+            ~doc:"Table organization: clustered|hashed.")
+    in
+    let locking_conv =
+      Arg.enum
+        [
+          ("striped", Pt_service.Service.Striped);
+          ("global", Pt_service.Service.Global);
+        ]
+    in
+    let locking =
+      Arg.(
+        value
+        & opt locking_conv Pt_service.Service.Striped
+        & info [ "locking" ] ~docv:"LOCKING"
+            ~doc:"Lock strategy: striped|global.")
+    in
+    let json =
+      Arg.(
+        value & flag
+        & info [ "json" ]
+            ~doc:
+              "Print the outcome as one JSON object (byte-identical for \
+               any --domains).")
+    in
+    cmd "faultsim"
+      "Fault soak: inject allocation failures, lock timeouts, torn PTEs \
+       and domain crashes under churn; exit 1 unless the table ends \
+       fsck-clean"
+      Term.(
+        const run_faultsim $ seed $ rate $ sites $ domains $ streams $ ops
+        $ org $ locking $ json)
+  in
   let info =
     Cmd.info "ptsim" ~version:"1.0"
       ~doc:
@@ -681,5 +912,6 @@ let () =
        (Cmd.group ~default info
           [
             table1; figure9; figure10; figure11; table2; ablations; churn;
-            throughput; inspect; workload; dump; replay; verify; all;
+            throughput; inspect; fsck; faultsim; workload; dump; replay;
+            verify; all;
           ]))

@@ -603,3 +603,473 @@ let iter_chain_words t ~bucket f =
 
 let load_factor t =
   float_of_int (Atomic.get t.fine_nodes) /. float_of_int t.buckets
+
+(* --- integrity verification, corruption injection, repair (fsck) --- *)
+
+type violation =
+  | Chain_cycle of { coarse : bool; bucket : int }
+  | Cross_link of { coarse : bool; bucket : int; first_bucket : int }
+  | Wrong_bucket of { coarse : bool; bucket : int; tag : int64 }
+  | Dup_node of { coarse : bool; bucket : int; tag : int64 }
+  | Bad_word of { coarse : bool; bucket : int; tag : int64 }
+  | Torn_replica of { bucket : int; tag : int64 }
+  | Coverage_overlap of { vpn : int64 }
+  | Node_count_mismatch of { coarse : bool; counted : int; recorded : int }
+
+let violation_code = function
+  | Chain_cycle _ -> "chain_cycle"
+  | Cross_link _ -> "cross_link"
+  | Wrong_bucket _ -> "wrong_bucket"
+  | Dup_node _ -> "dup_node"
+  | Bad_word _ -> "bad_word"
+  | Torn_replica _ -> "torn_replica"
+  | Coverage_overlap _ -> "coverage_overlap"
+  | Node_count_mismatch _ -> "node_count_mismatch"
+
+let pp_violation ppf =
+  let table coarse = if coarse then "coarse" else "fine" in
+  function
+  | Chain_cycle { coarse; bucket } ->
+      Format.fprintf ppf "chain cycle in %s bucket %d" (table coarse) bucket
+  | Cross_link { coarse; bucket; first_bucket } ->
+      Format.fprintf ppf
+        "%s bucket %d links a node already reachable from bucket %d"
+        (table coarse) bucket first_bucket
+  | Wrong_bucket { coarse; bucket; tag } ->
+      Format.fprintf ppf
+        "tag %Ld chained in %s bucket %d but hashes elsewhere" tag
+        (table coarse) bucket
+  | Dup_node { coarse; bucket; tag } ->
+      Format.fprintf ppf "duplicate nodes for tag %Ld in %s bucket %d" tag
+        (table coarse) bucket
+  | Bad_word { coarse; bucket; tag } ->
+      Format.fprintf ppf "malformed mapping word (tag %Ld, %s bucket %d)" tag
+        (table coarse) bucket
+  | Torn_replica { bucket; tag } ->
+      Format.fprintf ppf
+        "inconsistent superpage replica (tag %Ld, coarse bucket %d)" tag
+        bucket
+  | Coverage_overlap { vpn } ->
+      Format.fprintf ppf "page %Ld mapped by two representations" vpn
+  | Node_count_mismatch { coarse; counted; recorded } ->
+      Format.fprintf ppf "%d live %s-table nodes counted, %d recorded"
+        counted (table coarse) recorded
+
+let sz_of_sp (sp : Pte.Superpage_pte.t) = Addr.Page_size.sz_code sp.size
+
+(* Cycle-safe search for the coarse-table replica of a multi-block
+   superpage covering block [block]. *)
+let find_sp_replica_h t block =
+  let visited = Hashtbl.create 8 in
+  let rec go = function
+    | None -> None
+    | Some n ->
+        if Hashtbl.mem visited n.addr then None
+        else begin
+          Hashtbl.add visited n.addr ();
+          if Int64.equal n.tag block then
+            match Pte.Word.decode n.word with
+            | Pte.Word.Superpage sp when sp.valid -> Some n.word
+            | _ -> go n.next
+          else go n.next
+        end
+  in
+  go t.coarse.(hash t block)
+
+(* A node's kind discriminator for duplicate detection: mirrors the
+   replace-in-place rules of the insert paths. *)
+let node_kind w =
+  match Pte.Word.decode w with
+  | Pte.Word.Base _ -> 0
+  | Pte.Word.Psb _ -> 1
+  | Pte.Word.Superpage sp -> 2 + sz_of_sp sp
+
+let check t =
+  let out = ref [] in
+  let add v = out := v :: !out in
+  let coverage : (int64, unit) Hashtbl.t = Hashtbl.create 256 in
+  let claim_coverage vpn pages =
+    for i = 0 to pages - 1 do
+      let v = Int64.add vpn (Int64.of_int i) in
+      if Hashtbl.mem coverage v then add (Coverage_overlap { vpn = v })
+      else Hashtbl.add coverage v ()
+    done
+  in
+  (* check one table; [expected_bucket]/[check_node] give the per-mode
+     residency and word rules *)
+  let scan_table ~coarse table recorded ~expected_bucket ~check_node =
+    let seen : (int64, int) Hashtbl.t = Hashtbl.create 256 in
+    let counted = ref 0 in
+    Array.iteri
+      (fun b head ->
+        let chain_seen = Hashtbl.create 8 in
+        let tags_seen = ref [] in
+        let rec walk = function
+          | None -> ()
+          | Some n ->
+              if Hashtbl.mem chain_seen n.addr then
+                add (Chain_cycle { coarse; bucket = b })
+              else (
+                match Hashtbl.find_opt seen n.addr with
+                | Some first_bucket ->
+                    add (Cross_link { coarse; bucket = b; first_bucket })
+                | None ->
+                    Hashtbl.add chain_seen n.addr ();
+                    Hashtbl.add seen n.addr b;
+                    incr counted;
+                    if expected_bucket n <> b then
+                      add (Wrong_bucket { coarse; bucket = b; tag = n.tag });
+                    let kind = node_kind n.word in
+                    if
+                      List.exists
+                        (fun (tg, k) -> Int64.equal tg n.tag && k = kind)
+                        !tags_seen
+                    then add (Dup_node { coarse; bucket = b; tag = n.tag })
+                    else tags_seen := (n.tag, kind) :: !tags_seen;
+                    check_node b n;
+                    walk n.next)
+        in
+        walk head)
+      table;
+    if !counted <> recorded then
+      add
+        (Node_count_mismatch { coarse; counted = !counted; recorded })
+  in
+  let bad ~coarse b n = add (Bad_word { coarse; bucket = b; tag = n.tag }) in
+  (* fine table of the single-page-size modes: base words tagged by vpn *)
+  let check_fine_base b n =
+    match Pte.Word.decode n.word with
+    | Pte.Word.Base bw ->
+        if not bw.valid then bad ~coarse:false b n
+        else claim_coverage n.tag 1
+    | Pte.Word.Psb _ | Pte.Word.Superpage _ ->
+        (* a torn multi-word update leaves a non-base word here *)
+        bad ~coarse:false b n
+  in
+  (* coarse table (Two_tables): superpage / psb words tagged by vpbn *)
+  let check_coarse b n =
+    match Pte.Word.decode n.word with
+    | Pte.Word.Base _ -> bad ~coarse:true b n
+    | Pte.Word.Psb p ->
+        if p.vmask land factor_mask t = 0 then bad ~coarse:true b n
+        else begin
+          let block_vpn = Int64.shift_left n.tag t.factor_bits in
+          for i = 0 to t.factor - 1 do
+            if p.vmask land (1 lsl i) <> 0 then
+              claim_coverage (Int64.add block_vpn (Int64.of_int i)) 1
+          done
+        end
+    | Pte.Word.Superpage sp ->
+        if (not sp.valid) || sz_of_sp sp < t.factor_bits then
+          bad ~coarse:true b n
+        else begin
+          (* each replica serves exactly its own block *)
+          claim_coverage (Int64.shift_left n.tag t.factor_bits) t.factor;
+          let n_blocks = 1 lsl (sz_of_sp sp - t.factor_bits) in
+          if n_blocks > 1 then begin
+            let first =
+              Int64.logand n.tag (Int64.lognot (Int64.of_int (n_blocks - 1)))
+            in
+            if Int64.equal n.tag first then
+              for i = 1 to n_blocks - 1 do
+                let sib = Int64.add first (Int64.of_int i) in
+                match find_sp_replica_h t sib with
+                | Some w when Int64.equal w n.word -> ()
+                | _ -> add (Torn_replica { bucket = b; tag = n.tag })
+              done
+            else
+              match find_sp_replica_h t first with
+              | Some w when Int64.equal w n.word -> ()
+              | _ -> add (Torn_replica { bucket = b; tag = n.tag })
+          end
+        end
+  in
+  (* superpage-index fine table: mixed tag kinds, one bucket per block *)
+  let check_spindex b n =
+    match Pte.Word.decode n.word with
+    | Pte.Word.Base bw ->
+        if not bw.valid then bad ~coarse:false b n else claim_coverage n.tag 1
+    | Pte.Word.Psb p ->
+        if
+          p.vmask land factor_mask t = 0
+          || not (Addr.Bits.is_aligned n.tag t.factor_bits)
+        then bad ~coarse:false b n
+        else
+          for i = 0 to t.factor - 1 do
+            if p.vmask land (1 lsl i) <> 0 then
+              claim_coverage (Int64.add n.tag (Int64.of_int i)) 1
+          done
+    | Pte.Word.Superpage sp ->
+        let sz = sz_of_sp sp in
+        if
+          (not sp.valid)
+          || sz > t.factor_bits
+          || not (Addr.Bits.is_aligned n.tag sz)
+        then bad ~coarse:false b n
+        else claim_coverage n.tag (1 lsl sz)
+  in
+  (match t.mode with
+  | No_superpages | Two_tables _ ->
+      scan_table ~coarse:false t.fine
+        (Atomic.get t.fine_nodes)
+        ~expected_bucket:(fun n -> hash t n.tag)
+        ~check_node:check_fine_base
+  | Superpage_index ->
+      scan_table ~coarse:false t.fine
+        (Atomic.get t.fine_nodes)
+        ~expected_bucket:(fun n -> hash t (vpbn t n.tag))
+        ~check_node:check_spindex);
+  (match t.mode with
+  | Two_tables _ ->
+      scan_table ~coarse:true t.coarse
+        (Atomic.get t.coarse_nodes)
+        ~expected_bucket:(fun n -> hash t n.tag)
+        ~check_node:check_coarse
+  | No_superpages | Superpage_index -> ());
+  List.rev !out
+
+(* --- repair --- *)
+
+type repair_report = {
+  violations : violation list;
+  kept : int;
+  dropped : int;
+}
+
+let repair t =
+  let violations = check t in
+  let kept = ref 0 and dropped = ref 0 in
+  let cands = ref [] in
+  let cand c = cands := c :: !cands in
+  let sp_seen : (int64, int64) Hashtbl.t = Hashtbl.create 16 in
+  let harvest_node ~fine n =
+    match Pte.Word.decode n.word with
+    | Pte.Word.Base bw ->
+        (* base words are fine-table-only in every mode *)
+        if bw.valid then
+          if fine then cand (`Base (n.tag, bw.ppn, bw.attr))
+          else incr dropped
+    | Pte.Word.Psb p -> (
+        let vmask = p.vmask land factor_mask t in
+        if vmask = 0 then incr dropped
+        else
+          match t.mode with
+          | Two_tables _ when not fine ->
+              cand (`Psb (n.tag, vmask, p.ppn, p.attr))
+          | Superpage_index
+            when fine && Addr.Bits.is_aligned n.tag t.factor_bits ->
+              cand (`Psb (vpbn t n.tag, vmask, p.ppn, p.attr))
+          | _ -> incr dropped)
+    | Pte.Word.Superpage sp ->
+        if not sp.valid then incr dropped
+        else begin
+          let sz = sz_of_sp sp in
+          match t.mode with
+          | Two_tables _ when (not fine) && sz >= t.factor_bits -> (
+              let block_vpn = Int64.shift_left n.tag t.factor_bits in
+              let vpn_base = Addr.Bits.align_down block_vpn sz in
+              match Hashtbl.find_opt sp_seen vpn_base with
+              | Some w0 when Int64.equal w0 n.word -> ()
+              | Some _ -> incr dropped
+              | None ->
+                  Hashtbl.add sp_seen vpn_base n.word;
+                  cand (`Sp (vpn_base, sp.size, sp.ppn, sp.attr)))
+          | Superpage_index
+            when fine && sz <= t.factor_bits && Addr.Bits.is_aligned n.tag sz
+            ->
+              cand (`Sp (n.tag, sp.size, sp.ppn, sp.attr))
+          | _ -> incr dropped
+        end
+  in
+  let visited = Hashtbl.create 256 in
+  let harvest_table ~fine table =
+    Array.iter
+      (fun head ->
+        let rec walk = function
+          | None -> ()
+          | Some n ->
+              if Hashtbl.mem visited n.addr then ()
+              else begin
+                Hashtbl.add visited n.addr ();
+                harvest_node ~fine n;
+                walk n.next
+              end
+        in
+        walk head)
+      table
+  in
+  harvest_table ~fine:true t.fine;
+  if Array.length t.coarse > 0 then harvest_table ~fine:false t.coarse;
+  (* first-wins page claims, then reset and reinsert.  The old nodes'
+     arena bytes are abandoned: corrupted chains are unsafe to walk for
+     freeing. *)
+  let claimed : (int64, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let spans = function
+    | `Base (vpn, _, _) -> [ (vpn, 1) ]
+    | `Sp (vpn, size, _, _) -> [ (vpn, Addr.Page_size.base_pages size) ]
+    | `Psb (block, vmask, _, _) ->
+        let base = Int64.shift_left block t.factor_bits in
+        let l = ref [] in
+        for i = t.factor - 1 downto 0 do
+          if vmask land (1 lsl i) <> 0 then
+            l := (Int64.add base (Int64.of_int i), 1) :: !l
+        done;
+        !l
+  in
+  let try_claim c =
+    let pages = spans c in
+    let free =
+      List.for_all
+        (fun (v0, np) ->
+          let ok = ref true in
+          for i = 0 to np - 1 do
+            if Hashtbl.mem claimed (Int64.add v0 (Int64.of_int i)) then
+              ok := false
+          done;
+          !ok)
+        pages
+    in
+    if free then
+      List.iter
+        (fun (v0, np) ->
+          for i = 0 to np - 1 do
+            Hashtbl.add claimed (Int64.add v0 (Int64.of_int i)) ()
+          done)
+        pages;
+    free
+  in
+  let survivors = List.rev !cands in
+  Array.fill t.fine 0 (Array.length t.fine) None;
+  if Array.length t.coarse > 0 then
+    Array.fill t.coarse 0 (Array.length t.coarse) None;
+  Atomic.set t.fine_nodes 0;
+  Atomic.set t.coarse_nodes 0;
+  List.iter
+    (fun c ->
+      if not (try_claim c) then incr dropped
+      else
+        try
+          (match c with
+          | `Base (vpn, ppn, attr) -> insert_base t ~vpn ~ppn ~attr
+          | `Sp (vpn, size, ppn, attr) ->
+              insert_superpage t ~vpn ~size ~ppn ~attr
+          | `Psb (block, vmask, ppn, attr) ->
+              insert_psb t ~vpbn:block ~vmask ~ppn ~attr);
+          incr kept
+        with Invalid_argument _ -> incr dropped)
+    survivors;
+  { violations; kept = !kept; dropped = !dropped }
+
+(* --- fine-bucket snapshots (the service's undo journal) --- *)
+
+type bucket_image = (int64 * int64) list
+
+let snapshot_bucket t ~bucket =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go ((n.tag, n.word) :: acc) n.next
+  in
+  go [] t.fine.(bucket)
+
+let restore_bucket t ~bucket image =
+  let removed = ref 0 in
+  let rec drop = function
+    | None -> ()
+    | Some n ->
+        let next = n.next in
+        release_node t n;
+        incr removed;
+        drop next
+  in
+  drop t.fine.(bucket);
+  t.fine.(bucket) <- None;
+  let added = ref 0 in
+  List.iter
+    (fun (tag, word) ->
+      let n = alloc_node t ~coarse:false ~tag ~word in
+      n.next <- t.fine.(bucket);
+      t.fine.(bucket) <- Some n;
+      incr added)
+    (List.rev image);
+  ignore (Atomic.fetch_and_add t.fine_nodes (!added - !removed))
+
+(* --- corruption injection (tests and the fsck CLI) --- *)
+
+type corruption =
+  | C_cycle
+  | C_cross_link
+  | C_misplace
+  | C_duplicate
+  | C_torn of int64
+  | C_count
+
+let torn_garbage_word =
+  Pte.Psb_pte.(encode (make ~vmask:1 ~ppn:0L ~attr:Pte.Attr.default))
+
+let first_nonempty_fine t =
+  let rec go b =
+    if b >= t.buckets then None
+    else match t.fine.(b) with Some n -> Some (b, n) | None -> go (b + 1)
+  in
+  go 0
+
+let fine_tail n =
+  let rec go n = match n.next with None -> n | Some m -> go m in
+  go n
+
+let corrupt t kind =
+  match kind with
+  | C_cycle -> (
+      match first_nonempty_fine t with
+      | None -> false
+      | Some (_, head) ->
+          (fine_tail head).next <- Some head;
+          true)
+  | C_cross_link -> (
+      match first_nonempty_fine t with
+      | None -> false
+      | Some (b, head) -> (
+          let rec next_nonempty b' =
+            if b' >= t.buckets then None
+            else
+              match t.fine.(b') with
+              | Some n -> Some n
+              | None -> next_nonempty (b' + 1)
+          in
+          match next_nonempty (b + 1) with
+          | None -> false
+          | Some head2 ->
+              (fine_tail head).next <- Some head2;
+              true))
+  | C_misplace -> (
+      if t.buckets < 2 then false
+      else
+        match first_nonempty_fine t with
+        | None -> false
+        | Some (b, n) ->
+            t.fine.(b) <- n.next;
+            let b2 = (b + 1) mod t.buckets in
+            n.next <- t.fine.(b2);
+            t.fine.(b2) <- Some n;
+            true)
+  | C_duplicate -> (
+      match first_nonempty_fine t with
+      | None -> false
+      | Some (b, n) ->
+          let clone = alloc_node t ~coarse:false ~tag:n.tag ~word:n.word in
+          clone.next <- t.fine.(b);
+          t.fine.(b) <- Some clone;
+          ignore (Atomic.fetch_and_add t.fine_nodes 1);
+          true)
+  | C_torn vpn ->
+      (* what a torn multi-word update leaves in a fine bucket: a
+         non-base word where only base words belong *)
+      let bucket = hash t vpn in
+      let n = alloc_node t ~coarse:false ~tag:vpn ~word:torn_garbage_word in
+      n.next <- t.fine.(bucket);
+      t.fine.(bucket) <- Some n;
+      ignore (Atomic.fetch_and_add t.fine_nodes 1);
+      true
+  | C_count ->
+      ignore (Atomic.fetch_and_add t.fine_nodes 1);
+      true

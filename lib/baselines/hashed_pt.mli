@@ -100,3 +100,72 @@ val chain_length : t -> bucket:int -> int
 
 val iter_chain_words : t -> bucket:int -> (int64 -> unit) -> unit
 (** The PTE word of every node on the fine-table chain of [bucket]. *)
+
+(** {2 Integrity verification and repair (fsck)}
+
+    Mirrors {!Clustered_pt.Table.check}: chain acyclicity, bucket
+    residency for every tag kind of every mode, word-format legality
+    (a non-base word on a fine chain is the signature a torn update
+    leaves), duplicate (tag, kind) nodes, coarse-table superpage
+    replica consistency, representation exclusivity via a global
+    page-coverage map, and the node accounting.  Cycle-safe; run at
+    quiescence. *)
+
+type violation =
+  | Chain_cycle of { coarse : bool; bucket : int }
+  | Cross_link of { coarse : bool; bucket : int; first_bucket : int }
+  | Wrong_bucket of { coarse : bool; bucket : int; tag : int64 }
+  | Dup_node of { coarse : bool; bucket : int; tag : int64 }
+  | Bad_word of { coarse : bool; bucket : int; tag : int64 }
+  | Torn_replica of { bucket : int; tag : int64 }
+      (** a multi-block superpage's coarse replica missing or diverged *)
+  | Coverage_overlap of { vpn : int64 }
+      (** base page reachable through two PTEs *)
+  | Node_count_mismatch of { coarse : bool; counted : int; recorded : int }
+
+val violation_code : violation -> string
+(** Stable machine-readable code; shares the clustered checker's
+    vocabulary (["chain_cycle"], ["bad_word"], ...). *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : t -> violation list
+(** All violations in deterministic table/bucket/chain order; [[]] on a
+    healthy table. *)
+
+type repair_report = {
+  violations : violation list;  (** what {!check} found before repair *)
+  kept : int;  (** PTE entries reinserted *)
+  dropped : int;  (** corrupted or conflicting entries discarded *)
+}
+
+val repair : t -> repair_report
+(** Harvest surviving mode-legal PTEs cycle-safely, arbitrate
+    double-mapped pages first-wins, then reset both tables and
+    reinsert.  After [repair], {!check} returns [[]].  The old nodes'
+    arena bytes are abandoned. *)
+
+type bucket_image
+(** Opaque copy of one fine-table bucket's chain — the per-operation
+    undo journal of the self-healing service (which drives hashed
+    tables in [No_superpages] mode, where every write touches exactly
+    one fine bucket). *)
+
+val snapshot_bucket : t -> bucket:int -> bucket_image
+
+val restore_bucket : t -> bucket:int -> bucket_image -> unit
+(** Restore the fine chain exactly as snapshotted (order, tags,
+    words); node counts are adjusted by the difference. *)
+
+type corruption =
+  | C_cycle  (** tie a fine chain's tail back to its head *)
+  | C_cross_link  (** link a fine tail into another bucket's chain *)
+  | C_misplace  (** move a fine node to a bucket its tag doesn't hash to *)
+  | C_duplicate  (** clone a fine node into its own bucket *)
+  | C_torn of int64
+      (** plant a structurally illegal word in [vpn]'s fine bucket *)
+  | C_count  (** drift the fine-table node counter *)
+
+val corrupt : t -> corruption -> bool
+(** Inject one corruption (no false negatives in {!check} is proven
+    against these).  False when no applicable site exists. *)

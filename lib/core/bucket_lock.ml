@@ -45,15 +45,27 @@ let release t ~bucket mode =
       if not s.writer then invalid_arg "Bucket_lock.release: not write-held";
       s.writer <- false
 
+let try_acquire t ~bucket mode =
+  let s = slot t bucket in
+  match mode with
+  | Read ->
+      if s.writer then false
+      else begin
+        s.readers <- s.readers + 1;
+        t.read_acquisitions <- t.read_acquisitions + 1;
+        true
+      end
+  | Write ->
+      if s.writer || s.readers > 0 then false
+      else begin
+        s.writer <- true;
+        t.write_acquisitions <- t.write_acquisitions + 1;
+        true
+      end
+
 let with_lock t ~bucket mode f =
   acquire t ~bucket mode;
-  match f () with
-  | v ->
-      release t ~bucket mode;
-      v
-  | exception e ->
-      release t ~bucket mode;
-      raise e
+  Fun.protect ~finally:(fun () -> release t ~bucket mode) f
 
 let read_acquisitions t = t.read_acquisitions
 
@@ -69,6 +81,13 @@ let currently_held t =
     0 t.slots
 
 module Real = struct
+  exception Timeout of int
+
+  let () =
+    Printexc.register_printer (function
+      | Timeout b -> Some (Printf.sprintf "Bucket_lock.Real.Timeout(%d)" b)
+      | _ -> None)
+
   type slot = {
     m : Mutex.t;
     readable : Condition.t;
@@ -105,8 +124,28 @@ module Real = struct
       invalid_arg "Bucket_lock.Real: bucket out of range";
     t.(bucket)
 
+  (* Acquire / release primitives.  Every [with_*] entry point pairs
+     them through a single [Fun.protect], so an exception raised by the
+     critical section — including an injected fault — can never leak a
+     held slot. *)
+
+  let release_read s =
+    Mutex.lock s.m;
+    s.readers <- s.readers - 1;
+    if s.readers = 0 then Condition.signal s.writable;
+    Mutex.unlock s.m
+
+  let release_write s =
+    Mutex.lock s.m;
+    s.writer <- false;
+    Condition.signal s.writable;
+    Condition.broadcast s.readable;
+    Mutex.unlock s.m
+
   let with_read t ~bucket f =
     let s = slot t bucket in
+    (* injected acquisition timeout: fires before any state changes *)
+    if Fault.trip Fault.Lock_timeout then raise (Timeout bucket);
     Mutex.lock s.m;
     (* writer preference: don't starve pending range operations *)
     while s.writer || s.writers_waiting > 0 do
@@ -115,22 +154,11 @@ module Real = struct
     s.readers <- s.readers + 1;
     s.reads_granted <- s.reads_granted + 1;
     Mutex.unlock s.m;
-    let finish () =
-      Mutex.lock s.m;
-      s.readers <- s.readers - 1;
-      if s.readers = 0 then Condition.signal s.writable;
-      Mutex.unlock s.m
-    in
-    match f () with
-    | v ->
-        finish ();
-        v
-    | exception e ->
-        finish ();
-        raise e
+    Fun.protect ~finally:(fun () -> release_read s) f
 
   let with_write t ~bucket f =
     let s = slot t bucket in
+    if Fault.trip Fault.Lock_timeout then raise (Timeout bucket);
     Mutex.lock s.m;
     s.writers_waiting <- s.writers_waiting + 1;
     while s.writer || s.readers > 0 do
@@ -140,20 +168,98 @@ module Real = struct
     s.writer <- true;
     s.writes_granted <- s.writes_granted + 1;
     Mutex.unlock s.m;
-    let finish () =
-      Mutex.lock s.m;
-      s.writer <- false;
-      Condition.signal s.writable;
+    Fun.protect ~finally:(fun () -> release_write s) f
+
+  let try_with_read t ~bucket f =
+    let s = slot t bucket in
+    Mutex.lock s.m;
+    if s.writer || s.writers_waiting > 0 then begin
+      Mutex.unlock s.m;
+      None
+    end
+    else begin
+      s.readers <- s.readers + 1;
+      s.reads_granted <- s.reads_granted + 1;
+      Mutex.unlock s.m;
+      Some (Fun.protect ~finally:(fun () -> release_read s) f)
+    end
+
+  let try_with_write t ~bucket f =
+    let s = slot t bucket in
+    Mutex.lock s.m;
+    if s.writer || s.readers > 0 then begin
+      Mutex.unlock s.m;
+      None
+    end
+    else begin
+      s.writer <- true;
+      s.writes_granted <- s.writes_granted + 1;
+      Mutex.unlock s.m;
+      Some (Fun.protect ~finally:(fun () -> release_write s) f)
+    end
+
+  let with_write_bounded t ~bucket ~attempts f =
+    if attempts < 1 then
+      invalid_arg "Bucket_lock.Real.with_write_bounded: attempts must be >= 1";
+    let s = slot t bucket in
+    Mutex.lock s.m;
+    (* writers_waiting stays raised across the whole spin, so incoming
+       readers are gated and the bounded writer cannot be starved by a
+       steady read stream: it only loses ticks to readers already in *)
+    s.writers_waiting <- s.writers_waiting + 1;
+    let acquired = ref false in
+    let tries = ref 0 in
+    while (not !acquired) && !tries < attempts do
+      if (not s.writer) && s.readers = 0 then begin
+        s.writer <- true;
+        s.writes_granted <- s.writes_granted + 1;
+        acquired := true
+      end
+      else begin
+        incr tries;
+        if !tries < attempts then begin
+          Mutex.unlock s.m;
+          Domain.cpu_relax ();
+          Mutex.lock s.m
+        end
+      end
+    done;
+    s.writers_waiting <- s.writers_waiting - 1;
+    if !acquired then begin
+      Mutex.unlock s.m;
+      Fun.protect ~finally:(fun () -> release_write s) f
+    end
+    else begin
       Condition.broadcast s.readable;
-      Mutex.unlock s.m
-    in
-    match f () with
-    | v ->
-        finish ();
-        v
-    | exception e ->
-        finish ();
-        raise e
+      Mutex.unlock s.m;
+      raise (Timeout bucket)
+    end
+
+  let with_read_bounded t ~bucket ~attempts f =
+    if attempts < 1 then
+      invalid_arg "Bucket_lock.Real.with_read_bounded: attempts must be >= 1";
+    let s = slot t bucket in
+    Mutex.lock s.m;
+    let acquired = ref false in
+    let tries = ref 0 in
+    while (not !acquired) && !tries < attempts do
+      if (not s.writer) && s.writers_waiting = 0 then begin
+        s.readers <- s.readers + 1;
+        s.reads_granted <- s.reads_granted + 1;
+        acquired := true
+      end
+      else begin
+        incr tries;
+        if !tries < attempts then begin
+          Mutex.unlock s.m;
+          Domain.cpu_relax ();
+          Mutex.lock s.m
+        end
+      end
+    done;
+    Mutex.unlock s.m;
+    if !acquired then Fun.protect ~finally:(fun () -> release_read s) f
+    else raise (Timeout bucket)
 
   (* The inspection entry points take each slot's mutex, so they are
      exact at quiescence and merely consistent-per-slot under load. *)

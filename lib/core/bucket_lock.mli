@@ -25,6 +25,11 @@ val release : t -> bucket:int -> mode -> unit
 (** Raises [Invalid_argument] if the bucket is not held in that
     mode. *)
 
+val try_acquire : t -> bucket:int -> mode -> bool
+(** Non-blocking {!acquire}: false (and no state change) where
+    [acquire] would raise {!Deadlock}.  A true return must be paired
+    with {!release} like any acquisition. *)
+
 val with_lock : t -> bucket:int -> mode -> (unit -> 'a) -> 'a
 (** Acquire, run, release (also on exception). *)
 
@@ -48,6 +53,13 @@ val currently_held : t -> int
 module Real : sig
   type t
 
+  exception Timeout of int
+  (** An acquisition gave up (bucket index attached): raised by the
+      bounded variants when their attempt budget runs out, and by
+      {!with_read} / {!with_write} when an installed {!Fault} plan arms
+      [Lock_timeout] for the current operation (the injected timeout
+      fires {e before} any lock state changes, so nothing is held). *)
+
   val create : buckets:int -> t
 
   val buckets : t -> int
@@ -55,6 +67,28 @@ module Real : sig
   val with_read : t -> bucket:int -> (unit -> 'a) -> 'a
 
   val with_write : t -> bucket:int -> (unit -> 'a) -> 'a
+
+  (** {2 Try / bounded acquisition}
+
+      Spec: [try_with_read] / [try_with_write] acquire only if the slot
+      is immediately available under the writer-preference protocol (a
+      reader also defers to waiting writers) and return [None] without
+      blocking or changing any state otherwise.  The bounded variants
+      retry up to [attempts] times on a deterministic attempt clock —
+      one [Domain.cpu_relax] between tries, no wall-clock timeouts, so
+      tests using them stay reproducible — and raise {!Timeout} when
+      the budget is exhausted.  [with_write_bounded] keeps the slot's
+      [writers_waiting] gate raised for its whole spin, so a steady
+      stream of new readers cannot starve a bounded writer: only
+      readers already holding the slot delay it. *)
+
+  val try_with_read : t -> bucket:int -> (unit -> 'a) -> 'a option
+
+  val try_with_write : t -> bucket:int -> (unit -> 'a) -> 'a option
+
+  val with_read_bounded : t -> bucket:int -> attempts:int -> (unit -> 'a) -> 'a
+
+  val with_write_bounded : t -> bucket:int -> attempts:int -> (unit -> 'a) -> 'a
 
   val read_acquisitions : t -> int
   (** Total granted read acquisitions, summed over buckets.  Counters

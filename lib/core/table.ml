@@ -119,6 +119,10 @@ let pop_free t ~single =
   n
 
 let alloc_node t ~tag ~words =
+  (* injected allocation failure: fires before any counter or free-list
+     mutation, so an aborted insert leaves the table exactly as it was
+     (modulo words the caller already wrote — its journal's problem) *)
+  Fault.fire Fault.Alloc_node;
   let node_bytes = 16 + (8 * Array.length words) in
   ignore (Atomic.fetch_and_add t.logical_bytes node_bytes);
   ignore (Atomic.fetch_and_add t.nodes 1);
@@ -800,3 +804,747 @@ let demote_block t ~vpn =
                   ~attr:p.attr
             done);
         true
+
+(* --- integrity verification, corruption injection, repair (fsck) --- *)
+
+type violation =
+  | Chain_cycle of { bucket : int }
+  | Cross_link of { bucket : int; first_bucket : int }
+  | Wrong_bucket of { bucket : int; tag : int64 }
+  | Stale_tag of { bucket : int }
+  | Head_tag_mismatch of { bucket : int }
+  | Dup_node of { bucket : int; tag : int64 }
+  | Bad_word of { bucket : int; tag : int64; boff : int }
+  | Torn_replica of { bucket : int; tag : int64; boff : int }
+  | Coverage_overlap of { bucket : int; tag : int64; boff : int }
+  | Free_list_cycle of { single : bool }
+  | Free_list_live_tag of { single : bool }
+  | Free_live_overlap of { bucket : int }
+  | Free_count_mismatch of { single : bool; counted : int; recorded : int }
+  | Node_count_mismatch of { counted : int; recorded : int }
+  | Byte_count_mismatch of { counted : int; recorded : int }
+
+let violation_code = function
+  | Chain_cycle _ -> "chain_cycle"
+  | Cross_link _ -> "cross_link"
+  | Wrong_bucket _ -> "wrong_bucket"
+  | Stale_tag _ -> "stale_tag"
+  | Head_tag_mismatch _ -> "head_tag_mismatch"
+  | Dup_node _ -> "dup_node"
+  | Bad_word _ -> "bad_word"
+  | Torn_replica _ -> "torn_replica"
+  | Coverage_overlap _ -> "coverage_overlap"
+  | Free_list_cycle _ -> "free_list_cycle"
+  | Free_list_live_tag _ -> "free_list_live_tag"
+  | Free_live_overlap _ -> "free_live_overlap"
+  | Free_count_mismatch _ -> "free_count_mismatch"
+  | Node_count_mismatch _ -> "node_count_mismatch"
+  | Byte_count_mismatch _ -> "byte_count_mismatch"
+
+let pp_violation ppf = function
+  | Chain_cycle { bucket } ->
+      Format.fprintf ppf "chain cycle in bucket %d" bucket
+  | Cross_link { bucket; first_bucket } ->
+      Format.fprintf ppf
+        "bucket %d links a node already reachable from bucket %d" bucket
+        first_bucket
+  | Wrong_bucket { bucket; tag } ->
+      Format.fprintf ppf "tag %Ld chained in bucket %d but hashes elsewhere"
+        tag bucket
+  | Stale_tag { bucket } ->
+      Format.fprintf ppf "reclaimed (empty-tag) node live in bucket %d" bucket
+  | Head_tag_mismatch { bucket } ->
+      Format.fprintf ppf "flattened head tag of bucket %d disagrees with chain"
+        bucket
+  | Dup_node { bucket; tag } ->
+      Format.fprintf ppf "duplicate nodes for tag %Ld in bucket %d" tag bucket
+  | Bad_word { bucket; tag; boff } ->
+      Format.fprintf ppf
+        "malformed mapping word (tag %Ld, bucket %d, offset %d)" tag bucket
+        boff
+  | Torn_replica { bucket; tag; boff } ->
+      Format.fprintf ppf
+        "inconsistent superpage replica (tag %Ld, bucket %d, offset %d)" tag
+        bucket boff
+  | Coverage_overlap { bucket; tag; boff } ->
+      Format.fprintf ppf
+        "page mapped by two representations (tag %Ld, bucket %d, offset %d)"
+        tag bucket boff
+  | Free_list_cycle { single } ->
+      Format.fprintf ppf "cycle in the %s free list"
+        (if single then "single-node" else "block-node")
+  | Free_list_live_tag { single } ->
+      Format.fprintf ppf "%s free list holds a node with a live tag"
+        (if single then "single-node" else "block-node")
+  | Free_live_overlap { bucket } ->
+      Format.fprintf ppf "free list holds a node still chained in bucket %d"
+        bucket
+  | Free_count_mismatch { single; counted; recorded } ->
+      Format.fprintf ppf "%s free list length %d, recorded %d"
+        (if single then "single-node" else "block-node")
+        counted recorded
+  | Node_count_mismatch { counted; recorded } ->
+      Format.fprintf ppf "%d live nodes counted, %d recorded" counted recorded
+  | Byte_count_mismatch { counted; recorded } ->
+      Format.fprintf ppf "%d live bytes counted, %d recorded" counted recorded
+
+let sz_of_sp (sp : Pte.Superpage_pte.t) = Addr.Page_size.sz_code sp.size
+
+let lowest_bit m =
+  let rec go m i = if m land 1 <> 0 then i else go (m lsr 1) (i + 1) in
+  if m = 0 then 0 else go m 0
+
+(* Locate the single-node replica of a multi-block superpage for
+   [vpbn].  Cycle-safe: bounded by a visited set on node identity
+   ([addr] is unique per allocation), so a corrupted chain cannot trap
+   the checker itself. *)
+let find_sp_replica t vpbn =
+  let bucket = Config.hash t.config vpbn in
+  let tag = Int64.to_int vpbn in
+  let visited = Hashtbl.create 8 in
+  let rec go n =
+    if n == nil || Hashtbl.mem visited n.addr then None
+    else begin
+      Hashtbl.add visited n.addr ();
+      if n.tag = tag && Array.length n.words = 1 then
+        match Pte.Word.decode n.words.(0) with
+        | Pte.Word.Superpage sp when sp.valid && sz_of_sp sp >= t.sz_code_block
+          ->
+            Some n.words.(0)
+        | _ -> go n.next
+      else go n.next
+    end
+  in
+  go t.heads.(bucket)
+
+(* Per-(bucket, tag) aggregation for duplicate-node and representation-
+   exclusivity checks: all representations of one page block hash to
+   the same bucket, so a per-bucket pass sees them all. *)
+type tag_agg = {
+  agg_tag : int;
+  mutable a_psb : int;  (* single partial-subblock nodes *)
+  mutable a_sp : int;  (* single (full-block) superpage nodes *)
+  mutable a_block : int;  (* complete-subblock nodes *)
+  mutable a_psb_mask : int;  (* offsets valid through psb nodes *)
+  mutable a_word_mask : int;  (* offsets valid inside block nodes *)
+}
+
+let check t =
+  let out = ref [] in
+  let add v = out := v :: !out in
+  let factor = t.config.Config.subblock_factor in
+  (* node identity -> first bucket that reached it *)
+  let seen : (int64, int) Hashtbl.t = Hashtbl.create 256 in
+  let counted = ref 0 and counted_bytes = ref 0 in
+  let check_block_words b n (agg : tag_agg) =
+    let tag64 = Int64.of_int n.tag in
+    for i = 0 to Array.length n.words - 1 do
+      let w = n.words.(i) in
+      match Pte.Word.decode w with
+      | Pte.Word.Base bw ->
+          if bw.valid then
+            if t.unit_shift <> 0 then
+              (* base words are not representable in a coarse table *)
+              add (Bad_word { bucket = b; tag = tag64; boff = i })
+            else agg.a_word_mask <- agg.a_word_mask lor (1 lsl i)
+      | Pte.Word.Psb _ ->
+          (* a psb word can only head a single node: this is the
+             signature a torn multi-word update leaves behind *)
+          add (Bad_word { bucket = b; tag = tag64; boff = i })
+      | Pte.Word.Superpage sp ->
+          if not sp.valid then
+            (* block nodes hold the canonical invalid base word as
+               filler, never invalid superpage words *)
+            add (Bad_word { bucket = b; tag = tag64; boff = i })
+          else begin
+            let sz = sz_of_sp sp in
+            if sz >= t.sz_code_block || sz < t.unit_shift then
+              add (Bad_word { bucket = b; tag = tag64; boff = i })
+            else begin
+              let covered = 1 lsl (sz - t.unit_shift) in
+              let first = i land lnot (covered - 1) in
+              if i <> first then begin
+                if not (Int64.equal n.words.(first) w) then
+                  add (Torn_replica { bucket = b; tag = tag64; boff = i })
+              end
+              else begin
+                let torn = ref false in
+                for j = first to first + covered - 1 do
+                  if not (Int64.equal n.words.(j) w) then torn := true
+                done;
+                if !torn then
+                  add (Torn_replica { bucket = b; tag = tag64; boff = first })
+              end;
+              agg.a_word_mask <- agg.a_word_mask lor (1 lsl i)
+            end
+          end
+    done
+  in
+  for b = 0 to Array.length t.heads - 1 do
+    let head = t.heads.(b) in
+    (if head == nil then begin
+       if t.head_tags.(b) <> empty_tag then add (Head_tag_mismatch { bucket = b })
+     end
+     else if t.head_tags.(b) <> head.tag then
+       add (Head_tag_mismatch { bucket = b }));
+    let chain_seen = Hashtbl.create 8 in
+    let aggs : tag_agg list ref = ref [] in
+    let agg_for tag =
+      match List.find_opt (fun a -> a.agg_tag = tag) !aggs with
+      | Some a -> a
+      | None ->
+          let a =
+            {
+              agg_tag = tag;
+              a_psb = 0;
+              a_sp = 0;
+              a_block = 0;
+              a_psb_mask = 0;
+              a_word_mask = 0;
+            }
+          in
+          aggs := a :: !aggs;
+          a
+    in
+    let rec walk n =
+      if n == nil then ()
+      else if Hashtbl.mem chain_seen n.addr then
+        add (Chain_cycle { bucket = b })
+      else
+        match Hashtbl.find_opt seen n.addr with
+        | Some first_bucket ->
+            (* shared tail: already verified from its first bucket *)
+            add (Cross_link { bucket = b; first_bucket })
+        | None ->
+            Hashtbl.add chain_seen n.addr ();
+            Hashtbl.add seen n.addr b;
+            incr counted;
+            counted_bytes := !counted_bytes + n.node_bytes;
+            (if n.tag = empty_tag then add (Stale_tag { bucket = b })
+             else begin
+               let tag64 = Int64.of_int n.tag in
+               if Config.hash t.config tag64 <> b then
+                 add (Wrong_bucket { bucket = b; tag = tag64 });
+               let agg = agg_for n.tag in
+               let len = Array.length n.words in
+               if len <> 1 && len <> factor then
+                 add (Bad_word { bucket = b; tag = tag64; boff = -1 })
+               else if len = 1 then begin
+                 match Pte.Word.decode n.words.(0) with
+                 | Pte.Word.Psb p ->
+                     if
+                       t.unit_shift <> 0
+                       || p.vmask land factor_mask t = 0
+                     then add (Bad_word { bucket = b; tag = tag64; boff = 0 })
+                     else begin
+                       agg.a_psb <- agg.a_psb + 1;
+                       agg.a_psb_mask <-
+                         agg.a_psb_mask lor (p.vmask land factor_mask t)
+                     end
+                 | Pte.Word.Superpage sp ->
+                     if (not sp.valid) || sz_of_sp sp < t.sz_code_block then
+                       add (Bad_word { bucket = b; tag = tag64; boff = 0 })
+                     else begin
+                       agg.a_sp <- agg.a_sp + 1;
+                       (* a multi-block superpage is replicated once per
+                          covered block across buckets: the base block's
+                          node sweeps its siblings, the others verify the
+                          base, so a missing or diverged replica is
+                          reported from whichever side survives *)
+                       let n_blocks = 1 lsl (sz_of_sp sp - t.sz_code_block) in
+                       if n_blocks > 1 then begin
+                         let first_vpbn =
+                           Int64.logand tag64
+                             (Int64.lognot (Int64.of_int (n_blocks - 1)))
+                         in
+                         if Int64.equal tag64 first_vpbn then
+                           for i = 1 to n_blocks - 1 do
+                             let sib = Int64.add first_vpbn (Int64.of_int i) in
+                             match find_sp_replica t sib with
+                             | Some w when Int64.equal w n.words.(0) -> ()
+                             | _ ->
+                                 add
+                                   (Torn_replica
+                                      { bucket = b; tag = tag64; boff = i })
+                           done
+                         else begin
+                           match find_sp_replica t first_vpbn with
+                           | Some w when Int64.equal w n.words.(0) -> ()
+                           | _ ->
+                               add
+                                 (Torn_replica
+                                    { bucket = b; tag = tag64; boff = 0 })
+                         end
+                       end
+                     end
+                 | Pte.Word.Base _ ->
+                     add (Bad_word { bucket = b; tag = tag64; boff = 0 })
+               end
+               else begin
+                 agg.a_block <- agg.a_block + 1;
+                 check_block_words b n agg
+               end
+             end);
+            walk n.next
+    in
+    walk head;
+    List.iter
+      (fun a ->
+        let tag64 = Int64.of_int a.agg_tag in
+        if a.a_psb > 1 || a.a_sp > 1 || a.a_block > 1 then
+          add (Dup_node { bucket = b; tag = tag64 });
+        let inter = a.a_psb_mask land a.a_word_mask in
+        if inter <> 0 then
+          add
+            (Coverage_overlap
+               { bucket = b; tag = tag64; boff = lowest_bit inter })
+        else if a.a_sp > 0 && a.a_psb_mask lor a.a_word_mask <> 0 then
+          add
+            (Coverage_overlap
+               {
+                 bucket = b;
+                 tag = tag64;
+                 boff = lowest_bit (a.a_psb_mask lor a.a_word_mask);
+               }))
+      (List.rev !aggs)
+  done;
+  let check_free ~single head recorded =
+    let visited = Hashtbl.create 16 in
+    let count = ref 0 in
+    let rec go n =
+      if n == nil then ()
+      else if Hashtbl.mem visited n.addr then add (Free_list_cycle { single })
+      else begin
+        Hashtbl.add visited n.addr ();
+        incr count;
+        if n.tag <> empty_tag then add (Free_list_live_tag { single });
+        (match Hashtbl.find_opt seen n.addr with
+        | Some bucket -> add (Free_live_overlap { bucket })
+        | None -> ());
+        go n.next
+      end
+    in
+    go head;
+    if !count <> recorded then
+      add (Free_count_mismatch { single; counted = !count; recorded })
+  in
+  check_free ~single:true t.free_single t.free_single_n;
+  check_free ~single:false t.free_block t.free_block_n;
+  let recorded_nodes = Atomic.get t.nodes in
+  if !counted <> recorded_nodes then
+    add (Node_count_mismatch { counted = !counted; recorded = recorded_nodes });
+  let recorded_bytes = Atomic.get t.logical_bytes in
+  if !counted_bytes <> recorded_bytes then
+    add
+      (Byte_count_mismatch
+         { counted = !counted_bytes; recorded = recorded_bytes });
+  List.rev !out
+
+(* --- repair: rebuild a consistent table from surviving mappings --- *)
+
+type repair_report = {
+  violations : violation list;  (* pre-repair findings *)
+  kept : int;  (* PTE entries reinserted *)
+  dropped : int;  (* corrupted or conflicting entries discarded *)
+}
+
+let repair t =
+  let violations = check t in
+  let factor = t.config.Config.subblock_factor in
+  let kept = ref 0 and dropped = ref 0 in
+  let visited = Hashtbl.create 256 in
+  (* multi-block superpages: vpn_base -> word, to fold replicas into
+     one candidate (a diverged replica is a conflict, not a survivor) *)
+  let sp_seen : (int64, int64) Hashtbl.t = Hashtbl.create 16 in
+  let cands = ref [] in
+  let cand c = cands := c :: !cands in
+  let dropped_valid_words n =
+    Array.iter
+      (fun w -> if Pte.Word.is_valid (Pte.Word.decode w) then incr dropped)
+      n.words
+  in
+  let harvest_block_node n =
+    let tag64 = Int64.of_int n.tag in
+    let block_uvpn = Int64.shift_left tag64 t.factor_bits in
+    let len = Array.length n.words in
+    let i = ref 0 in
+    while !i < len do
+      let w = n.words.(!i) in
+      match Pte.Word.decode w with
+      | Pte.Word.Base bw ->
+          (if bw.valid then
+             if t.unit_shift = 0 then
+               cand
+                 (`Base
+                   (Int64.add block_uvpn (Int64.of_int !i), bw.ppn, bw.attr))
+             else incr dropped);
+          incr i
+      | Pte.Word.Psb _ ->
+          (* torn-write garbage *)
+          incr dropped;
+          incr i
+      | Pte.Word.Superpage sp ->
+          if not sp.valid then incr i (* filler, maps nothing *)
+          else begin
+            let sz = sz_of_sp sp in
+            if sz >= t.sz_code_block || sz < t.unit_shift then begin
+              incr dropped;
+              incr i
+            end
+            else begin
+              let covered = 1 lsl (sz - t.unit_shift) in
+              let first = !i land lnot (covered - 1) in
+              if !i <> first then begin
+                (* orphan replica: its run leader did not claim it *)
+                incr dropped;
+                incr i
+              end
+              else begin
+                let consistent = ref true in
+                for j = first to first + covered - 1 do
+                  if not (Int64.equal n.words.(j) w) then consistent := false
+                done;
+                if !consistent then begin
+                  let vpn =
+                    Int64.shift_left
+                      (Int64.add block_uvpn (Int64.of_int first))
+                      t.unit_shift
+                  in
+                  cand (`Sp (vpn, sp.size, sp.ppn, sp.attr));
+                  i := first + covered
+                end
+                else begin
+                  incr dropped;
+                  incr i
+                end
+              end
+            end
+          end
+    done
+  in
+  Array.iter
+    (fun head ->
+      let rec walk n =
+        if n == nil || Hashtbl.mem visited n.addr then ()
+        else begin
+          Hashtbl.add visited n.addr ();
+          (if n.tag = empty_tag then
+             (* a reclaimed node's words are not trustworthy *)
+             dropped_valid_words n
+           else
+             let len = Array.length n.words in
+             if len <> 1 && len <> factor then dropped_valid_words n
+             else if len = 1 then begin
+               match Pte.Word.decode n.words.(0) with
+               | Pte.Word.Psb p ->
+                   let vmask = p.vmask land factor_mask t in
+                   if t.unit_shift = 0 && vmask <> 0 then
+                     cand (`Psb (Int64.of_int n.tag, vmask, p.ppn, p.attr))
+                   else if vmask <> 0 then incr dropped
+               | Pte.Word.Superpage sp ->
+                   if sp.valid then begin
+                     let sz = sz_of_sp sp in
+                     if sz >= t.sz_code_block then begin
+                       let block_vpn =
+                         Int64.shift_left
+                           (Int64.shift_left (Int64.of_int n.tag)
+                              t.factor_bits)
+                           t.unit_shift
+                       in
+                       let vpn_base = Addr.Bits.align_down block_vpn sz in
+                       match Hashtbl.find_opt sp_seen vpn_base with
+                       | Some w0 when Int64.equal w0 n.words.(0) -> ()
+                       | Some _ -> incr dropped
+                       | None ->
+                           Hashtbl.add sp_seen vpn_base n.words.(0);
+                           cand (`Sp (vpn_base, sp.size, sp.ppn, sp.attr))
+                     end
+                     else incr dropped (* small sp can't head a single node *)
+                   end
+               | Pte.Word.Base bw -> if bw.valid then incr dropped
+             end
+             else harvest_block_node n);
+          walk n.next
+        end
+      in
+      walk head)
+    t.heads;
+  (* first-wins page claims arbitrate between surviving candidates that
+     cover the same base page (e.g. a duplicated node) *)
+  let claimed : (int64, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let spans c =
+    match c with
+    | `Base (vpn, _, _) -> [ (vpn, 1) ]
+    | `Sp (vpn, size, _, _) -> [ (vpn, Addr.Page_size.base_pages size) ]
+    | `Psb (vpbn, vmask, _, _) ->
+        let base = Int64.shift_left vpbn t.factor_bits in
+        let l = ref [] in
+        for i = factor - 1 downto 0 do
+          if vmask land (1 lsl i) <> 0 then
+            l := (Int64.add base (Int64.of_int i), 1) :: !l
+        done;
+        !l
+  in
+  let try_claim c =
+    let pages = spans c in
+    let free =
+      List.for_all
+        (fun (v0, np) ->
+          let ok = ref true in
+          for i = 0 to np - 1 do
+            if Hashtbl.mem claimed (Int64.add v0 (Int64.of_int i)) then
+              ok := false
+          done;
+          !ok)
+        pages
+    in
+    if free then
+      List.iter
+        (fun (v0, np) ->
+          for i = 0 to np - 1 do
+            Hashtbl.add claimed (Int64.add v0 (Int64.of_int i)) ()
+          done)
+        pages;
+    free
+  in
+  let survivors = List.rev !cands in
+  Fault.suspended (fun () ->
+      (* Detach everything and rebuild.  Corrupted chains and free
+         lists are unsafe to walk for freeing, so the old nodes' arena
+         bytes are abandoned (the arena is a simulator bump allocator;
+         [clear] remains the true-freeing path for healthy tables). *)
+      Array.fill t.heads 0 (Array.length t.heads) nil;
+      Array.fill t.head_tags 0 (Array.length t.head_tags) empty_tag;
+      Atomic.set t.nodes 0;
+      Atomic.set t.logical_bytes 0;
+      t.free_single <- nil;
+      t.free_block <- nil;
+      t.free_single_n <- 0;
+      t.free_block_n <- 0;
+      List.iter
+        (fun c ->
+          if not (try_claim c) then incr dropped
+          else
+            try
+              (match c with
+              | `Base (vpn, ppn, attr) -> insert_base t ~vpn ~ppn ~attr
+              | `Sp (vpn, size, ppn, attr) ->
+                  insert_superpage t ~vpn ~size ~ppn ~attr
+              | `Psb (vpbn, vmask, ppn, attr) ->
+                  insert_psb t ~vpbn ~vmask ~ppn ~attr);
+              incr kept
+            with Invalid_argument _ -> incr dropped)
+        survivors);
+  { violations; kept = !kept; dropped = !dropped }
+
+(* --- bucket snapshots (the service's per-operation undo journal) --- *)
+
+type bucket_image = (int * int64 array) list
+
+let snapshot_bucket t ~bucket =
+  let rec go acc n =
+    if n == nil then List.rev acc
+    else go ((n.tag, Array.copy n.words) :: acc) n.next
+  in
+  go [] t.heads.(bucket)
+
+let restore_bucket t ~bucket image =
+  Fault.suspended (fun () ->
+      let rec drop n =
+        if n != nil then begin
+          let next = n.next in
+          release_node t n;
+          drop next
+        end
+      in
+      drop t.heads.(bucket);
+      set_head t bucket nil;
+      (* [link] prepends, so rebuild tail-first to restore chain order *)
+      List.iter
+        (fun (tag, words) ->
+          let n = alloc_node t ~tag ~words:(Array.copy words) in
+          link t bucket n)
+        (List.rev image))
+
+(* --- corruption injection (tests and the fsck CLI) --- *)
+
+type corruption =
+  | C_cycle
+  | C_cross_link
+  | C_misplace
+  | C_duplicate
+  | C_stale
+  | C_torn of int64
+  | C_torn_replica
+  | C_head_tag
+  | C_count
+  | C_free_reattach
+  | C_overlap
+
+let first_nonempty t =
+  let rec go b =
+    if b >= Array.length t.heads then None
+    else if t.heads.(b) != nil then Some b
+    else go (b + 1)
+  in
+  go 0
+
+let chain_tail n =
+  let rec go n = if n.next == nil then n else go n.next in
+  go n
+
+let torn_garbage_word =
+  (* a psb-encoded word: structurally illegal at any block-node offset *)
+  Pte.Psb_pte.(encode (make ~vmask:1 ~ppn:0L ~attr:Pte.Attr.default))
+
+let corrupt t kind =
+  Fault.suspended (fun () ->
+      match kind with
+      | C_cycle -> (
+          match first_nonempty t with
+          | None -> false
+          | Some b ->
+              let head = t.heads.(b) in
+              (chain_tail head).next <- head;
+              true)
+      | C_cross_link -> (
+          match first_nonempty t with
+          | None -> false
+          | Some b -> (
+              let rec next_nonempty b' =
+                if b' >= Array.length t.heads then None
+                else if t.heads.(b') != nil then Some b'
+                else next_nonempty (b' + 1)
+              in
+              match next_nonempty (b + 1) with
+              | None -> false
+              | Some b2 ->
+                  (chain_tail t.heads.(b)).next <- t.heads.(b2);
+                  true))
+      | C_misplace -> (
+          if Array.length t.heads < 2 then false
+          else
+            match first_nonempty t with
+            | None -> false
+            | Some b ->
+                let n = t.heads.(b) in
+                set_head t b n.next;
+                let b2 = (b + 1) mod Array.length t.heads in
+                n.next <- t.heads.(b2);
+                set_head t b2 n;
+                true)
+      | C_duplicate -> (
+          match first_nonempty t with
+          | None -> false
+          | Some b ->
+              let n = t.heads.(b) in
+              let clone = alloc_node t ~tag:n.tag ~words:(Array.copy n.words) in
+              link t b clone;
+              true)
+      | C_stale -> (
+          match first_nonempty t with
+          | None -> false
+          | Some b ->
+              t.heads.(b).tag <- empty_tag;
+              (* keep the mirror consistent so only the stale tag trips *)
+              t.head_tags.(b) <- empty_tag;
+              true)
+      | C_torn vpn ->
+          if t.unit_shift <> 0 then false
+          else begin
+            let vpbn, boff = split t vpn in
+            let n = get_or_create_block_node t vpbn in
+            n.words.(boff) <- torn_garbage_word;
+            true
+          end
+      | C_torn_replica ->
+          (* drop one replica node of a multi-block superpage *)
+          let removed = ref false in
+          for b = 0 to Array.length t.heads - 1 do
+            if not !removed then begin
+              let rec go prev n =
+                if n == nil || !removed then ()
+                else begin
+                  (match Pte.Word.decode n.words.(0) with
+                  | Pte.Word.Superpage sp
+                    when Array.length n.words = 1
+                         && sp.valid
+                         && sz_of_sp sp > t.sz_code_block ->
+                      if prev == nil then set_head t b n.next
+                      else prev.next <- n.next;
+                      release_node t n;
+                      removed := true
+                  | _ -> ());
+                  if not !removed then go n n.next
+                end
+              in
+              go nil t.heads.(b)
+            end
+          done;
+          !removed
+      | C_head_tag -> (
+          match first_nonempty t with
+          | None -> false
+          | Some b ->
+              t.head_tags.(b) <- t.head_tags.(b) + 1;
+              true)
+      | C_count ->
+          ignore (Atomic.fetch_and_add t.nodes 1);
+          ignore (Atomic.fetch_and_add t.logical_bytes 8);
+          true
+      | C_free_reattach -> (
+          match first_nonempty t with
+          | None -> false
+          | Some b ->
+              let n = t.heads.(b) in
+              set_head t b n.next;
+              (* park it on its free list with none of the release
+                 bookkeeping: a lost-update double-free *)
+              Mutex.lock t.free_lock;
+              if Array.length n.words = 1 then begin
+                n.next <- t.free_single;
+                t.free_single <- n;
+                t.free_single_n <- t.free_single_n + 1
+              end
+              else begin
+                n.next <- t.free_block;
+                t.free_block <- n;
+                t.free_block_n <- t.free_block_n + 1
+              end;
+              Mutex.unlock t.free_lock;
+              true)
+      | C_overlap ->
+          (* shadow a valid base word of some block with a psb node *)
+          if t.unit_shift <> 0 then false
+          else begin
+            let target = ref None in
+            for b = 0 to Array.length t.heads - 1 do
+              if !target = None then
+                let rec go n =
+                  if n == nil || !target <> None then ()
+                  else begin
+                    (if Array.length n.words > 1 then
+                       Array.iteri
+                         (fun i w ->
+                           if !target = None then
+                             match Pte.Word.decode w with
+                             | Pte.Word.Base bw when bw.valid ->
+                                 target := Some (n.tag, i)
+                             | _ -> ())
+                         n.words);
+                    go n.next
+                  end
+                in
+                go t.heads.(b)
+            done;
+            match !target with
+            | None -> false
+            | Some (tag, i) ->
+                let word =
+                  Pte.Psb_pte.(
+                    encode (make ~vmask:(1 lsl i) ~ppn:0L ~attr:Pte.Attr.default))
+                in
+                let node = alloc_node t ~tag ~words:[| word |] in
+                link t (Config.hash t.config (Int64.of_int tag)) node;
+                true
+          end)

@@ -116,3 +116,102 @@ val load_factor : t -> float
 (** Nodes per bucket. *)
 
 val iter_chain_tags : t -> bucket:int -> (int64 -> unit) -> unit
+
+(** {2 Integrity verification and repair (fsck)}
+
+    The checker verifies every structural invariant the table relies
+    on: chain acyclicity and bucket residency, the flattened head-tag
+    mirror, tag liveness, node shape and word formats (a psb word can
+    only head a single node — the signature a torn multi-word update
+    leaves), superpage replica consistency within and across buckets,
+    representation exclusivity (no page reachable through two PTEs),
+    free-list acyclicity and disjointness from the live set, and the
+    byte/node accounting.  It is cycle-safe: visited sets bound every
+    traversal, so corruption cannot trap the checker.  Run at
+    quiescence (no concurrent mutators). *)
+
+type violation =
+  | Chain_cycle of { bucket : int }
+  | Cross_link of { bucket : int; first_bucket : int }
+      (** a node reached earlier from [first_bucket] is also linked
+          from [bucket] *)
+  | Wrong_bucket of { bucket : int; tag : int64 }
+  | Stale_tag of { bucket : int }  (** reclaimed node on a live chain *)
+  | Head_tag_mismatch of { bucket : int }
+  | Dup_node of { bucket : int; tag : int64 }
+      (** two nodes of the same class for one tag *)
+  | Bad_word of { bucket : int; tag : int64; boff : int }
+      (** malformed word or node shape; [boff] = -1 for a bad shape *)
+  | Torn_replica of { bucket : int; tag : int64; boff : int }
+      (** superpage replica run inconsistent (within a block node) or a
+          cross-bucket sibling of a multi-block superpage missing or
+          diverged *)
+  | Coverage_overlap of { bucket : int; tag : int64; boff : int }
+      (** a base page reachable through two representations *)
+  | Free_list_cycle of { single : bool }
+  | Free_list_live_tag of { single : bool }
+  | Free_live_overlap of { bucket : int }
+      (** a free-listed node is still chained (double free) *)
+  | Free_count_mismatch of { single : bool; counted : int; recorded : int }
+  | Node_count_mismatch of { counted : int; recorded : int }
+  | Byte_count_mismatch of { counted : int; recorded : int }
+
+val violation_code : violation -> string
+(** Stable machine-readable code, e.g. ["chain_cycle"]. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : t -> violation list
+(** All violations, in deterministic bucket-then-chain order; [[]] on a
+    healthy table. *)
+
+type repair_report = {
+  violations : violation list;  (** what {!check} found before repair *)
+  kept : int;  (** PTE entries reinserted *)
+  dropped : int;  (** corrupted or conflicting entries discarded *)
+}
+
+val repair : t -> repair_report
+(** Rebuild a consistent table in place from the surviving mappings:
+    harvest every decodable PTE from the (possibly corrupt) chains with
+    cycle-safe traversal, arbitrate double-mapped pages first-wins in
+    deterministic order, then reset the bucket array, counters and free
+    lists and reinsert the survivors.  After [repair], {!check} returns
+    [[]].  The old nodes' arena bytes are abandoned (corrupt chains are
+    unsafe to walk for freeing); injection sites are suspended for the
+    duration, so repair can never itself fault. *)
+
+type bucket_image
+(** Opaque deep copy of one bucket's chain: the per-operation undo
+    journal of the self-healing service. *)
+
+val snapshot_bucket : t -> bucket:int -> bucket_image
+(** Copy [bucket]'s chain (tags and words).  Take it under the
+    bucket's write lock, before mutating: the chain must be walkable. *)
+
+val restore_bucket : t -> bucket:int -> bucket_image -> unit
+(** Put [bucket]'s chain back exactly as snapshotted (same node order,
+    tags and words), releasing the current nodes to the free lists.
+    Injection sites are suspended for the duration. *)
+
+type corruption =
+  | C_cycle  (** tie a chain's tail back to its head *)
+  | C_cross_link  (** link one chain's tail into another bucket's chain *)
+  | C_misplace  (** move a node to a bucket its tag doesn't hash to *)
+  | C_duplicate  (** clone a node into its own bucket *)
+  | C_stale  (** retag a live node with the reclaimed-node tag *)
+  | C_torn of int64
+      (** write a structurally illegal word at [vpn]'s block offset —
+          what a torn multi-word update leaves behind *)
+  | C_torn_replica  (** drop one replica of a multi-block superpage *)
+  | C_head_tag  (** clobber a bucket's flattened head tag *)
+  | C_count  (** drift the node and byte counters *)
+  | C_free_reattach  (** double-free a live node onto its free list *)
+  | C_overlap  (** shadow a valid base word with a psb node *)
+
+val corrupt : t -> corruption -> bool
+(** Inject one corruption of the given class (tests and the fsck CLI
+    use this to prove {!check} has no false negatives).  False when the
+    table has no applicable site (e.g. no multi-block superpage to
+    tear); true means {!check} must now report the matching
+    violation. *)

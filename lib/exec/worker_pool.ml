@@ -12,7 +12,13 @@
    the job with their domain index and report back, and [run] returns
    when all of them have.  The caller's domain never runs jobs — with
    [domains:n] exactly [n] workers execute, so scaling curves compare
-   like with like. *)
+   like with like.
+
+   Failure handling: every worker exception of an epoch is collected
+   (not just the first), and a worker that dies of an injected
+   [Fault.Domain_crash] really exits its domain — [run] joins and
+   respawns it before reporting, so the pool supervises its own
+   workers back to full strength. *)
 
 type job = int -> unit
 
@@ -24,21 +30,34 @@ type t = {
   mutable epoch : int;
   mutable job : job option;
   mutable completed : int;
-  mutable failure : exn option;  (* first failure of the current epoch *)
+  mutable failures : (int * exn) list;  (* all failures of the epoch *)
+  mutable crashed : int list;  (* workers whose domains exited *)
+  mutable restarts_total : int;
   mutable stopping : bool;
   mutable workers : unit Domain.t array;
 }
 
-exception Worker_failed of exn
+exception Worker_failed of (int * exn) list
 
 let () =
   Printexc.register_printer (function
-    | Worker_failed e ->
-        Some (Printf.sprintf "Worker_pool.Worker_failed(%s)" (Printexc.to_string e))
+    | Worker_failed fs ->
+        Some
+          (Printf.sprintf "Worker_pool.Worker_failed([%s])"
+             (String.concat "; "
+                (List.map
+                   (fun (i, e) ->
+                     Printf.sprintf "%d: %s" i (Printexc.to_string e))
+                   fs)))
     | _ -> None)
 
-let worker_at t index () =
-  let seen = ref 0 in
+(* [birth_epoch] is the last epoch already dealt with when the worker
+   was spawned — 0 at [create], the crashed job's epoch at a respawn —
+   and must be read by the {e spawner}: the new domain's body may only
+   start running after the next [run] has already bumped [t.epoch], and
+   adopting that value here would skip the job (and deadlock [run]). *)
+let worker_at t index ~birth_epoch () =
+  let seen = ref birth_epoch in
   let continue = ref true in
   while !continue do
     Mutex.lock t.m;
@@ -54,13 +73,21 @@ let worker_at t index () =
       let job = Option.get t.job in
       Mutex.unlock t.m;
       let outcome = match job index with () -> None | exception e -> Some e in
+      let crash =
+        match outcome with
+        | Some (Fault.Injected { site = Fault.Domain_crash; _ }) -> true
+        | _ -> false
+      in
       Mutex.lock t.m;
       (match outcome with
-      | Some e when t.failure = None -> t.failure <- Some e
-      | Some _ | None -> ());
+      | Some e -> t.failures <- (index, e) :: t.failures
+      | None -> ());
+      if crash then t.crashed <- index :: t.crashed;
       t.completed <- t.completed + 1;
       if t.completed = t.n then Condition.signal t.idle;
-      Mutex.unlock t.m
+      Mutex.unlock t.m;
+      (* an injected domain crash terminates the domain for real *)
+      if crash then continue := false
     end
   done
 
@@ -75,15 +102,24 @@ let create ~domains =
       epoch = 0;
       job = None;
       completed = 0;
-      failure = None;
+      failures = [];
+      crashed = [];
+      restarts_total = 0;
       stopping = false;
       workers = [||];
     }
   in
-  t.workers <- Array.init domains (fun i -> Domain.spawn (worker_at t i));
+  t.workers <-
+    Array.init domains (fun i -> Domain.spawn (worker_at t i ~birth_epoch:0));
   t
 
 let size t = t.n
+
+let restarts t =
+  Mutex.lock t.m;
+  let r = t.restarts_total in
+  Mutex.unlock t.m;
+  r
 
 let run t f =
   Mutex.lock t.m;
@@ -93,16 +129,36 @@ let run t f =
   end;
   t.job <- Some f;
   t.completed <- 0;
-  t.failure <- None;
+  t.failures <- [];
+  t.crashed <- [];
   t.epoch <- t.epoch + 1;
   Condition.broadcast t.wake;
   while t.completed < t.n do
     Condition.wait t.idle t.m
   done;
-  let failure = t.failure in
+  let failures =
+    List.sort (fun (a, _) (b, _) -> compare a b) t.failures
+  in
+  let crashed = t.crashed in
+  let epoch = t.epoch in
   t.job <- None;
   Mutex.unlock t.m;
-  match failure with Some e -> raise (Worker_failed e) | None -> ()
+  (* supervised restart: join each crashed domain (it has exited its
+     loop) and put a fresh one in its slot, so the pool runs the next
+     job at full strength.  The replacement is born having seen the
+     epoch that killed its predecessor. *)
+  List.iter
+    (fun i ->
+      Domain.join t.workers.(i);
+      t.workers.(i) <- Domain.spawn (worker_at t i ~birth_epoch:epoch);
+      Fault.note_restart ())
+    crashed;
+  if crashed <> [] then begin
+    Mutex.lock t.m;
+    t.restarts_total <- t.restarts_total + List.length crashed;
+    Mutex.unlock t.m
+  end;
+  match failures with [] -> () | fs -> raise (Worker_failed fs)
 
 let shutdown t =
   Mutex.lock t.m;

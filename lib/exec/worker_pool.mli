@@ -11,9 +11,11 @@
 
 type t
 
-exception Worker_failed of exn
-(** Raised by {!run} with the first exception any worker raised during
-    that job.  The run still waits for every worker to finish first. *)
+exception Worker_failed of (int * exn) list
+(** Raised by {!run} with {e every} exception workers raised during
+    that job, as [(worker index, exception)] pairs sorted by index —
+    two workers failing the same job both appear.  The run always
+    waits for every worker to finish first, so the list is complete. *)
 
 val create : domains:int -> t
 (** Spawn [domains] worker domains, parked awaiting work.  The calling
@@ -26,7 +28,17 @@ val size : t -> int
 val run : t -> (int -> unit) -> unit
 (** [run t f] executes [f index] on every worker, [index] ranging over
     [0 .. size t - 1], and returns once all have completed.  Not
-    reentrant: one job at a time per pool. *)
+    reentrant: one job at a time per pool.
+
+    Supervision: a worker whose job dies of an injected
+    [Fault.Injected { site = Domain_crash; _ }] terminates its domain
+    for real.  [run] joins each such domain and respawns a fresh worker
+    in its slot {e before} raising {!Worker_failed}, so the pool is
+    back at full strength for the next job; every respawn is tallied
+    (see {!restarts} and [Fault.restarts]). *)
+
+val restarts : t -> int
+(** Worker domains respawned by supervision since {!create}. *)
 
 val shutdown : t -> unit
 (** Stop and join all workers.  Idempotent; {!run} after [shutdown]

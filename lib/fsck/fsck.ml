@@ -1,0 +1,137 @@
+module CT = Clustered_pt.Table
+module HT = Baselines.Hashed_pt
+
+type table = Clustered of CT.t | Hashed of HT.t
+
+let org = function Clustered _ -> "clustered" | Hashed _ -> "hashed"
+
+type finding = { code : string; detail : string }
+
+type report = { r_org : string; findings : finding list }
+
+let finding_of_c v =
+  {
+    code = CT.violation_code v;
+    detail = Format.asprintf "%a" CT.pp_violation v;
+  }
+
+let finding_of_h v =
+  {
+    code = HT.violation_code v;
+    detail = Format.asprintf "%a" HT.pp_violation v;
+  }
+
+let check t =
+  match t with
+  | Clustered c ->
+      { r_org = org t; findings = List.map finding_of_c (CT.check c) }
+  | Hashed h -> { r_org = org t; findings = List.map finding_of_h (HT.check h) }
+
+let clean r = r.findings = []
+
+type repair_outcome = { pre : report; kept : int; dropped : int }
+
+let repair t =
+  match t with
+  | Clustered c ->
+      let r = CT.repair c in
+      {
+        pre =
+          {
+            r_org = org t;
+            findings = List.map finding_of_c r.CT.violations;
+          };
+        kept = r.CT.kept;
+        dropped = r.CT.dropped;
+      }
+  | Hashed h ->
+      let r = HT.repair h in
+      {
+        pre =
+          {
+            r_org = org t;
+            findings = List.map finding_of_h r.HT.violations;
+          };
+        kept = r.HT.kept;
+        dropped = r.HT.dropped;
+      }
+
+(* An arbitrary in-range page for the planted torn word; any vpn works
+   because the injector creates the node it tears. *)
+let torn_vpn = 42L
+
+let clustered_kinds =
+  [
+    ("cycle", CT.C_cycle);
+    ("cross_link", CT.C_cross_link);
+    ("misplace", CT.C_misplace);
+    ("duplicate", CT.C_duplicate);
+    ("stale", CT.C_stale);
+    ("torn", CT.C_torn torn_vpn);
+    ("torn_replica", CT.C_torn_replica);
+    ("head_tag", CT.C_head_tag);
+    ("count", CT.C_count);
+    ("free_reattach", CT.C_free_reattach);
+    ("overlap", CT.C_overlap);
+  ]
+
+let hashed_kinds =
+  [
+    ("cycle", HT.C_cycle);
+    ("cross_link", HT.C_cross_link);
+    ("misplace", HT.C_misplace);
+    ("duplicate", HT.C_duplicate);
+    ("torn", HT.C_torn torn_vpn);
+    ("count", HT.C_count);
+  ]
+
+let corruption_kinds = function
+  | Clustered _ -> List.map fst clustered_kinds
+  | Hashed _ -> List.map fst hashed_kinds
+
+let corrupt_by_name t name =
+  match t with
+  | Clustered c -> (
+      match List.assoc_opt name clustered_kinds with
+      | Some k -> CT.corrupt c k
+      | None -> false)
+  | Hashed h -> (
+      match List.assoc_opt name hashed_kinds with
+      | Some k -> HT.corrupt h k
+      | None -> false)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let report_to_json r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"org\":\"%s\",\"clean\":%b,\"findings\":["
+       (json_escape r.r_org) (clean r));
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"code\":\"%s\",\"detail\":\"%s\"}"
+           (json_escape f.code) (json_escape f.detail)))
+    r.findings;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let pp_report ppf r =
+  if clean r then Format.fprintf ppf "%s: clean" r.r_org
+  else begin
+    Format.fprintf ppf "%s: %d finding(s)@," r.r_org (List.length r.findings);
+    List.iter
+      (fun f -> Format.fprintf ppf "  [%s] %s@," f.code f.detail)
+      r.findings
+  end

@@ -1,0 +1,53 @@
+(** Unified page-table integrity front-end (fsck) over both
+    organizations.
+
+    Wraps {!Clustered_pt.Table.check} / {!Baselines.Hashed_pt.check}
+    behind one machine-readable report: each violation becomes a
+    [finding] with a stable [code] shared across organizations
+    (["chain_cycle"], ["bad_word"], ["coverage_overlap"], ...), so the
+    CLI, CI gate and tests compare findings without caring which table
+    produced them.  Checks run at quiescence — no concurrent
+    mutators. *)
+
+type table =
+  | Clustered of Clustered_pt.Table.t
+  | Hashed of Baselines.Hashed_pt.t
+
+val org : table -> string
+(** ["clustered"] or ["hashed"]. *)
+
+type finding = { code : string; detail : string }
+
+type report = { r_org : string; findings : finding list }
+
+val check : table -> report
+(** Findings in the underlying checker's deterministic order. *)
+
+val clean : report -> bool
+
+type repair_outcome = {
+  pre : report;  (** what the integrity check found before repair *)
+  kept : int;  (** PTE entries reinserted *)
+  dropped : int;  (** corrupted or conflicting entries discarded *)
+}
+
+val repair : table -> repair_outcome
+(** Rebuild in place from surviving mappings; afterwards {!check}
+    reports clean. *)
+
+val corruption_kinds : table -> string list
+(** The corruption classes injectable into this organization — the
+    matrix the no-false-negatives test walks.  Every name here, applied
+    through {!corrupt_by_name}, must make {!check} report at least one
+    finding. *)
+
+val corrupt_by_name : table -> string -> bool
+(** Inject one corruption by class name.  False when the name is
+    unknown for this organization or the table has no applicable site
+    (e.g. ["torn_replica"] with no multi-block superpage present). *)
+
+val report_to_json : report -> string
+(** [{"org":...,"clean":...,"findings":[{"code":...,"detail":...}]}] —
+    deterministic for a deterministic table state. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -75,6 +75,10 @@ let rec alloc_single t =
   | None -> if preempt_one t then alloc_single t else None
 
 let alloc_page t ~vpn =
+  (* injected exhaustion: indistinguishable from real memory pressure,
+     so every caller's OOM path is exercised *)
+  if Fault.trip Fault.Alloc_phys then None
+  else
   let vpbn = vpbn_of t vpn in
   let boff = boff_of t vpn in
   match Hashtbl.find_opt t.reservations vpbn with

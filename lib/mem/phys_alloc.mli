@@ -27,7 +27,9 @@ val create : total_pages:int -> subblock_factor:int -> t
 val alloc_page : t -> vpn:int64 -> int64 option
 (** Allocate a frame for virtual page [vpn], preferring the properly-
     placed frame of [vpn]'s block reservation.  [None] only when
-    physical memory is exhausted. *)
+    physical memory is exhausted — or when an installed {!Fault} plan
+    arms [Alloc_phys] for the current operation, which is
+    indistinguishable from exhaustion to callers. *)
 
 val free_page : t -> vpn:int64 -> ppn:int64 -> unit
 (** Release the frame backing [vpn].  When the last used frame of a

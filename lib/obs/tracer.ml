@@ -20,6 +20,14 @@ let ev_churn_exit = 8
 
 let ev_churn_touch = 9
 
+let ev_fault_inject = 10
+
+let ev_fault_retry = 11
+
+let ev_fault_abort = 12
+
+let ev_fault_repair = 13
+
 let names =
   [|
     "miss";
@@ -32,6 +40,10 @@ let names =
     "churn_fork";
     "churn_exit";
     "churn_touch";
+    "fault_inject";
+    "fault_retry";
+    "fault_abort";
+    "fault_repair";
   |]
 
 let name_of_code c =

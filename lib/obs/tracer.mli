@@ -50,6 +50,21 @@ val ev_churn_touch : int
 (** Churn ops are instant events; arg = operation-specific size (pages
     touched, etc.). *)
 
+val ev_fault_inject : int
+(** An injected fault observed by the service (instant; arg = fault
+    site ordinal). *)
+
+val ev_fault_retry : int
+(** A self-healing retry of a faulted operation (instant; arg = the
+    attempt ordinal being started). *)
+
+val ev_fault_abort : int
+(** An operation abandoned after exhausting its retry budget
+    (instant; arg = attempts made). *)
+
+val ev_fault_repair : int
+(** An fsck repair pass (instant; arg = entries dropped). *)
+
 val name_of_code : int -> string
 
 (** {2 Control} *)

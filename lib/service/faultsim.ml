@@ -1,0 +1,236 @@
+(* A deterministic fault soak over the shared service.
+
+   The driver runs [streams] logical operation streams against one
+   service.  Streams — not domains — are the unit of work: stream [s]
+   owns the disjoint VPN window [s * span, (s+1) * span), every
+   operation is a pure function of [(seed, stream, op index)], and the
+   fault context key is [stream * ops + op].  Because streams never
+   touch each other's pages and every fault decision is a pure
+   function of (site, key, attempt), the committed mappings, the
+   injection tallies and the final fsck report are identical for any
+   [--domains] count — the invariance the CI gate diffs.
+
+   Worker domains deal streams round-robin ([s mod domains]).  At each
+   op start the driver fires the [Domain_crash] site; a crash kills
+   the worker domain for real, {!Exec.Worker_pool} supervises it back,
+   and this driver re-runs the pool until every stream completes —
+   per-stream cursors make re-runs resume exactly where the crash
+   interrupted.  All other sites are healed inside {!Service}.  The
+   soak ends with an fsck, repairing first if (contrary to the
+   self-healing contract) findings appear. *)
+
+type config = {
+  seed : int;
+  rate_ppm : int;
+  sites : Fault.site list;
+  org : Service.org;
+  locking : Service.locking;
+  domains : int;
+  streams : int;
+  ops : int;
+  buckets : int;
+}
+
+let default_config =
+  {
+    seed = 1;
+    rate_ppm = 20_000;
+    sites = Fault.all_sites;
+    org = Service.Clustered;
+    locking = Service.Striped;
+    domains = 1;
+    streams = 4;
+    ops = 2_000;
+    buckets = 512;
+  }
+
+type outcome = {
+  o_seed : int;
+  o_org : Service.org;
+  o_locking : Service.locking;
+  o_streams : int;
+  o_ops : int;
+  injected : (string * int) list;  (* per site, [Fault.all_sites] order *)
+  retries : int;
+  aborts : int;
+  crashes : int;
+  restarts : int;
+  repairs : int;
+  pre_findings : int;  (* fsck findings before any repair *)
+  kept : int;  (* entries a repair salvaged (0 when none ran) *)
+  dropped : int;
+  fsck_clean : bool;  (* the end state *)
+  population : int;
+}
+
+(* Each stream owns [span] pages, whole blocks only, so no page block
+   (and no superpage) ever spans two streams — the property that makes
+   the committed mapping set independent of commit interleaving. *)
+let span = 4096
+
+let mix3 seed a b =
+  let open Int64 in
+  let h = Addr.Bits.mix64 (of_int seed) in
+  let h = Addr.Bits.mix64 (logxor h (of_int (a + 1))) in
+  Addr.Bits.mix64 (logxor h (of_int (b + 1)))
+
+(* The op mix leans on writes (the faultable paths): 1/2 insert, 1/4
+   remove, 1/8 lookup, 1/8 range protect. *)
+let apply_op svc ~seed ~stream ~op =
+  let r = mix3 seed stream op in
+  let kind = Int64.to_int (Int64.logand r 7L) in
+  let off = Int64.to_int (Int64.logand (Int64.shift_right_logical r 8) 4095L) in
+  let vpn = Int64.of_int ((stream * span) + off) in
+  if kind < 4 then
+    let ppn = Int64.logand (Int64.shift_right_logical r 20) 0xFFFFFL in
+    Service.insert svc ~vpn ~ppn ~attr:Pte.Attr.default
+  else if kind < 6 then Service.remove svc ~vpn
+  else if kind = 6 then ignore (Service.lookup svc ~vpn)
+  else begin
+    let pages =
+      min (span - off) (1 + Int64.to_int (Int64.logand (Int64.shift_right_logical r 32) 31L))
+    in
+    let region = Addr.Region.make ~first_vpn:vpn ~pages in
+    let writable = Int64.logand (Int64.shift_right_logical r 40) 1L = 0L in
+    ignore (Service.protect svc region ~writable)
+  end
+
+(* An op whose crash site stays armed attempt after attempt must not
+   wedge the soak; past this many consecutive crashes at one op the
+   driver stops consulting the site for it.  Deterministic — the cap
+   depends only on the per-op crash count. *)
+let max_crash_attempts = 8
+
+let run cfg =
+  if cfg.streams < 1 then invalid_arg "Faultsim.run: streams must be >= 1";
+  if cfg.ops < 1 then invalid_arg "Faultsim.run: ops must be >= 1";
+  let svc =
+    Service.create ~buckets:cfg.buckets ~org:cfg.org ~locking:cfg.locking ()
+  in
+  let plan =
+    Fault.plan ~rate_ppm:cfg.rate_ppm ~sites:cfg.sites ~seed:cfg.seed ()
+  in
+  let cursors = Array.make cfg.streams 0 in
+  let crash_attempts = Array.make cfg.streams 0 in
+  let job w =
+    let s = ref w in
+    while !s < cfg.streams do
+      while cursors.(!s) < cfg.ops do
+        let op = cursors.(!s) in
+        Fault.set_context ~key:((!s * cfg.ops) + op);
+        Fault.set_attempt crash_attempts.(!s);
+        if crash_attempts.(!s) < max_crash_attempts && Fault.armed Fault.Domain_crash
+        then begin
+          crash_attempts.(!s) <- crash_attempts.(!s) + 1;
+          Fault.fire Fault.Domain_crash
+        end;
+        Fault.set_attempt 0;
+        apply_op svc ~seed:cfg.seed ~stream:!s ~op;
+        Fault.clear_context ();
+        crash_attempts.(!s) <- 0;
+        cursors.(!s) <- op + 1
+      done;
+      s := !s + cfg.domains
+    done;
+    Fault.clear_context ()
+  in
+  Fault.install plan;
+  let pool = Exec.Worker_pool.create ~domains:cfg.domains in
+  let finished () = Array.for_all (fun c -> c >= cfg.ops) cursors in
+  Fun.protect
+    ~finally:(fun () ->
+      Exec.Worker_pool.shutdown pool;
+      Fault.deactivate ())
+    (fun () ->
+      while not (finished ()) do
+        match Exec.Worker_pool.run pool job with
+        | () -> ()
+        | exception Exec.Worker_pool.Worker_failed failures ->
+            (* crashes are supervised (the pool already respawned the
+               domains); anything else is a real bug — re-raise it *)
+            List.iter
+              (fun (_, e) ->
+                match e with
+                | Fault.Injected { site = Fault.Domain_crash; _ } -> ()
+                | e -> raise e)
+              failures
+      done;
+      let injected =
+        List.map (fun s -> (Fault.site_name s, Fault.injected s)) Fault.all_sites
+      in
+      let retries = Fault.retries () in
+      let aborts = Fault.aborts () in
+      let crashes = Fault.injected Fault.Domain_crash in
+      let restarts = Exec.Worker_pool.restarts pool in
+      let pre = Service.fsck svc in
+      let pre_findings = List.length pre.Fsck.findings in
+      let kept, dropped =
+        if pre_findings = 0 then (0, 0)
+        else
+          let r = Service.repair svc in
+          (r.Fsck.kept, r.Fsck.dropped)
+      in
+      let repairs = Fault.repairs () in
+      let fsck_clean = Fsck.clean (Service.fsck svc) in
+      {
+        o_seed = cfg.seed;
+        o_org = cfg.org;
+        o_locking = cfg.locking;
+        o_streams = cfg.streams;
+        o_ops = cfg.ops;
+        injected;
+        retries;
+        aborts;
+        crashes;
+        restarts;
+        repairs;
+        pre_findings;
+        kept;
+        dropped;
+        fsck_clean;
+        population = Service.population svc;
+      })
+
+(* Deliberately omits the domain count: two runs differing only in
+   [--domains] must serialize byte-identically. *)
+let outcome_to_json o =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"seed\":%d,\"org\":\"%s\",\"locking\":\"%s\"" o.o_seed
+       (Service.org_name o.o_org)
+       (Service.locking_name o.o_locking));
+  Buffer.add_string b
+    (Printf.sprintf ",\"streams\":%d,\"ops\":%d" o.o_streams o.o_ops);
+  Buffer.add_string b ",\"injected\":{";
+  List.iteri
+    (fun i (name, n) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\":%d" name n))
+    o.injected;
+  Buffer.add_string b "}";
+  Buffer.add_string b
+    (Printf.sprintf
+       ",\"retries\":%d,\"aborts\":%d,\"crashes\":%d,\"restarts\":%d,\"repairs\":%d"
+       o.retries o.aborts o.crashes o.restarts o.repairs);
+  Buffer.add_string b
+    (Printf.sprintf
+       ",\"pre_findings\":%d,\"kept\":%d,\"dropped\":%d,\"fsck_clean\":%b,\"population\":%d}"
+       o.pre_findings o.kept o.dropped o.fsck_clean o.population);
+  Buffer.contents b
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "faultsim seed=%d %s/%s streams=%d ops=%d@," o.o_seed
+    (Service.org_name o.o_org)
+    (Service.locking_name o.o_locking)
+    o.o_streams o.o_ops;
+  List.iter
+    (fun (name, n) ->
+      if n > 0 then Format.fprintf ppf "  injected %-12s %d@," name n)
+    o.injected;
+  Format.fprintf ppf
+    "  retries %d, aborts %d, crashes %d, restarts %d, repairs %d@," o.retries
+    o.aborts o.crashes o.restarts o.repairs;
+  Format.fprintf ppf "  fsck: %d finding(s) before repair, end state %s@,"
+    o.pre_findings
+    (if o.fsck_clean then "clean" else "CORRUPT");
+  Format.fprintf ppf "  population %d" o.population

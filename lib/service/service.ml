@@ -143,26 +143,148 @@ let with_write t ~vpn f =
             Clustered_pt.Bucket_lock.Real.with_write l ~bucket f)
       else Clustered_pt.Bucket_lock.Real.with_write l ~bucket f
 
+(* --- self-healing write path (engaged only under a fault plan) ---
+
+   The fault plan can fail an operation three ways: the stripe
+   acquisition times out ([Bucket_lock.Real.Timeout], injected before
+   any lock state changes), node acquisition fails inside the table
+   ([Fault.Injected Alloc_node], fired before any chain mutation), or
+   the update itself is torn halfway ([Torn_write] — we plant the torn
+   multi-word signature in the bucket, exactly what a real torn store
+   of a two-word PTE leaves behind).
+
+   Every guarded attempt journals its bucket image under the write
+   lock and rolls back on any exception, so a failed attempt is
+   invisible to fsck; the driver retries with a deterministic
+   attempt-clock backoff and gives the operation up (degraded mode,
+   tallied as an abort) once the budget is spent.  Recovery code runs
+   inside [Fault.suspended] — undoing a fault can never inject
+   another. *)
+
+let heal_attempts = 4
+
+let site_ordinal = function
+  | Fault.Alloc_node -> 0
+  | Fault.Alloc_phys -> 1
+  | Fault.Lock_timeout -> 2
+  | Fault.Domain_crash -> 3
+  | Fault.Torn_write -> 4
+
+let bump name = Obs.Metrics.incr (Obs.Ambient.counter name)
+
+let note_injected site =
+  bump ("fault.injected." ^ Fault.site_name site);
+  if Obs.Tracer.enabled () then
+    Obs.Tracer.instant Obs.Tracer.ev_fault_inject (site_ordinal site)
+
+let observed_site = function
+  | Clustered_pt.Bucket_lock.Real.Timeout _ -> Some Fault.Lock_timeout
+  | Fault.Injected { site; _ } -> Some site
+  | _ -> None
+
+(* Deterministic backoff: an attempt-clock spin, no wall time. *)
+let backoff attempt =
+  for _ = 1 to (attempt + 1) * 32 do
+    Domain.cpu_relax ()
+  done
+
+type journal =
+  | J_hashed of Baselines.Hashed_pt.bucket_image
+  | J_clustered of Clustered_pt.Table.bucket_image
+
+let snapshot t ~bucket =
+  match t.backend with
+  | H h -> J_hashed (Baselines.Hashed_pt.snapshot_bucket h ~bucket)
+  | C c -> J_clustered (Clustered_pt.Table.snapshot_bucket c ~bucket)
+
+let rollback t ~bucket img =
+  match (t.backend, img) with
+  | H h, J_hashed i -> Baselines.Hashed_pt.restore_bucket h ~bucket i
+  | C c, J_clustered i -> Clustered_pt.Table.restore_bucket c ~bucket i
+  | _ -> assert false
+
+(* Plant the torn signature a half-completed multi-word PTE store
+   leaves in [vpn]'s bucket. *)
+let tear t ~vpn =
+  ignore
+    (match t.backend with
+    | H h -> Baselines.Hashed_pt.corrupt h (Baselines.Hashed_pt.C_torn vpn)
+    | C c -> Clustered_pt.Table.corrupt c (Clustered_pt.Table.C_torn vpn))
+
+let attempt_write t ~vpn f =
+  with_write t ~vpn (fun () ->
+      let bucket = bucket_of t ~vpn in
+      let img = snapshot t ~bucket in
+      match
+        if Fault.trip Fault.Torn_write then begin
+          tear t ~vpn;
+          raise
+            (Fault.Injected
+               { site = Fault.Torn_write; key = Fault.context_key () })
+        end;
+        f ()
+      with
+      | v -> v
+      | exception e ->
+          Fault.suspended (fun () -> rollback t ~bucket img);
+          raise e)
+
+let rec heal t ~vpn ~default ~write f attempt =
+  Fault.set_attempt attempt;
+  match if write then attempt_write t ~vpn f else with_read t ~vpn f with
+  | v ->
+      Fault.set_attempt 0;
+      v
+  | exception e -> (
+      match observed_site e with
+      | None -> raise e
+      | Some site ->
+          note_injected site;
+          if attempt + 1 < heal_attempts then begin
+            Fault.note_retry ();
+            bump "fault.retries";
+            if Obs.Tracer.enabled () then
+              Obs.Tracer.instant Obs.Tracer.ev_fault_retry (attempt + 1);
+            backoff attempt;
+            heal t ~vpn ~default ~write f (attempt + 1)
+          end
+          else begin
+            Fault.note_abort ();
+            bump "fault.aborts";
+            if Obs.Tracer.enabled () then
+              Obs.Tracer.instant Obs.Tracer.ev_fault_abort heal_attempts;
+            Fault.set_attempt 0;
+            default
+          end)
+
+let read_section t ~vpn ~default f =
+  if Fault.active () then heal t ~vpn ~default ~write:false f 0
+  else with_read t ~vpn f
+
+let write_section t ~vpn ~default f =
+  if Fault.active () then heal t ~vpn ~default ~write:true f 0
+  else with_write t ~vpn f
+
 let lookup_into t acc ~vpn =
-  with_read t ~vpn (fun () ->
+  read_section t ~vpn ~default:false (fun () ->
       match t.backend with
       | H h -> Baselines.Hashed_pt.lookup_into h acc ~vpn <> None
       | C c -> Clustered_pt.Table.lookup_into c acc ~vpn <> None)
 
 let lookup t ~vpn =
-  with_read t ~vpn (fun () ->
+  read_section t ~vpn ~default:false (fun () ->
       match t.backend with
       | H h -> fst (Baselines.Hashed_pt.lookup h ~vpn) <> None
       | C c -> fst (Clustered_pt.Table.lookup c ~vpn) <> None)
 
 let insert t ~vpn ~ppn ~attr =
-  with_write t ~vpn (fun () ->
+  write_section t ~vpn ~default:() (fun () ->
       match t.backend with
       | H h -> Baselines.Hashed_pt.insert_base h ~vpn ~ppn ~attr
       | C c -> Clustered_pt.Table.insert_base c ~vpn ~ppn ~attr)
 
 let remove t ~vpn =
-  with_write t ~vpn (fun () ->
+  write_section t ~vpn ~default:() (fun () ->
       match t.backend with
       | H h -> Baselines.Hashed_pt.remove h ~vpn
       | C c -> Clustered_pt.Table.remove c ~vpn)
@@ -176,7 +298,7 @@ let protect t region ~writable =
   match t.locks with
   | Global_lock _ ->
       (* representative vpn only selects the (single) lock *)
-      with_write t ~vpn:region.Addr.Region.first_vpn (fun () ->
+      write_section t ~vpn:region.Addr.Region.first_vpn ~default:0 (fun () ->
           match t.backend with
           | H h -> Baselines.Hashed_pt.set_attr_range h region ~f
           | C c -> Clustered_pt.Table.set_attr_range c region ~f)
@@ -195,14 +317,14 @@ let protect t region ~writable =
               in
               let sub = Addr.Region.make ~first_vpn ~pages:count in
               acc
-              + with_write t ~vpn:first_vpn (fun () ->
+              + write_section t ~vpn:first_vpn ~default:0 (fun () ->
                     Clustered_pt.Table.set_attr_range c sub ~f))
             0 blocks
       | H h ->
           Addr.Region.fold_vpns region ~init:0 ~f:(fun acc vpn ->
               let sub = Addr.Region.make ~first_vpn:vpn ~pages:1 in
               acc
-              + with_write t ~vpn (fun () ->
+              + write_section t ~vpn ~default:0 (fun () ->
                     Baselines.Hashed_pt.set_attr_range h sub ~f)))
 
 let population t =
@@ -249,3 +371,24 @@ let probe ?into t =
   match t.backend with
   | H h -> Obs.Probe.hashed ?into h
   | C c -> Obs.Probe.clustered ?into c
+
+(* --- integrity (fsck) front-end --- *)
+
+let as_fsck t =
+  match t.backend with
+  | H h -> Fsck.Hashed h
+  | C c -> Fsck.Clustered c
+
+let fsck t = Fsck.check (as_fsck t)
+
+let repair t =
+  let r = Fsck.repair (as_fsck t) in
+  Fault.note_repair ();
+  bump "fault.repairs";
+  if Obs.Tracer.enabled () then
+    Obs.Tracer.instant Obs.Tracer.ev_fault_repair r.Fsck.dropped;
+  r
+
+let corruption_kinds t = Fsck.corruption_kinds (as_fsck t)
+
+let corrupt t name = Fsck.corrupt_by_name (as_fsck t) name

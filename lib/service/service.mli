@@ -84,3 +84,36 @@ val probe : ?into:Obs.Probe.report -> t -> Obs.Probe.report
 (** Structural telemetry of the backing table (chain lengths, bucket
     occupancy, node utilization).  Takes no locks: only run it while
     no other domain is mutating the service. *)
+
+(** {2 Self-healing and integrity}
+
+    While a {!Fault} plan is installed, every service operation runs
+    self-healed: a guarded attempt journals its bucket image under the
+    write lock and rolls back on any injected failure — allocation
+    failure, lock-acquire timeout, torn multi-word PTE update — so a
+    failed attempt is invisible to {!fsck}.  Failed operations retry
+    up to {!heal_attempts} times with a deterministic attempt-clock
+    backoff, then give up (degraded mode).  Incidents are tallied in
+    the {!Fault} counters, mirrored as [fault.*] counters in
+    {!Obs.Ambient}, and emitted as [fault_*] trace events.  With no
+    plan installed the operations are exactly the unhealed versions.
+
+    The fsck entry points take no locks: run them at quiescence. *)
+
+val heal_attempts : int
+(** Attempt budget per operation (including the first try). *)
+
+val fsck : t -> Fsck.report
+(** Integrity-check the backing table. *)
+
+val repair : t -> Fsck.repair_outcome
+(** Rebuild the backing table from its surviving mappings; afterwards
+    {!fsck} reports clean.  Tallied as a repair. *)
+
+val corruption_kinds : t -> string list
+(** Corruption classes injectable into this backend (for tests and
+    the [fsck --corrupt] CLI). *)
+
+val corrupt : t -> string -> bool
+(** Deliberately corrupt the backing table (see
+    {!Fsck.corrupt_by_name}). *)

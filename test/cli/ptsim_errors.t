@@ -15,7 +15,7 @@ Bare invocation:
 An unknown subcommand names the offending token:
 
   $ ptsim nonsense
-  ptsim: unknown command 'nonsense', must be one of 'ablations', 'all', 'churn', 'dump', 'figure10', 'figure11', 'figure9', 'inspect', 'replay', 'table1', 'table2', 'throughput', 'verify' or 'workload'.
+  ptsim: unknown command 'nonsense', must be one of 'ablations', 'all', 'churn', 'dump', 'faultsim', 'figure10', 'figure11', 'figure9', 'fsck', 'inspect', 'replay', 'table1', 'table2', 'throughput', 'verify' or 'workload'.
   Usage: ptsim [COMMAND] …
   Try 'ptsim --help' for more information.
   [124]

@@ -19,5 +19,6 @@ let () =
       Test_bucket_stress.suite;
       Test_dynamics.suite;
       Test_service.suite;
+      Test_fault.suite;
       Test_obs.suite;
     ]

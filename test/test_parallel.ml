@@ -66,7 +66,7 @@ let test_worker_pool_propagates_failure () =
              if i = 2 then failwith "boom")
        with
       | () -> Alcotest.fail "expected Worker_failed"
-      | exception Exec.Worker_pool.Worker_failed (Failure m) ->
+      | exception Exec.Worker_pool.Worker_failed [ (2, Failure m) ] ->
           Alcotest.(check string) "original exception carried" "boom" m
       | exception e -> raise e);
       (* the pool must survive a failed job *)
