@@ -251,7 +251,7 @@ let run_micro () =
    baseline (tools/bench_diff); timing fields (wall clocks, ops/sec,
    ns/op) are emitted for humans and skipped by the diff. *)
 let emit_json path ~quick ~domains ~experiments_s ~churn_s ~churn_rows
-    ~(report : Sim.Runner.verify_report) ~throughput_rows ~micro =
+    ~(report : Sim.Runner.verify_report) ~throughput_rows ~curve_rows ~micro =
   let oc = open_out path in
   let json_string s =
     let b = Buffer.create (String.length s + 2) in
@@ -312,23 +312,32 @@ let emit_json path ~quick ~domains ~experiments_s ~churn_s ~churn_rows
         (if i = List.length churn_rows - 1 then "" else ","))
     churn_rows;
   Printf.fprintf oc "      ]\n    },\n";
+  let emit_tp_rows rows =
+    List.iteri
+      (fun i (r : Sim.Runner.throughput_row) ->
+        Printf.fprintf oc
+          "        { \"table\": %s, \"locking\": %s, \"domains\": %d, \
+           \"total_ops\": %d, \"read_locks\": %d, \"write_locks\": %d, \
+           \"read_contention\": %d, \"seqlock_retries\": %d, \
+           \"seqlock_fallbacks\": %d, \"population\": %d, \"ops_per_sec\": \
+           %.0f, \"elapsed_s\": %.3f }%s\n"
+          (json_string r.Sim.Runner.tp_org)
+          (json_string r.Sim.Runner.tp_locking)
+          r.Sim.Runner.tp_domains r.Sim.Runner.tp_total_ops
+          r.Sim.Runner.tp_read_locks r.Sim.Runner.tp_write_locks
+          r.Sim.Runner.tp_read_contention r.Sim.Runner.tp_sq_retries
+          r.Sim.Runner.tp_sq_fallbacks r.Sim.Runner.tp_population
+          r.Sim.Runner.tp_ops_per_sec r.Sim.Runner.tp_elapsed_s
+          (if i = List.length rows - 1 then "" else ","))
+      rows
+  in
   Printf.fprintf oc "    \"throughput\": {\n";
   Printf.fprintf oc "      \"rows\": [\n";
-  List.iteri
-    (fun i (r : Sim.Runner.throughput_row) ->
-      Printf.fprintf oc
-        "        { \"table\": %s, \"locking\": %s, \"domains\": %d, \
-         \"total_ops\": %d, \"read_locks\": %d, \"write_locks\": %d, \
-         \"population\": %d, \"ops_per_sec\": %.0f, \"elapsed_s\": %.3f \
-         }%s\n"
-        (json_string r.Sim.Runner.tp_org)
-        (json_string r.Sim.Runner.tp_locking)
-        r.Sim.Runner.tp_domains r.Sim.Runner.tp_total_ops
-        r.Sim.Runner.tp_read_locks r.Sim.Runner.tp_write_locks
-        r.Sim.Runner.tp_population r.Sim.Runner.tp_ops_per_sec
-        r.Sim.Runner.tp_elapsed_s
-        (if i = List.length throughput_rows - 1 then "" else ","))
-    throughput_rows;
+  emit_tp_rows throughput_rows;
+  Printf.fprintf oc "      ],\n";
+  (* seqlock-vs-striped read-mostly scaling (see Runner.throughput_curve) *)
+  Printf.fprintf oc "      \"curve\": [\n";
+  emit_tp_rows curve_rows;
   Printf.fprintf oc "      ]\n    },\n";
   (* every counter and histogram the suite's instrumented paths
      recorded, merged across domains; bench_diff ignores this section
@@ -387,9 +396,10 @@ let () =
     (List.length (List.filter snd report.Sim.Runner.claims))
     (List.length report.Sim.Runner.claims);
   let throughput_rows = Sim.Runner.throughput_for_suite ~options () in
+  let curve_rows = Sim.Runner.throughput_curve_for_suite ~options () in
   let micro = run_micro () in
   Option.iter
     (fun path ->
       emit_json path ~quick ~domains ~experiments_s ~churn_s ~churn_rows
-        ~report ~throughput_rows ~micro)
+        ~report ~throughput_rows ~curve_rows ~micro)
     json

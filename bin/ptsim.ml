@@ -181,12 +181,15 @@ let throughput_rows_json rows =
         (Printf.sprintf
            "    { \"table\": \"%s\", \"locking\": \"%s\", \"domains\": %d, \
             \"total_ops\": %d, \"read_locks\": %d, \"write_locks\": %d, \
-            \"population\": %d, \"ops_per_sec\": %.0f, \"elapsed_s\": %.3f \
-            }%s\n"
+            \"read_contention\": %d, \"seqlock_retries\": %d, \
+            \"seqlock_fallbacks\": %d, \"population\": %d, \"ops_per_sec\": \
+            %.0f, \"elapsed_s\": %.3f }%s\n"
            r.Sim.Runner.tp_org r.Sim.Runner.tp_locking r.Sim.Runner.tp_domains
            r.Sim.Runner.tp_total_ops r.Sim.Runner.tp_read_locks
-           r.Sim.Runner.tp_write_locks r.Sim.Runner.tp_population
-           r.Sim.Runner.tp_ops_per_sec r.Sim.Runner.tp_elapsed_s
+           r.Sim.Runner.tp_write_locks r.Sim.Runner.tp_read_contention
+           r.Sim.Runner.tp_sq_retries r.Sim.Runner.tp_sq_fallbacks
+           r.Sim.Runner.tp_population r.Sim.Runner.tp_ops_per_sec
+           r.Sim.Runner.tp_elapsed_s
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "  ]";
@@ -198,10 +201,26 @@ let run_throughput domains_list streams ops vpns seed org locking json =
     | `All -> [ Pt_service.Service.Clustered; Pt_service.Service.Hashed ]
     | `One o -> [ o ]
   in
+  (* parsed here, not by an Arg.enum, so an unknown mode follows the
+     CLI contract: offending token on stderr, exit 2 *)
   let lockings =
     match locking with
-    | `All -> [ Pt_service.Service.Striped; Pt_service.Service.Global ]
-    | `One l -> [ l ]
+    | "all" ->
+        [
+          Pt_service.Service.Striped;
+          Pt_service.Service.Global;
+          Pt_service.Service.Seqlock;
+        ]
+    | "striped" -> [ Pt_service.Service.Striped ]
+    | "global" -> [ Pt_service.Service.Global ]
+    | "seqlock" -> [ Pt_service.Service.Seqlock ]
+    | s ->
+        Printf.eprintf
+          "unknown locking %S for throughput (have: all, striped, global, \
+           seqlock)\n\
+           %!"
+          s;
+        exit 2
   in
   let pairs =
     List.concat_map (fun o -> List.map (fun l -> (o, l)) lockings) orgs
@@ -676,21 +695,14 @@ let () =
         & info [ "org" ] ~docv:"ORG"
             ~doc:"Table organization: all|clustered|hashed.")
     in
-    let locking_conv =
-      Arg.enum
-        [
-          ("all", `All);
-          ("striped", `One Pt_service.Service.Striped);
-          ("global", `One Pt_service.Service.Global);
-        ]
-    in
     let locking =
       Arg.(
-        value & opt locking_conv `All
+        value & opt string "all"
         & info [ "locking" ] ~docv:"LOCKING"
             ~doc:
               "Lock strategy: all|striped (per-bucket readers-writer) \
-               |global (one mutex).")
+               |global (one mutex)|seqlock (lock-free optimistic reads). \
+               Anything else exits 2.")
     in
     let json =
       Arg.(
@@ -836,7 +848,7 @@ let () =
         & info [ "sites" ] ~docv:"SITE[,SITE...]"
             ~doc:
               "Fault sites to arm: alloc_node, alloc_phys, lock_timeout, \
-               domain_crash, torn_write (default: all).")
+               domain_crash, torn_write, seqlock_stall (default: all).")
     in
     let domains =
       Arg.(
@@ -868,6 +880,7 @@ let () =
         [
           ("striped", Pt_service.Service.Striped);
           ("global", Pt_service.Service.Global);
+          ("seqlock", Pt_service.Service.Seqlock);
         ]
     in
     let locking =
@@ -875,7 +888,7 @@ let () =
         value
         & opt locking_conv Pt_service.Service.Striped
         & info [ "locking" ] ~docv:"LOCKING"
-            ~doc:"Lock strategy: striped|global.")
+            ~doc:"Lock strategy: striped|global|seqlock.")
     in
     let json =
       Arg.(

@@ -12,6 +12,19 @@ type node = {
   mutable next : node option;
 }
 
+(* Deferred-reclamation limbo (see the clustered table for the full
+   story): a side list of unlinked nodes whose [next] pointers stay
+   intact so optimistic lock-free readers already past the unlink can
+   finish their walk.  Sharded by domain id to keep writer contention
+   off one mutex. *)
+type limbo_shard = {
+  lm : Mutex.t;
+  mutable l_entries : (node * int) list;  (* node, retire stamp *)
+  mutable l_count : int;
+}
+
+let limbo_shards = 8
+
 type t = {
   arena : Mem.Sim_memory.t;
   mode : sp_mode;
@@ -31,6 +44,10 @@ type t = {
      and the node counts are the only cross-bucket mutable state *)
   fine_nodes : int Atomic.t;
   coarse_nodes : int Atomic.t;
+  (* closure, not an [Epoch.t]: this library must not depend on the
+     epoch manager's home library *)
+  mutable reclaim_hook : (unit -> int) option;
+  limbo : limbo_shard array;
 }
 
 let name = "hashed"
@@ -72,6 +89,10 @@ let create ?arena ?(buckets = 4096) ?(subblock_factor = 16) ?(packed = false)
     coarse_heads_addr;
     fine_nodes = Atomic.make 0;
     coarse_nodes = Atomic.make 0;
+    reclaim_hook = None;
+    limbo =
+      Array.init limbo_shards (fun _ ->
+          { lm = Mutex.create (); l_entries = []; l_count = 0 });
   }
 
 let mode t = t.mode
@@ -100,6 +121,53 @@ let alloc_node t ~coarse:_ ~tag ~word =
 let release_node t n =
   Mem.Sim_memory.free t.arena ~addr:n.addr ~bytes:t.node_bytes
     ~align:t.node_align
+
+(* --- deferred reclamation (lock-free readers) --- *)
+
+(* Retired-node tag sentinel.  Every live tag (a vpn, vpbn or block
+   base) is non-negative, so this can never match a reader's key: a
+   doomed reader walking through a retired node skips it and follows
+   the intact [next] pointer. *)
+let limbo_tag = Int64.min_int
+
+let retire_node t n stamp_of =
+  n.tag <- limbo_tag;
+  let stamp = stamp_of () in
+  let shard = t.limbo.((Domain.self () :> int) land (limbo_shards - 1)) in
+  Mutex.lock shard.lm;
+  shard.l_entries <- (n, stamp) :: shard.l_entries;
+  shard.l_count <- shard.l_count + 1;
+  Mutex.unlock shard.lm
+
+let unlink_node t n =
+  match t.reclaim_hook with
+  | None -> release_node t n
+  | Some stamp_of -> retire_node t n stamp_of
+
+let set_reclaim_hook t hook = t.reclaim_hook <- hook
+
+let reclaim t ~upto =
+  Array.iter
+    (fun shard ->
+      Mutex.lock shard.lm;
+      let safe, kept =
+        List.partition (fun (_, stamp) -> stamp < upto) shard.l_entries
+      in
+      shard.l_entries <- kept;
+      shard.l_count <- List.length kept;
+      Mutex.unlock shard.lm;
+      (* the arena has its own lock; free outside the shard mutex *)
+      List.iter (fun (n, _) -> release_node t n) safe)
+    t.limbo
+
+let limbo_nodes t =
+  Array.fold_left
+    (fun acc shard ->
+      Mutex.lock shard.lm;
+      let c = shard.l_count in
+      Mutex.unlock shard.lm;
+      acc + c)
+    0 t.limbo
 
 (* --- translations --- *)
 
@@ -407,7 +475,7 @@ let remove_in_chain t table bucket ~select ~coarse =
     | Some n -> (
         match select n with
         | `Unlink ->
-            release_node t n;
+            unlink_node t n;
             ignore
               (Atomic.fetch_and_add
                  (if coarse then t.coarse_nodes else t.fine_nodes)
@@ -578,6 +646,13 @@ let clear t =
   let nodes = ref [] in
   iter_nodes t (fun n -> nodes := n :: !nodes);
   List.iter (release_node t) !nodes;
+  (* limbo nodes are unlinked, so the chain sweep missed them *)
+  Array.iter
+    (fun shard ->
+      List.iter (fun (n, _) -> release_node t n) shard.l_entries;
+      shard.l_entries <- [];
+      shard.l_count <- 0)
+    t.limbo;
   Array.fill t.fine 0 (Array.length t.fine) None;
   if Array.length t.coarse > 0 then
     Array.fill t.coarse 0 (Array.length t.coarse) None;
@@ -614,6 +689,9 @@ type violation =
   | Bad_word of { coarse : bool; bucket : int; tag : int64 }
   | Torn_replica of { bucket : int; tag : int64 }
   | Coverage_overlap of { vpn : int64 }
+  | Limbo_live_overlap of { bucket : int }
+  | Limbo_live_tag
+  | Limbo_count_mismatch of { counted : int; recorded : int }
   | Node_count_mismatch of { coarse : bool; counted : int; recorded : int }
 
 let violation_code = function
@@ -624,6 +702,9 @@ let violation_code = function
   | Bad_word _ -> "bad_word"
   | Torn_replica _ -> "torn_replica"
   | Coverage_overlap _ -> "coverage_overlap"
+  | Limbo_live_overlap _ -> "limbo_live_overlap"
+  | Limbo_live_tag -> "limbo_live_tag"
+  | Limbo_count_mismatch _ -> "limbo_count_mismatch"
   | Node_count_mismatch _ -> "node_count_mismatch"
 
 let pp_violation ppf =
@@ -651,6 +732,16 @@ let pp_violation ppf =
         bucket
   | Coverage_overlap { vpn } ->
       Format.fprintf ppf "page %Ld mapped by two representations" vpn
+  | Limbo_live_overlap { bucket } ->
+      Format.fprintf ppf
+        "limbo node still chained from fine bucket %d (premature unlink \
+         or relink)"
+        bucket
+  | Limbo_live_tag ->
+      Format.fprintf ppf "limbo node carries a live tag"
+  | Limbo_count_mismatch { counted; recorded } ->
+      Format.fprintf ppf "%d limbo nodes counted, %d recorded" counted
+        recorded
   | Node_count_mismatch { coarse; counted; recorded } ->
       Format.fprintf ppf "%d live %s-table nodes counted, %d recorded"
         counted (table coarse) recorded
@@ -687,6 +778,9 @@ let node_kind w =
 let check t =
   let out = ref [] in
   let add v = out := v :: !out in
+  (* every chained node across both tables, for the limbo disjointness
+     pass: addr -> bucket *)
+  let live_seen : (int64, int) Hashtbl.t = Hashtbl.create 256 in
   let coverage : (int64, unit) Hashtbl.t = Hashtbl.create 256 in
   let claim_coverage vpn pages =
     for i = 0 to pages - 1 do
@@ -716,6 +810,7 @@ let check t =
                 | None ->
                     Hashtbl.add chain_seen n.addr ();
                     Hashtbl.add seen n.addr b;
+                    Hashtbl.replace live_seen n.addr b;
                     incr counted;
                     if expected_bucket n <> b then
                       add (Wrong_bucket { coarse; bucket = b; tag = n.tag });
@@ -826,6 +921,26 @@ let check t =
         ~expected_bucket:(fun n -> hash t n.tag)
         ~check_node:check_coarse
   | No_superpages | Superpage_index -> ());
+  (* limbo disjointness: a retired node must be off every chain and
+     must wear the retired tag (no hashed free list, so two of the
+     clustered checker's three ways) *)
+  let limbo_counted = ref 0 and limbo_recorded = ref 0 in
+  Array.iter
+    (fun shard ->
+      limbo_recorded := !limbo_recorded + shard.l_count;
+      List.iter
+        (fun (n, _) ->
+          incr limbo_counted;
+          if not (Int64.equal n.tag limbo_tag) then add Limbo_live_tag;
+          match Hashtbl.find_opt live_seen n.addr with
+          | Some bucket -> add (Limbo_live_overlap { bucket })
+          | None -> ())
+        shard.l_entries)
+    t.limbo;
+  if !limbo_counted <> !limbo_recorded then
+    add
+      (Limbo_count_mismatch
+         { counted = !limbo_counted; recorded = !limbo_recorded });
   List.rev !out
 
 (* --- repair --- *)
@@ -944,6 +1059,13 @@ let repair t =
     Array.fill t.coarse 0 (Array.length t.coarse) None;
   Atomic.set t.fine_nodes 0;
   Atomic.set t.coarse_nodes 0;
+  (* abandon limbo with the rest of the old nodes: corruption may have
+     relinked a limbo node into a chain, so freeing could double-free *)
+  Array.iter
+    (fun shard ->
+      shard.l_entries <- [];
+      shard.l_count <- 0)
+    t.limbo;
   List.iter
     (fun c ->
       if not (try_claim c) then incr dropped
@@ -973,11 +1095,14 @@ let snapshot_bucket t ~bucket =
 
 let restore_bucket t ~bucket image =
   let removed = ref 0 in
+  (* rollback runs under the bucket's write lock, but optimistic
+     readers may still be walking the dropped nodes: retire, don't
+     recycle *)
   let rec drop = function
     | None -> ()
     | Some n ->
         let next = n.next in
-        release_node t n;
+        unlink_node t n;
         incr removed;
         drop next
   in

@@ -88,6 +88,24 @@ val clear : t -> unit
 
 val node_count : t -> int
 
+(** {2 Deferred reclamation (lock-free readers)}
+
+    Mirrors [Clustered_pt.Table]: with a hook installed, unlinked
+    nodes go to a stamped limbo list — tags swapped for a sentinel no
+    live key matches, [next] pointers intact, so optimistic readers
+    already past the unlink finish safely — and return to the arena
+    only via {!reclaim} once their stamp is proven reader-free. *)
+
+val set_reclaim_hook : t -> (unit -> int) option -> unit
+(** Install ([Some stamp_of]) or remove ([None]) the deferred-
+    reclamation hook.  Flip only at quiescence. *)
+
+val reclaim : t -> upto:int -> unit
+(** Free every limbo node stamped strictly below [upto]. *)
+
+val limbo_nodes : t -> int
+(** Nodes currently in limbo: unlinked, not yet freed. *)
+
 val subblock_factor : t -> int
 
 val load_factor : t -> float
@@ -121,6 +139,10 @@ type violation =
       (** a multi-block superpage's coarse replica missing or diverged *)
   | Coverage_overlap of { vpn : int64 }
       (** base page reachable through two PTEs *)
+  | Limbo_live_overlap of { bucket : int }
+      (** a retired limbo node is still chained *)
+  | Limbo_live_tag  (** a limbo node kept its live tag *)
+  | Limbo_count_mismatch of { counted : int; recorded : int }
   | Node_count_mismatch of { coarse : bool; counted : int; recorded : int }
 
 val violation_code : violation -> string

@@ -99,6 +99,10 @@ module Real = struct
        mutex, so the hot path never touches a shared cache line *)
     mutable reads_granted : int;
     mutable writes_granted : int;
+    mutable reads_contended : int;
+        (* read acquisitions that could not be granted immediately
+           (parked behind a writer or a waiting writer) — the "why is
+           the striped read path slow" diagnostic *)
   }
 
   type t = slot array
@@ -115,6 +119,7 @@ module Real = struct
           writers_waiting = 0;
           reads_granted = 0;
           writes_granted = 0;
+          reads_contended = 0;
         })
 
   let buckets t = Array.length t
@@ -147,6 +152,8 @@ module Real = struct
     (* injected acquisition timeout: fires before any state changes *)
     if Fault.trip Fault.Lock_timeout then raise (Timeout bucket);
     Mutex.lock s.m;
+    if s.writer || s.writers_waiting > 0 then
+      s.reads_contended <- s.reads_contended + 1;
     (* writer preference: don't starve pending range operations *)
     while s.writer || s.writers_waiting > 0 do
       Condition.wait s.readable s.m
@@ -174,6 +181,7 @@ module Real = struct
     let s = slot t bucket in
     Mutex.lock s.m;
     if s.writer || s.writers_waiting > 0 then begin
+      s.reads_contended <- s.reads_contended + 1;
       Mutex.unlock s.m;
       None
     end
@@ -240,6 +248,8 @@ module Real = struct
       invalid_arg "Bucket_lock.Real.with_read_bounded: attempts must be >= 1";
     let s = slot t bucket in
     Mutex.lock s.m;
+    if s.writer || s.writers_waiting > 0 then
+      s.reads_contended <- s.reads_contended + 1;
     let acquired = ref false in
     let tries = ref 0 in
     while (not !acquired) && !tries < attempts do
@@ -276,12 +286,15 @@ module Real = struct
 
   let write_acquisitions t = sum_slots t (fun s -> s.writes_granted)
 
+  let read_contention t = sum_slots t (fun s -> s.reads_contended)
+
   let reset_counters t =
     Array.iter
       (fun s ->
         Mutex.lock s.m;
         s.reads_granted <- 0;
         s.writes_granted <- 0;
+        s.reads_contended <- 0;
         Mutex.unlock s.m)
       t
 

@@ -98,9 +98,17 @@ module Real : sig
 
   val write_acquisitions : t -> int
 
+  val read_contention : t -> int
+  (** Read acquisitions that could not be granted immediately — the
+      caller parked behind a writer or a waiting writer.  A cheap
+      "why are striped reads slow" diagnostic: it counts one per
+      blocked acquisition attempt (not per park/wake cycle), summed
+      over buckets like {!read_acquisitions}. *)
+
   val reset_counters : t -> unit
-  (** Zero every slot's acquisition tallies (taking each slot mutex).
-      Call at quiescence; hold state is untouched. *)
+  (** Zero every slot's acquisition tallies, including the contention
+      tally (taking each slot mutex).  Call at quiescence; hold state
+      is untouched. *)
 
   val currently_held : t -> int
   (** Number of buckets held in either mode right now; must return to

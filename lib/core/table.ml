@@ -20,6 +20,20 @@ let rec nil = { tag = min_int; words = [||]; addr = -1L; node_bytes = 0; next = 
 
 let empty_tag = min_int
 
+(* Deferred reclamation (lock-free readers).  A limbo shard holds
+   unlinked nodes stamped with the epoch of their retirement; sharding
+   by domain id keeps retiring writers off each other's mutexes.  The
+   list is a side structure — limbo nodes are NOT threaded through
+   [next], because a concurrent optimistic reader may still be chasing
+   that pointer. *)
+type limbo_shard = {
+  lm : Mutex.t;
+  mutable l_entries : (node * int) list;
+  mutable l_count : int;
+}
+
+let limbo_shards = 8
+
 type t = {
   config : Config.t;
   arena : Mem.Sim_memory.t;
@@ -50,6 +64,13 @@ type t = {
   free_lock : Mutex.t;
       (* like the arena's lock: per-bucket locking covers the chains,
          not this cross-bucket reclamation state *)
+  mutable reclaim_hook : (unit -> int) option;
+      (* when set, unlinked nodes are retired to limbo under the stamp
+         this hook returns (an epoch clock) instead of parking on the
+         free lists; [reclaim] moves them on once the caller proves no
+         reader can still hold them.  A closure so this library does
+         not depend on the epoch manager's home library. *)
+  limbo : limbo_shard array;
 }
 
 let name = "clustered"
@@ -79,6 +100,10 @@ let create ?arena config =
     free_single_n = 0;
     free_block_n = 0;
     free_lock = Mutex.create ();
+    reclaim_hook = None;
+    limbo =
+      Array.init limbo_shards (fun _ ->
+          { lm = Mutex.create (); l_entries = []; l_count = 0 });
   }
 
 let config t = t.config
@@ -142,13 +167,7 @@ let alloc_node t ~tag ~words =
     in
     { tag; words; addr; node_bytes; next = nil }
 
-(* Unlink bookkeeping: the node leaves the live set and parks on its
-   size class's free list.  The tag is reset to the unmatchable
-   [empty_tag] so a stale pointer can never tag-match. *)
-let release_node t n =
-  ignore (Atomic.fetch_and_add t.logical_bytes (-n.node_bytes));
-  ignore (Atomic.fetch_and_add t.nodes (-1));
-  n.tag <- empty_tag;
+let park_free t n =
   Mutex.lock t.free_lock;
   if Array.length n.words = 1 then begin
     n.next <- t.free_single;
@@ -161,6 +180,63 @@ let release_node t n =
     t.free_block_n <- t.free_block_n + 1
   end;
   Mutex.unlock t.free_lock
+
+(* Unlink bookkeeping: the node leaves the live set and parks on its
+   size class's free list.  The tag is reset to the unmatchable
+   [empty_tag] so a stale pointer can never tag-match. *)
+let release_node t n =
+  ignore (Atomic.fetch_and_add t.logical_bytes (-n.node_bytes));
+  ignore (Atomic.fetch_and_add t.nodes (-1));
+  n.tag <- empty_tag;
+  park_free t n
+
+(* Deferred unlink: same accounting and tag reset, but the node waits
+   in limbo under the hook's epoch stamp.  [next] and [words] are left
+   exactly as they were — an optimistic reader that reached this node
+   before the unlink must be able to finish its (doomed, to-be-retried)
+   walk without chasing recycled pointers. *)
+let retire_node t n stamp_of =
+  ignore (Atomic.fetch_and_add t.logical_bytes (-n.node_bytes));
+  ignore (Atomic.fetch_and_add t.nodes (-1));
+  n.tag <- empty_tag;
+  let stamp = stamp_of () in
+  let shard = t.limbo.((Domain.self () :> int) land (limbo_shards - 1)) in
+  Mutex.lock shard.lm;
+  shard.l_entries <- (n, stamp) :: shard.l_entries;
+  shard.l_count <- shard.l_count + 1;
+  Mutex.unlock shard.lm
+
+let unlink_node t n =
+  match t.reclaim_hook with
+  | None -> release_node t n
+  | Some stamp_of -> retire_node t n stamp_of
+
+let set_reclaim_hook t hook = t.reclaim_hook <- hook
+
+let reclaim t ~upto =
+  Array.iter
+    (fun shard ->
+      Mutex.lock shard.lm;
+      let safe, keep =
+        List.partition (fun (_, stamp) -> stamp < upto) shard.l_entries
+      in
+      shard.l_entries <- keep;
+      shard.l_count <- List.length keep;
+      Mutex.unlock shard.lm;
+      (* free-list threading may now scribble on [next]: no reader
+         pinned at or before [stamp] remains, per the caller's epoch
+         manager *)
+      List.iter (fun (n, _) -> park_free t n) safe)
+    t.limbo
+
+let limbo_nodes t =
+  Array.fold_left
+    (fun acc shard ->
+      Mutex.lock shard.lm;
+      let c = shard.l_count in
+      Mutex.unlock shard.lm;
+      acc + c)
+    0 t.limbo
 
 (* really return a node's bytes to the arena (only [clear] does) *)
 let arena_free t n =
@@ -502,7 +578,7 @@ let remove t ~vpn =
       match remove_from_node t n ~boff with
       | `Unlink ->
           let rest = n.next in
-          release_node t n;
+          unlink_node t n;
           rest
       | `Removed -> n
       | `Not_here ->
@@ -640,6 +716,14 @@ let clear t =
   t.free_block <- nil;
   t.free_single_n <- 0;
   t.free_block_n <- 0;
+  (* limbo nodes left the logical accounting at retirement; their
+     bytes go back to the arena like the free lists' *)
+  Array.iter
+    (fun shard ->
+      List.iter (fun (n, _) -> arena_free t n) shard.l_entries;
+      shard.l_entries <- [];
+      shard.l_count <- 0)
+    t.limbo;
   Array.fill t.heads 0 (Array.length t.heads) nil;
   Array.fill t.head_tags 0 (Array.length t.head_tags) empty_tag
 
@@ -821,6 +905,10 @@ type violation =
   | Free_list_live_tag of { single : bool }
   | Free_live_overlap of { bucket : int }
   | Free_count_mismatch of { single : bool; counted : int; recorded : int }
+  | Limbo_live_overlap of { bucket : int }
+  | Limbo_free_overlap of { single : bool }
+  | Limbo_live_tag
+  | Limbo_count_mismatch of { counted : int; recorded : int }
   | Node_count_mismatch of { counted : int; recorded : int }
   | Byte_count_mismatch of { counted : int; recorded : int }
 
@@ -838,6 +926,10 @@ let violation_code = function
   | Free_list_live_tag _ -> "free_list_live_tag"
   | Free_live_overlap _ -> "free_live_overlap"
   | Free_count_mismatch _ -> "free_count_mismatch"
+  | Limbo_live_overlap _ -> "limbo_live_overlap"
+  | Limbo_free_overlap _ -> "limbo_free_overlap"
+  | Limbo_live_tag -> "limbo_live_tag"
+  | Limbo_count_mismatch _ -> "limbo_count_mismatch"
   | Node_count_mismatch _ -> "node_count_mismatch"
   | Byte_count_mismatch _ -> "byte_count_mismatch"
 
@@ -883,6 +975,16 @@ let pp_violation ppf = function
       Format.fprintf ppf "%s free list length %d, recorded %d"
         (if single then "single-node" else "block-node")
         counted recorded
+  | Limbo_live_overlap { bucket } ->
+      Format.fprintf ppf "limbo holds a node still chained in bucket %d"
+        bucket
+  | Limbo_free_overlap { single } ->
+      Format.fprintf ppf "limbo holds a node also on the %s free list"
+        (if single then "single-node" else "block-node")
+  | Limbo_live_tag ->
+      Format.fprintf ppf "limbo holds a node with a live tag"
+  | Limbo_count_mismatch { counted; recorded } ->
+      Format.fprintf ppf "limbo length %d, recorded %d" counted recorded
   | Node_count_mismatch { counted; recorded } ->
       Format.fprintf ppf "%d live nodes counted, %d recorded" counted recorded
   | Byte_count_mismatch { counted; recorded } ->
@@ -1108,6 +1210,7 @@ let check t =
                }))
       (List.rev !aggs)
   done;
+  let free_seen : (int64, unit) Hashtbl.t = Hashtbl.create 16 in
   let check_free ~single head recorded =
     let visited = Hashtbl.create 16 in
     let count = ref 0 in
@@ -1116,6 +1219,7 @@ let check t =
       else if Hashtbl.mem visited n.addr then add (Free_list_cycle { single })
       else begin
         Hashtbl.add visited n.addr ();
+        Hashtbl.replace free_seen n.addr ();
         incr count;
         if n.tag <> empty_tag then add (Free_list_live_tag { single });
         (match Hashtbl.find_opt seen n.addr with
@@ -1130,6 +1234,28 @@ let check t =
   in
   check_free ~single:true t.free_single t.free_single_n;
   check_free ~single:false t.free_block t.free_block_n;
+  (* three-way disjointness: a limbo node must be neither chained nor
+     on a free list — it is exactly the state between unlink and
+     recycling — and must already wear the retired tag *)
+  let limbo_counted = ref 0 and limbo_recorded = ref 0 in
+  Array.iter
+    (fun shard ->
+      limbo_recorded := !limbo_recorded + shard.l_count;
+      List.iter
+        (fun ((n : node), _) ->
+          incr limbo_counted;
+          if n.tag <> empty_tag then add Limbo_live_tag;
+          (match Hashtbl.find_opt seen n.addr with
+          | Some bucket -> add (Limbo_live_overlap { bucket })
+          | None -> ());
+          if Hashtbl.mem free_seen n.addr then
+            add (Limbo_free_overlap { single = Array.length n.words = 1 }))
+        shard.l_entries)
+    t.limbo;
+  if !limbo_counted <> !limbo_recorded then
+    add
+      (Limbo_count_mismatch
+         { counted = !limbo_counted; recorded = !limbo_recorded });
   let recorded_nodes = Atomic.get t.nodes in
   if !counted <> recorded_nodes then
     add (Node_count_mismatch { counted = !counted; recorded = recorded_nodes });
@@ -1321,6 +1447,11 @@ let repair t =
       t.free_block <- nil;
       t.free_single_n <- 0;
       t.free_block_n <- 0;
+      Array.iter
+        (fun shard ->
+          shard.l_entries <- [];
+          shard.l_count <- 0)
+        t.limbo;
       List.iter
         (fun c ->
           if not (try_claim c) then incr dropped
@@ -1353,7 +1484,10 @@ let restore_bucket t ~bucket image =
       let rec drop n =
         if n != nil then begin
           let next = n.next in
-          release_node t n;
+          (* deferred when a reclaim hook is set: the journal rollback
+             runs under the write lock while optimistic readers may
+             still be walking these nodes *)
+          unlink_node t n;
           drop next
         end
       in

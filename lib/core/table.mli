@@ -110,6 +110,30 @@ val free_nodes : t -> int
     bytes stay allocated in the arena but are excluded from
     {!size_bytes}: they are capacity, not page-table state. *)
 
+(** {2 Deferred reclamation (lock-free readers)}
+
+    With a reclaim hook installed, {!remove} (and the journal rollback
+    path) retires unlinked nodes to a limbo list stamped by the hook —
+    an epoch clock such as [Exec.Epoch.retire_stamp] — instead of
+    recycling them onto the free lists.  A retired node keeps its
+    [next] pointer and words intact, so an optimistic (lock-free)
+    reader that reached it before the unlink can finish walking; only
+    {!reclaim} moves nodes whose stamp is proven reader-free onto the
+    free lists, where reuse may scribble on them.  Retired nodes leave
+    {!size_bytes}/{!node_count} at retirement, exactly like released
+    ones. *)
+
+val set_reclaim_hook : t -> (unit -> int) option -> unit
+(** Install ([Some stamp_of]) or remove ([None]) the deferred-
+    reclamation hook.  Flip only at quiescence. *)
+
+val reclaim : t -> upto:int -> unit
+(** Move every limbo node stamped strictly below [upto] — typically
+    [Exec.Epoch.safe_before] — onto its free list. *)
+
+val limbo_nodes : t -> int
+(** Nodes currently in limbo: unlinked, not yet recyclable. *)
+
 val chain_length : t -> bucket:int -> int
 
 val load_factor : t -> float
@@ -153,6 +177,12 @@ type violation =
   | Free_live_overlap of { bucket : int }
       (** a free-listed node is still chained (double free) *)
   | Free_count_mismatch of { single : bool; counted : int; recorded : int }
+  | Limbo_live_overlap of { bucket : int }
+      (** a retired limbo node is still chained *)
+  | Limbo_free_overlap of { single : bool }
+      (** a limbo node is also on a free list (double reclamation) *)
+  | Limbo_live_tag  (** a limbo node kept its live tag *)
+  | Limbo_count_mismatch of { counted : int; recorded : int }
   | Node_count_mismatch of { counted : int; recorded : int }
   | Byte_count_mismatch of { counted : int; recorded : int }
 

@@ -1,0 +1,64 @@
+(** Epoch-based reclamation for optimistic (lock-free) readers.
+
+    A writer that unlinks a node calls {!retire_stamp} and parks the
+    node in a limbo list under the returned stamp; the node's memory
+    may be recycled only once its stamp drops below {!safe_before}.  A
+    reader brackets every optimistic walk in {!pin}/{!unpin}; while
+    pinned, no node retired at or after its pin can be recycled, so the
+    reader can never chase a pointer into reused memory.
+
+    One [t] is one reclamation domain (typically one per shared
+    table).  Participation is per OCaml domain: {!pin} lazily claims a
+    slot for the calling domain, and supervised pools should bracket a
+    worker's lifetime in {!register}/{!unregister} so slots are
+    returned when domains exit or are respawned. *)
+
+type t
+
+val create : ?slots:int -> unit -> t
+(** A fresh reclamation domain with capacity for [slots] (default 128)
+    concurrently registered domains.  Raises [Invalid_argument] if
+    [slots < 1]. *)
+
+val register : t -> unit
+(** Claim a reader slot for the calling domain (idempotent).  Raises
+    [Failure] if all slots are taken. *)
+
+val unregister : t -> unit
+(** Release the calling domain's slot, if any.  Quiesces it first, so
+    pending retirements become reclaimable. *)
+
+val registered : t -> int
+(** Currently claimed slots (racy snapshot; exact at quiescence). *)
+
+val pin : t -> unit
+(** Enter an optimistic read section: publish the current epoch and
+    confirm it.  Registers the calling domain if needed.  Nestable only
+    as a no-op refresh — a nested pin may advance the published epoch,
+    so bracket each walk individually. *)
+
+val repin : t -> unit
+(** Amortized {!pin} for back-to-back read sections: keep the calling
+    domain pinned but bring its published stamp up to the current
+    epoch.  When the epoch has not moved since the last pin this is two
+    plain loads — no store, no fence — which is what makes per-lookup
+    epoch protection affordable; only a retirement in between forces a
+    republish.  A domain that stops reading keeps its last stamp
+    published (blocking reclamation of {e later} retirements only)
+    until it calls {!unpin} or {!unregister}. *)
+
+val unpin : t -> unit
+(** Leave the read section; the calling domain blocks no reclamation
+    afterwards. *)
+
+val pinned : t -> bool
+(** Is the calling domain currently inside a pin? *)
+
+val retire_stamp : t -> int
+(** Advance the global epoch and return the stamp under which a node
+    unlinked {e before} this call must wait in limbo. *)
+
+val safe_before : t -> int
+(** Retirements stamped strictly below this are invisible to every
+    current and future reader and may be recycled.  [max_int] when no
+    registered domain is pinned. *)

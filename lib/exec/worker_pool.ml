@@ -35,6 +35,10 @@ type t = {
   mutable restarts_total : int;
   mutable stopping : bool;
   mutable workers : unit Domain.t array;
+  (* epoch manager every worker registers with for its lifetime, so
+     optimistic readers can pin without a first-pin registration race
+     and crashed workers give their reclamation slots back *)
+  reader_epoch : Epoch.t option;
 }
 
 exception Worker_failed of (int * exn) list
@@ -56,7 +60,7 @@ let () =
    and must be read by the {e spawner}: the new domain's body may only
    start running after the next [run] has already bumped [t.epoch], and
    adopting that value here would skip the job (and deadlock [run]). *)
-let worker_at t index ~birth_epoch () =
+let worker_body t index ~birth_epoch =
   let seen = ref birth_epoch in
   let continue = ref true in
   while !continue do
@@ -91,7 +95,19 @@ let worker_at t index ~birth_epoch () =
     end
   done
 
-let create ~domains =
+(* Register/unregister around the whole worker loop: [Fun.protect]
+   returns the reclamation slot even when the loop exits by crash or
+   exception, and a supervised respawn re-registers its fresh domain. *)
+let worker_at t index ~birth_epoch () =
+  match t.reader_epoch with
+  | None -> worker_body t index ~birth_epoch
+  | Some e ->
+      Epoch.register e;
+      Fun.protect
+        ~finally:(fun () -> Epoch.unregister e)
+        (fun () -> worker_body t index ~birth_epoch)
+
+let create ?epoch ~domains () =
   if domains < 1 then invalid_arg "Worker_pool.create: domains must be >= 1";
   let t =
     {
@@ -107,6 +123,7 @@ let create ~domains =
       restarts_total = 0;
       stopping = false;
       workers = [||];
+      reader_epoch = epoch;
     }
   in
   t.workers <-
@@ -170,8 +187,8 @@ let shutdown t =
   Array.iter Domain.join t.workers;
   t.workers <- [||]
 
-let with_pool ~domains f =
-  let t = create ~domains in
+let with_pool ?epoch ~domains f =
+  let t = create ?epoch ~domains () in
   match f t with
   | v ->
       shutdown t;

@@ -17,11 +17,17 @@ exception Worker_failed of (int * exn) list
     two workers failing the same job both appear.  The run always
     waits for every worker to finish first, so the list is complete. *)
 
-val create : domains:int -> t
+val create : ?epoch:Epoch.t -> domains:int -> unit -> t
 (** Spawn [domains] worker domains, parked awaiting work.  The calling
     domain never executes jobs: with [domains:n], exactly [n] workers
     run each job, so scaling measurements compare like with like.
-    Raises [Invalid_argument] if [domains < 1]. *)
+    Raises [Invalid_argument] if [domains < 1].
+
+    With [?epoch], every worker registers with the epoch manager for
+    its whole lifetime (and unregisters on the way out, even via an
+    injected crash — a supervised respawn registers its replacement),
+    so optimistic readers pin pre-registered slots and a dead domain
+    never stalls reclamation. *)
 
 val size : t -> int
 
@@ -44,5 +50,5 @@ val shutdown : t -> unit
 (** Stop and join all workers.  Idempotent; {!run} after [shutdown]
     raises [Invalid_argument]. *)
 
-val with_pool : domains:int -> (t -> 'a) -> 'a
+val with_pool : ?epoch:Epoch.t -> domains:int -> (t -> 'a) -> 'a
 (** [create], apply, [shutdown] — also on exception. *)

@@ -1,6 +1,13 @@
-type site = Alloc_node | Alloc_phys | Lock_timeout | Domain_crash | Torn_write
+type site =
+  | Alloc_node
+  | Alloc_phys
+  | Lock_timeout
+  | Domain_crash
+  | Torn_write
+  | Seqlock_stall
 
-let all_sites = [ Alloc_node; Alloc_phys; Lock_timeout; Domain_crash; Torn_write ]
+let all_sites =
+  [ Alloc_node; Alloc_phys; Lock_timeout; Domain_crash; Torn_write; Seqlock_stall ]
 
 let site_name = function
   | Alloc_node -> "alloc_node"
@@ -8,6 +15,7 @@ let site_name = function
   | Lock_timeout -> "lock_timeout"
   | Domain_crash -> "domain_crash"
   | Torn_write -> "torn_write"
+  | Seqlock_stall -> "seqlock_stall"
 
 let site_of_name = function
   | "alloc_node" -> Some Alloc_node
@@ -15,6 +23,7 @@ let site_of_name = function
   | "lock_timeout" -> Some Lock_timeout
   | "domain_crash" -> Some Domain_crash
   | "torn_write" -> Some Torn_write
+  | "seqlock_stall" -> Some Seqlock_stall
   | _ -> None
 
 let site_code = function
@@ -23,6 +32,7 @@ let site_code = function
   | Lock_timeout -> 2
   | Domain_crash -> 3
   | Torn_write -> 4
+  | Seqlock_stall -> 5
 
 exception Injected of { site : site; key : int }
 

@@ -25,6 +25,10 @@ type site =
   | Lock_timeout  (** lock acquisition ({!Clustered_pt.Bucket_lock.Real}) *)
   | Domain_crash  (** worker-domain death ({!Exec.Worker_pool} jobs) *)
   | Torn_write  (** a multi-word PTE update torn halfway (service) *)
+  | Seqlock_stall
+      (** a writer held mid-bump of a bucket sequence counter, forcing
+          concurrent optimistic readers through retry/fallback
+          (service, seqlock mode) *)
 
 val all_sites : site list
 

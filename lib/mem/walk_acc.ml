@@ -34,6 +34,12 @@ let reset t =
   t.probes <- 0;
   t.nested_misses <- 0
 
+let rewind t ~count ~probes ~nested_misses =
+  if count < 0 || count > t.n then invalid_arg "Walk_acc.rewind";
+  t.n <- count;
+  t.probes <- probes;
+  t.nested_misses <- nested_misses
+
 let grow t =
   let cap = 2 * Array.length t.addrs in
   let addrs = Array.make cap 0L and sizes = Array.make cap 0 in

@@ -14,6 +14,13 @@ val create : ?capacity:int -> unit -> t
 val reset : t -> unit
 (** Forget all recorded reads, probes and nested misses. *)
 
+val rewind : t -> count:int -> probes:int -> nested_misses:int -> unit
+(** Truncate back to a previously observed state ([count] reads,
+    [probes], [nested_misses]) without touching the arrays: the undo
+    for an optimistic walk that failed validation and must re-run
+    without double-charging its reads.  Raises [Invalid_argument] if
+    [count] exceeds the current {!count}. *)
+
 val read : t -> addr:int64 -> bytes:int -> unit
 (** Append one memory read. *)
 

@@ -28,6 +28,10 @@ let ev_fault_abort = 12
 
 let ev_fault_repair = 13
 
+let ev_seqlock_retry = 14
+
+let ev_seqlock_fallback = 15
+
 let names =
   [|
     "miss";
@@ -44,6 +48,8 @@ let names =
     "fault_retry";
     "fault_abort";
     "fault_repair";
+    "seqlock_retry";
+    "seqlock_fallback";
   |]
 
 let name_of_code c =

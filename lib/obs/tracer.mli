@@ -65,6 +65,14 @@ val ev_fault_abort : int
 val ev_fault_repair : int
 (** An fsck repair pass (instant; arg = entries dropped). *)
 
+val ev_seqlock_retry : int
+(** An optimistic seqlock walk invalidated by writer interference and
+    retried (instant; arg = bucket). *)
+
+val ev_seqlock_fallback : int
+(** An optimistic walk that exhausted its retry budget and took the
+    striped read lock (instant; arg = bucket). *)
+
 val name_of_code : int -> string
 
 (** {2 Control} *)

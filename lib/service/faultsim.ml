@@ -135,7 +135,11 @@ let run cfg =
     Fault.clear_context ()
   in
   Fault.install plan;
-  let pool = Exec.Worker_pool.create ~domains:cfg.domains in
+  let pool =
+    Exec.Worker_pool.create
+      ?epoch:(Service.reader_epoch svc)
+      ~domains:cfg.domains ()
+  in
   let finished () = Array.for_all (fun c -> c >= cfg.ops) cursors in
   Fun.protect
     ~finally:(fun () ->
@@ -162,6 +166,9 @@ let run cfg =
       let aborts = Fault.aborts () in
       let crashes = Fault.injected Fault.Domain_crash in
       let restarts = Exec.Worker_pool.restarts pool in
+      (* workers are parked (registered but unpinned), so this drains
+         every limbo node; fsck then checks the drained state *)
+      Service.quiesce svc;
       let pre = Service.fsck svc in
       let pre_findings = List.length pre.Fsck.findings in
       let kept, dropped =

@@ -4,7 +4,12 @@
    the locking protocol the paper describes for multi-threaded
    operating systems: a readers-writer lock per hash bucket, striped
    over the table's own buckets, plus a coarse single-mutex baseline
-   for comparison.
+   for comparison, plus a lock-free read path ([Seqlock]) where
+   lookups take zero lock acquisitions: per-bucket sequence counters
+   validate optimistic walks, and epoch-based reclamation (the
+   tables' limbo lists stamped by [Exec.Epoch]) keeps removed nodes
+   walkable until every reader that could hold a pointer into them
+   has moved on.
 
    The locking is layered strictly outside the tables.  The tables'
    entry points are bucket-local (every lookup/insert/remove touches
@@ -23,9 +28,12 @@ type org = Hashed | Clustered
 
 let org_name = function Hashed -> "hashed" | Clustered -> "clustered"
 
-type locking = Global | Striped
+type locking = Global | Striped | Seqlock
 
-let locking_name = function Global -> "global" | Striped -> "striped"
+let locking_name = function
+  | Global -> "global"
+  | Striped -> "striped"
+  | Seqlock -> "seqlock"
 
 type backend = H of Baselines.Hashed_pt.t | C of Clustered_pt.Table.t
 
@@ -40,9 +48,24 @@ type global_lock = {
   mutable g_held : int;
 }
 
+(* [Seqlock] keeps the striped lock for writers (and as the readers'
+   contention fallback) and adds one sequence counter per bucket:
+   even = chain stable, odd = a writer is mid-update.  Readers walk
+   with no lock at all — snapshot the counter, walk, re-check — so a
+   read-mostly mix scales past the stripe's cache-line ping-pong. *)
+type seqlock = {
+  sl : Clustered_pt.Bucket_lock.Real.t;
+  seqs : int Atomic.t array;
+  epoch : Exec.Epoch.t;  (* reclamation domain for this table *)
+  sq_retries : int Atomic.t;
+  sq_fallbacks : int Atomic.t;
+  sq_writes : int Atomic.t;  (* paces [reclaim] sweeps, 1 per 64 *)
+}
+
 type locks =
   | Global_lock of global_lock
   | Striped_lock of Clustered_pt.Bucket_lock.Real.t
+  | Seqlock_lock of seqlock
 
 type t = {
   org : org;
@@ -70,6 +93,24 @@ let create ?(buckets = 4096) ?(subblock_factor = 16) ~org ~locking () =
         Global_lock
           { m = Mutex.create (); g_reads = 0; g_writes = 0; g_held = 0 }
     | Striped -> Striped_lock (Clustered_pt.Bucket_lock.Real.create ~buckets)
+    | Seqlock ->
+        let epoch = Exec.Epoch.create () in
+        let stamp_of () = Exec.Epoch.retire_stamp epoch in
+        (* with the hook installed, the table retires unlinked nodes
+           to its limbo list instead of recycling them — the other
+           half of the lock-free read path's safety argument *)
+        (match backend with
+        | H h -> Baselines.Hashed_pt.set_reclaim_hook h (Some stamp_of)
+        | C c -> Clustered_pt.Table.set_reclaim_hook c (Some stamp_of));
+        Seqlock_lock
+          {
+            sl = Clustered_pt.Bucket_lock.Real.create ~buckets;
+            seqs = Array.init buckets (fun _ -> Atomic.make 0);
+            epoch;
+            sq_retries = Atomic.make 0;
+            sq_fallbacks = Atomic.make 0;
+            sq_writes = Atomic.make 0;
+          }
   in
   { org; locking; backend; locks; subblock_factor }
 
@@ -97,6 +138,27 @@ let traced ev arg body =
       Obs.Tracer.end_ ev;
       raise e
 
+let bump name = Obs.Metrics.incr (Obs.Ambient.counter name)
+
+let site_ordinal = function
+  | Fault.Alloc_node -> 0
+  | Fault.Alloc_phys -> 1
+  | Fault.Lock_timeout -> 2
+  | Fault.Domain_crash -> 3
+  | Fault.Torn_write -> 4
+  | Fault.Seqlock_stall -> 5
+
+let note_injected site =
+  bump ("fault.injected." ^ Fault.site_name site);
+  if Obs.Tracer.enabled () then
+    Obs.Tracer.instant Obs.Tracer.ev_fault_inject (site_ordinal site)
+
+(* Deterministic backoff: an attempt-clock spin, no wall time. *)
+let backoff attempt =
+  for _ = 1 to (attempt + 1) * 32 do
+    Domain.cpu_relax ()
+  done
+
 let with_read_global g f =
   Mutex.lock g.m;
   g.g_reads <- g.g_reads + 1;
@@ -106,6 +168,113 @@ let with_read_global g f =
       g.g_held <- g.g_held - 1;
       Mutex.unlock g.m)
     f
+
+(* --- the lock-free read path ---
+
+   Why an optimistic walk over a chain being rewritten is memory-safe:
+   every pointer a walk chases — a node's [next], a clustered node's
+   [words] array, the boxed [int64] tag and word cells — is an OCaml
+   heap pointer, loaded and stored word-atomically, so a racing read
+   sees some complete former or current value, never a torn one.  A
+   stale value is harmless: retired nodes keep their [next] intact and
+   wear a tag no live key matches, and epoch-based reclamation
+   guarantees nothing a pinned reader can still reach is recycled, so
+   there is no ABA re-linking and every reachable chain suffix
+   terminates.  The only residual hazard is a logically inconsistent
+   *combination* of reads (e.g. a words array swapped mid-walk raising
+   [Invalid_argument] on a stale index); the sequence re-check
+   detects exactly that — any exception while the counter moved is
+   interference, retried; with the counter unmoved it is a real error
+   and propagates.
+
+   The fallback after [seqlock_attempts] failed walks takes the
+   striped read lock under [Fault.suspended]: whether a walk degrades
+   to the lock depends on scheduling, so a planned [Lock_timeout]
+   must not get a nondeterministic extra trip site there. *)
+
+let seqlock_attempts = 8
+
+let seqlock_fallback s ~bucket f =
+  Atomic.incr s.sq_fallbacks;
+  bump "service.seqlock_fallbacks";
+  if Obs.Tracer.enabled () then
+    Obs.Tracer.instant Obs.Tracer.ev_seqlock_fallback bucket;
+  Fault.suspended (fun () ->
+      Clustered_pt.Bucket_lock.Real.with_read s.sl ~bucket f)
+
+let seqlock_note_retry s bucket n =
+  Atomic.incr s.sq_retries;
+  bump "service.seqlock_retries";
+  if Obs.Tracer.enabled () then
+    Obs.Tracer.instant Obs.Tracer.ev_seqlock_retry bucket;
+  backoff n
+
+let rec seqlock_attempt s ~bucket seq f n =
+  if n >= seqlock_attempts then seqlock_fallback s ~bucket f
+  else
+    let s1 = Atomic.get seq in
+    if s1 land 1 = 1 then begin
+      seqlock_note_retry s bucket n;
+      seqlock_attempt s ~bucket seq f (n + 1)
+    end
+    else
+      match f () with
+      | v ->
+          if Atomic.get seq = s1 then v
+          else begin
+            seqlock_note_retry s bucket n;
+            seqlock_attempt s ~bucket seq f (n + 1)
+          end
+      | exception e ->
+          if Atomic.get seq = s1 then raise e
+          else begin
+            seqlock_note_retry s bucket n;
+            seqlock_attempt s ~bucket seq f (n + 1)
+          end
+
+(* Top-level helpers and an explicit exception match keep the happy
+   path allocation-free (no [Fun.protect] closures): the optimistic
+   walk must stay GC-quiet, because a minor collection is a
+   stop-the-world rendezvous across every domain — far more expensive
+   than the walk it interrupts.
+
+   Epoch protection is amortized ([Epoch.repin], the classic EBR
+   shape): a reader stays pinned between walks and only republishes
+   its stamp when a retirement moved the epoch, so the steady-state
+   entry cost is two plain loads instead of a fenced store per lookup.
+   There is deliberately no unpin on exit — the standing pin only
+   blocks reclamation of nodes retired {e after} it (a republish
+   always confirms the current epoch, so it never blocks draining of
+   the past), and a domain done reading returns its slot through
+   [Epoch.unpin]/[Epoch.unregister] — worker pools do the latter when
+   a worker retires. *)
+let with_read_seqlock s ~bucket f =
+  Exec.Epoch.repin s.epoch;
+  seqlock_attempt s ~bucket s.seqs.(bucket) f 0
+
+(* Writers serialize on the stripe as in [Striped] mode; the sequence
+   bump (odd while mutating) is what invalidates concurrent optimistic
+   walks.  A planned [Seqlock_stall] holds the counter odd through a
+   long spin — readers of this bucket must ride it out through their
+   retry/fallback path; nothing raises, so the self-healing layer
+   never sees it. *)
+let with_write_seqlock s ~bucket f =
+  Clustered_pt.Bucket_lock.Real.with_write s.sl ~bucket (fun () ->
+      let seq = s.seqs.(bucket) in
+      Atomic.incr seq;
+      if Fault.trip Fault.Seqlock_stall then begin
+        note_injected Fault.Seqlock_stall;
+        for _ = 1 to 2048 do
+          Domain.cpu_relax ()
+        done
+      end;
+      match f () with
+      | v ->
+          Atomic.incr seq;
+          v
+      | exception e ->
+          Atomic.incr seq;
+          raise e)
 
 let with_read t ~vpn f =
   match t.locks with
@@ -119,6 +288,11 @@ let with_read t ~vpn f =
         traced Obs.Tracer.ev_lock_read bucket (fun () ->
             Clustered_pt.Bucket_lock.Real.with_read l ~bucket f)
       else Clustered_pt.Bucket_lock.Real.with_read l ~bucket f
+  | Seqlock_lock s ->
+      (* no ev_lock_read slice: the optimistic path holds no lock, and
+         a fallback's acquisition is visible as its instant event *)
+      let bucket = bucket_of t ~vpn in
+      with_read_seqlock s ~bucket f
 
 let with_write_global g f =
   Mutex.lock g.m;
@@ -142,6 +316,23 @@ let with_write t ~vpn f =
         traced Obs.Tracer.ev_lock_write bucket (fun () ->
             Clustered_pt.Bucket_lock.Real.with_write l ~bucket f)
       else Clustered_pt.Bucket_lock.Real.with_write l ~bucket f
+  | Seqlock_lock s ->
+      let bucket = bucket_of t ~vpn in
+      let v =
+        if Obs.Tracer.enabled () then
+          traced Obs.Tracer.ev_lock_write bucket (fun () ->
+              with_write_seqlock s ~bucket f)
+        else with_write_seqlock s ~bucket f
+      in
+      (* amortized reclamation sweep, outside the bucket lock: park
+         limbo nodes no current or future reader can reach *)
+      if Atomic.fetch_and_add s.sq_writes 1 land 63 = 63 then begin
+        let upto = Exec.Epoch.safe_before s.epoch in
+        match t.backend with
+        | H h -> Baselines.Hashed_pt.reclaim h ~upto
+        | C c -> Clustered_pt.Table.reclaim c ~upto
+      end;
+      v
 
 (* --- self-healing write path (engaged only under a fault plan) ---
 
@@ -163,30 +354,10 @@ let with_write t ~vpn f =
 
 let heal_attempts = 4
 
-let site_ordinal = function
-  | Fault.Alloc_node -> 0
-  | Fault.Alloc_phys -> 1
-  | Fault.Lock_timeout -> 2
-  | Fault.Domain_crash -> 3
-  | Fault.Torn_write -> 4
-
-let bump name = Obs.Metrics.incr (Obs.Ambient.counter name)
-
-let note_injected site =
-  bump ("fault.injected." ^ Fault.site_name site);
-  if Obs.Tracer.enabled () then
-    Obs.Tracer.instant Obs.Tracer.ev_fault_inject (site_ordinal site)
-
 let observed_site = function
   | Clustered_pt.Bucket_lock.Real.Timeout _ -> Some Fault.Lock_timeout
   | Fault.Injected { site; _ } -> Some site
   | _ -> None
-
-(* Deterministic backoff: an attempt-clock spin, no wall time. *)
-let backoff attempt =
-  for _ = 1 to (attempt + 1) * 32 do
-    Domain.cpu_relax ()
-  done
 
 type journal =
   | J_hashed of Baselines.Hashed_pt.bucket_image
@@ -266,7 +437,14 @@ let write_section t ~vpn ~default f =
   else with_write t ~vpn f
 
 let lookup_into t acc ~vpn =
+  (* the body may run several times (optimistic retries, self-healing
+     retries); rewinding to the entry state on each attempt keeps the
+     accumulator charged for exactly one walk *)
+  let count = Mem.Walk_acc.count acc in
+  let probes = Mem.Walk_acc.probes acc in
+  let nested_misses = Mem.Walk_acc.nested_misses acc in
   read_section t ~vpn ~default:false (fun () ->
+      Mem.Walk_acc.rewind acc ~count ~probes ~nested_misses;
       match t.backend with
       | H h -> Baselines.Hashed_pt.lookup_into h acc ~vpn <> None
       | C c -> Clustered_pt.Table.lookup_into c acc ~vpn <> None)
@@ -302,7 +480,7 @@ let protect t region ~writable =
           match t.backend with
           | H h -> Baselines.Hashed_pt.set_attr_range h region ~f
           | C c -> Clustered_pt.Table.set_attr_range c region ~f)
-  | Striped_lock _ -> (
+  | Striped_lock _ | Seqlock_lock _ -> (
       match t.backend with
       | C c ->
           let blocks =
@@ -340,25 +518,35 @@ let size_bytes t =
 type lock_stats = {
   read_acquisitions : int;
   write_acquisitions : int;
+  read_contention : int;
   currently_held : int;
 }
+
+let striped_stats l =
+  {
+    read_acquisitions = Clustered_pt.Bucket_lock.Real.read_acquisitions l;
+    write_acquisitions = Clustered_pt.Bucket_lock.Real.write_acquisitions l;
+    read_contention = Clustered_pt.Bucket_lock.Real.read_contention l;
+    currently_held = Clustered_pt.Bucket_lock.Real.currently_held l;
+  }
 
 let lock_stats t =
   match t.locks with
   | Global_lock g ->
       (* mutate-free reads of monotonic counters; exact when quiescent,
-         like the striped per-slot sums *)
+         like the striped per-slot sums.  The single mutex has no
+         blocked-reader accounting: contention reads as zero. *)
       {
         read_acquisitions = g.g_reads;
         write_acquisitions = g.g_writes;
+        read_contention = 0;
         currently_held = g.g_held;
       }
-  | Striped_lock l ->
-      {
-        read_acquisitions = Clustered_pt.Bucket_lock.Real.read_acquisitions l;
-        write_acquisitions = Clustered_pt.Bucket_lock.Real.write_acquisitions l;
-        currently_held = Clustered_pt.Bucket_lock.Real.currently_held l;
-      }
+  | Striped_lock l -> striped_stats l
+  | Seqlock_lock s ->
+      (* read acquisitions here are fallbacks only: the optimistic
+         path's whole point is taking zero read locks *)
+      striped_stats s.sl
 
 let reset_lock_stats t =
   match t.locks with
@@ -366,6 +554,39 @@ let reset_lock_stats t =
       g.g_reads <- 0;
       g.g_writes <- 0
   | Striped_lock l -> Clustered_pt.Bucket_lock.Real.reset_counters l
+  | Seqlock_lock s ->
+      Clustered_pt.Bucket_lock.Real.reset_counters s.sl;
+      Atomic.set s.sq_retries 0;
+      Atomic.set s.sq_fallbacks 0
+
+let seqlock_retries t =
+  match t.locks with
+  | Seqlock_lock s -> Atomic.get s.sq_retries
+  | Global_lock _ | Striped_lock _ -> 0
+
+let seqlock_fallbacks t =
+  match t.locks with
+  | Seqlock_lock s -> Atomic.get s.sq_fallbacks
+  | Global_lock _ | Striped_lock _ -> 0
+
+let reader_epoch t =
+  match t.locks with
+  | Seqlock_lock s -> Some s.epoch
+  | Global_lock _ | Striped_lock _ -> None
+
+let limbo_nodes t =
+  match t.backend with
+  | H h -> Baselines.Hashed_pt.limbo_nodes h
+  | C c -> Clustered_pt.Table.limbo_nodes c
+
+let quiesce t =
+  match t.locks with
+  | Global_lock _ | Striped_lock _ -> ()
+  | Seqlock_lock s -> (
+      let upto = Exec.Epoch.safe_before s.epoch in
+      match t.backend with
+      | H h -> Baselines.Hashed_pt.reclaim h ~upto
+      | C c -> Clustered_pt.Table.reclaim c ~upto)
 
 let probe ?into t =
   match t.backend with

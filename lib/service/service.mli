@@ -4,8 +4,16 @@
     One page table — {!Hashed} or {!Clustered} — shared by N OCaml 5
     domains.  Locking follows the paper's protocol for multi-threaded
     operating systems: a readers-writer lock per hash bucket
-    ({!Striped}, stripes keyed by the table's own buckets), or a
-    coarse single-mutex baseline ({!Global}).
+    ({!Striped}, stripes keyed by the table's own buckets), a coarse
+    single-mutex baseline ({!Global}), or a lock-free read path
+    ({!Seqlock}): lookups walk optimistically under a per-bucket
+    sequence counter with {e zero} lock acquisitions, validated by
+    re-checking the counter, with epoch-based reclamation
+    ([Exec.Epoch] stamping the tables' limbo lists) keeping removed
+    nodes walkable until no reader can hold a pointer into them.
+    Writers still serialize on the stripe, so the mutation path — and
+    the linearizability argument for it — is unchanged from
+    {!Striped}.
 
     Lock-acquisition accounting is part of the service so tests can
     verify the paper's granularity claim: a range {!protect} on a
@@ -19,7 +27,7 @@ type org = Hashed | Clustered
 
 val org_name : org -> string
 
-type locking = Global | Striped
+type locking = Global | Striped | Seqlock
 
 val locking_name : locking -> string
 
@@ -39,7 +47,13 @@ val bucket_of : t -> vpn:int64 -> int
 (** The stripe serving [vpn] (the backing table's hash bucket). *)
 
 val lookup : t -> vpn:int64 -> bool
-(** Under a read lock on [vpn]'s stripe. *)
+(** Under a read lock on [vpn]'s stripe — except {!Seqlock}, where
+    the walk is optimistic and lock-free: snapshot the bucket's
+    sequence counter, walk, re-check; on writer interference retry up
+    to {!seqlock_attempts} times, then fall back to the striped read
+    lock.  Retries and fallbacks surface via {!seqlock_retries} /
+    {!seqlock_fallbacks}, the [service.seqlock_*] ambient counters and
+    [seqlock_retry] / [seqlock_fallback] trace events. *)
 
 val lookup_into : t -> Mem.Walk_acc.t -> vpn:int64 -> bool
 (** Allocation-free {!lookup} for benchmark hot loops: walk reads and
@@ -64,6 +78,9 @@ val size_bytes : t -> int
 type lock_stats = {
   read_acquisitions : int;
   write_acquisitions : int;
+  read_contention : int;
+      (** blocked read-acquisition attempts (striped and seqlock
+          locking; the global mutex reports 0) *)
   currently_held : int;
 }
 
@@ -71,8 +88,45 @@ val lock_stats : t -> lock_stats
 (** Totals since {!create} (or the last {!reset_lock_stats}); exact
     when no operation is in flight.  [currently_held] must be zero at
     quiescence.  Global-lock acquisitions are tallied by intent
-    (lookups as reads, mutations as writes) so the two strategies'
-    accounting is comparable. *)
+    (lookups as reads, mutations as writes) so the strategies'
+    accounting is comparable.  Under {!Seqlock},
+    [read_acquisitions] counts only fallback acquisitions — the
+    optimistic path takes no locks. *)
+
+val seqlock_attempts : int
+(** Optimistic walks attempted per lookup before the {!Seqlock} read
+    path falls back to the striped read lock. *)
+
+val seqlock_retries : t -> int
+(** Optimistic walks invalidated by writer interference and retried
+    since {!create} / {!reset_lock_stats}.  0 unless {!Seqlock}. *)
+
+val seqlock_fallbacks : t -> int
+(** Lookups that exhausted {!seqlock_attempts} and took the striped
+    read lock.  0 unless {!Seqlock}. *)
+
+val reader_epoch : t -> Exec.Epoch.t option
+(** The reclamation domain of a {!Seqlock} service — pass it to
+    [Exec.Worker_pool.create ?epoch] so worker domains register for
+    their lifetimes.  [None] for the locked modes. *)
+
+val limbo_nodes : t -> int
+(** Nodes retired by removals but not yet proven reader-free (always
+    0 for the locked modes, which recycle immediately). *)
+
+val quiesce : t -> unit
+(** Reclaim every limbo node no longer reachable by a registered
+    reader.  Call at quiescence (e.g. after worker domains
+    unregister, when {!limbo_nodes} must drain to 0) and before
+    integrity checks.  No-op for the locked modes.
+
+    Reads leave the calling domain's epoch pin standing (amortized
+    pinning).  A standing pin blocks only retirements made since the
+    domain's last read: the next read republishes the advanced epoch
+    and releases them, and [Exec.Epoch.unpin] or unregistering
+    releases everything.  A domain pinned explicitly via
+    [Exec.Epoch.pin] holds every later retirement in limbo until it
+    unpins — the property the reclamation tests exercise. *)
 
 val reset_lock_stats : t -> unit
 (** Zero the acquisition counters of either locking strategy, leaving

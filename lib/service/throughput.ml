@@ -40,6 +40,14 @@ type mix = {
 let default_mix =
   { lookup_pct = 70; insert_pct = 15; remove_pct = 10; protect_pct = 5 }
 
+(* The lock-free read path's showcase mix: lookup-dominated, with just
+   enough churn that writers really do bump sequence counters and
+   retire nodes through limbo, and no protects (their per-block write
+   locking would swamp the signal and make [write_locks]
+   interleaving-dependent across lock modes). *)
+let read_mostly_mix =
+  { lookup_pct = 98; insert_pct = 1; remove_pct = 1; protect_pct = 0 }
+
 let check_mix m =
   if m.lookup_pct < 0 || m.insert_pct < 0 || m.remove_pct < 0
      || m.protect_pct < 0
@@ -52,6 +60,7 @@ type config = {
   ops_per_domain : int;
   vpns_per_domain : int;
   protect_pages : int;  (** span of each protect region *)
+  buckets : int;  (** table buckets = lock stripes *)
   mix : mix;
   seed : int;
 }
@@ -63,6 +72,7 @@ let default_config =
     ops_per_domain = 100_000;
     vpns_per_domain = 4_096;
     protect_pages = 64;
+    buckets = 4096;
     mix = default_mix;
     seed = 42;
   }
@@ -79,6 +89,9 @@ type result = {
   lookups_hit : int;
   read_locks : int;
   write_locks : int;
+  read_contention : int;
+  seqlock_retries : int;
+  seqlock_fallbacks : int;
   population : int;
 }
 
@@ -163,13 +176,18 @@ let run ~org ~locking cfg =
   if cfg.vpns_per_domain < 2 then
     invalid_arg "Throughput.run: vpns_per_domain must be >= 2";
   let streams = stream_count cfg in
-  let svc = Service.create ~org ~locking () in
+  let svc = Service.create ~buckets:cfg.buckets ~org ~locking () in
   let hits = Array.make streams 0 in
   let result =
-    Exec.Worker_pool.with_pool ~domains:cfg.domains (fun pool ->
+    Exec.Worker_pool.with_pool
+      ?epoch:(Service.reader_epoch svc)
+      ~domains:cfg.domains
+      (fun pool ->
         Exec.Worker_pool.run pool (fun index ->
             iter_streams cfg index (prepopulate svc cfg));
         let stats0 = Service.lock_stats svc in
+        let sqr0 = Service.seqlock_retries svc in
+        let sqf0 = Service.seqlock_fallbacks svc in
         let t0 = Unix.gettimeofday () in
         Exec.Worker_pool.run pool (fun index ->
             iter_streams cfg index (fun s -> mixed_loop svc cfg s hits));
@@ -192,9 +210,15 @@ let run ~org ~locking cfg =
           write_locks =
             stats1.Service.write_acquisitions
             - stats0.Service.write_acquisitions;
+          read_contention =
+            stats1.Service.read_contention - stats0.Service.read_contention;
+          seqlock_retries = Service.seqlock_retries svc - sqr0;
+          seqlock_fallbacks = Service.seqlock_fallbacks svc - sqf0;
           population = Service.population svc;
         })
   in
+  (* workers have unregistered: every limbo node is now reclaimable *)
+  Service.quiesce svc;
   (* structural telemetry of the final table: the mapping set is
      interleaving-invariant (disjoint per-stream key ranges), and the
      histograms cannot see chain order *)

@@ -30,6 +30,12 @@ type mix = {
 val default_mix : mix
 (** 70 / 15 / 10 / 5. *)
 
+val read_mostly_mix : mix
+(** 98 / 1 / 1 / 0 — the lookup-dominated mix the lock-free
+    ({!Service.Seqlock}) read path targets, with enough churn that
+    sequence counters move and nodes pass through limbo.  No protects,
+    so [write_locks] stays interleaving-invariant across lock modes. *)
+
 type config = {
   domains : int;
   streams : int;
@@ -38,13 +44,17 @@ type config = {
   ops_per_domain : int;  (** ops per {e stream} *)
   vpns_per_domain : int;  (** working-set pages per {e stream} *)
   protect_pages : int;  (** span of each protect region *)
+  buckets : int;
+      (** table buckets = lock stripes; shrink to sharpen stripe
+          contention in a domain sweep *)
   mix : mix;
   seed : int;
 }
 
 val default_config : config
 (** 1 domain, streams follow domains, 100k ops, 4096-page working set
-    per stream, 64-page protects, default mix, seed 42. *)
+    per stream, 64-page protects, 4096 buckets, default mix, seed
+    42. *)
 
 val stream_count : config -> int
 
@@ -56,8 +66,16 @@ type result = {
   elapsed_s : float;
   ops_per_sec : float;
   lookups_hit : int;  (** sanity: > 0 under any default-mix run *)
-  read_locks : int;  (** lock acquisitions inside the timed region *)
+  read_locks : int;
+      (** lock acquisitions inside the timed region; under
+          {!Service.Seqlock} these are fallback acquisitions only *)
   write_locks : int;
+  read_contention : int;
+      (** blocked read acquisitions (interleaving-dependent) *)
+  seqlock_retries : int;
+      (** invalidated optimistic walks (interleaving-dependent; 0
+          outside {!Service.Seqlock}) *)
+  seqlock_fallbacks : int;
   population : int;  (** final mapped pages; deterministic per config *)
 }
 

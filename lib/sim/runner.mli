@@ -188,15 +188,22 @@ val verify : ?options:options -> ?domains:int -> unit -> bool
 
 type throughput_row = {
   tp_org : string;  (** "clustered" or "hashed" *)
-  tp_locking : string;  (** "striped" or "global" *)
+  tp_locking : string;  (** "striped", "global" or "seqlock" *)
   tp_domains : int;
   tp_total_ops : int;
   tp_elapsed_s : float;
   tp_ops_per_sec : float;
   tp_read_locks : int;
       (** lock acquisitions inside the timed region; deterministic for
-          a fixed config, unlike the timing fields *)
+          a fixed config, unlike the timing fields — except under
+          seqlock locking, where reads acquire a lock only on
+          contention fallback (interleaving-dependent) *)
   tp_write_locks : int;
+  tp_read_contention : int;
+      (** blocked read acquisitions (interleaving-dependent) *)
+  tp_sq_retries : int;
+      (** invalidated optimistic walks; 0 outside seqlock locking *)
+  tp_sq_fallbacks : int;
   tp_population : int;  (** final mapped pages; deterministic *)
 }
 
@@ -223,6 +230,32 @@ val throughput_for_suite : ?options:options -> unit -> throughput_row list
 (** {!throughput} at the suite's standard scale (1/2/4/8 domains x
     100k ops; 1/2 x 20k under [--quick]) — what the benchmark harness
     appends after churn. *)
+
+val throughput_curve :
+  ?domains_list:int list ->
+  ?streams:int ->
+  ?ops_per_domain:int ->
+  ?vpns_per_domain:int ->
+  ?buckets:int ->
+  ?seed:int ->
+  ?reps:int ->
+  unit ->
+  throughput_row list
+(** Lookup-throughput-vs-domains under
+    {!Pt_service.Throughput.read_mostly_mix}: the lock-free
+    ({!Pt_service.Service.Seqlock}) read path against the striped lock
+    on both organizations, over deliberately few buckets (default 256)
+    so stripes are genuinely contended.  Each row reports the
+    median-rate rep of [reps] (default 5) runs — with domains
+    oversubscribed on few cores, a single sub-second sample is noise.
+    Logical columns are identical across reps.  Defaults: domains
+    1/2/4/8, 8 streams, 50k ops per stream. *)
+
+val throughput_curve_for_suite :
+  ?options:options -> unit -> throughput_row list
+(** {!throughput_curve} at suite scale; [--quick] keeps 4 domains
+    (1/2/4 x 30k ops) because the seqlock-beats-striped claim the
+    bench gate checks lives at >= 4 domains. *)
 
 (** {1 Structural inspection (PR 4 telemetry)} *)
 

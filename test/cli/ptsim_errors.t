@@ -37,6 +37,17 @@ And a malformed option value:
   Try 'ptsim throughput --help' or 'ptsim --help' for more information.
   [124]
 
+An unknown --locking mode on throughput names the offending token on
+stderr and exits 2 — never a silent fallback to a mode that was not
+asked for:
+
+  $ ptsim throughput --locking bogus
+  unknown locking "bogus" for throughput (have: all, striped, global, seqlock)
+  [2]
+
+  $ ptsim throughput --locking bogus 2>/dev/null
+  [2]
+
 Nothing of the above may leak to stdout (scripts parse it):
 
   $ ptsim 2>/dev/null

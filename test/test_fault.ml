@@ -424,6 +424,32 @@ let test_faultsim_invariance () =
   Alcotest.(check bool) "crashes were supervised back" true
     (o1.FS.crashes > 0 && o1.FS.restarts = o1.FS.crashes)
 
+(* the same invariance must hold on the lock-free read path, with the
+   seqlock's own stall site armed: stalls park a writer mid-update
+   (sequence odd) so concurrent readers spin and retry, yet the
+   committed outcome is a pure function of the plan *)
+let test_faultsim_seqlock_invariance () =
+  let cfg =
+    {
+      FS.default_config with
+      FS.seed = 23;
+      rate_ppm = 200_000;
+      locking = Pt_service.Service.Seqlock;
+      streams = 4;
+      ops = 500;
+      buckets = 128;
+    }
+  in
+  let o1 = FS.run { cfg with FS.domains = 1 } in
+  let o4 = FS.run { cfg with FS.domains = 4 } in
+  Alcotest.(check string) "byte-identical JSON for 1 vs 4 domains"
+    (FS.outcome_to_json o1) (FS.outcome_to_json o4);
+  Alcotest.(check bool) "ends fsck-clean" true o1.FS.fsck_clean;
+  Alcotest.(check bool) "seqlock stalls were injected" true
+    (List.assoc "seqlock_stall" o1.FS.injected > 0);
+  Alcotest.(check bool) "crashes were supervised back" true
+    (o1.FS.crashes > 0 && o1.FS.restarts = o1.FS.crashes)
+
 let suite =
   ( "fault",
     [
@@ -451,4 +477,6 @@ let suite =
         test_service_no_lock_leak_on_fault;
       Alcotest.test_case "faultsim domain-count invariance" `Slow
         test_faultsim_invariance;
+      Alcotest.test_case "faultsim seqlock domain-count invariance" `Slow
+        test_faultsim_seqlock_invariance;
     ] )

@@ -77,13 +77,60 @@ let test_worker_pool_propagates_failure () =
         (Array.for_all Fun.id ok))
 
 let test_worker_pool_shutdown_idempotent () =
-  let pool = Exec.Worker_pool.create ~domains:2 in
+  let pool = Exec.Worker_pool.create ~domains:2 () in
   Exec.Worker_pool.run pool (fun _ -> ());
   Exec.Worker_pool.shutdown pool;
   Exec.Worker_pool.shutdown pool;
   match Exec.Worker_pool.run pool (fun _ -> ()) with
   | () -> Alcotest.fail "run after shutdown must be rejected"
   | exception Invalid_argument _ -> ()
+
+(* --- epoch-based reclamation (the seqlock read path's safety net) --- *)
+
+let test_worker_pool_epoch_lifecycle () =
+  let e = Exec.Epoch.create () in
+  Exec.Worker_pool.with_pool ~epoch:e ~domains:3 (fun pool ->
+      Exec.Worker_pool.run pool (fun _ -> ());
+      Alcotest.(check int)
+        "every worker holds a reader slot for its lifetime" 3
+        (Exec.Epoch.registered e));
+  Alcotest.(check int) "slots returned at shutdown" 0 (Exec.Epoch.registered e);
+  Alcotest.(check int) "no pins outlive the pool" max_int
+    (Exec.Epoch.safe_before e)
+
+(* qcheck: under any pin/refresh/retire interleaving, a stamp handed
+   out while a reader is pinned is never strictly below safe_before —
+   i.e. the node it protects cannot be recycled under the reader — and
+   everything becomes reclaimable once the reader unregisters *)
+let prop_epoch_pin_blocks_reclaim =
+  QCheck.Test.make
+    ~name:"epoch: pinned stamps unreclaimable; unregister releases all"
+    ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 60) (int_bound 2))
+    (fun ops ->
+      let e = Exec.Epoch.create () in
+      Exec.Epoch.register e;
+      Exec.Epoch.pin e;
+      List.iter
+        (fun op ->
+          match op with
+          | 0 ->
+              let stamp = Exec.Epoch.retire_stamp e in
+              if stamp < Exec.Epoch.safe_before e then
+                QCheck.Test.fail_report
+                  "stamp retired under a pin fell below safe_before"
+          | 1 -> Exec.Epoch.pin e (* refresh *)
+          | _ ->
+              if Exec.Epoch.safe_before e = max_int then
+                QCheck.Test.fail_report
+                  "safe_before claims quiescence while a reader is pinned")
+        ops;
+      Exec.Epoch.unpin e;
+      let quiescent = Exec.Epoch.safe_before e = max_int in
+      Exec.Epoch.unregister e;
+      if not quiescent then
+        QCheck.Test.fail_report "unpin did not release reclamation";
+      Exec.Epoch.registered e = 0)
 
 let test_figure9_deterministic () =
   let serial = Sim.Runner.figure9 ~options ~domains:1 () in
@@ -144,6 +191,9 @@ let suite =
         test_worker_pool_propagates_failure;
       Alcotest.test_case "worker pool shutdown" `Quick
         test_worker_pool_shutdown_idempotent;
+      Alcotest.test_case "worker pool epoch lifecycle" `Quick
+        test_worker_pool_epoch_lifecycle;
+      QCheck_alcotest.to_alcotest prop_epoch_pin_blocks_reclaim;
       Alcotest.test_case "figure 9 domain-count invariance" `Slow
         test_figure9_deterministic;
       Alcotest.test_case "figure 11 domain-count invariance" `Slow

@@ -61,7 +61,10 @@ let domain_traffic svc ~domain =
 let oracle ~org ~locking () =
   let svc = Service.create ~org ~locking () in
   let histories = Array.make num_domains [] in
-  Exec.Worker_pool.with_pool ~domains:num_domains (fun pool ->
+  Exec.Worker_pool.with_pool
+    ?epoch:(Service.reader_epoch svc)
+    ~domains:num_domains
+    (fun pool ->
       Exec.Worker_pool.run pool (fun domain ->
           histories.(domain) <- domain_traffic svc ~domain));
   Alcotest.(check bool)
@@ -74,7 +77,12 @@ let oracle ~org ~locking () =
        (Array.to_list histories));
   Alcotest.(check int) "all stripes released"
     0
-    (Service.lock_stats svc).Service.currently_held
+    (Service.lock_stats svc).Service.currently_held;
+  (* workers unregistered at pool shutdown, so every limbo node must
+     now be reclaimable (locked modes report 0 throughout) *)
+  Service.quiesce svc;
+  Alcotest.(check int) "limbo drained at quiescence" 0
+    (Service.limbo_nodes svc)
 
 let test_oracle_clustered_striped () =
   oracle ~org:Service.Clustered ~locking:Service.Striped ()
@@ -87,6 +95,12 @@ let test_oracle_clustered_global () =
 
 let test_oracle_hashed_global () =
   oracle ~org:Service.Hashed ~locking:Service.Global ()
+
+let test_oracle_clustered_seqlock () =
+  oracle ~org:Service.Clustered ~locking:Service.Seqlock ()
+
+let test_oracle_hashed_seqlock () =
+  oracle ~org:Service.Hashed ~locking:Service.Seqlock ()
 
 (* --- Section 3.1 lock granularity ---
 
@@ -188,6 +202,174 @@ let test_throughput_orgs_agree () =
     (h.Pt_service.Throughput.write_locks
     >= c.Pt_service.Throughput.write_locks)
 
+(* --- the PR 6 lock-free read path --- *)
+
+(* the tentpole claim, structurally: an uncontended seqlock lookup
+   acquires zero locks, retries nothing and never falls back *)
+let test_seqlock_lockfree_reads () =
+  let svc =
+    Service.create ~org:Service.Clustered ~locking:Service.Seqlock ()
+  in
+  for i = 0 to 255 do
+    Service.insert svc ~vpn:(Int64.of_int i) ~ppn:(Int64.of_int i) ~attr
+  done;
+  Service.reset_lock_stats svc;
+  for i = 0 to 255 do
+    Alcotest.(check bool) "mapped page found" true
+      (Service.lookup svc ~vpn:(Int64.of_int i));
+    Alcotest.(check bool) "unmapped page missed" false
+      (Service.lookup svc ~vpn:(Int64.of_int (i + 4096)))
+  done;
+  let s = Service.lock_stats svc in
+  Alcotest.(check int) "zero read-lock acquisitions" 0
+    s.Service.read_acquisitions;
+  Alcotest.(check int) "zero write-lock acquisitions" 0
+    s.Service.write_acquisitions;
+  Alcotest.(check int) "no retries uncontended" 0
+    (Service.seqlock_retries svc);
+  Alcotest.(check int) "no fallbacks uncontended" 0
+    (Service.seqlock_fallbacks svc)
+
+(* epoch-based reclamation through the service: removals park nodes in
+   limbo; a pinned reader blocks their reclamation; once the reader
+   unregisters, quiesce drains everything and fsck stays clean at each
+   step *)
+let seqlock_limbo_lifecycle ~org () =
+  let svc = Service.create ~org ~locking:Service.Seqlock ~buckets:64 () in
+  let epoch =
+    match Service.reader_epoch svc with
+    | Some e -> e
+    | None -> Alcotest.fail "seqlock service must expose its epoch"
+  in
+  (* two full subblock-16 blocks, so the clustered table also empties
+     whole nodes when the first block's pages go *)
+  for i = 0 to 31 do
+    Service.insert svc ~vpn:(Int64.of_int i) ~ppn:(Int64.of_int i) ~attr
+  done;
+  Alcotest.(check int) "inserts retire nothing" 0 (Service.limbo_nodes svc);
+  Exec.Epoch.register epoch;
+  Exec.Epoch.pin epoch;
+  for i = 0 to 15 do
+    Service.remove svc ~vpn:(Int64.of_int i)
+  done;
+  let limbo = Service.limbo_nodes svc in
+  Alcotest.(check bool) "removals parked nodes in limbo" true (limbo > 0);
+  Service.quiesce svc;
+  Alcotest.(check int) "pinned reader blocks reclamation" limbo
+    (Service.limbo_nodes svc);
+  Alcotest.(check bool) "fsck clean with populated limbo" true
+    (Fsck.clean (Service.fsck svc));
+  Exec.Epoch.unpin epoch;
+  Exec.Epoch.unregister epoch;
+  Service.quiesce svc;
+  Alcotest.(check int) "limbo drains once the reader unregisters" 0
+    (Service.limbo_nodes svc);
+  Alcotest.(check bool) "fsck clean after the drain" true
+    (Fsck.clean (Service.fsck svc));
+  for i = 0 to 31 do
+    Alcotest.(check bool)
+      (Printf.sprintf "page %d %s" i (if i < 16 then "gone" else "survives"))
+      (i >= 16)
+      (Service.lookup svc ~vpn:(Int64.of_int i))
+  done;
+  Alcotest.(check int) "population matches" 16 (Service.population svc)
+
+let test_seqlock_limbo_clustered () =
+  seqlock_limbo_lifecycle ~org:Service.Clustered ()
+
+let test_seqlock_limbo_hashed () =
+  seqlock_limbo_lifecycle ~org:Service.Hashed ()
+
+(* qcheck: for any insert/remove interleaving, a pinned reader keeps
+   every node retired under its pin walkable (limbo never shrinks),
+   and unregistering releases the lot *)
+let prop_seqlock_limbo_drains =
+  QCheck.Test.make
+    ~name:"seqlock limbo: preserved under a pin, drained after unregister"
+    ~count:30
+    QCheck.(
+      pair bool (list_of_size Gen.(int_range 1 80) (int_bound 511)))
+    (fun (clustered, keys) ->
+      let org = if clustered then Service.Clustered else Service.Hashed in
+      let svc = Service.create ~org ~locking:Service.Seqlock ~buckets:32 () in
+      let epoch = Option.get (Service.reader_epoch svc) in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun k ->
+          let vpn = Int64.of_int k in
+          Hashtbl.replace model k ();
+          Service.insert svc ~vpn ~ppn:vpn ~attr)
+        keys;
+      Exec.Epoch.register epoch;
+      Exec.Epoch.pin epoch;
+      (* remove every other distinct key *)
+      let victims =
+        List.filteri (fun i _ -> i mod 2 = 0)
+          (List.sort_uniq compare (Hashtbl.fold (fun k () a -> k :: a) model []))
+      in
+      List.iter
+        (fun k ->
+          Hashtbl.remove model k;
+          Service.remove svc ~vpn:(Int64.of_int k))
+        victims;
+      let limbo = Service.limbo_nodes svc in
+      Service.quiesce svc;
+      let preserved = Service.limbo_nodes svc = limbo in
+      Exec.Epoch.unpin epoch;
+      Exec.Epoch.unregister epoch;
+      Service.quiesce svc;
+      let drained = Service.limbo_nodes svc = 0 in
+      let consistent =
+        Hashtbl.length model = Service.population svc
+        && Fsck.clean (Service.fsck svc)
+      in
+      if not preserved then
+        QCheck.Test.fail_report "pinned reader lost limbo nodes";
+      if not drained then
+        QCheck.Test.fail_report "limbo survived unregister + quiesce";
+      consistent)
+
+(* the read-mostly curve's deterministic fields: the two organizations
+   see identical traffic under seqlock locking, and the
+   interleaving-invariant fields reproduce run to run *)
+let test_throughput_seqlock_deterministic () =
+  let cfg =
+    {
+      Pt_service.Throughput.default_config with
+      domains = 4;
+      streams = 4;
+      ops_per_domain = 2_000;
+      vpns_per_domain = 256;
+      buckets = 128;
+      mix = Pt_service.Throughput.read_mostly_mix;
+    }
+  in
+  let a =
+    Pt_service.Throughput.run ~org:Service.Clustered ~locking:Service.Seqlock
+      cfg
+  in
+  let b =
+    Pt_service.Throughput.run ~org:Service.Clustered ~locking:Service.Seqlock
+      cfg
+  in
+  let h =
+    Pt_service.Throughput.run ~org:Service.Hashed ~locking:Service.Seqlock cfg
+  in
+  Alcotest.(check bool) "lookups hit" true
+    (a.Pt_service.Throughput.lookups_hit > 0);
+  Alcotest.(check int) "population reproducible"
+    a.Pt_service.Throughput.population b.Pt_service.Throughput.population;
+  Alcotest.(check int) "hits reproducible" a.Pt_service.Throughput.lookups_hit
+    b.Pt_service.Throughput.lookups_hit;
+  Alcotest.(check int) "write locks reproducible"
+    a.Pt_service.Throughput.write_locks b.Pt_service.Throughput.write_locks;
+  Alcotest.(check int) "population agrees across organizations"
+    a.Pt_service.Throughput.population h.Pt_service.Throughput.population;
+  (* no protects in the read-mostly mix, so writes are one lock per
+     mutation op in both organizations *)
+  Alcotest.(check int) "write locks agree across organizations"
+    a.Pt_service.Throughput.write_locks h.Pt_service.Throughput.write_locks
+
 (* --- churn replay through the service --- *)
 
 let test_service_replay_domain_invariance () =
@@ -242,20 +424,32 @@ let test_lock_stats_reset () =
         ignore (Service.lookup svc ~vpn:(Int64.of_int i))
       done;
       let before = Service.lock_stats svc in
+      (* seqlock lookups are lock-free, so only writes register there *)
+      (if locking = Service.Seqlock then
+         Alcotest.(check int) "optimistic reads took no locks" 0
+           before.Service.read_acquisitions
+       else
+         Alcotest.(check bool)
+           "read traffic recorded" true
+           (before.Service.read_acquisitions > 0));
       Alcotest.(check bool)
-        "lock traffic recorded" true
-        (before.Service.read_acquisitions > 0
-        && before.Service.write_acquisitions > 0);
+        "write traffic recorded" true
+        (before.Service.write_acquisitions > 0);
       Service.reset_lock_stats svc;
       let after = Service.lock_stats svc in
       Alcotest.(check int) "reads zeroed" 0 after.Service.read_acquisitions;
       Alcotest.(check int) "writes zeroed" 0 after.Service.write_acquisitions;
+      Alcotest.(check int) "contention zeroed" 0 after.Service.read_contention;
       Alcotest.(check int) "nothing held" 0 after.Service.currently_held;
+      Alcotest.(check int) "retries zeroed" 0 (Service.seqlock_retries svc);
+      Alcotest.(check int) "fallbacks zeroed" 0
+        (Service.seqlock_fallbacks svc);
       (* the service still works and counts from zero afterwards *)
       ignore (Service.lookup svc ~vpn:1L);
-      Alcotest.(check int) "counting restarts" 1
+      Alcotest.(check int) "counting restarts"
+        (if locking = Service.Seqlock then 0 else 1)
         (Service.lock_stats svc).Service.read_acquisitions)
-    [ Service.Striped; Service.Global ]
+    [ Service.Striped; Service.Global; Service.Seqlock ]
 
 let test_throughput_metrics_domain_invariant () =
   (* the acceptance criterion: with the stream count pinned, the merged
@@ -305,6 +499,19 @@ let suite =
         test_oracle_clustered_global;
       Alcotest.test_case "oracle: hashed global" `Slow
         test_oracle_hashed_global;
+      Alcotest.test_case "oracle: clustered seqlock" `Slow
+        test_oracle_clustered_seqlock;
+      Alcotest.test_case "oracle: hashed seqlock" `Slow
+        test_oracle_hashed_seqlock;
+      Alcotest.test_case "seqlock reads are lock-free" `Quick
+        test_seqlock_lockfree_reads;
+      Alcotest.test_case "seqlock limbo lifecycle (clustered)" `Quick
+        test_seqlock_limbo_clustered;
+      Alcotest.test_case "seqlock limbo lifecycle (hashed)" `Quick
+        test_seqlock_limbo_hashed;
+      QCheck_alcotest.to_alcotest prop_seqlock_limbo_drains;
+      Alcotest.test_case "throughput seqlock deterministic fields" `Quick
+        test_throughput_seqlock_deterministic;
       Alcotest.test_case "protect lock granularity" `Quick
         test_protect_lock_granularity;
       Alcotest.test_case "protect applies under striping" `Quick

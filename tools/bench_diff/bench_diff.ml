@@ -214,9 +214,13 @@ let rows_of path root =
   match get path root with Some v -> to_list v | None -> None
 
 (* compare two row lists field-by-field, ignoring [ignored] keys;
-   [key_of] names a row in messages *)
+   [key_of] names a row in messages; [row_ignored] adds per-row
+   ignores keyed on the row itself (e.g. seqlock rows take read locks
+   only on contention fallback, so their count is
+   interleaving-dependent where every other mode's is exact) *)
 
-let check_row_list label path ~key_of ~ignored a b =
+let check_row_list label path ~key_of ?(row_ignored = fun _ -> []) ~ignored a b
+    =
   match (rows_of path a, rows_of path b) with
   | None, None -> report "%s: missing from both files" label
   | None, Some _ -> report "%s: missing from baseline" label
@@ -229,6 +233,7 @@ let check_row_list label path ~key_of ~ignored a b =
         List.iter2
           (fun rowa rowb ->
             let name = key_of rowa in
+            let ignored = ignored @ row_ignored rowa in
             match (rowa, rowb) with
             | Obj fa, Obj fb ->
                 let keys l = List.map fst l in
@@ -305,15 +310,32 @@ let () =
     ~key_of:(fun row ->
       Printf.sprintf "%s/%s" (key_str "table" row) (key_str "policy" row))
     ~ignored:[] a b;
+  (* contention counters are interleaving-dependent everywhere; under
+     seqlock so is read_locks (fallback acquisitions only) *)
+  let tp_key row =
+    Printf.sprintf "%s/%s/%s" (key_str "table" row) (key_str "locking" row)
+      (match obj_find "domains" row with
+      | Some (Num d) -> string_of_int (int_of_float d)
+      | _ -> "?")
+  in
+  let tp_ignored =
+    [
+      "ops_per_sec";
+      "elapsed_s";
+      "read_contention";
+      "seqlock_retries";
+      "seqlock_fallbacks";
+    ]
+  in
+  let tp_row_ignored row =
+    if key_str "locking" row = "seqlock" then [ "read_locks" ] else []
+  in
   check_row_list "throughput"
     [ "experiments"; "throughput"; "rows" ]
-    ~key_of:(fun row ->
-      Printf.sprintf "%s/%s/%s" (key_str "table" row) (key_str "locking" row)
-        (match obj_find "domains" row with
-        | Some (Num d) -> string_of_int (int_of_float d)
-        | _ -> "?"))
-    ~ignored:[ "ops_per_sec"; "elapsed_s" ]
-    a b;
+    ~key_of:tp_key ~row_ignored:tp_row_ignored ~ignored:tp_ignored a b;
+  check_row_list "throughput_curve"
+    [ "experiments"; "throughput"; "curve" ]
+    ~key_of:tp_key ~row_ignored:tp_row_ignored ~ignored:tp_ignored a b;
   (* micro-benchmark names (the set of measured operations), not times *)
   (let names root =
      match rows_of [ "micro_ns_per_op" ] root with
