@@ -251,7 +251,8 @@ let run_micro () =
    baseline (tools/bench_diff); timing fields (wall clocks, ops/sec,
    ns/op) are emitted for humans and skipped by the diff. *)
 let emit_json path ~quick ~domains ~experiments_s ~churn_s ~churn_rows
-    ~(report : Sim.Runner.verify_report) ~throughput_rows ~curve_rows ~micro =
+    ~(report : Sim.Runner.verify_report) ~throughput_rows ~curve_rows
+    ~numa_json ~micro =
   let oc = open_out path in
   let json_string s =
     let b = Buffer.create (String.length s + 2) in
@@ -339,6 +340,10 @@ let emit_json path ~quick ~domains ~experiments_s ~churn_s ~churn_rows
   Printf.fprintf oc "      \"curve\": [\n";
   emit_tp_rows curve_rows;
   Printf.fprintf oc "      ]\n    },\n";
+  (* the NUMA replication matrix (Runner.numa_for_suite) — every field
+     is deterministic (no timing columns), so bench_diff compares the
+     whole object *)
+  Printf.fprintf oc "    \"numa\": %s,\n" numa_json;
   (* every counter and histogram the suite's instrumented paths
      recorded, merged across domains; bench_diff ignores this section
      (histogram sums carry no timing, but the set of metrics grows
@@ -397,9 +402,17 @@ let () =
     (List.length report.Sim.Runner.claims);
   let throughput_rows = Sim.Runner.throughput_for_suite ~options () in
   let curve_rows = Sim.Runner.throughput_curve_for_suite ~options () in
+  let t2 = Unix.gettimeofday () in
+  let numa = Sim.Runner.numa_for_suite ~options ~domains () in
+  Printf.printf "\nnuma wall clock: %.1fs (%d domains, fsck %s)\n%!"
+    (Unix.gettimeofday () -. t2)
+    domains
+    (if Sim.Runner.numa_suite_clean numa then "clean" else "DIRTY");
   let micro = run_micro () in
   Option.iter
     (fun path ->
       emit_json path ~quick ~domains ~experiments_s ~churn_s ~churn_rows
-        ~report ~throughput_rows ~curve_rows ~micro)
+        ~report ~throughput_rows ~curve_rows
+        ~numa_json:(Sim.Runner.numa_suite_json numa)
+        ~micro)
     json

@@ -58,6 +58,50 @@ let domains_conv =
   in
   Arg.conv (parse, Format.pp_print_int)
 
+(* The CLI contract for enum-valued flags, generalized from
+   throughput's --locking: an unknown value names the offending token
+   and the accepted set on stderr and exits 2 — never cmdliner's
+   generic usage error, never a silent fallback to a mode that was not
+   asked for.  Pinned by test/cli/ptsim_errors.t. *)
+let strict_enum ~flag ~cmd choices =
+  let parse s =
+    match List.assoc_opt s choices with
+    | Some v -> Ok v
+    | None ->
+        Printf.eprintf "unknown %s %S for %s (have: %s)\n%!" flag s cmd
+          (String.concat ", " (List.map fst choices));
+        exit 2
+  in
+  let print ppf v =
+    match List.find_opt (fun (_, w) -> w = v) choices with
+    | Some (n, _) -> Format.pp_print_string ppf n
+    | None -> ()
+  in
+  Arg.conv (parse, print)
+
+(* comma-separated fault sites, under the same contract *)
+let strict_sites ~cmd =
+  let have = String.concat ", " (List.map Fault.site_name Fault.all_sites) in
+  let parse s =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest -> (
+          let n = String.trim n in
+          match Fault.site_of_name n with
+          | Some site -> go (site :: acc) rest
+          | None ->
+              Printf.eprintf "unknown site %S for %s (have: %s)\n%!" n cmd
+                have;
+              exit 2)
+    in
+    go [] (String.split_on_char ',' s)
+  in
+  let print ppf sites =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map Fault.site_name sites))
+  in
+  Arg.conv (parse, print)
+
 let domains_term =
   Arg.(
     value
@@ -91,17 +135,18 @@ let run_figure10 options domains =
   announce_pool domains;
   ignore (Sim.Runner.figure10 ~options ?domains ())
 
-let design_of_string = function
-  | "single" | "a" -> Ok Sim.Access_exp.Single
-  | "superpage" | "b" -> Ok Sim.Access_exp.Superpage
-  | "psb" | "c" -> Ok Sim.Access_exp.Psb
-  | "csb" | "d" -> Ok Sim.Access_exp.Csb
-  | s -> Error (`Msg (Printf.sprintf "unknown TLB design %S" s))
-
 let design_conv =
-  Arg.conv
-    ( design_of_string,
-      fun ppf d -> Format.pp_print_string ppf (Sim.Access_exp.design_name d) )
+  strict_enum ~flag:"tlb" ~cmd:"figure11"
+    [
+      ("single", Sim.Access_exp.Single);
+      ("superpage", Sim.Access_exp.Superpage);
+      ("psb", Sim.Access_exp.Psb);
+      ("csb", Sim.Access_exp.Csb);
+      ("a", Sim.Access_exp.Single);
+      ("b", Sim.Access_exp.Superpage);
+      ("c", Sim.Access_exp.Psb);
+      ("d", Sim.Access_exp.Csb);
+    ]
 
 let run_figure11 options domains design =
   announce_pool domains;
@@ -195,32 +240,11 @@ let throughput_rows_json rows =
   Buffer.add_string buf "  ]";
   Buffer.contents buf
 
-let run_throughput domains_list streams ops vpns seed org locking json =
+let run_throughput domains_list streams ops vpns seed org lockings json =
   let orgs =
     match org with
     | `All -> [ Pt_service.Service.Clustered; Pt_service.Service.Hashed ]
     | `One o -> [ o ]
-  in
-  (* parsed here, not by an Arg.enum, so an unknown mode follows the
-     CLI contract: offending token on stderr, exit 2 *)
-  let lockings =
-    match locking with
-    | "all" ->
-        [
-          Pt_service.Service.Striped;
-          Pt_service.Service.Global;
-          Pt_service.Service.Seqlock;
-        ]
-    | "striped" -> [ Pt_service.Service.Striped ]
-    | "global" -> [ Pt_service.Service.Global ]
-    | "seqlock" -> [ Pt_service.Service.Seqlock ]
-    | s ->
-        Printf.eprintf
-          "unknown locking %S for throughput (have: all, striped, global, \
-           seqlock)\n\
-           %!"
-          s;
-        exit 2
   in
   let pairs =
     List.concat_map (fun o -> List.map (fun l -> (o, l)) lockings) orgs
@@ -467,24 +491,6 @@ let run_fsck seed org corruptions repair json =
   else Format.printf "%a@." Fsck.pp_report report;
   if not (Fsck.clean report) then exit 1
 
-let sites_conv =
-  let parse s =
-    let names = String.split_on_char ',' s in
-    let rec go acc = function
-      | [] -> Ok (List.rev acc)
-      | n :: rest -> (
-          match Fault.site_of_name (String.trim n) with
-          | Some site -> go (site :: acc) rest
-          | None -> Error (`Msg (Printf.sprintf "unknown fault site %S" n)))
-    in
-    go [] names
-  in
-  let print ppf sites =
-    Format.pp_print_string ppf
-      (String.concat "," (List.map Fault.site_name sites))
-  in
-  Arg.conv (parse, print)
-
 let run_faultsim seed rate sites domains streams ops org locking json =
   let module F = Pt_service.Faultsim in
   let cfg =
@@ -504,6 +510,33 @@ let run_faultsim seed rate sites domains streams ops org locking json =
   if json then print_endline (F.outcome_to_json outcome)
   else Format.printf "@[<v>%a@]@." F.pp_outcome outcome;
   if not outcome.F.fsck_clean then exit 1
+
+(* --- numa: per-node replicas, locality-aware walks, migration policy --- *)
+
+let run_numa quick nodes modes orgs locking domains streams rounds reads
+    writes vpns seed remote_cost rate sites spaces json =
+  let module NS = Numa.Numa_sim in
+  let base = if quick then NS.quick_config else NS.default_config in
+  let upd field v cfg = match v with None -> cfg | Some x -> field cfg x in
+  let cfg =
+    { base with NS.locking; domains; fault_rate_ppm = rate }
+    |> upd (fun c x -> { c with NS.node_counts = x }) nodes
+    |> upd (fun c x -> { c with NS.modes = x }) modes
+    |> upd (fun c x -> { c with NS.orgs = x }) orgs
+    |> upd (fun c x -> { c with NS.streams_per_node = x }) streams
+    |> upd (fun c x -> { c with NS.rounds = x }) rounds
+    |> upd (fun c x -> { c with NS.reads_per_stream = x }) reads
+    |> upd (fun c x -> { c with NS.writes_per_stream = x }) writes
+    |> upd (fun c x -> { c with NS.vpns_per_stream = x }) vpns
+    |> upd (fun c x -> { c with NS.seed = x }) seed
+    |> upd (fun c x -> { c with NS.remote_cost = x }) remote_cost
+    |> upd (fun c x -> { c with NS.fault_sites = x }) sites
+    |> upd (fun c x -> { c with NS.policy_spaces = x }) spaces
+  in
+  let outcome = NS.run cfg in
+  if json then print_endline (NS.outcome_to_json cfg outcome)
+  else Format.printf "@[<v>%a@]@." NS.pp_outcome outcome;
+  if not (NS.all_clean outcome) then exit 1
 
 (* --- unified telemetry: --metrics-out / --trace-out on every subcommand --- *)
 
@@ -682,7 +715,7 @@ let () =
         & info [ "seed" ] ~docv:"SEED" ~doc:"Per-domain traffic PRNG seed.")
     in
     let org_conv =
-      Arg.enum
+      strict_enum ~flag:"org" ~cmd:"throughput"
         [
           ("all", `All);
           ("clustered", `One Pt_service.Service.Clustered);
@@ -695,9 +728,29 @@ let () =
         & info [ "org" ] ~docv:"ORG"
             ~doc:"Table organization: all|clustered|hashed.")
     in
+    let locking_conv =
+      strict_enum ~flag:"locking" ~cmd:"throughput"
+        [
+          ( "all",
+            [
+              Pt_service.Service.Striped;
+              Pt_service.Service.Global;
+              Pt_service.Service.Seqlock;
+            ] );
+          ("striped", [ Pt_service.Service.Striped ]);
+          ("global", [ Pt_service.Service.Global ]);
+          ("seqlock", [ Pt_service.Service.Seqlock ]);
+        ]
+    in
     let locking =
       Arg.(
-        value & opt string "all"
+        value
+        & opt locking_conv
+            [
+              Pt_service.Service.Striped;
+              Pt_service.Service.Global;
+              Pt_service.Service.Seqlock;
+            ]
         & info [ "locking" ] ~docv:"LOCKING"
             ~doc:
               "Lock strategy: all|striped (per-bucket readers-writer) \
@@ -719,7 +772,10 @@ let () =
         $ org $ locking $ json)
   in
   let inspect =
-    let org_conv = Arg.enum [ ("clustered", `Clustered); ("hashed", `Hashed) ] in
+    let org_conv =
+      strict_enum ~flag:"org" ~cmd:"inspect"
+        [ ("clustered", `Clustered); ("hashed", `Hashed) ]
+    in
     let org =
       Arg.(
         value & opt org_conv `Clustered
@@ -781,11 +837,19 @@ let () =
     cmd "workload" "Inspect a workload model: snapshot and trace statistics"
       Term.(const run_workload $ options_term $ workload_name)
   in
-  let service_org_conv =
-    Arg.enum
+  let service_org_conv cmd =
+    strict_enum ~flag:"org" ~cmd
       [
         ("clustered", Pt_service.Service.Clustered);
         ("hashed", Pt_service.Service.Hashed);
+      ]
+  in
+  let service_locking_conv cmd =
+    strict_enum ~flag:"locking" ~cmd
+      [
+        ("striped", Pt_service.Service.Striped);
+        ("global", Pt_service.Service.Global);
+        ("seqlock", Pt_service.Service.Seqlock);
       ]
   in
   let fsck =
@@ -797,7 +861,7 @@ let () =
     let org =
       Arg.(
         value
-        & opt service_org_conv Pt_service.Service.Clustered
+        & opt (service_org_conv "fsck") Pt_service.Service.Clustered
         & info [ "org" ] ~docv:"ORG"
             ~doc:"Table organization to check: clustered|hashed.")
     in
@@ -844,11 +908,12 @@ let () =
     let sites =
       Arg.(
         value
-        & opt sites_conv Fault.all_sites
+        & opt (strict_sites ~cmd:"faultsim") Fault.all_sites
         & info [ "sites" ] ~docv:"SITE[,SITE...]"
             ~doc:
               "Fault sites to arm: alloc_node, alloc_phys, lock_timeout, \
-               domain_crash, torn_write, seqlock_stall (default: all).")
+               domain_crash, torn_write, seqlock_stall, replica_write \
+               (default: all).")
     in
     let domains =
       Arg.(
@@ -871,22 +936,14 @@ let () =
     let org =
       Arg.(
         value
-        & opt service_org_conv Pt_service.Service.Clustered
+        & opt (service_org_conv "faultsim") Pt_service.Service.Clustered
         & info [ "org" ] ~docv:"ORG"
             ~doc:"Table organization: clustered|hashed.")
-    in
-    let locking_conv =
-      Arg.enum
-        [
-          ("striped", Pt_service.Service.Striped);
-          ("global", Pt_service.Service.Global);
-          ("seqlock", Pt_service.Service.Seqlock);
-        ]
     in
     let locking =
       Arg.(
         value
-        & opt locking_conv Pt_service.Service.Striped
+        & opt (service_locking_conv "faultsim") Pt_service.Service.Striped
         & info [ "locking" ] ~docv:"LOCKING"
             ~doc:"Lock strategy: striped|global|seqlock.")
     in
@@ -905,6 +962,160 @@ let () =
       Term.(
         const run_faultsim $ seed $ rate $ sites $ domains $ streams $ ops
         $ org $ locking $ json)
+  in
+  let numa =
+    let quick =
+      Arg.(
+        value & flag
+        & info [ "quick" ]
+            ~doc:"CI-sized defaults (fewer streams, rounds and ops).")
+    in
+    let nodes =
+      Arg.(
+        value
+        & opt (some (list int)) None
+        & info [ "nodes" ] ~docv:"N[,N...]"
+            ~doc:"NUMA node counts to sweep (default 2,4; 1,2 --quick).")
+    in
+    let modes_conv =
+      strict_enum ~flag:"mode" ~cmd:"numa"
+        [
+          ( "all",
+            [
+              Numa.Replicated.Single_home;
+              Numa.Replicated.Eager;
+              Numa.Replicated.Lazy;
+            ] );
+          ("single_home", [ Numa.Replicated.Single_home ]);
+          ("eager", [ Numa.Replicated.Eager ]);
+          ("lazy", [ Numa.Replicated.Lazy ]);
+        ]
+    in
+    let modes =
+      Arg.(
+        value
+        & opt (some modes_conv) None
+        & info [ "mode" ] ~docv:"MODE"
+            ~doc:
+              "Replication mode: all|single_home (one replica, remote \
+               walks)|eager (write fan-out)|lazy (pull-on-read catch-up).")
+    in
+    let orgs_conv =
+      strict_enum ~flag:"org" ~cmd:"numa"
+        [
+          ( "all",
+            [ Pt_service.Service.Clustered; Pt_service.Service.Hashed ] );
+          ("clustered", [ Pt_service.Service.Clustered ]);
+          ("hashed", [ Pt_service.Service.Hashed ]);
+        ]
+    in
+    let orgs =
+      Arg.(
+        value
+        & opt (some orgs_conv) None
+        & info [ "org" ] ~docv:"ORG"
+            ~doc:"Table organization: all|clustered|hashed.")
+    in
+    let locking =
+      Arg.(
+        value
+        & opt (service_locking_conv "numa") Pt_service.Service.Seqlock
+        & info [ "locking" ] ~docv:"LOCKING"
+            ~doc:
+              "Lock strategy for every replica: striped|global|seqlock \
+               (default seqlock — lock-free local walks).")
+    in
+    let domains =
+      Arg.(
+        value & opt domains_conv 1
+        & info [ "domains" ] ~docv:"N"
+            ~doc:
+              "Worker domains.  The outcome (and --json byte stream) is \
+               identical for every value.")
+    in
+    let streams =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "streams" ] ~docv:"N" ~doc:"Logical streams per node.")
+    in
+    let rounds =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "rounds" ] ~docv:"N" ~doc:"Write/read phase rounds.")
+    in
+    let reads =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "reads" ] ~docv:"N" ~doc:"Lookups per stream per round.")
+    in
+    let writes =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "writes" ] ~docv:"N" ~doc:"Mutations per stream per round.")
+    in
+    let vpns =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "vpns" ] ~docv:"N"
+            ~doc:"Pages in each stream's (bucket-disjoint) working set.")
+    in
+    let seed =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "seed" ] ~docv:"SEED" ~doc:"Traffic PRNG seed.")
+    in
+    let remote_cost =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "remote-cost" ] ~docv:"C"
+            ~doc:"Modeled cost of a remote line (local is 1; default 4).")
+    in
+    let rate =
+      Arg.(
+        value & opt int 0
+        & info [ "rate" ] ~docv:"PPM"
+            ~doc:
+              "Replica-write fault arming rate, parts per million (0 = no \
+               plan).")
+    in
+    let sites =
+      Arg.(
+        value
+        & opt (some (strict_sites ~cmd:"numa")) None
+        & info [ "sites" ] ~docv:"SITE[,SITE...]"
+            ~doc:"Fault sites to arm with --rate (default replica_write).")
+    in
+    let spaces =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "spaces" ] ~docv:"N"
+            ~doc:"Address spaces in the migration-policy experiment.")
+    in
+    let json =
+      Arg.(
+        value & flag
+        & info [ "json" ]
+            ~doc:
+              "Print the outcome as one JSON object (byte-identical for \
+               any --domains).")
+    in
+    cmd "numa"
+      "NUMA-replicated service: per-node replicas, locality-aware walks \
+       (remote vs local lines per miss), eager/lazy write fan-out and the \
+       per-space migration policy; exit 1 unless every replica set ends \
+       fsck-clean"
+      Term.(
+        const run_numa $ quick $ nodes $ modes $ orgs $ locking $ domains
+        $ streams $ rounds $ reads $ writes $ vpns $ seed $ remote_cost
+        $ rate $ sites $ spaces $ json)
   in
   let info =
     Cmd.info "ptsim" ~version:"1.0"
@@ -925,6 +1136,6 @@ let () =
        (Cmd.group ~default info
           [
             table1; figure9; figure10; figure11; table2; ablations; churn;
-            throughput; inspect; fsck; faultsim; workload; dump; replay;
-            verify; all;
+            throughput; inspect; fsck; faultsim; numa; workload; dump;
+            replay; verify; all;
           ]))

@@ -676,6 +676,15 @@ let iter_chain_words t ~bucket f =
   in
   go t.fine.(bucket)
 
+let iter_chain_tags t ~bucket f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        f n.tag;
+        go n.next
+  in
+  go t.fine.(bucket)
+
 let load_factor t =
   float_of_int (Atomic.get t.fine_nodes) /. float_of_int t.buckets
 

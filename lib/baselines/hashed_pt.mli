@@ -119,6 +119,12 @@ val chain_length : t -> bucket:int -> int
 val iter_chain_words : t -> bucket:int -> (int64 -> unit) -> unit
 (** The PTE word of every node on the fine-table chain of [bucket]. *)
 
+val iter_chain_tags : t -> bucket:int -> (int64 -> unit) -> unit
+(** The tag of every node on the fine-table chain of [bucket] (the VPN
+    in [No_superpages] mode) — the hashed counterpart of
+    [Clustered_pt.Table.iter_chain_tags], used by the cross-replica
+    live-set enumeration. *)
+
 (** {2 Integrity verification and repair (fsck)}
 
     Mirrors {!Clustered_pt.Table.check}: chain acyclicity, bucket

@@ -1,0 +1,36 @@
+(* Per-bucket monotone generation counters.
+
+   The NUMA replication layer versions every hash bucket of the shared
+   table: each fan-out write bumps the bucket's generation on the
+   primary, and each replica records the generation it has applied up
+   to.  A replica bucket is stale exactly when [applied < current] —
+   the one comparison the lazy pull-on-read catch-up path makes per
+   lookup.  Counters are plain [Atomic.t]s padded to one per array
+   slot; [set_at_least] is the monotone join used when catch-up replays
+   a batch of journal entries. *)
+
+type t = int Atomic.t array
+
+let create ~buckets =
+  if buckets < 1 then invalid_arg "Generation.create: buckets must be >= 1";
+  Array.init buckets (fun _ -> Atomic.make 0)
+
+let buckets t = Array.length t
+
+let get t ~bucket = Atomic.get t.(bucket)
+
+let bump t ~bucket = Atomic.fetch_and_add t.(bucket) 1 + 1
+
+(* monotone: never moves a counter backwards, so concurrent joiners
+   commute *)
+let set_at_least t ~bucket v =
+  let a = t.(bucket) in
+  let rec go () =
+    let cur = Atomic.get a in
+    if cur >= v then ()
+    else if Atomic.compare_and_set a cur v then ()
+    else go ()
+  in
+  go ()
+
+let snapshot t = Array.map Atomic.get t

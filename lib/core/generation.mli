@@ -1,0 +1,29 @@
+(** Per-bucket monotone generation counters.
+
+    One atomic counter per hash bucket.  The NUMA replication layer
+    bumps a bucket's generation on every fan-out write to the primary
+    replica and records, per replica, the generation that replica has
+    applied; a replica bucket is stale exactly when its applied
+    generation trails the current one, which is the single comparison
+    the lazy pull-on-read catch-up makes per lookup. *)
+
+type t
+
+val create : buckets:int -> t
+(** All counters start at 0.  Raises [Invalid_argument] if
+    [buckets < 1]. *)
+
+val buckets : t -> int
+
+val get : t -> bucket:int -> int
+
+val bump : t -> bucket:int -> int
+(** Atomically increment and return the new value. *)
+
+val set_at_least : t -> bucket:int -> int -> unit
+(** Monotone join: raise the counter to at least the given value,
+    never lowering it — concurrent joiners commute. *)
+
+val snapshot : t -> int array
+(** A plain-array copy (for cross-replica agreement checks at
+    quiescence). *)

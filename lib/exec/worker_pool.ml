@@ -35,10 +35,13 @@ type t = {
   mutable restarts_total : int;
   mutable stopping : bool;
   mutable workers : unit Domain.t array;
-  (* epoch manager every worker registers with for its lifetime, so
+  (* epoch managers every worker registers with for its lifetime, so
      optimistic readers can pin without a first-pin registration race
-     and crashed workers give their reclamation slots back *)
-  reader_epoch : Epoch.t option;
+     and crashed workers give their reclamation slots back.  One entry
+     per manager: a NUMA-replicated service has one reclamation domain
+     per replica, and every worker must be registered with all of
+     them. *)
+  reader_epochs : Epoch.t list;
 }
 
 exception Worker_failed of (int * exn) list
@@ -96,19 +99,35 @@ let worker_body t index ~birth_epoch =
   done
 
 (* Register/unregister around the whole worker loop: [Fun.protect]
-   returns the reclamation slot even when the loop exits by crash or
-   exception, and a supervised respawn re-registers its fresh domain. *)
-let worker_at t index ~birth_epoch () =
-  match t.reader_epoch with
-  | None -> worker_body t index ~birth_epoch
-  | Some e ->
+   returns the reclamation slots even when the loop exits by crash or
+   exception, and a supervised respawn re-registers its fresh domain.
+   Unregistration runs in reverse registration order, and a failure to
+   register leaves no partial registration behind. *)
+let rec with_registered epochs body =
+  match epochs with
+  | [] -> body ()
+  | e :: rest ->
       Epoch.register e;
       Fun.protect
         ~finally:(fun () -> Epoch.unregister e)
-        (fun () -> worker_body t index ~birth_epoch)
+        (fun () -> with_registered rest body)
 
-let create ?epoch ~domains () =
+let worker_at t index ~birth_epoch () =
+  match t.reader_epochs with
+  | [] -> worker_body t index ~birth_epoch
+  | epochs -> with_registered epochs (fun () -> worker_body t index ~birth_epoch)
+
+let epoch_list ?epoch ?epochs () =
+  match (epoch, epochs) with
+  | None, None -> []
+  | Some e, None -> [ e ]
+  | None, Some es -> es
+  | Some _, Some _ ->
+      invalid_arg "Worker_pool: pass either ?epoch or ?epochs, not both"
+
+let create ?epoch ?epochs ~domains () =
   if domains < 1 then invalid_arg "Worker_pool.create: domains must be >= 1";
+  let reader_epochs = epoch_list ?epoch ?epochs () in
   let t =
     {
       n = domains;
@@ -123,7 +142,7 @@ let create ?epoch ~domains () =
       restarts_total = 0;
       stopping = false;
       workers = [||];
-      reader_epoch = epoch;
+      reader_epochs;
     }
   in
   t.workers <-
@@ -187,8 +206,8 @@ let shutdown t =
   Array.iter Domain.join t.workers;
   t.workers <- [||]
 
-let with_pool ?epoch ~domains f =
-  let t = create ?epoch ~domains () in
+let with_pool ?epoch ?epochs ~domains f =
+  let t = create ?epoch ?epochs ~domains () in
   match f t with
   | v ->
       shutdown t;

@@ -17,7 +17,7 @@ exception Worker_failed of (int * exn) list
     two workers failing the same job both appear.  The run always
     waits for every worker to finish first, so the list is complete. *)
 
-val create : ?epoch:Epoch.t -> domains:int -> unit -> t
+val create : ?epoch:Epoch.t -> ?epochs:Epoch.t list -> domains:int -> unit -> t
 (** Spawn [domains] worker domains, parked awaiting work.  The calling
     domain never executes jobs: with [domains:n], exactly [n] workers
     run each job, so scaling measurements compare like with like.
@@ -27,7 +27,11 @@ val create : ?epoch:Epoch.t -> domains:int -> unit -> t
     its whole lifetime (and unregisters on the way out, even via an
     injected crash — a supervised respawn registers its replacement),
     so optimistic readers pin pre-registered slots and a dead domain
-    never stalls reclamation. *)
+    never stalls reclamation.  [?epochs] is the plural form for
+    NUMA-replicated services, whose per-node replicas each own a
+    reclamation domain: workers register with every manager in list
+    order and unregister in reverse.  Passing both [?epoch] and
+    [?epochs] raises [Invalid_argument]. *)
 
 val size : t -> int
 
@@ -50,5 +54,6 @@ val shutdown : t -> unit
 (** Stop and join all workers.  Idempotent; {!run} after [shutdown]
     raises [Invalid_argument]. *)
 
-val with_pool : ?epoch:Epoch.t -> domains:int -> (t -> 'a) -> 'a
+val with_pool :
+  ?epoch:Epoch.t -> ?epochs:Epoch.t list -> domains:int -> (t -> 'a) -> 'a
 (** [create], apply, [shutdown] — also on exception. *)

@@ -5,9 +5,18 @@ type site =
   | Domain_crash
   | Torn_write
   | Seqlock_stall
+  | Replica_write
 
 let all_sites =
-  [ Alloc_node; Alloc_phys; Lock_timeout; Domain_crash; Torn_write; Seqlock_stall ]
+  [
+    Alloc_node;
+    Alloc_phys;
+    Lock_timeout;
+    Domain_crash;
+    Torn_write;
+    Seqlock_stall;
+    Replica_write;
+  ]
 
 let site_name = function
   | Alloc_node -> "alloc_node"
@@ -16,6 +25,7 @@ let site_name = function
   | Domain_crash -> "domain_crash"
   | Torn_write -> "torn_write"
   | Seqlock_stall -> "seqlock_stall"
+  | Replica_write -> "replica_write"
 
 let site_of_name = function
   | "alloc_node" -> Some Alloc_node
@@ -24,6 +34,7 @@ let site_of_name = function
   | "domain_crash" -> Some Domain_crash
   | "torn_write" -> Some Torn_write
   | "seqlock_stall" -> Some Seqlock_stall
+  | "replica_write" -> Some Replica_write
   | _ -> None
 
 let site_code = function
@@ -33,6 +44,7 @@ let site_code = function
   | Domain_crash -> 3
   | Torn_write -> 4
   | Seqlock_stall -> 5
+  | Replica_write -> 6
 
 exception Injected of { site : site; key : int }
 

@@ -29,6 +29,10 @@ type site =
       (** a writer held mid-bump of a bucket sequence counter, forcing
           concurrent optimistic readers through retry/fallback
           (service, seqlock mode) *)
+  | Replica_write
+      (** an eager fan-out write to a non-primary NUMA replica dropped
+          before it applies — the bucket degrades to lazy and must be
+          healed by pull-on-read catch-up ({!Numa.Replicated}) *)
 
 val all_sites : site list
 

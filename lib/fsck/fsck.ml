@@ -100,6 +100,125 @@ let corrupt_by_name t name =
       | Some k -> HT.corrupt h k
       | None -> false)
 
+(* --- cross-replica agreement (NUMA replication) --- *)
+
+(* Enumerate the live base-table mapping set by walking every fine
+   chain through the table's own lookup path: tags name the resident
+   blocks (clustered: VPBNs, possibly several nodes per block; hashed:
+   VPNs), and [lookup_block] / [lookup] resolve what each tag actually
+   maps.  Limbo nodes are unlinked from the chains, so a quiescent
+   enumeration never sees a retired mapping. *)
+let live_mappings t =
+  let out = ref [] in
+  (match t with
+  | Clustered c ->
+      let factor = (CT.config c).Clustered_pt.Config.subblock_factor in
+      let seen = Hashtbl.create 1024 in
+      for b = 0 to CT.buckets c - 1 do
+        CT.iter_chain_tags c ~bucket:b (fun vpbn ->
+            if not (Hashtbl.mem seen vpbn) then begin
+              Hashtbl.add seen vpbn ();
+              let base = Int64.mul vpbn (Int64.of_int factor) in
+              let entries, _walk =
+                CT.lookup_block c ~vpn:base ~subblock_factor:factor
+              in
+              List.iter
+                (fun (boff, (tr : Pt_common.Types.translation)) ->
+                  let vpn = Int64.add base (Int64.of_int boff) in
+                  out :=
+                    (vpn, tr.Pt_common.Types.ppn, tr.Pt_common.Types.attr)
+                    :: !out)
+                entries
+            end)
+      done
+  | Hashed h ->
+      for b = 0 to HT.buckets h - 1 do
+        HT.iter_chain_tags h ~bucket:b (fun vpn ->
+            match HT.lookup h ~vpn with
+            | Some tr, _ ->
+                out :=
+                  (vpn, tr.Pt_common.Types.ppn, tr.Pt_common.Types.attr)
+                  :: !out
+            | None, _ -> ())
+      done);
+  List.sort_uniq compare !out
+
+let check_replicas ?generations tables =
+  if Array.length tables = 0 then
+    invalid_arg "Fsck.check_replicas: need at least one replica";
+  let r_org = org tables.(0) in
+  let findings = ref [] in
+  let add code detail = findings := { code; detail } :: !findings in
+  let primary = live_mappings tables.(0) in
+  for r = 1 to Array.length tables - 1 do
+    if org tables.(r) <> r_org then
+      add "replica_org"
+        (Printf.sprintf "replica %d is %s, primary is %s" r (org tables.(r))
+           r_org)
+    else begin
+      (* merge-walk two vpn-sorted mapping lists *)
+      let rec go p l =
+        match (p, l) with
+        | [], [] -> ()
+        | (vpn, _, _) :: p', [] ->
+            add "replica_divergence"
+              (Printf.sprintf "replica %d: vpn 0x%Lx missing" r vpn);
+            go p' []
+        | [], (vpn, _, _) :: l' ->
+            add "replica_divergence"
+              (Printf.sprintf "replica %d: vpn 0x%Lx extra" r vpn);
+            go [] l'
+        | ((pv, pp, pa) as ph) :: p', ((lv, lp, la) as lh) :: l' ->
+            let c = Int64.compare pv lv in
+            if c < 0 then begin
+              add "replica_divergence"
+                (Printf.sprintf "replica %d: vpn 0x%Lx missing" r pv);
+              go p' (lh :: l')
+            end
+            else if c > 0 then begin
+              add "replica_divergence"
+                (Printf.sprintf "replica %d: vpn 0x%Lx extra" r lv);
+              go (ph :: p') l'
+            end
+            else begin
+              if not (Int64.equal pp lp) then
+                add "replica_divergence"
+                  (Printf.sprintf
+                     "replica %d: vpn 0x%Lx maps ppn 0x%Lx, primary has \
+                      0x%Lx"
+                     r lv lp pp)
+              else if not (Pte.Attr.equal pa la) then
+                add "replica_divergence"
+                  (Printf.sprintf "replica %d: vpn 0x%Lx attr differs" r lv);
+              go p' l'
+            end
+      in
+      go primary (live_mappings tables.(r))
+    end
+  done;
+  (match generations with
+  | None -> ()
+  | Some gens ->
+      let g0 = gens.(0) in
+      for r = 1 to Array.length gens - 1 do
+        let gr = gens.(r) in
+        if Array.length gr <> Array.length g0 then
+          add "replica_generation"
+            (Printf.sprintf "replica %d: %d buckets of generations, primary \
+                             has %d"
+               r (Array.length gr) (Array.length g0))
+        else
+          Array.iteri
+            (fun b v ->
+              if v <> g0.(b) then
+                add "replica_generation"
+                  (Printf.sprintf
+                     "bucket %d: replica %d at generation %d, primary at %d" b
+                     r v g0.(b)))
+            gr
+      done);
+  { r_org; findings = List.rev !findings }
+
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter

@@ -46,6 +46,31 @@ val corrupt_by_name : table -> string -> bool
     unknown for this organization or the table has no applicable site
     (e.g. ["torn_replica"] with no multi-block superpage present). *)
 
+(** {2 Cross-replica agreement (NUMA replication)}
+
+    A NUMA-replicated table keeps one structurally independent replica
+    of the same logical mapping set per node.  Beyond each replica's
+    own structural {!check}, the replicated layer must prove the
+    replicas {e agree}: same live (vpn → pte) set everywhere (the
+    analogue of the clustered checker's multi-block superpage replica
+    consistency, lifted from nodes within one table to whole tables),
+    and — when the caller versions buckets — the same per-bucket
+    generation on every replica. *)
+
+val live_mappings : table -> (int64 * int64 * Pte.Attr.t) list
+(** The live base-table mapping set [(vpn, ppn, attr)], sorted by vpn,
+    enumerated through the table's own chains and lookup path.  Run at
+    quiescence. *)
+
+val check_replicas : ?generations:int array array -> table array -> report
+(** Compare every replica's live mapping set against replica 0
+    (finding code ["replica_divergence"]: a vpn missing, extra, or
+    mapped differently) and, with [?generations], every replica's
+    per-bucket generation row against row 0 (["replica_generation"]).
+    Mixed organizations report ["replica_org"].  Clean when the
+    replicas are exact copies.  Raises [Invalid_argument] on an empty
+    array. *)
+
 val report_to_json : report -> string
 (** [{"org":...,"clean":...,"findings":[{"code":...,"detail":...}]}] —
     deterministic for a deterministic table state. *)

@@ -1,0 +1,39 @@
+(* A modeled multi-socket machine.
+
+   N nodes, each with its own physical memory.  The only property the
+   page-table experiments need from it is the asymmetry Mitosis
+   (arXiv:1910.05398) measures: a cache line of a page-table walk costs
+   more to fetch from a remote node's memory than from the local one.
+   Costs are small integers in "local line units" so every derived
+   figure stays exact and bit-identical across runs. *)
+
+type t = { nodes : int; local_cost : int; remote_cost : int }
+
+let make ?(local_cost = 1) ?(remote_cost = 4) ~nodes () =
+  if nodes < 1 then invalid_arg "Machine.make: nodes must be >= 1";
+  if local_cost < 1 then invalid_arg "Machine.make: local_cost must be >= 1";
+  if remote_cost < local_cost then
+    invalid_arg "Machine.make: remote_cost must be >= local_cost";
+  { nodes; local_cost; remote_cost }
+
+let nodes t = t.nodes
+
+let local_cost t = t.local_cost
+
+let remote_cost t = t.remote_cost
+
+let check_node t n ~what =
+  if n < 0 || n >= t.nodes then
+    invalid_arg (Printf.sprintf "Machine: %s node %d out of [0, %d)" what n t.nodes)
+
+let is_local t ~reader ~home =
+  check_node t reader ~what:"reader";
+  check_node t home ~what:"home";
+  reader = home
+
+let line_cost t ~reader ~home =
+  if is_local t ~reader ~home then t.local_cost else t.remote_cost
+
+let walk_cost t ~reader ~home ~lines =
+  if lines < 0 then invalid_arg "Machine.walk_cost: lines must be >= 0";
+  lines * line_cost t ~reader ~home

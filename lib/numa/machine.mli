@@ -1,0 +1,32 @@
+(** A modeled multi-socket machine: N NUMA nodes, each with its own
+    physical memory.
+
+    The experiments charge page-table walks through the existing
+    cache-line accounting ([Mem.Cache_model]); this module adds the
+    one NUMA-specific fact — a line fetched from a remote node's
+    memory costs more than a local one.  Costs are small exact
+    integers ("local line units"), so derived figures are
+    deterministic. *)
+
+type t
+
+val make : ?local_cost:int -> ?remote_cost:int -> nodes:int -> unit -> t
+(** Defaults: local 1, remote 4 (a typical ~4x inter-socket latency
+    ratio).  Raises [Invalid_argument] unless
+    [1 <= local_cost <= remote_cost] and [nodes >= 1]. *)
+
+val nodes : t -> int
+
+val local_cost : t -> int
+
+val remote_cost : t -> int
+
+val is_local : t -> reader:int -> home:int -> bool
+(** Whether a walk by a thread on [reader] against a table homed on
+    [home] touches only local memory.  Raises [Invalid_argument] on an
+    out-of-range node. *)
+
+val line_cost : t -> reader:int -> home:int -> int
+
+val walk_cost : t -> reader:int -> home:int -> lines:int -> int
+(** [lines * line_cost]. *)

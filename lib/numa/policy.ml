@@ -1,0 +1,60 @@
+(* Per-address-space replication policy.
+
+   An address space is profiled for one round (reads per node, write
+   count — the counters {!Replicated.stats} and the numa.* Obs
+   registry carry), then placed by comparing modeled line costs:
+
+   - Home n: every read from node m <> n pays remote lines; writes pay
+     nothing extra (one replica).
+   - Replicate: every read is local, but each write fans out to
+     [nodes - 1] extra replicas, remote from the writer.
+
+   Costs are charged per access through {!Machine.line_cost} with a
+   nominal one line per walk — exactly the clustered table's design
+   point, which is what makes the comparison honest: replication pays
+   off when remote read lines outweigh fan-out write lines.  The
+   decision is a pure function of the counters, so a profiled run
+   places spaces deterministically. *)
+
+type decision = Replicate | Home of int
+
+let decision_name = function
+  | Replicate -> "replicate"
+  | Home n -> Printf.sprintf "home%d" n
+
+(* modeled line cost of homing the space on [n] *)
+let home_cost machine ~reads_per_node ~n =
+  let cost = ref 0 in
+  Array.iteri
+    (fun m reads ->
+      cost := !cost + (reads * Machine.line_cost machine ~reader:m ~home:n))
+    reads_per_node;
+  !cost
+
+(* modeled line cost of replicating: local reads everywhere, plus a
+   fan-out of [nodes - 1] replica writes per write, charged remote
+   (the writer updates every other node's memory) *)
+let replicate_cost machine ~reads_per_node ~writes =
+  let nodes = Machine.nodes machine in
+  let local = Machine.local_cost machine in
+  let remote = Machine.remote_cost machine in
+  let reads = Array.fold_left ( + ) 0 reads_per_node in
+  (reads * local) + (writes * (nodes - 1) * remote)
+
+let decide machine ~reads_per_node ~writes =
+  let nodes = Machine.nodes machine in
+  if Array.length reads_per_node <> nodes then
+    invalid_arg "Policy.decide: reads_per_node must have one slot per node";
+  if writes < 0 || Array.exists (fun r -> r < 0) reads_per_node then
+    invalid_arg "Policy.decide: counters must be >= 0";
+  let best_home = ref 0 in
+  let best_cost = ref (home_cost machine ~reads_per_node ~n:0) in
+  for n = 1 to nodes - 1 do
+    let c = home_cost machine ~reads_per_node ~n in
+    if c < !best_cost then begin
+      best_home := n;
+      best_cost := c
+    end
+  done;
+  let rc = replicate_cost machine ~reads_per_node ~writes in
+  if rc < !best_cost then Replicate else Home !best_home

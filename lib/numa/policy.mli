@@ -1,0 +1,29 @@
+(** Per-address-space migration/replication policy.
+
+    Given one profiling round's counters for a space — reads issued
+    per node and total writes — place the space where the modeled
+    cache-line cost is lowest: replicate it (reads all local, writes
+    fan out) when it is hot and read-mostly, or single-home it on its
+    dominant reader when it is write-heavy.  The decision is a pure
+    function of the counters and the {!Machine} costs, so profiled
+    runs place spaces deterministically. *)
+
+type decision = Replicate | Home of int
+
+val decision_name : decision -> string
+(** ["replicate"] or ["home<n>"]. *)
+
+val home_cost : Machine.t -> reads_per_node:int array -> n:int -> int
+(** Modeled line cost of serving the profiled reads from one replica
+    on node [n] (one line per walk — the clustered table's design
+    point). *)
+
+val replicate_cost : Machine.t -> reads_per_node:int array -> writes:int -> int
+(** Modeled line cost of replicating: all reads local plus
+    [writes * (nodes - 1)] remote fan-out lines. *)
+
+val decide : Machine.t -> reads_per_node:int array -> writes:int -> decision
+(** The cheaper of the best single home and replication; ties keep
+    the single home (cheaper in memory).  Raises [Invalid_argument]
+    if [reads_per_node] doesn't have one slot per node or any counter
+    is negative. *)

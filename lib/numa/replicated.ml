@@ -1,0 +1,454 @@
+(* A NUMA-replicated page-table service.
+
+   One logical hashed/clustered table, one full {!Pt_service.Service}
+   replica per node.  Reads walk the replica of the reader's node —
+   with [Seqlock] locking that walk is lock-free, and each replica owns
+   its own epoch-reclamation domain — so the read-mostly traffic the
+   paper's clustered table is built for touches only local lines.
+
+   Writes go through the primary (replica 0) first, then fan out:
+
+   - [Single_home]: no fan-out; one replica serves every node (the
+     baseline the replication is measured against, at any home node).
+   - [Eager]: the write applies to every replica before returning,
+     under each replica's own stripe write lock; the per-bucket
+     coordination mutex serializes writers of a bucket across the
+     replica set so all replicas see one bucket-order.
+   - [Lazy]: only the primary is written; the op is journaled under a
+     bumped per-bucket generation ({!Clustered_pt.Generation}), and a
+     reader that finds its replica's applied generation trailing pulls
+     the pending journal suffix into its replica first (pull-on-read
+     catch-up, numaPTE-style).
+
+   An [Eager] fan-out write can be dropped by an injected
+   [Fault.Replica_write]; the bucket then *degrades to lazy* on that
+   replica — its applied generation stops advancing, later eager
+   writes to the bucket skip it (applying them out of order would fork
+   history), and the same pull-on-read catch-up heals it.  Catch-up
+   replay runs under [Fault.suspended]: healing never injects.
+
+   Determinism: the journal, generations and applied marks of a bucket
+   are only touched under that bucket's mutex, so per-bucket histories
+   are totally ordered; all cross-bucket stats kept here are sums of
+   per-op contributions that do not depend on interleaving. *)
+
+module G = Clustered_pt.Generation
+module Service = Pt_service.Service
+
+type mode = Single_home | Eager | Lazy
+
+let mode_name = function
+  | Single_home -> "single_home"
+  | Eager -> "eager"
+  | Lazy -> "lazy"
+
+let mode_of_name = function
+  | "single_home" -> Some Single_home
+  | "eager" -> Some Eager
+  | "lazy" -> Some Lazy
+  | _ -> None
+
+type op =
+  | O_insert of { vpn : int64; ppn : int64; attr : Pte.Attr.t }
+  | O_remove of { vpn : int64 }
+  | O_protect of { vpn : int64; writable : bool }
+
+let op_vpn = function
+  | O_insert { vpn; _ } | O_remove { vpn } | O_protect { vpn; _ } -> vpn
+
+type t = {
+  machine : Machine.t;
+  mode : mode;
+  home : int;  (* the single replica's node in Single_home mode *)
+  replicas : Service.t array;  (* replica r is homed on node r *)
+  buckets : int;
+  gens : G.t;  (* current write generation per bucket (primary) *)
+  applied : G.t array;  (* per replica: generation applied up to *)
+  mutable journal : (int * op) list array;  (* newest first, per bucket *)
+  jmx : Mutex.t array;  (* per-bucket coordination mutex *)
+  (* stats — atomics so concurrent streams tally without locks *)
+  s_lookups : int Atomic.t;
+  s_hits : int Atomic.t;
+  s_local_lines : int Atomic.t;
+  s_remote_lines : int Atomic.t;
+  s_reads_per_node : int Atomic.t array;  (* length = machine nodes *)
+  s_logical_writes : int Atomic.t;
+  s_replica_writes : int Atomic.t;
+  s_eager_skips : int Atomic.t;
+  s_catchups : int Atomic.t;
+  s_replayed : int Atomic.t;
+  s_max_pending : int Atomic.t;
+  s_sync_replayed : int Atomic.t;
+}
+
+let create ?(buckets = 4096) ?subblock_factor ?(home = 0) ~machine ~org
+    ~locking ~mode () =
+  let nodes = Machine.nodes machine in
+  if home < 0 || home >= nodes then
+    invalid_arg "Replicated.create: home node out of range";
+  if mode <> Single_home && home <> 0 then
+    invalid_arg "Replicated.create: ?home applies to Single_home only";
+  let replica_count = match mode with Single_home -> 1 | _ -> nodes in
+  let replicas =
+    Array.init replica_count (fun _ ->
+        Service.create ~buckets ?subblock_factor ~org ~locking ())
+  in
+  {
+    machine;
+    mode;
+    home;
+    replicas;
+    buckets;
+    gens = G.create ~buckets;
+    applied = Array.init replica_count (fun _ -> G.create ~buckets);
+    journal = Array.make buckets [];
+    jmx = Array.init buckets (fun _ -> Mutex.create ());
+    s_lookups = Atomic.make 0;
+    s_hits = Atomic.make 0;
+    s_local_lines = Atomic.make 0;
+    s_remote_lines = Atomic.make 0;
+    s_reads_per_node = Array.init nodes (fun _ -> Atomic.make 0);
+    s_logical_writes = Atomic.make 0;
+    s_replica_writes = Atomic.make 0;
+    s_eager_skips = Atomic.make 0;
+    s_catchups = Atomic.make 0;
+    s_replayed = Atomic.make 0;
+    s_max_pending = Atomic.make 0;
+    s_sync_replayed = Atomic.make 0;
+  }
+
+let machine t = t.machine
+
+let mode t = t.mode
+
+let nodes t = Machine.nodes t.machine
+
+let org t = Service.org t.replicas.(0)
+
+let locking t = Service.locking t.replicas.(0)
+
+let replica_count t = Array.length t.replicas
+
+let population t = Service.population t.replicas.(0)
+
+let bucket_of t ~vpn = Service.bucket_of t.replicas.(0) ~vpn
+
+(* the node whose memory serves reads issued on [node] *)
+let home_of t ~node = match t.mode with Single_home -> t.home | _ -> node
+
+let incr a = ignore (Atomic.fetch_and_add a 1)
+
+let add a k = ignore (Atomic.fetch_and_add a k)
+
+let max_update a v =
+  let rec go () =
+    let cur = Atomic.get a in
+    if v <= cur then ()
+    else if Atomic.compare_and_set a cur v then ()
+    else go ()
+  in
+  go ()
+
+let apply_op svc = function
+  | O_insert { vpn; ppn; attr } -> Service.insert svc ~vpn ~ppn ~attr
+  | O_remove { vpn } -> Service.remove svc ~vpn
+  | O_protect { vpn; writable } ->
+      ignore
+        (Service.protect svc (Addr.Region.make ~first_vpn:vpn ~pages:1)
+           ~writable)
+
+(* Under jmx.(bucket).  Drop journal entries every replica has
+   applied: the suffix above [min applied] is all catch-up can ever
+   need. *)
+let prune t ~bucket =
+  let floor = ref max_int in
+  Array.iter
+    (fun a -> floor := min !floor (G.get a ~bucket))
+    t.applied;
+  t.journal.(bucket) <-
+    List.filter (fun (g, _) -> g > !floor) t.journal.(bucket)
+
+(* Under jmx.(bucket): replay the pending suffix oldest-first into
+   replica [r].  Recovery must not inject new faults, so replay runs
+   suspended. *)
+let catch_up_locked t ~r ~bucket ~sync =
+  let a = G.get t.applied.(r) ~bucket in
+  let g = G.get t.gens ~bucket in
+  if a < g then begin
+    let pending = List.filter (fun (gg, _) -> gg > a) t.journal.(bucket) in
+    let n = List.length pending in
+    Fault.suspended (fun () ->
+        List.iter (fun (_, op) -> apply_op t.replicas.(r) op) (List.rev pending));
+    G.set_at_least t.applied.(r) ~bucket g;
+    add t.s_replica_writes n;
+    if sync then add t.s_sync_replayed n
+    else begin
+      incr t.s_catchups;
+      add t.s_replayed n;
+      max_update t.s_max_pending n
+    end;
+    prune t ~bucket
+  end
+
+let catch_up t ~r ~bucket ~sync =
+  Mutex.lock t.jmx.(bucket);
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.jmx.(bucket))
+    (fun () -> catch_up_locked t ~r ~bucket ~sync)
+
+let check_node t node ~what =
+  if node < 0 || node >= nodes t then
+    invalid_arg
+      (Printf.sprintf "Replicated: %s node %d out of [0, %d)" what node
+         (nodes t))
+
+let write t ~node op =
+  check_node t node ~what:"writer";
+  incr t.s_logical_writes;
+  match t.mode with
+  | Single_home ->
+      apply_op t.replicas.(0) op;
+      incr t.s_replica_writes
+  | Eager | Lazy ->
+      let b = bucket_of t ~vpn:(op_vpn op) in
+      Mutex.lock t.jmx.(b);
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.jmx.(b))
+        (fun () ->
+          apply_op t.replicas.(0) op;
+          let g = G.bump t.gens ~bucket:b in
+          G.set_at_least t.applied.(0) ~bucket:b g;
+          t.journal.(b) <- (g, op) :: t.journal.(b);
+          incr t.s_replica_writes;
+          (if t.mode = Eager then
+             for r = 1 to replica_count t - 1 do
+               (* a replica whose bucket already trails stays lazy:
+                  applying just this op would reorder its history *)
+               if G.get t.applied.(r) ~bucket:b = g - 1 then begin
+                 (* the attempt ordinal distinguishes the replicas of
+                    one fan-out, so a plan can drop some and not
+                    others — deterministically *)
+                 let dropped =
+                   Fault.active ()
+                   && begin
+                        Fault.set_attempt r;
+                        let d = Fault.trip Fault.Replica_write in
+                        Fault.set_attempt 0;
+                        d
+                      end
+                 in
+                 if dropped then incr t.s_eager_skips
+                 else begin
+                   apply_op t.replicas.(r) op;
+                   G.set_at_least t.applied.(r) ~bucket:b g;
+                   incr t.s_replica_writes
+                 end
+               end
+               else incr t.s_eager_skips
+             done);
+          prune t ~bucket:b)
+
+let insert ?(node = 0) t ~vpn ~ppn ~attr =
+  write t ~node (O_insert { vpn; ppn; attr })
+
+let remove ?(node = 0) t ~vpn = write t ~node (O_remove { vpn })
+
+let protect_page ?(node = 0) t ~vpn ~writable =
+  write t ~node (O_protect { vpn; writable })
+
+let lookup_into t counter acc ~node ~vpn =
+  check_node t node ~what:"reader";
+  let r = match t.mode with Single_home -> 0 | _ -> node in
+  (if t.mode <> Single_home && r > 0 then begin
+     let b = bucket_of t ~vpn in
+     if G.get t.applied.(r) ~bucket:b < G.get t.gens ~bucket:b then
+       catch_up t ~r ~bucket:b ~sync:false
+   end);
+  Mem.Walk_acc.reset acc;
+  let hit = Service.lookup_into t.replicas.(r) acc ~vpn in
+  let lines = Mem.Cache_model.record_acc counter acc in
+  let home = home_of t ~node in
+  if Machine.is_local t.machine ~reader:node ~home then
+    add t.s_local_lines lines
+  else add t.s_remote_lines lines;
+  incr t.s_lookups;
+  incr t.s_reads_per_node.(node);
+  if hit then incr t.s_hits;
+  hit
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      (Mem.Cache_model.create_counter (), Mem.Walk_acc.create ()))
+
+let lookup t ~node ~vpn =
+  let counter, acc = Domain.DLS.get scratch_key in
+  lookup_into t counter acc ~node ~vpn
+
+(* stale (replica, bucket) pairs right now — the lazy-staleness probe
+   the driver samples between phases *)
+let stale_buckets t =
+  let stale = ref 0 in
+  for r = 1 to replica_count t - 1 do
+    for b = 0 to t.buckets - 1 do
+      if G.get t.applied.(r) ~bucket:b < G.get t.gens ~bucket:b then
+        Stdlib.incr stale
+    done
+  done;
+  !stale
+
+(* pending journaled ops not yet applied somewhere *)
+let pending_ops t =
+  let pending = ref 0 in
+  for r = 1 to replica_count t - 1 do
+    for b = 0 to t.buckets - 1 do
+      let a = G.get t.applied.(r) ~bucket:b in
+      List.iter
+        (fun (g, _) -> if g > a then Stdlib.incr pending)
+        t.journal.(b)
+    done
+  done;
+  !pending
+
+let sync t =
+  for r = 1 to replica_count t - 1 do
+    for b = 0 to t.buckets - 1 do
+      if G.get t.applied.(r) ~bucket:b < G.get t.gens ~bucket:b then
+        catch_up t ~r ~bucket:b ~sync:true
+    done
+  done
+
+let reader_epochs t =
+  Array.to_list t.replicas
+  |> List.filter_map Service.reader_epoch
+
+let quiesce t =
+  sync t;
+  Array.iter Service.quiesce t.replicas
+
+type stats = {
+  lookups : int;
+  hits : int;
+  local_lines : int;
+  remote_lines : int;
+  reads_per_node : int array;
+  logical_writes : int;
+  replica_writes : int;
+  eager_skips : int;
+  catchups : int;
+  replayed_ops : int;
+  max_catchup_pending : int;
+  sync_replayed : int;
+}
+
+let stats t =
+  {
+    lookups = Atomic.get t.s_lookups;
+    hits = Atomic.get t.s_hits;
+    local_lines = Atomic.get t.s_local_lines;
+    remote_lines = Atomic.get t.s_remote_lines;
+    reads_per_node = Array.map Atomic.get t.s_reads_per_node;
+    logical_writes = Atomic.get t.s_logical_writes;
+    replica_writes = Atomic.get t.s_replica_writes;
+    eager_skips = Atomic.get t.s_eager_skips;
+    catchups = Atomic.get t.s_catchups;
+    replayed_ops = Atomic.get t.s_replayed;
+    max_catchup_pending = Atomic.get t.s_max_pending;
+    sync_replayed = Atomic.get t.s_sync_replayed;
+  }
+
+let reset_stats t =
+  Atomic.set t.s_lookups 0;
+  Atomic.set t.s_hits 0;
+  Atomic.set t.s_local_lines 0;
+  Atomic.set t.s_remote_lines 0;
+  Array.iter (fun a -> Atomic.set a 0) t.s_reads_per_node;
+  Atomic.set t.s_logical_writes 0;
+  Atomic.set t.s_replica_writes 0;
+  Atomic.set t.s_eager_skips 0;
+  Atomic.set t.s_catchups 0;
+  Atomic.set t.s_replayed 0;
+  Atomic.set t.s_max_pending 0;
+  Atomic.set t.s_sync_replayed 0
+
+(* publish run totals into the calling domain's ambient shard — the
+   driver calls this once at quiescence, so the merged registry stays
+   interleaving-invariant whenever the totals are *)
+let stats_to_metrics t =
+  let s = stats t in
+  let m = Obs.Ambient.get () in
+  let put name v = Obs.Metrics.add (Obs.Metrics.counter m name) v in
+  put "numa.lookups" s.lookups;
+  put "numa.lookup_hits" s.hits;
+  put "numa.local_lines" s.local_lines;
+  put "numa.remote_lines" s.remote_lines;
+  put "numa.logical_writes" s.logical_writes;
+  put "numa.replica_writes" s.replica_writes;
+  put "numa.eager_skips" s.eager_skips;
+  put "numa.catchups" s.catchups;
+  put "numa.replayed_ops" s.replayed_ops;
+  put "numa.sync_replayed" s.sync_replayed;
+  Obs.Hist.observe
+    (Obs.Metrics.hist m "numa.catchup_pending")
+    s.max_catchup_pending
+
+(* --- integrity: per-replica structural fsck + cross-replica
+       agreement --- *)
+
+let fsck t =
+  let tables = Array.map Service.fsck_table t.replicas in
+  let structural = ref [] in
+  Array.iteri
+    (fun r tbl ->
+      List.iter
+        (fun (f : Fsck.finding) ->
+          structural :=
+            {
+              f with
+              Fsck.detail = Printf.sprintf "replica %d: %s" r f.Fsck.detail;
+            }
+            :: !structural)
+        (Fsck.check tbl).Fsck.findings)
+    tables;
+  let agreement =
+    Fsck.check_replicas ~generations:(Array.map G.snapshot t.applied) tables
+  in
+  {
+    agreement with
+    Fsck.findings = List.rev !structural @ agreement.Fsck.findings;
+  }
+
+let corruption_kinds =
+  [ "replica_extra"; "replica_missing"; "replica_ppn"; "replica_generation" ]
+
+(* Corrupt a non-primary replica directly, bypassing the fan-out — the
+   no-false-negatives test proves {!fsck} sees every kind.  False when
+   the configuration has no applicable site (a single replica, or no
+   live mapping to damage). *)
+let corrupt t kind =
+  let last = replica_count t - 1 in
+  if last = 0 then false
+  else
+    let victim = t.replicas.(last) in
+    match kind with
+    | "replica_extra" ->
+        Service.insert victim ~vpn:0xDEAD_0000L ~ppn:0xDEADL
+          ~attr:Pte.Attr.default;
+        true
+    | "replica_missing" -> (
+        match Fsck.live_mappings (Service.fsck_table victim) with
+        | [] -> false
+        | (vpn, _, _) :: _ ->
+            Service.remove victim ~vpn;
+            true)
+    | "replica_ppn" -> (
+        match Fsck.live_mappings (Service.fsck_table victim) with
+        | [] -> false
+        | (vpn, ppn, attr) :: _ ->
+            Service.remove victim ~vpn;
+            Service.insert victim ~vpn ~ppn:(Int64.add ppn 1L) ~attr;
+            true)
+    | "replica_generation" ->
+        G.set_at_least t.applied.(last) ~bucket:0
+          (G.get t.gens ~bucket:0 + 7);
+        true
+    | _ -> false

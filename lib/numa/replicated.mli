@@ -1,0 +1,145 @@
+(** A NUMA-replicated page-table service: one full
+    {!Pt_service.Service} replica of the same logical hashed/clustered
+    table per node.
+
+    Reads walk the reader's local replica — lock-free under [Seqlock]
+    locking, each replica with its own epoch-reclamation domain
+    (register workers with every epoch of {!reader_epochs}).  Writes
+    apply to the primary (replica 0) and fan out per {!mode}:
+
+    - [Single_home]: one replica (at node [?home]) serves every node;
+      reads from other nodes pay remote lines.
+    - [Eager]: the write applies to all replicas before returning,
+      each under its own stripe write lock, serialized per bucket.
+    - [Lazy]: only the primary is written; the op is journaled under a
+      bumped per-bucket generation ({!Clustered_pt.Generation}) and
+      replicas pull the pending suffix on their next read of the
+      bucket (pull-on-read catch-up).
+
+    An injected [Fault.Replica_write] drops one eager fan-out write;
+    the bucket degrades to lazy on that replica (later eager writes
+    skip it rather than reorder its history) until catch-up or
+    {!sync} heals it.  Catch-up replays run under [Fault.suspended].
+
+    All statistics are sums of per-op contributions independent of
+    interleaving, so drivers that fix their op streams stay
+    bit-identical for any domain count. *)
+
+type mode = Single_home | Eager | Lazy
+
+val mode_name : mode -> string
+
+val mode_of_name : string -> mode option
+
+type t
+
+val create :
+  ?buckets:int ->
+  ?subblock_factor:int ->
+  ?home:int ->
+  machine:Machine.t ->
+  org:Pt_service.Service.org ->
+  locking:Pt_service.Service.locking ->
+  mode:mode ->
+  unit ->
+  t
+(** Defaults: 4096 buckets, the service's default subblock factor,
+    home node 0.  [?home] is only meaningful for [Single_home] (other
+    modes place replica [r] on node [r]); passing it with another mode
+    raises [Invalid_argument]. *)
+
+val machine : t -> Machine.t
+
+val mode : t -> mode
+
+val nodes : t -> int
+
+val org : t -> Pt_service.Service.org
+
+val locking : t -> Pt_service.Service.locking
+
+val replica_count : t -> int
+(** 1 for [Single_home], [nodes] otherwise. *)
+
+val population : t -> int
+(** Of the primary replica. *)
+
+val bucket_of : t -> vpn:int64 -> int
+
+val insert :
+  ?node:int -> t -> vpn:int64 -> ppn:int64 -> attr:Pte.Attr.t -> unit
+(** [?node] is the writing thread's node (stats only — writes always
+    order through the primary). *)
+
+val remove : ?node:int -> t -> vpn:int64 -> unit
+
+val protect_page : ?node:int -> t -> vpn:int64 -> writable:bool -> unit
+
+val lookup_into :
+  t -> Mem.Cache_model.counter -> Mem.Walk_acc.t -> node:int -> vpn:int64 -> bool
+(** Walk from [node]: catch the local replica's bucket up if it
+    trails (lazy or fault-degraded), then walk it.  The walk's
+    distinct cache lines are recorded into [counter] and tallied as
+    local or remote by the replica's home.  [counter] and the
+    accumulator must be private to the calling domain. *)
+
+val lookup : t -> node:int -> vpn:int64 -> bool
+(** {!lookup_into} with per-domain scratch. *)
+
+val stale_buckets : t -> int
+(** Stale (replica, bucket) pairs right now — the lazy-staleness
+    probe.  Only exact at a phase barrier (no concurrent writers). *)
+
+val pending_ops : t -> int
+(** Journal entries some replica still has to apply. *)
+
+val sync : t -> unit
+(** Catch every replica up on every bucket (tallied as
+    [sync_replayed], not as pull-on-read catch-ups). *)
+
+val reader_epochs : t -> Exec.Epoch.t list
+(** The reclamation domains of the replicas ([] unless [Seqlock]) —
+    pass to [Exec.Worker_pool.create ?epochs]. *)
+
+val quiesce : t -> unit
+(** {!sync}, then reclaim every replica's limbo. *)
+
+type stats = {
+  lookups : int;
+  hits : int;
+  local_lines : int;
+  remote_lines : int;
+  reads_per_node : int array;
+  logical_writes : int;  (** service-level mutations requested *)
+  replica_writes : int;  (** mutations applied across all replicas *)
+  eager_skips : int;  (** fan-out writes skipped (degraded buckets) *)
+  catchups : int;  (** pull-on-read catch-up episodes *)
+  replayed_ops : int;  (** journal ops replayed by those catch-ups *)
+  max_catchup_pending : int;  (** deepest single catch-up *)
+  sync_replayed : int;  (** journal ops replayed by {!sync} *)
+}
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+
+val stats_to_metrics : t -> unit
+(** Publish the totals as [numa.*] counters (and the catch-up depth
+    histogram) into the calling domain's {!Obs.Ambient} shard.  Call
+    at quiescence. *)
+
+val fsck : t -> Fsck.report
+(** Every replica's structural check (details prefixed with the
+    replica index) plus the cross-replica agreement check
+    ([Fsck.check_replicas] with this layer's per-bucket generations).
+    Run at quiescence, after {!sync} if lazy divergence is expected. *)
+
+val corruption_kinds : string list
+(** ["replica_extra"; "replica_missing"; "replica_ppn";
+    "replica_generation"] — each damages a non-primary replica
+    directly, bypassing the fan-out. *)
+
+val corrupt : t -> string -> bool
+(** Inject one cross-replica corruption by name.  False if the name is
+    unknown or the configuration has no applicable site (single
+    replica, or nothing live to damage). *)

@@ -147,6 +147,7 @@ let site_ordinal = function
   | Fault.Domain_crash -> 3
   | Fault.Torn_write -> 4
   | Fault.Seqlock_stall -> 5
+  | Fault.Replica_write -> 6
 
 let note_injected site =
   bump ("fault.injected." ^ Fault.site_name site);
@@ -599,6 +600,8 @@ let as_fsck t =
   match t.backend with
   | H h -> Fsck.Hashed h
   | C c -> Fsck.Clustered c
+
+let fsck_table = as_fsck
 
 let fsck t = Fsck.check (as_fsck t)
 

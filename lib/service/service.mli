@@ -157,6 +157,11 @@ val probe : ?into:Obs.Probe.report -> t -> Obs.Probe.report
 val heal_attempts : int
 (** Attempt budget per operation (including the first try). *)
 
+val fsck_table : t -> Fsck.table
+(** The backing table as an {!Fsck} subject — what the cross-replica
+    agreement check ([Fsck.check_replicas]) consumes when the same
+    logical table is replicated across NUMA nodes. *)
+
 val fsck : t -> Fsck.report
 (** Integrity-check the backing table. *)
 

@@ -1691,3 +1691,24 @@ let inspect ?(options = default_options) ?domains
     "mean chain = nodes/buckets over every bucket; the appendix's \
      lines-per-miss is 1 + alpha/2 (Table 2).";
   rows
+
+(* --- NUMA replication (PR 7) --- *)
+
+type numa_suite = {
+  numa_cfg : Numa.Numa_sim.config;
+  numa_outcome : Numa.Numa_sim.outcome;
+}
+
+let numa_for_suite ?(options = default_options) ?(domains = 1) () =
+  let base =
+    if options.quick then Numa.Numa_sim.quick_config
+    else Numa.Numa_sim.default_config
+  in
+  let cfg = { base with Numa.Numa_sim.domains } in
+  let outcome = Numa.Numa_sim.run cfg in
+  Format.printf "@.== NUMA-replicated service ==@.%a" Numa.Numa_sim.pp_outcome
+    outcome;
+  { numa_cfg = cfg; numa_outcome = outcome }
+
+let numa_suite_json s = Numa.Numa_sim.outcome_to_json s.numa_cfg s.numa_outcome
+let numa_suite_clean s = Numa.Numa_sim.all_clean s.numa_outcome

@@ -283,3 +283,25 @@ val inspect :
     within 5% (a tier-1 test holds this).  Also merges each workload's
     histograms into the ambient metrics under [inspect.<workload>.*]
     so [--metrics-out] captures them. *)
+
+(** {1 NUMA replication (PR 7)} *)
+
+type numa_suite = {
+  numa_cfg : Numa.Numa_sim.config;
+  numa_outcome : Numa.Numa_sim.outcome;
+}
+
+val numa_for_suite : ?options:options -> ?domains:int -> unit -> numa_suite
+(** The {!Numa} extension at suite scale: the {!Numa.Numa_sim} matrix
+    (node counts x organizations x replication modes, plus the
+    migration-policy experiment), printed as a table.  The quick
+    config rides [--quick].  [domains] sizes the worker pool only —
+    the outcome, and hence {!numa_suite_json}, is bit-identical for
+    every value. *)
+
+val numa_suite_json : numa_suite -> string
+(** {!Numa.Numa_sim.outcome_to_json} of the run — the benchmark
+    harness embeds it as [experiments.numa]. *)
+
+val numa_suite_clean : numa_suite -> bool
+(** Every row's replicas passed fsck. *)

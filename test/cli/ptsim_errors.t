@@ -15,7 +15,7 @@ Bare invocation:
 An unknown subcommand names the offending token:
 
   $ ptsim nonsense
-  ptsim: unknown command 'nonsense', must be one of 'ablations', 'all', 'churn', 'dump', 'faultsim', 'figure10', 'figure11', 'figure9', 'fsck', 'inspect', 'replay', 'table1', 'table2', 'throughput', 'verify' or 'workload'.
+  ptsim: unknown command 'nonsense', must be one of 'ablations', 'all', 'churn', 'dump', 'faultsim', 'figure10', 'figure11', 'figure9', 'fsck', 'inspect', 'numa', 'replay', 'table1', 'table2', 'throughput', 'verify' or 'workload'.
   Usage: ptsim [COMMAND] …
   Try 'ptsim --help' for more information.
   [124]
@@ -46,6 +46,49 @@ asked for:
   [2]
 
   $ ptsim throughput --locking bogus 2>/dev/null
+  [2]
+
+Every enum-valued flag on every subcommand follows that contract:
+
+  $ ptsim throughput --org bogus
+  unknown org "bogus" for throughput (have: all, clustered, hashed)
+  [2]
+
+  $ ptsim figure11 --tlb bogus
+  unknown tlb "bogus" for figure11 (have: single, superpage, psb, csb, a, b, c, d)
+  [2]
+
+  $ ptsim inspect --org bogus
+  unknown org "bogus" for inspect (have: clustered, hashed)
+  [2]
+
+  $ ptsim fsck --org bogus
+  unknown org "bogus" for fsck (have: clustered, hashed)
+  [2]
+
+  $ ptsim faultsim --locking bogus
+  unknown locking "bogus" for faultsim (have: striped, global, seqlock)
+  [2]
+
+  $ ptsim faultsim --sites torn_write,bogus
+  unknown site "bogus" for faultsim (have: alloc_node, alloc_phys, lock_timeout, domain_crash, torn_write, seqlock_stall, replica_write)
+  [2]
+
+  $ ptsim numa --mode bogus
+  unknown mode "bogus" for numa (have: all, single_home, eager, lazy)
+  [2]
+
+  $ ptsim numa --org bogus
+  unknown org "bogus" for numa (have: all, clustered, hashed)
+  [2]
+
+  $ ptsim numa --locking bogus 2>/dev/null
+  [2]
+
+And an unknown fsck corruption kind still names its token:
+
+  $ ptsim fsck --corrupt bogus
+  unknown corruption "bogus" for clustered (have: cycle, cross_link, misplace, duplicate, stale, torn, torn_replica, head_tag, count, free_reattach, overlap)
   [2]
 
 Nothing of the above may leak to stdout (scripts parse it):

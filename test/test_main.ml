@@ -21,4 +21,5 @@ let () =
       Test_service.suite;
       Test_fault.suite;
       Test_obs.suite;
+      Test_numa.suite;
     ]

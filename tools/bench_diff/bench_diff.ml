@@ -336,6 +336,27 @@ let () =
   check_row_list "throughput_curve"
     [ "experiments"; "throughput"; "curve" ]
     ~key_of:tp_key ~row_ignored:tp_row_ignored ~ignored:tp_ignored a b;
+  (* the NUMA replication matrix carries no timing columns — every
+     field is deterministic and compared *)
+  check_scalar "numa.seed" [ "experiments"; "numa"; "seed" ] a b;
+  check_scalar "numa.locking" [ "experiments"; "numa"; "locking" ] a b;
+  check_row_list "numa"
+    [ "experiments"; "numa"; "rows" ]
+    ~key_of:(fun row ->
+      Printf.sprintf "%s/%s/%s"
+        (match obj_find "nodes" row with
+        | Some (Num d) -> string_of_int (int_of_float d)
+        | _ -> "?")
+        (key_str "mode" row) (key_str "org" row))
+    ~ignored:[] a b;
+  check_row_list "numa_policy"
+    [ "experiments"; "numa"; "policy" ]
+    ~key_of:(fun row ->
+      Printf.sprintf "%s/%s" (key_str "org" row)
+        (match obj_find "nodes" row with
+        | Some (Num d) -> string_of_int (int_of_float d)
+        | _ -> "?"))
+    ~ignored:[] a b;
   (* micro-benchmark names (the set of measured operations), not times *)
   (let names root =
      match rows_of [ "micro_ns_per_op" ] root with
