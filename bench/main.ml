@@ -252,7 +252,7 @@ let run_micro () =
    ns/op) are emitted for humans and skipped by the diff. *)
 let emit_json path ~quick ~domains ~experiments_s ~churn_s ~churn_rows
     ~(report : Sim.Runner.verify_report) ~throughput_rows ~curve_rows
-    ~numa_json ~micro =
+    ~numa_json ~fleet_json ~micro =
   let oc = open_out path in
   let json_string s =
     let b = Buffer.create (String.length s + 2) in
@@ -344,6 +344,10 @@ let emit_json path ~quick ~domains ~experiments_s ~churn_s ~churn_rows
      is deterministic (no timing columns), so bench_diff compares the
      whole object *)
   Printf.fprintf oc "    \"numa\": %s,\n" numa_json;
+  (* the multi-tenant fleet matrix (Runner.fleet_for_suite) — emitted
+     with its timing columns (ops_per_sec, elapsed_s, p99_ns, mean_ns)
+     for humans; bench_diff compares only the deterministic fields *)
+  Printf.fprintf oc "    \"fleet\": %s,\n" fleet_json;
   (* every counter and histogram the suite's instrumented paths
      recorded, merged across domains; bench_diff ignores this section
      (histogram sums carry no timing, but the set of metrics grows
@@ -408,11 +412,18 @@ let () =
     (Unix.gettimeofday () -. t2)
     domains
     (if Sim.Runner.numa_suite_clean numa then "clean" else "DIRTY");
+  let t3 = Unix.gettimeofday () in
+  let fleet = Sim.Runner.fleet_for_suite ~options ~domains () in
+  Printf.printf "\nfleet wall clock: %.1fs (%d domains, fsck %s)\n%!"
+    (Unix.gettimeofday () -. t3)
+    domains
+    (if Sim.Runner.fleet_suite_clean fleet then "clean" else "DIRTY");
   let micro = run_micro () in
   Option.iter
     (fun path ->
       emit_json path ~quick ~domains ~experiments_s ~churn_s ~churn_rows
         ~report ~throughput_rows ~curve_rows
         ~numa_json:(Sim.Runner.numa_suite_json numa)
+        ~fleet_json:(Sim.Runner.fleet_suite_json fleet)
         ~micro)
     json

@@ -538,6 +538,31 @@ let run_numa quick nodes modes orgs locking domains streams rounds reads
   else Format.printf "@[<v>%a@]@." NS.pp_outcome outcome;
   if not (NS.all_clean outcome) then exit 1
 
+(* --- fleet: tenants over shards, tagged TLBs, batched range ops --- *)
+
+let run_fleet quick tenants shards streams rounds ops switch budget modes orgs
+    locking domains seed json =
+  let module FS = Fleet.Fleet_sim in
+  let base = if quick then FS.quick_config else FS.default_config in
+  let upd field v cfg = match v with None -> cfg | Some x -> field cfg x in
+  let cfg =
+    { base with FS.locking; domains }
+    |> upd (fun c x -> { c with FS.tenants = x }) tenants
+    |> upd (fun c x -> { c with FS.shards = x }) shards
+    |> upd (fun c x -> { c with FS.streams = x }) streams
+    |> upd (fun c x -> { c with FS.rounds = x }) rounds
+    |> upd (fun c x -> { c with FS.ops_per_tenant = x }) ops
+    |> upd (fun c x -> { c with FS.switch_every = x }) switch
+    |> upd (fun c x -> { c with FS.frame_budget = x }) budget
+    |> upd (fun c x -> { c with FS.modes = x }) modes
+    |> upd (fun c x -> { c with FS.orgs = x }) orgs
+    |> upd (fun c x -> { c with FS.seed = x }) seed
+  in
+  let outcome = FS.run cfg in
+  if json then print_endline (FS.outcome_to_json cfg outcome)
+  else Format.printf "@[<v>%a@]@." FS.pp_outcome outcome;
+  if not (FS.all_clean outcome) then exit 1
+
 (* --- unified telemetry: --metrics-out / --trace-out on every subcommand --- *)
 
 let telemetry_term =
@@ -1117,6 +1142,136 @@ let () =
         $ streams $ rounds $ reads $ writes $ vpns $ seed $ remote_cost
         $ rate $ sites $ spaces $ json)
   in
+  let fleet =
+    let quick =
+      Arg.(
+        value & flag
+        & info [ "quick" ]
+            ~doc:"CI-sized defaults (fewer tenants, rounds and events).")
+    in
+    let tenants =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "tenants" ] ~docv:"N"
+            ~doc:"Tenant address spaces (default 12; 8 --quick).")
+    in
+    let shards =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "shards" ] ~docv:"N"
+            ~doc:"Service shards the tenants are dealt over (default 4).")
+    in
+    let streams =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "streams" ] ~docv:"N"
+            ~doc:"Logical streams multiplexing the tenants (default 4).")
+    in
+    let rounds =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "rounds" ] ~docv:"N"
+            ~doc:"Rounds between frame-budget enforcements.")
+    in
+    let ops =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "ops" ] ~docv:"N" ~doc:"Churn events per tenant.")
+    in
+    let switch =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "switch-every" ] ~docv:"N"
+            ~doc:"Context-switch quantum, in events (default 48).")
+    in
+    let budget =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "budget" ] ~docv:"PAGES"
+            ~doc:
+              "Fleet-wide frame budget; exceeding it at a round barrier \
+               evicts coldest tenants (0 = unlimited).")
+    in
+    let modes_conv =
+      strict_enum ~flag:"mode" ~cmd:"fleet"
+        [
+          ("all", [ Fleet.Sharded.Batched; Fleet.Sharded.Paged ]);
+          ("batched", [ Fleet.Sharded.Batched ]);
+          ("paged", [ Fleet.Sharded.Paged ]);
+        ]
+    in
+    let modes =
+      Arg.(
+        value
+        & opt (some modes_conv) None
+        & info [ "mode" ] ~docv:"MODE"
+            ~doc:
+              "Range-op mode: all|batched (one submission per region, \
+               amortised stripe locks)|paged (one lock per page).")
+    in
+    let orgs_conv =
+      strict_enum ~flag:"org" ~cmd:"fleet"
+        [
+          ( "all",
+            [ Pt_service.Service.Clustered; Pt_service.Service.Hashed ] );
+          ("clustered", [ Pt_service.Service.Clustered ]);
+          ("hashed", [ Pt_service.Service.Hashed ]);
+        ]
+    in
+    let orgs =
+      Arg.(
+        value
+        & opt (some orgs_conv) None
+        & info [ "org" ] ~docv:"ORG"
+            ~doc:"Table organization: all|clustered|hashed.")
+    in
+    let locking =
+      Arg.(
+        value
+        & opt (service_locking_conv "fleet") Pt_service.Service.Seqlock
+        & info [ "locking" ] ~docv:"LOCKING"
+            ~doc:
+              "Lock strategy for every shard: striped|global|seqlock \
+               (default seqlock — evictions drain through epoch limbo).")
+    in
+    let domains =
+      Arg.(
+        value & opt domains_conv 1
+        & info [ "domains" ] ~docv:"N"
+            ~doc:
+              "Worker domains.  The outcome (and --json byte stream) is \
+               identical for every value.")
+    in
+    let seed =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "seed" ] ~docv:"SEED" ~doc:"Churn PRNG seed.")
+    in
+    let json =
+      Arg.(
+        value & flag
+        & info [ "json" ]
+            ~doc:
+              "Print the outcome as one JSON object (byte-identical for \
+               any --domains; timing appears only in the human table).")
+    in
+    cmd "fleet"
+      "Multi-tenant fleet: churn tenants dealt over sharded services with \
+       ASID-tagged TLBs, batched range ops and frame-budget eviction; exit \
+       1 unless every shard ends fsck-clean with cross-shard ASIDs \
+       disjoint"
+      Term.(
+        const run_fleet $ quick $ tenants $ shards $ streams $ rounds $ ops
+        $ switch $ budget $ modes $ orgs $ locking $ domains $ seed $ json)
+  in
   let info =
     Cmd.info "ptsim" ~version:"1.0"
       ~doc:
@@ -1136,6 +1291,6 @@ let () =
        (Cmd.group ~default info
           [
             table1; figure9; figure10; figure11; table2; ablations; churn;
-            throughput; inspect; fsck; faultsim; numa; workload; dump;
-            replay; verify; all;
+            throughput; inspect; fsck; faultsim; numa; fleet; workload;
+            dump; replay; verify; all;
           ]))

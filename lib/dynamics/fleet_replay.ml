@@ -1,0 +1,185 @@
+(* Churn replay against one tenant of a fleet.
+
+   {!Service_replay} folds pids into one shared table's keys and
+   replays whole traces per domain.  The fleet layer needs something
+   different: each *tenant* runs its own churn trace against its own
+   address space, many tenants interleave on one worker stream in
+   context-switch quanta, and the layer underneath (shard placement,
+   ASID tagging, TLBs, eviction) belongs to lib/fleet — which this
+   library must not depend on.  So the interpreter here is abstract
+   over an {!ops} record of per-tenant callbacks and exposes a
+   resumable cursor: [step] consumes a bounded number of events, so a
+   stream can round-robin its tenants and a round barrier can cut the
+   trace into deterministic slices.
+
+   Region events become ONE callback per region (the batched range-op
+   submission shape); [Fork] and [Exit] coalesce the pid's live pages
+   into maximal runs and submit each run as a region.  Pids are folded
+   into the tenant-local key's bits 32..43 (churn vpns stay far below
+   2^32), leaving the high bits free for the fleet's ASID tag. *)
+
+type ops = {
+  map : Addr.Region.t -> int;
+      (** map every page of the region; returns lock sections taken *)
+  unmap : Addr.Region.t -> int;
+  protect : Addr.Region.t -> writable:bool -> int;
+  touch : int64 -> bool;
+      (** one store to a tenant-local key; false = not mapped (the
+          interpreter then demand-faults the page back in) *)
+}
+
+type tally = {
+  mutable events : int;
+  mutable mmaps : int;
+  mutable munmaps : int;
+  mutable protects : int;
+  mutable touches : int;
+  mutable touch_hits : int;
+  mutable touch_faults : int;
+  mutable forks : int;
+  mutable exits : int;
+  mutable pages_mapped : int;
+  mutable pages_unmapped : int;
+  mutable range_pages : int;
+  mutable range_sections : int;
+}
+
+let tally_zero () =
+  {
+    events = 0;
+    mmaps = 0;
+    munmaps = 0;
+    protects = 0;
+    touches = 0;
+    touch_hits = 0;
+    touch_faults = 0;
+    forks = 0;
+    exits = 0;
+    pages_mapped = 0;
+    pages_unmapped = 0;
+    range_pages = 0;
+    range_sections = 0;
+  }
+
+let local_key ~pid ~vpn = Int64.logor (Int64.shift_left (Int64.of_int pid) 32) vpn
+
+type t = {
+  ops : ops;
+  trace : Workload.Trace.t;
+  mutable pos : int;
+  tally : tally;
+  (* per-pid live vpns (pid-local, untagged) — needed to expand Fork
+     and Exit into page runs *)
+  live : (int, (int64, unit) Hashtbl.t) Hashtbl.t;
+}
+
+let create ops trace = { ops; trace; pos = 0; tally = tally_zero (); live = Hashtbl.create 16 }
+
+let tally t = t.tally
+let consumed t = t.pos
+let length t = Array.length t.trace
+let finished t = t.pos >= Array.length t.trace
+
+let live_of t pid =
+  match Hashtbl.find_opt t.live pid with
+  | Some s -> s
+  | None ->
+      let s = Hashtbl.create 256 in
+      Hashtbl.add t.live pid s;
+      s
+
+(* maximal runs of consecutive vpns, as (first_vpn, pages), sorted —
+   deterministic regardless of Hashtbl iteration order *)
+let coalesce vpns =
+  let sorted = List.sort compare vpns in
+  let runs = ref [] in
+  let flush first count = if count > 0 then runs := (first, count) :: !runs in
+  let first = ref 0L and count = ref 0 in
+  List.iter
+    (fun v ->
+      if !count > 0 && Int64.add !first (Int64.of_int !count) = v then incr count
+      else begin
+        flush !first !count;
+        first := v;
+        count := 1
+      end)
+    sorted;
+  flush !first !count;
+  List.rev !runs
+
+let submit_range t pid ~unmap runs =
+  List.iter
+    (fun (vpn, pages) ->
+      let region = Addr.Region.make ~first_vpn:(local_key ~pid ~vpn) ~pages in
+      let sections = if unmap then t.ops.unmap region else t.ops.map region in
+      t.tally.range_pages <- t.tally.range_pages + pages;
+      t.tally.range_sections <- t.tally.range_sections + sections)
+    runs
+
+let interpret t ev =
+  let y = t.tally in
+  match (ev : Workload.Trace.event) with
+  | Workload.Trace.Mmap (pid, vpn, pages) ->
+      let s = live_of t pid in
+      for i = 0 to pages - 1 do
+        Hashtbl.replace s (Int64.add vpn (Int64.of_int i)) ()
+      done;
+      submit_range t pid ~unmap:false [ (vpn, pages) ];
+      y.mmaps <- y.mmaps + 1;
+      y.pages_mapped <- y.pages_mapped + pages
+  | Workload.Trace.Munmap (pid, vpn, pages) ->
+      let s = live_of t pid in
+      for i = 0 to pages - 1 do
+        Hashtbl.remove s (Int64.add vpn (Int64.of_int i))
+      done;
+      submit_range t pid ~unmap:true [ (vpn, pages) ];
+      y.munmaps <- y.munmaps + 1;
+      y.pages_unmapped <- y.pages_unmapped + pages
+  | Workload.Trace.Protect (pid, vpn, pages, writable) ->
+      let region = Addr.Region.make ~first_vpn:(local_key ~pid ~vpn) ~pages in
+      let sections = t.ops.protect region ~writable in
+      y.range_pages <- y.range_pages + pages;
+      y.range_sections <- y.range_sections + sections;
+      y.protects <- y.protects + 1
+  | Workload.Trace.Touch (pid, vpn) ->
+      y.touches <- y.touches + 1;
+      if t.ops.touch (local_key ~pid ~vpn) then y.touch_hits <- y.touch_hits + 1
+      else begin
+        (* demand fault: a single-page map, outside the range-op
+           tallies so locks-per-page stays a statement about range
+           submissions *)
+        ignore (t.ops.map (Addr.Region.make ~first_vpn:(local_key ~pid ~vpn) ~pages:1));
+        Hashtbl.replace (live_of t pid) vpn ();
+        y.touch_faults <- y.touch_faults + 1;
+        y.pages_mapped <- y.pages_mapped + 1
+      end
+  | Workload.Trace.Fork (parent, child) ->
+      let pages = Hashtbl.fold (fun vpn () acc -> vpn :: acc) (live_of t parent) [] in
+      let s = live_of t child in
+      List.iter (fun vpn -> Hashtbl.replace s vpn ()) pages;
+      submit_range t child ~unmap:false (coalesce pages);
+      y.forks <- y.forks + 1;
+      y.pages_mapped <- y.pages_mapped + List.length pages
+  | Workload.Trace.Exit pid ->
+      let pages = Hashtbl.fold (fun vpn () acc -> vpn :: acc) (live_of t pid) [] in
+      Hashtbl.remove t.live pid;
+      submit_range t pid ~unmap:true (coalesce pages);
+      y.exits <- y.exits + 1;
+      y.pages_unmapped <- y.pages_unmapped + List.length pages
+  | Workload.Trace.Access _ | Workload.Trace.Switch _ -> ()
+
+let step t ~max_events =
+  let n = min max_events (Array.length t.trace - t.pos) in
+  for i = t.pos to t.pos + n - 1 do
+    interpret t t.trace.(i)
+  done;
+  t.pos <- t.pos + n;
+  t.tally.events <- t.tally.events + n;
+  n
+
+let run ops trace =
+  let t = create ops trace in
+  while not (finished t) do
+    ignore (step t ~max_events:max_int)
+  done;
+  t.tally

@@ -1,0 +1,465 @@
+(* The `ptsim fleet` / bench driver: N tenants of churn dealt over M
+   shards, interleaved on fixed streams in context-switch quanta, with
+   ASID-tagged vs flush-on-switch TLBs side by side and a global frame
+   budget enforced between rounds.
+
+   Determinism contract (bit-identical output for any --domains):
+
+   - Fixed logical streams: tenant [t] runs on stream [t mod streams],
+     stream [s] on worker [s mod domains].  A tenant's event sequence,
+     switch quanta and round slices are pure functions of the config,
+     so every per-tenant tally, per-stream TLB stat and per-shard
+     write-lock total is interleaving-invariant.
+   - Tenants touch disjoint keys (the ASID prefix), so cross-tenant
+     interleaving inside a shard cannot change any tenant-visible
+     state — only contention, which the outputs omit.
+   - Budget enforcement runs on the main domain between rounds, with
+     every worker parked at the pool barrier; victim selection reads
+     the merged Obs touch counters, which are barrier-stable and
+     domain-count invariant.
+   - Per-op latencies go to an Obs histogram for the human/bench
+     report; the deterministic JSON omits them (CI byte-diffs
+     --domains 1 against --domains 4).
+
+   Outputs deliberately omit the domain count. *)
+
+module Service = Pt_service.Service
+
+type config = {
+  tenants : int;
+  shards : int;
+  streams : int;
+  domains : int;
+  rounds : int;
+  ops_per_tenant : int;  (** churn events generated per tenant *)
+  switch_every : int;  (** context-switch quantum, in events *)
+  frame_budget : int;  (** fleet-wide page budget; 0 = unlimited *)
+  modes : Sharded.range_mode list;
+  orgs : Service.org list;
+  locking : Service.locking;
+  buckets : int;
+  tlb_entries : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    tenants = 12;
+    shards = 4;
+    streams = 4;
+    domains = 1;
+    rounds = 3;
+    ops_per_tenant = 3_000;
+    switch_every = 48;
+    frame_budget = 500;
+    modes = [ Sharded.Batched; Sharded.Paged ];
+    orgs = [ Service.Clustered; Service.Hashed ];
+    locking = Service.Seqlock;
+    buckets = 4096;
+    tlb_entries = 128;
+    seed = 42;
+  }
+
+let quick_config =
+  {
+    default_config with
+    tenants = 8;
+    rounds = 2;
+    ops_per_tenant = 1_200;
+    frame_budget = 300;
+  }
+
+(* per-tenant churn: smaller regions and bursts than Churn.default so
+   a dozen tenants stay snappy, and no drain suffix — the fleet should
+   end with tenants resident (footprint-vs-live is part of the
+   report) *)
+let churn_spec cfg =
+  {
+    Dynamics.Churn.ops = cfg.ops_per_tenant;
+    max_procs = 4;
+    max_live_pages = 1_200;
+    region_min = 4;
+    region_max = 64;
+    touch_burst = 16;
+    drain = false;
+  }
+
+type row = {
+  f_mode : Sharded.range_mode;
+  f_org : Service.org;
+  f_locking : Service.locking;
+  f_tenants : int;
+  f_shards : int;
+  f_streams : int;
+  f_rounds : int;
+  f_events : int;
+  f_mmaps : int;
+  f_munmaps : int;
+  f_protects : int;
+  f_touches : int;
+  f_touch_hits : int;
+  f_touch_faults : int;
+  f_forks : int;
+  f_exits : int;
+  f_pages_mapped : int;
+  f_pages_unmapped : int;
+  f_range_pages : int;
+  f_range_sections : int;
+  f_write_locks : int;
+  f_tagged_hits : int;
+  f_tagged_misses : int;
+  f_flush_hits : int;
+  f_flush_misses : int;
+  f_context_switches : int;
+  f_shootdowns : int;
+  f_evictions : int;
+  f_evicted_pages : int;
+  f_resident : int;  (** fleet books at quiesce *)
+  f_population : int;  (** shard tables at quiesce *)
+  f_footprint_bytes : int;
+  f_limbo : int;  (** after quiesce; 0 proves the drain *)
+  f_fsck_clean : bool;
+  (* timing: human/bench report only, never in the deterministic JSON *)
+  f_elapsed_s : float;
+  f_ops_per_sec : float;
+  f_p99_ns : int;
+  f_mean_ns : float;
+}
+
+let locks_per_page r =
+  if r.f_range_pages = 0 then 0.
+  else float_of_int r.f_range_sections /. float_of_int r.f_range_pages
+
+let retained_hits r = r.f_tagged_hits - r.f_flush_hits
+
+(* --- one (org, mode) run --- *)
+
+let iter_streams ~streams ~domains index f =
+  let s = ref index in
+  while !s < streams do
+    f !s;
+    s := !s + domains
+  done
+
+let touch_counter_name asid = Printf.sprintf "fleet.touch.%d" asid
+
+let run_one cfg ~org ~mode =
+  let fleet =
+    Sharded.create ~buckets:cfg.buckets ~org ~locking:cfg.locking
+      ~shards:cfg.shards ~tenants:cfg.tenants ~mode ()
+  in
+  let traces =
+    Array.init cfg.tenants (fun i ->
+        Dynamics.Churn.generate ~spec:(churn_spec cfg)
+          ~seed:(Int64.of_int (cfg.seed + (977 * i)))
+          ())
+  in
+  (* per-stream TLB pair: ASID-tagged (survives switches) and
+     flush-on-switch (the SuperSPARC baseline), fed identically *)
+  let tagged =
+    Array.init cfg.streams (fun _ ->
+        Tlb.Tagged_tlb.create (Tlb.Intf.fa ~entries:cfg.tlb_entries ()))
+  in
+  let flushed =
+    Array.init cfg.streams (fun _ -> Tlb.Intf.fa ~entries:cfg.tlb_entries ())
+  in
+  let switches = Array.make cfg.streams 0 in
+  let hist_name =
+    Printf.sprintf "fleet.op_ns.%s.%s" (Service.org_name org)
+      (Sharded.range_mode_name mode)
+  in
+  (* victim selection reads merged counter deltas against the row's
+     starting point (ambient shards persist across rows) *)
+  let touch_base = Array.make (cfg.tenants + 1) 0 in
+  let m0 = Obs.Ambient.merged () in
+  for asid = 1 to cfg.tenants do
+    touch_base.(asid) <-
+      Obs.Metrics.value (Obs.Metrics.counter m0 (touch_counter_name asid))
+  done;
+  let ops_for t =
+    let asid = t + 1 in
+    let s = t mod cfg.streams in
+    let tg = tagged.(s) and fl = flushed.(s) in
+    (* ambient handles bind to the executing domain, so resolve them
+       lazily on first use from the worker, not here on main *)
+    let tc = ref None in
+    let bump_touch () =
+      let c =
+        match !tc with
+        | Some c -> c
+        | None ->
+            let c = Obs.Ambient.counter (touch_counter_name asid) in
+            tc := Some c;
+            c
+      in
+      Obs.Metrics.incr c
+    in
+    {
+      Dynamics.Fleet_replay.map = (fun r -> Sharded.map fleet ~asid r);
+      unmap = (fun r -> Sharded.unmap fleet ~asid r);
+      protect = (fun r ~writable -> Sharded.protect fleet ~asid r ~writable);
+      touch =
+        (fun local ->
+          bump_touch ();
+          let mapped = Sharded.mem fleet ~asid local in
+          let th = Tlb.Tagged_tlb.access tg ~vpn:local = `Hit in
+          let fh = Tlb.Intf.access fl ~vpn:local = `Hit in
+          (if mapped && ((not th) || not fh) then
+             match Sharded.find fleet ~asid local with
+             | Some tr ->
+                 if not th then Tlb.Tagged_tlb.fill tg tr;
+                 if not fh then Tlb.Intf.fill fl tr
+             | None -> ());
+          mapped);
+    }
+  in
+  let cursors =
+    Array.init cfg.tenants (fun t ->
+        Dynamics.Fleet_replay.create (ops_for t) traces.(t))
+  in
+  let stream_tenants =
+    Array.init cfg.streams (fun s ->
+        List.filter
+          (fun t -> t mod cfg.streams = s)
+          (List.init cfg.tenants Fun.id))
+  in
+  (* round r lets tenant t advance to this cursor position: fixed
+     slices, so a barrier cuts every trace identically for any
+     interleaving *)
+  let target t round =
+    Dynamics.Fleet_replay.length cursors.(t) * (round + 1) / cfg.rounds
+  in
+  let stream_job round index =
+    iter_streams ~streams:cfg.streams ~domains:cfg.domains index (fun s ->
+        let hist = Obs.Ambient.hist hist_name in
+        let progressed = ref true in
+        while !progressed do
+          progressed := false;
+          List.iter
+            (fun t ->
+              let st = cursors.(t) in
+              let left = target t round - Dynamics.Fleet_replay.consumed st in
+              if left > 0 then begin
+                (* context switch: tags survive, the baseline flushes *)
+                Tlb.Tagged_tlb.set_context tagged.(s) ~asid:(t + 1);
+                Tlb.Intf.flush flushed.(s);
+                switches.(s) <- switches.(s) + 1;
+                let quantum = min cfg.switch_every left in
+                for _ = 1 to quantum do
+                  let t0 = Unix.gettimeofday () in
+                  ignore (Dynamics.Fleet_replay.step st ~max_events:1);
+                  let t1 = Unix.gettimeofday () in
+                  Obs.Hist.observe hist
+                    (int_of_float ((t1 -. t0) *. 1e9))
+                done;
+                if target t round - Dynamics.Fleet_replay.consumed st > 0 then
+                  progressed := true
+              end)
+            stream_tenants.(s)
+        done)
+  in
+  let evictions = ref 0 and evicted_pages = ref 0 and shootdowns = ref 0 in
+  let enforce () =
+    if cfg.frame_budget > 0 then begin
+      let m = Obs.Ambient.merged () in
+      let activity asid =
+        Obs.Metrics.value (Obs.Metrics.counter m (touch_counter_name asid))
+        - touch_base.(asid)
+      in
+      let ev, pages =
+        Sharded.enforce_budget fleet ~budget:cfg.frame_budget ~activity
+      in
+      if ev > 0 then begin
+        (* TLB shootdown: every stream may cache the victims' entries *)
+        Array.iter Tlb.Tagged_tlb.flush tagged;
+        Array.iter Tlb.Intf.flush flushed;
+        shootdowns := !shootdowns + (2 * cfg.streams);
+        evictions := !evictions + ev;
+        evicted_pages := !evicted_pages + pages
+      end
+    end
+  in
+  let t_start = ref 0. and t_stop = ref 0. in
+  Exec.Worker_pool.with_pool
+    ~epochs:(Sharded.reader_epochs fleet)
+    ~domains:cfg.domains
+    (fun pool ->
+      t_start := Unix.gettimeofday ();
+      for round = 0 to cfg.rounds - 1 do
+        Exec.Worker_pool.run pool (stream_job round);
+        (* workers parked at the barrier: enforcement is sequential *)
+        enforce ()
+      done;
+      t_stop := Unix.gettimeofday ());
+  Sharded.quiesce fleet;
+  let tally = Dynamics.Fleet_replay.tally_zero () in
+  Array.iter
+    (fun st ->
+      let y = Dynamics.Fleet_replay.tally st in
+      tally.Dynamics.Fleet_replay.events <- tally.events + y.events;
+      tally.mmaps <- tally.mmaps + y.mmaps;
+      tally.munmaps <- tally.munmaps + y.munmaps;
+      tally.protects <- tally.protects + y.protects;
+      tally.touches <- tally.touches + y.touches;
+      tally.touch_hits <- tally.touch_hits + y.touch_hits;
+      tally.touch_faults <- tally.touch_faults + y.touch_faults;
+      tally.forks <- tally.forks + y.forks;
+      tally.exits <- tally.exits + y.exits;
+      tally.pages_mapped <- tally.pages_mapped + y.pages_mapped;
+      tally.pages_unmapped <- tally.pages_unmapped + y.pages_unmapped;
+      tally.range_pages <- tally.range_pages + y.range_pages;
+      tally.range_sections <- tally.range_sections + y.range_sections)
+    cursors;
+  let sum_stats field arr stats_of =
+    Array.fold_left (fun acc x -> acc + field (stats_of x)) 0 arr
+  in
+  let tagged_hits =
+    sum_stats (fun s -> s.Tlb.Stats.hits) tagged Tlb.Tagged_tlb.stats
+  in
+  let tagged_misses =
+    sum_stats Tlb.Stats.misses tagged Tlb.Tagged_tlb.stats
+  in
+  let flush_hits =
+    sum_stats (fun s -> s.Tlb.Stats.hits) flushed Tlb.Intf.stats
+  in
+  let flush_misses = sum_stats Tlb.Stats.misses flushed Tlb.Intf.stats in
+  let fsck = Sharded.fsck fleet in
+  let elapsed = !t_stop -. !t_start in
+  let hist = Obs.Metrics.hist (Obs.Ambient.merged ()) hist_name in
+  {
+    f_mode = mode;
+    f_org = org;
+    f_locking = cfg.locking;
+    f_tenants = cfg.tenants;
+    f_shards = cfg.shards;
+    f_streams = cfg.streams;
+    f_rounds = cfg.rounds;
+    f_events = tally.events;
+    f_mmaps = tally.mmaps;
+    f_munmaps = tally.munmaps;
+    f_protects = tally.protects;
+    f_touches = tally.touches;
+    f_touch_hits = tally.touch_hits;
+    f_touch_faults = tally.touch_faults;
+    f_forks = tally.forks;
+    f_exits = tally.exits;
+    f_pages_mapped = tally.pages_mapped;
+    f_pages_unmapped = tally.pages_unmapped;
+    f_range_pages = tally.range_pages;
+    f_range_sections = tally.range_sections;
+    f_write_locks = Sharded.write_locks fleet;
+    f_tagged_hits = tagged_hits;
+    f_tagged_misses = tagged_misses;
+    f_flush_hits = flush_hits;
+    f_flush_misses = flush_misses;
+    f_context_switches = Array.fold_left ( + ) 0 switches;
+    f_shootdowns = !shootdowns;
+    f_evictions = !evictions;
+    f_evicted_pages = !evicted_pages;
+    f_resident = Sharded.total_resident fleet;
+    f_population = Sharded.population fleet;
+    f_footprint_bytes = Sharded.size_bytes fleet;
+    f_limbo = Sharded.limbo_nodes fleet;
+    f_fsck_clean = Sharded.fsck_clean fsck;
+    f_elapsed_s = elapsed;
+    f_ops_per_sec =
+      (if elapsed > 0. then float_of_int tally.events /. elapsed else 0.);
+    f_p99_ns = Obs.Hist.quantile hist ~q:0.99;
+    f_mean_ns = Obs.Hist.mean hist;
+  }
+
+(* --- the full matrix --- *)
+
+type outcome = { rows : row list }
+
+let run cfg =
+  if cfg.domains < 1 then invalid_arg "Fleet_sim.run: domains must be >= 1";
+  if cfg.streams < 1 then invalid_arg "Fleet_sim.run: streams must be >= 1";
+  if cfg.rounds < 1 then invalid_arg "Fleet_sim.run: rounds must be >= 1";
+  {
+    rows =
+      List.concat_map
+        (fun org -> List.map (fun mode -> run_one cfg ~org ~mode) cfg.modes)
+        cfg.orgs;
+  }
+
+(* --- rendering --- *)
+
+(* The deterministic fields: everything an op tally, lock count, TLB
+   model or integrity check produces.  Timing (elapsed, ops/s, p99)
+   varies run to run and only appears with [~timing:true] (the bench
+   report, whose differ ignores those fields) — never in the `ptsim
+   fleet --json` output CI byte-diffs across domain counts. *)
+let row_to_json ?(timing = false) r =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"mode\":\"%s\",\"org\":\"%s\",\"locking\":\"%s\",\"tenants\":%d,\
+        \"shards\":%d,\"streams\":%d,\"rounds\":%d,\"events\":%d,\
+        \"mmaps\":%d,\"munmaps\":%d,\"protects\":%d,\"touches\":%d,\
+        \"touch_hits\":%d,\"touch_faults\":%d,\"forks\":%d,\"exits\":%d,\
+        \"pages_mapped\":%d,\"pages_unmapped\":%d,\"range_pages\":%d,\
+        \"range_sections\":%d,\"locks_per_page\":%.4f,\"write_locks\":%d,\
+        \"tagged_hits\":%d,\"tagged_misses\":%d,\"flush_hits\":%d,\
+        \"flush_misses\":%d,\"retained_hits\":%d,\"context_switches\":%d,\
+        \"shootdowns\":%d,\"evictions\":%d,\"evicted_pages\":%d,\
+        \"resident\":%d,\"population\":%d,\"footprint_bytes\":%d,\
+        \"limbo_after_quiesce\":%d,\"fsck_clean\":%b"
+       (Sharded.range_mode_name r.f_mode)
+       (Service.org_name r.f_org)
+       (Service.locking_name r.f_locking)
+       r.f_tenants r.f_shards r.f_streams r.f_rounds r.f_events r.f_mmaps
+       r.f_munmaps r.f_protects r.f_touches r.f_touch_hits r.f_touch_faults
+       r.f_forks r.f_exits r.f_pages_mapped r.f_pages_unmapped r.f_range_pages
+       r.f_range_sections (locks_per_page r) r.f_write_locks r.f_tagged_hits
+       r.f_tagged_misses r.f_flush_hits r.f_flush_misses (retained_hits r)
+       r.f_context_switches r.f_shootdowns r.f_evictions r.f_evicted_pages
+       r.f_resident r.f_population r.f_footprint_bytes r.f_limbo
+       r.f_fsck_clean);
+  if timing then
+    Buffer.add_string b
+      (Printf.sprintf
+         ",\"ops_per_sec\":%.1f,\"elapsed_s\":%.4f,\"p99_ns\":%d,\
+          \"mean_ns\":%.1f"
+         r.f_ops_per_sec r.f_elapsed_s r.f_p99_ns r.f_mean_ns);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let outcome_to_json ?timing cfg o =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"schema_version\":1,\"experiment\":\"fleet\",\"seed\":%d,\
+        \"locking\":\"%s\",\"tenants\":%d,\"shards\":%d,\"streams\":%d,\
+        \"rounds\":%d,\"ops_per_tenant\":%d,\"switch_every\":%d,\
+        \"frame_budget\":%d,\"rows\":["
+       cfg.seed
+       (Service.locking_name cfg.locking)
+       cfg.tenants cfg.shards cfg.streams cfg.rounds cfg.ops_per_tenant
+       cfg.switch_every cfg.frame_budget);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (row_to_json ?timing r))
+    o.rows;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let pp_row ppf r =
+  Format.fprintf ppf
+    "%-9s %-7s %8d %8d %9.4f %9d %9d %8d %6d %8d %10.0f %8d %6s@."
+    (Service.org_name r.f_org)
+    (Sharded.range_mode_name r.f_mode)
+    r.f_events r.f_range_pages (locks_per_page r) r.f_tagged_hits
+    r.f_flush_hits r.f_evicted_pages r.f_evictions r.f_population
+    r.f_ops_per_sec r.f_p99_ns
+    (if r.f_fsck_clean then "clean" else "DIRTY")
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%-9s %-7s %8s %8s %9s %9s %9s %8s %6s %8s %10s %8s %6s@."
+    "org" "mode" "events" "rg-pages" "locks/pg" "tag-hit" "flush-hit" "evicted"
+    "evics" "pop" "ops/s" "p99ns" "fsck";
+  List.iter (pp_row ppf) o.rows
+
+let all_clean o =
+  List.for_all (fun r -> r.f_fsck_clean && r.f_limbo = 0) o.rows

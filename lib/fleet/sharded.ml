@@ -1,0 +1,269 @@
+(* A fleet of tenant address spaces over sharded page-table services.
+
+   N tenants (address spaces) are dealt over M shards — independent
+   {!Pt_service.Service} instances in any org × locking mode — by
+   folding each tenant's ASID into the key's high bits: shard
+   [asid mod shards] holds every mapping of that tenant, and the ASID
+   prefix keeps tenants disjoint inside a shard (the invariant
+   {!Fsck.check_shards} audits).  Range operations go down the
+   service's batched path ({!Service.map_range} and friends: one
+   write section per stripe group, one undo-journal unit per section)
+   or, for comparison, the per-page path — the {!range_mode} axis the
+   fleet experiment measures.
+
+   Concurrency contract: a tenant is driven from one domain at a time
+   (the sim pins tenant -> stream -> domain), so per-tenant state here
+   is plain mutable.  Cross-tenant contention happens underneath, on
+   the shared shard stripes.  Eviction runs on the coordinating domain
+   between phases (all streams parked at a barrier). *)
+
+module Service = Pt_service.Service
+
+type range_mode = Batched | Paged
+
+let range_mode_name = function Batched -> "batched" | Paged -> "paged"
+
+(* ASID in vpn bits 50..62: tenant-local keys (pid in bits 32..43 plus
+   a sub-2^32 vpn, per Fleet_replay.local_key) stay far below 2^50 *)
+let asid_shift = 50
+
+let local_mask = Int64.sub (Int64.shift_left 1L asid_shift) 1L
+
+type tenant = {
+  asid : int;
+  shard : int;
+  live : (int64, unit) Hashtbl.t;  (* tenant-local keys *)
+  mutable evictions : int;
+}
+
+type t = {
+  shards : Service.t array;
+  tenants : tenant array;  (* index i holds ASID i + 1 *)
+  mode : range_mode;
+}
+
+let max_asid = (1 lsl 12) - 1
+
+let shard_of_asid ~shards asid = asid mod shards
+
+let create ?(buckets = 4096) ?subblock_factor ~org ~locking ~shards ~tenants
+    ~mode () =
+  if shards < 1 then invalid_arg "Fleet.create: shards must be >= 1";
+  if tenants < 1 || tenants >= max_asid then
+    invalid_arg "Fleet.create: tenants must be in [1, 4094]";
+  let mk () = Service.create ~buckets ?subblock_factor ~org ~locking () in
+  {
+    shards = Array.init shards (fun _ -> mk ());
+    tenants =
+      Array.init tenants (fun i ->
+          let asid = i + 1 in
+          {
+            asid;
+            shard = shard_of_asid ~shards asid;
+            live = Hashtbl.create 1024;
+            evictions = 0;
+          });
+    mode;
+  }
+
+let mode t = t.mode
+let shard_count t = Array.length t.shards
+let tenant_count t = Array.length t.tenants
+let shard t i = t.shards.(i)
+
+let tenant t ~asid =
+  if asid < 1 || asid > Array.length t.tenants then
+    invalid_arg "Fleet: bad asid";
+  t.tenants.(asid - 1)
+
+let service_of t ten = t.shards.(ten.shard)
+
+let tag ~asid local =
+  Int64.logor (Int64.shift_left (Int64.of_int asid) asid_shift) local
+
+let untag k = Int64.logand k local_mask
+
+let tagged_region ~asid (r : Addr.Region.t) =
+  Addr.Region.make ~first_vpn:(tag ~asid r.Addr.Region.first_vpn)
+    ~pages:r.Addr.Region.pages
+
+(* identity placement folded into the PTE's PPN field, like the other
+   drivers *)
+let ppn_of vpn = Int64.logand vpn 0xFFF_FFFFL
+
+let attr = Pte.Attr.default
+
+(* --- per-tenant operations (returns: write sections taken) --- *)
+
+let map t ~asid (region : Addr.Region.t) =
+  let ten = tenant t ~asid in
+  let svc = service_of t ten in
+  let tr = tagged_region ~asid region in
+  let sections =
+    match t.mode with
+    | Batched -> Service.map_range svc tr ~ppn_of ~attr
+    | Paged ->
+        Addr.Region.fold_vpns tr ~init:0 ~f:(fun acc vpn ->
+            Service.insert svc ~vpn ~ppn:(ppn_of vpn) ~attr;
+            acc + 1)
+  in
+  Addr.Region.iter_vpns region (fun v -> Hashtbl.replace ten.live v ());
+  sections
+
+let unmap t ~asid (region : Addr.Region.t) =
+  let ten = tenant t ~asid in
+  let svc = service_of t ten in
+  let tr = tagged_region ~asid region in
+  let sections =
+    match t.mode with
+    | Batched -> Service.unmap_range svc tr
+    | Paged ->
+        Addr.Region.fold_vpns tr ~init:0 ~f:(fun acc vpn ->
+            Service.remove svc ~vpn;
+            acc + 1)
+  in
+  Addr.Region.iter_vpns region (fun v -> Hashtbl.remove ten.live v);
+  sections
+
+let protect t ~asid (region : Addr.Region.t) ~writable =
+  let ten = tenant t ~asid in
+  let svc = service_of t ten in
+  let tr = tagged_region ~asid region in
+  match t.mode with
+  | Batched -> Service.protect_range svc tr ~writable
+  | Paged ->
+      Addr.Region.fold_vpns tr ~init:0 ~f:(fun acc vpn ->
+          ignore
+            (Service.protect svc
+               (Addr.Region.make ~first_vpn:vpn ~pages:1)
+               ~writable);
+          acc + 1)
+
+let mem t ~asid local = Hashtbl.mem (tenant t ~asid).live local
+
+let resident t ~asid = Hashtbl.length (tenant t ~asid).live
+
+let total_resident t =
+  Array.fold_left (fun acc ten -> acc + Hashtbl.length ten.live) 0 t.tenants
+
+let find t ~asid local =
+  let ten = tenant t ~asid in
+  match Service.find (service_of t ten) ~vpn:(tag ~asid local) with
+  | None -> None
+  | Some tr ->
+      Some
+        {
+          tr with
+          Pt_common.Types.vpn = untag tr.Pt_common.Types.vpn;
+          vpn_base = untag tr.Pt_common.Types.vpn_base;
+        }
+
+(* --- eviction (memory pressure) --- *)
+
+(* maximal runs of consecutive local keys, sorted: eviction unmaps in
+   deterministic order and through the batched path regardless of the
+   fleet's configured mode (reclamation is inherently a bulk op) *)
+let coalesce vpns =
+  let sorted = List.sort compare vpns in
+  let runs = ref [] in
+  let flush first count = if count > 0 then runs := (first, count) :: !runs in
+  let first = ref 0L and count = ref 0 in
+  List.iter
+    (fun v ->
+      if !count > 0 && Int64.add !first (Int64.of_int !count) = v then
+        incr count
+      else begin
+        flush !first !count;
+        first := v;
+        count := 1
+      end)
+    sorted;
+  flush !first !count;
+  List.rev !runs
+
+let evict t ~asid =
+  let ten = tenant t ~asid in
+  let svc = service_of t ten in
+  let pages = Hashtbl.fold (fun v () acc -> v :: acc) ten.live [] in
+  List.iter
+    (fun (first, count) ->
+      let region = Addr.Region.make ~first_vpn:first ~pages:count in
+      ignore (Service.unmap_range svc (tagged_region ~asid region)))
+    (coalesce pages);
+  Hashtbl.reset ten.live;
+  ten.evictions <- ten.evictions + 1;
+  List.length pages
+
+let evictions t ~asid = (tenant t ~asid).evictions
+
+(* Evict coldest-first until the fleet fits the frame budget.
+   [activity asid] is the tenant's recent-use signal — the sim feeds
+   the per-tenant touch counters mirrored into the Obs registry — and
+   ties break on ASID, so victim order is deterministic.  Evicted
+   tenants' nodes drain through the service's epoch limbo path (under
+   seqlock locking) and the tenant demand-faults back in on its next
+   touch. *)
+let enforce_budget t ~budget ~activity =
+  if budget <= 0 then (0, 0)
+  else begin
+    let total = ref (total_resident t) in
+    let evicted = ref 0 and pages = ref 0 in
+    while
+      !total > budget
+      && Array.exists (fun ten -> Hashtbl.length ten.live > 0) t.tenants
+    do
+      let victim = ref None in
+      Array.iter
+        (fun ten ->
+          if Hashtbl.length ten.live > 0 then
+            let a = activity ten.asid in
+            match !victim with
+            | Some (best, _) when best <= a -> ()
+            | _ -> victim := Some (a, ten.asid))
+        t.tenants;
+      match !victim with
+      | None -> ()
+      | Some (_, asid) ->
+          let freed = evict t ~asid in
+          total := !total - freed;
+          pages := !pages + freed;
+          incr evicted
+    done;
+    (!evicted, !pages)
+  end
+
+(* --- fleet-wide accounting and integrity --- *)
+
+let population t =
+  Array.fold_left (fun acc s -> acc + Service.population s) 0 t.shards
+
+let size_bytes t =
+  Array.fold_left (fun acc s -> acc + Service.size_bytes s) 0 t.shards
+
+let write_locks t =
+  Array.fold_left
+    (fun acc s -> acc + (Service.lock_stats s).Service.write_acquisitions)
+    0 t.shards
+
+let limbo_nodes t =
+  Array.fold_left (fun acc s -> acc + Service.limbo_nodes s) 0 t.shards
+
+let reader_epochs t =
+  Array.to_list t.shards |> List.filter_map Service.reader_epoch
+
+let quiesce t = Array.iter Service.quiesce t.shards
+
+type fsck_result = { shard_reports : Fsck.report list; placement : Fsck.report }
+
+let fsck t =
+  let shards = Array.length t.shards in
+  {
+    shard_reports = Array.to_list (Array.map Service.fsck t.shards);
+    placement =
+      Fsck.check_shards ~asid_shift
+        ~expected_shard:(shard_of_asid ~shards)
+        (Array.map Service.fsck_table t.shards);
+  }
+
+let fsck_clean r =
+  List.for_all Fsck.clean r.shard_reports && Fsck.clean r.placement

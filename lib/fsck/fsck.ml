@@ -219,6 +219,48 @@ let check_replicas ?generations tables =
       done);
   { r_org; findings = List.rev !findings }
 
+(* Cross-shard ASID disjointness (the fleet layer's invariant): tenant
+   address spaces are dealt over shards by ASID, so a live ASID must
+   be resident in exactly one shard — and, when the caller supplies
+   the placement function, in exactly the shard it was dealt to. *)
+let check_shards ?(asid_shift = 50) ?expected_shard tables =
+  if Array.length tables = 0 then
+    invalid_arg "Fsck.check_shards: need at least one shard";
+  let r_org = org tables.(0) in
+  let findings = ref [] in
+  let add code detail = findings := { code; detail } :: !findings in
+  let owner : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun s t ->
+      (* live_mappings is vpn-sorted and the ASID occupies the top
+         bits, so equal ASIDs form runs — dedup by peeking at the last
+         one collected *)
+      let seen = ref [] in
+      List.iter
+        (fun (vpn, _, _) ->
+          let asid = Int64.to_int (Int64.shift_right_logical vpn asid_shift) in
+          match !seen with
+          | a :: _ when a = asid -> ()
+          | _ -> seen := asid :: !seen)
+        (live_mappings t);
+      List.iter
+        (fun asid ->
+          (match Hashtbl.find_opt owner asid with
+          | Some s0 when s0 <> s ->
+              add "asid_overlap"
+                (Printf.sprintf "asid %d live in shards %d and %d" asid s0 s)
+          | Some _ -> ()
+          | None -> Hashtbl.replace owner asid s);
+          match expected_shard with
+          | Some f when f asid <> s ->
+              add "asid_misplaced"
+                (Printf.sprintf "asid %d lives in shard %d, expected shard %d"
+                   asid s (f asid))
+          | _ -> ())
+        (List.rev !seen))
+    tables;
+  { r_org; findings = List.rev !findings }
+
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter

@@ -71,6 +71,17 @@ val check_replicas : ?generations:int array array -> table array -> report
     replicas are exact copies.  Raises [Invalid_argument] on an empty
     array. *)
 
+val check_shards :
+  ?asid_shift:int -> ?expected_shard:(int -> int) -> table array -> report
+(** Cross-shard ASID disjointness for a fleet of sharded tables: the
+    ASID of every live mapping is its vpn shifted right by
+    [asid_shift] (default 50, the fleet key layout), and an ASID live
+    in two shards reports ["asid_overlap"].  With [?expected_shard],
+    an ASID resident outside the shard the placement function assigns
+    reports ["asid_misplaced"].  Clean when tenants are disjoint (and
+    correctly placed).  Raises [Invalid_argument] on an empty
+    array. *)
+
 val report_to_json : report -> string
 (** [{"org":...,"clean":...,"findings":[{"code":...,"detail":...}]}] —
     deterministic for a deterministic table state. *)

@@ -85,6 +85,27 @@ let equal a b =
   && a.buckets = b.buckets
   && (a.count = 0 || (a.vmin = b.vmin && a.vmax = b.vmax))
 
+let quantile t ~q =
+  if not (q > 0.0 && q <= 1.0) then
+    invalid_arg "Hist.quantile: q must be in (0, 1]";
+  if t.count = 0 then 0
+  else begin
+    let target =
+      max 1 (min t.count (int_of_float (Float.ceil (q *. float_of_int t.count))))
+    in
+    let seen = ref 0 and result = ref (max_value t) in
+    (try
+       for k = 0 to bucket_count - 1 do
+         seen := !seen + t.buckets.(k);
+         if !seen >= target then begin
+           result := min (bucket_hi k) t.vmax;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
 let pp ppf t =
   Format.fprintf ppf "count=%d mean=%.3f min=%d max=%d" t.count (mean t)
     (min_value t) (max_value t);

@@ -38,6 +38,13 @@ val max_value : t -> int
 val mean : t -> float
 (** Exact mean ([sum/count]); 0 when empty. *)
 
+val quantile : t -> q:float -> int
+(** [quantile t ~q] is an upper bound on the [q]-quantile of the
+    observed values: the [bucket_hi] of the bucket where the
+    cumulative count reaches [ceil (q * count)], clamped to the
+    observed maximum.  0 when the histogram is empty.  Raises
+    [Invalid_argument] unless [0 < q <= 1]. *)
+
 val bucket_lo : int -> int
 (** Smallest value landing in bucket [k]. *)
 

@@ -468,6 +468,94 @@ let remove t ~vpn =
       | H h -> Baselines.Hashed_pt.remove h ~vpn
       | C c -> Clustered_pt.Table.remove c ~vpn)
 
+let find t ~vpn =
+  read_section t ~vpn ~default:None (fun () ->
+      match t.backend with
+      | H h -> fst (Baselines.Hashed_pt.lookup h ~vpn)
+      | C c -> fst (Clustered_pt.Table.lookup c ~vpn))
+
+(* Batched range ops (Section 3.1's range granularity at service
+   scale).  One submission covers a whole region; write-lock
+   acquisitions amortise to the backend's natural granularity: a
+   single section under the global lock, and one section per distinct
+   bucket under stripes.  For clustered tables every page of a block
+   hashes to the block's bucket, so the per-bucket grouping degenerates
+   to one section per page *block*; for hashed tables pages only share
+   a section on hash collisions.  Each group runs inside a single
+   write_section, so under fault injection the whole sub-batch shares
+   one undo-journal snapshot: an injected failure rolls the sub-batch
+   back as a unit and the heal path retries it (insert/remove are
+   idempotent, so a retry after partial progress is safe). *)
+let range_groups t region =
+  match t.locks with
+  | Global_lock _ ->
+      [ List.rev (Addr.Region.fold_vpns region ~init:[] ~f:(fun acc v -> v :: acc)) ]
+  | Striped_lock _ | Seqlock_lock _ ->
+      let tbl = Hashtbl.create 64 in
+      let order = ref [] in
+      Addr.Region.iter_vpns region (fun vpn ->
+          let b = bucket_of t ~vpn in
+          match Hashtbl.find_opt tbl b with
+          | Some cell -> cell := vpn :: !cell
+          | None ->
+              let cell = ref [ vpn ] in
+              Hashtbl.replace tbl b cell;
+              order := cell :: !order);
+      List.rev_map (fun cell -> List.rev !cell) !order
+
+let range_lock_sections t region = List.length (range_groups t region)
+
+let map_range t region ~ppn_of ~attr =
+  List.fold_left
+    (fun sections group ->
+      match group with
+      | [] -> sections
+      | rep :: _ ->
+          write_section t ~vpn:rep ~default:() (fun () ->
+              List.iter
+                (fun vpn ->
+                  let ppn = ppn_of vpn in
+                  match t.backend with
+                  | H h -> Baselines.Hashed_pt.insert_base h ~vpn ~ppn ~attr
+                  | C c -> Clustered_pt.Table.insert_base c ~vpn ~ppn ~attr)
+                group);
+          sections + 1)
+    0 (range_groups t region)
+
+let unmap_range t region =
+  List.fold_left
+    (fun sections group ->
+      match group with
+      | [] -> sections
+      | rep :: _ ->
+          write_section t ~vpn:rep ~default:() (fun () ->
+              List.iter
+                (fun vpn ->
+                  match t.backend with
+                  | H h -> Baselines.Hashed_pt.remove h ~vpn
+                  | C c -> Clustered_pt.Table.remove c ~vpn)
+                group);
+          sections + 1)
+    0 (range_groups t region)
+
+let protect_range t region ~writable =
+  let f attr = { attr with Pte.Attr.writable } in
+  List.fold_left
+    (fun sections group ->
+      match group with
+      | [] -> sections
+      | rep :: _ ->
+          write_section t ~vpn:rep ~default:() (fun () ->
+              List.iter
+                (fun vpn ->
+                  let sub = Addr.Region.make ~first_vpn:vpn ~pages:1 in
+                  match t.backend with
+                  | H h -> ignore (Baselines.Hashed_pt.set_attr_range h sub ~f)
+                  | C c -> ignore (Clustered_pt.Table.set_attr_range c sub ~f))
+                group);
+          sections + 1)
+    0 (range_groups t region)
+
 (* Range protect.  This is where lock granularity diverges (the
    Section 3.1 claim the tests verify): clustered takes one write lock
    per page *block*, hashed one per base *page*.  Under the global

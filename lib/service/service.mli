@@ -65,6 +65,34 @@ val insert : t -> vpn:int64 -> ppn:int64 -> attr:Pte.Attr.t -> unit
 
 val remove : t -> vpn:int64 -> unit
 
+val find : t -> vpn:int64 -> Pt_common.Types.translation option
+(** {!lookup}, but returning the translation — what a TLB refill
+    needs.  Same locking as {!lookup}. *)
+
+val range_lock_sections : t -> Addr.Region.t -> int
+(** Number of write-lock acquisitions a batched range op over this
+    region takes: 1 under the global lock; one per distinct stripe
+    under striped/seqlock locking (for clustered tables all pages of a
+    block share a stripe, so this is the block count; for hashed
+    tables pages only share a stripe on hash collisions). *)
+
+val map_range : t -> Addr.Region.t -> ppn_of:(int64 -> int64) -> attr:Pte.Attr.t -> int
+(** Batched mmap: insert a base mapping for every page of the region
+    in {!range_lock_sections} write sections (one per stripe group,
+    amortising lock traffic versus per-page {!insert}).  Each group is
+    a single undo-journal unit under fault injection: an injected
+    failure rolls the whole group back and the heal path retries it.
+    Returns the number of write sections taken. *)
+
+val unmap_range : t -> Addr.Region.t -> int
+(** Batched munmap, same sectioning and journalling as {!map_range}.
+    Unmapped pages of the region are skipped silently.  Returns the
+    number of write sections taken. *)
+
+val protect_range : t -> Addr.Region.t -> writable:bool -> int
+(** Batched mprotect: same stripe grouping, journalling and return
+    value as {!map_range} (sections taken, not hash searches). *)
+
 val protect : t -> Addr.Region.t -> writable:bool -> int
 (** Set the [writable] attribute across a region; returns the number
     of hash searches performed.  Striped locking acquires one write

@@ -1712,3 +1712,26 @@ let numa_for_suite ?(options = default_options) ?(domains = 1) () =
 
 let numa_suite_json s = Numa.Numa_sim.outcome_to_json s.numa_cfg s.numa_outcome
 let numa_suite_clean s = Numa.Numa_sim.all_clean s.numa_outcome
+
+(* --- multi-tenant fleet (PR 8) --- *)
+
+type fleet_suite = {
+  fleet_cfg : Fleet.Fleet_sim.config;
+  fleet_outcome : Fleet.Fleet_sim.outcome;
+}
+
+let fleet_for_suite ?(options = default_options) ?(domains = 1) () =
+  let base =
+    if options.quick then Fleet.Fleet_sim.quick_config
+    else Fleet.Fleet_sim.default_config
+  in
+  let cfg = { base with Fleet.Fleet_sim.domains } in
+  let outcome = Fleet.Fleet_sim.run cfg in
+  Format.printf "@.== Multi-tenant fleet ==@.%a" Fleet.Fleet_sim.pp_outcome
+    outcome;
+  { fleet_cfg = cfg; fleet_outcome = outcome }
+
+let fleet_suite_json s =
+  Fleet.Fleet_sim.outcome_to_json ~timing:true s.fleet_cfg s.fleet_outcome
+
+let fleet_suite_clean s = Fleet.Fleet_sim.all_clean s.fleet_outcome

@@ -305,3 +305,26 @@ val numa_suite_json : numa_suite -> string
 
 val numa_suite_clean : numa_suite -> bool
 (** Every row's replicas passed fsck. *)
+
+(** {1 Multi-tenant fleet (PR 8)} *)
+
+type fleet_suite = {
+  fleet_cfg : Fleet.Fleet_sim.config;
+  fleet_outcome : Fleet.Fleet_sim.outcome;
+}
+
+val fleet_for_suite : ?options:options -> ?domains:int -> unit -> fleet_suite
+(** The {!Fleet} extension at suite scale: churn tenants over sharded
+    services with ASID-tagged TLBs, batched range ops and frame-budget
+    eviction, printed as a table.  The quick config rides [--quick].
+    [domains] sizes the worker pool only — the outcome is bit-identical
+    for every value. *)
+
+val fleet_suite_json : fleet_suite -> string
+(** {!Fleet.Fleet_sim.outcome_to_json} with timing fields (the bench
+    harness embeds it as [experiments.fleet]; its differ ignores the
+    timing). *)
+
+val fleet_suite_clean : fleet_suite -> bool
+(** Every row fsck-clean (including cross-shard ASID placement) with
+    drained limbo. *)

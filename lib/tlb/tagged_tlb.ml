@@ -3,23 +3,67 @@ type t = {
   asid_shift : int;
   asid_max : int;
   mutable asid : int;
+  contexts : (int, Stats.t) Hashtbl.t;
+  (* cache of [Hashtbl.find contexts asid] for the current context, so
+     the per-access attribution below costs no hashing on the hot
+     path *)
+  mutable cur : Stats.t;
 }
 
 let create ?(asid_bits = 12) inner =
   if asid_bits < 1 || asid_bits > 12 then
     invalid_arg "Tagged_tlb.create: asid_bits";
-  { inner; asid_shift = 64 - asid_bits; asid_max = (1 lsl asid_bits) - 1; asid = 0 }
+  let contexts = Hashtbl.create 16 in
+  let cur = Stats.create () in
+  Hashtbl.replace contexts 0 cur;
+  {
+    inner;
+    asid_shift = 64 - asid_bits;
+    asid_max = (1 lsl asid_bits) - 1;
+    asid = 0;
+    contexts;
+    cur;
+  }
+
+let context_stats t ~asid =
+  match Hashtbl.find_opt t.contexts asid with
+  | Some s -> s
+  | None ->
+      let s = Stats.create () in
+      Hashtbl.replace t.contexts asid s;
+      s
 
 let set_context t ~asid =
   if asid < 0 || asid > t.asid_max then invalid_arg "Tagged_tlb.set_context";
-  t.asid <- asid
+  t.asid <- asid;
+  t.cur <- context_stats t ~asid
 
 let context t = t.asid
 
 let tag t vpn =
   Int64.logor vpn (Int64.shift_left (Int64.of_int t.asid) t.asid_shift)
 
-let access t ~vpn = Intf.access t.inner ~vpn:(tag t vpn)
+(* Per-context attribution: the wrapped TLB tallies base/superpage hit
+   splits and miss kinds globally; we read its counters around each
+   access and charge the delta to the current context.  Evictions are
+   not attributed — the evicted entry may belong to any context. *)
+let access t ~vpn =
+  let s = Intf.stats t.inner in
+  let base0 = s.Stats.base_hits
+  and sp0 = s.Stats.sp_hits
+  and bm0 = s.Stats.block_misses
+  and sm0 = s.Stats.subblock_misses in
+  let r = Intf.access t.inner ~vpn:(tag t vpn) in
+  let c = t.cur in
+  c.Stats.accesses <- c.Stats.accesses + 1;
+  let base = s.Stats.base_hits - base0 and sp = s.Stats.sp_hits - sp0 in
+  c.Stats.base_hits <- c.Stats.base_hits + base;
+  c.Stats.sp_hits <- c.Stats.sp_hits + sp;
+  c.Stats.hits <- c.Stats.hits + base + sp;
+  c.Stats.block_misses <- c.Stats.block_misses + s.Stats.block_misses - bm0;
+  c.Stats.subblock_misses <-
+    c.Stats.subblock_misses + s.Stats.subblock_misses - sm0;
+  r
 
 let fill t (tr : Pt_common.Types.translation) =
   Intf.fill t.inner

@@ -36,3 +36,13 @@ val flush : t -> unit
 (** Full flush (e.g. ASID rollover). *)
 
 val stats : t -> Stats.t
+(** Aggregate statistics of the wrapped TLB across all contexts,
+    including the per-page-size hit split ([base_hits]/[sp_hits]). *)
+
+val context_stats : t -> asid:int -> Stats.t
+(** Per-context statistics: accesses made while [asid] was current,
+    with hits split into [base_hits]/[sp_hits] and misses into
+    block/subblock, attributed from the wrapped TLB's counters.
+    [evictions] is always 0 here — an eviction may displace any
+    context's entry, so it is only meaningful in [stats].  Returns a
+    zeroed record for a context never switched to. *)

@@ -15,7 +15,7 @@ Bare invocation:
 An unknown subcommand names the offending token:
 
   $ ptsim nonsense
-  ptsim: unknown command 'nonsense', must be one of 'ablations', 'all', 'churn', 'dump', 'faultsim', 'figure10', 'figure11', 'figure9', 'fsck', 'inspect', 'numa', 'replay', 'table1', 'table2', 'throughput', 'verify' or 'workload'.
+  ptsim: unknown command 'nonsense', must be one of 'ablations', 'all', 'churn', 'dump', 'faultsim', 'figure10', 'figure11', 'figure9', 'fleet', 'fsck', 'inspect', 'numa', 'replay', 'table1', 'table2', 'throughput', 'verify' or 'workload'.
   Usage: ptsim [COMMAND] …
   Try 'ptsim --help' for more information.
   [124]
@@ -83,6 +83,18 @@ Every enum-valued flag on every subcommand follows that contract:
   [2]
 
   $ ptsim numa --locking bogus 2>/dev/null
+  [2]
+
+  $ ptsim fleet --mode bogus
+  unknown mode "bogus" for fleet (have: all, batched, paged)
+  [2]
+
+  $ ptsim fleet --org bogus
+  unknown org "bogus" for fleet (have: all, clustered, hashed)
+  [2]
+
+  $ ptsim fleet --locking bogus
+  unknown locking "bogus" for fleet (have: striped, global, seqlock)
   [2]
 
 And an unknown fsck corruption kind still names its token:

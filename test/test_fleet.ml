@@ -1,0 +1,311 @@
+(* The multi-tenant fleet (lib/fleet): batched range submissions vs
+   the per-page baseline (qcheck equivalence on both organizations),
+   cross-shard ASID placement fsck, budget-driven eviction with
+   demand-fault-back, the measured lock amortisation, a concurrent
+   4-domain fleet oracle, and domain-count invariance of the driver's
+   JSON — the CI gate's acceptance criterion. *)
+
+module Sh = Fleet.Sharded
+module FS = Fleet.Fleet_sim
+module FR = Dynamics.Fleet_replay
+module S = Pt_service.Service
+
+let attr = Pte.Attr.default
+let region ~first_vpn ~pages = Addr.Region.make ~first_vpn ~pages
+
+(* --- qcheck: a batched range op is equivalent to its per-page
+   sequence, on both organizations --- *)
+
+(* a short deterministic script of region ops derived from one seed *)
+let script_of_seed seed ops =
+  List.init ops (fun i ->
+      let r = Addr.Bits.mix64 (Int64.of_int ((seed * 7_368_787) + i)) in
+      let first = Int64.logand r 0x3FFL in
+      let pages = 1 + Int64.to_int (Int64.logand (Int64.shift_right_logical r 16) 0x3FL) in
+      let kind = Int64.to_int (Int64.logand (Int64.shift_right_logical r 32) 3L) in
+      (kind, region ~first_vpn:first ~pages))
+
+let prop_batched_equals_paged =
+  QCheck.Test.make ~count:40 ~name:"batched range ops = per-page sequence"
+    QCheck.(pair (int_bound 1_000_000) (int_range 5 30))
+    (fun (seed, ops) ->
+      List.for_all
+        (fun org ->
+          let batched = S.create ~buckets:64 ~org ~locking:S.Striped () in
+          let paged = S.create ~buckets:64 ~org ~locking:S.Striped () in
+          let ppn_of vpn = Int64.add vpn 0x5_0000L in
+          List.iter
+            (fun (kind, r) ->
+              match kind with
+              | 0 | 3 ->
+                  ignore (S.map_range batched r ~ppn_of ~attr);
+                  Addr.Region.iter_vpns r (fun vpn ->
+                      S.insert paged ~vpn ~ppn:(ppn_of vpn) ~attr)
+              | 1 ->
+                  ignore (S.unmap_range batched r);
+                  Addr.Region.iter_vpns r (fun vpn -> S.remove paged ~vpn)
+              | _ ->
+                  ignore (S.protect_range batched r ~writable:false);
+                  Addr.Region.iter_vpns r (fun vpn ->
+                      ignore
+                        (S.protect paged
+                           (region ~first_vpn:vpn ~pages:1)
+                           ~writable:false)))
+            (script_of_seed seed ops);
+          S.quiesce batched;
+          S.quiesce paged;
+          if S.population batched <> S.population paged then
+            QCheck.Test.fail_reportf "%s: population %d <> %d" (S.org_name org)
+              (S.population batched) (S.population paged);
+          for v = 0 to 0x43F do
+            let vpn = Int64.of_int v in
+            let a = S.find batched ~vpn and b = S.find paged ~vpn in
+            match (a, b) with
+            | None, None -> ()
+            | Some ta, Some tb ->
+                if ta.Pt_common.Types.ppn <> tb.Pt_common.Types.ppn then
+                  QCheck.Test.fail_reportf "%s: vpn 0x%Lx ppn differs"
+                    (S.org_name org) vpn;
+                if ta.Pt_common.Types.attr <> tb.Pt_common.Types.attr then
+                  QCheck.Test.fail_reportf "%s: vpn 0x%Lx attr differs"
+                    (S.org_name org) vpn
+            | _ ->
+                QCheck.Test.fail_reportf "%s: vpn 0x%Lx presence differs"
+                  (S.org_name org) vpn
+          done;
+          Fsck.clean (S.fsck batched) && Fsck.clean (S.fsck paged))
+        [ S.Clustered; S.Hashed ])
+
+(* --- the sharded fleet: placement, isolation, accounting --- *)
+
+let make_fleet ?(shards = 3) ?(tenants = 5) ?(mode = Sh.Batched) () =
+  Sh.create ~buckets:128 ~org:S.Clustered ~locking:S.Seqlock ~shards ~tenants
+    ~mode ()
+
+let test_fleet_placement_and_isolation () =
+  let f = make_fleet () in
+  (* same tenant-local keys in every tenant: isolation means they
+     never collide *)
+  for asid = 1 to Sh.tenant_count f do
+    ignore (Sh.map f ~asid (region ~first_vpn:0x10L ~pages:8))
+  done;
+  Alcotest.(check int) "population = tenants x pages" 40 (Sh.population f);
+  for asid = 1 to Sh.tenant_count f do
+    Alcotest.(check int)
+      (Printf.sprintf "tenant %d resident" asid)
+      8 (Sh.resident f ~asid);
+    Alcotest.(check bool) "mem sees the local key" true (Sh.mem f ~asid 0x12L);
+    match Sh.find f ~asid 0x12L with
+    | Some tr ->
+        Alcotest.(check int64)
+          "translation untagged back to tenant-local" 0x12L
+          tr.Pt_common.Types.vpn
+    | None -> Alcotest.fail "find missed a mapped key"
+  done;
+  ignore (Sh.unmap f ~asid:2 (region ~first_vpn:0x10L ~pages:8));
+  Alcotest.(check bool) "tenant 2 unmapped" false (Sh.mem f ~asid:2 0x12L);
+  Alcotest.(check bool) "tenant 3 untouched" true (Sh.mem f ~asid:3 0x12L);
+  Sh.quiesce f;
+  Alcotest.(check bool) "fleet fsck clean" true (Sh.fsck_clean (Sh.fsck f))
+
+let test_fleet_batched_fewer_sections () =
+  (* the acceptance criterion: on a clustered fleet the batched path
+     takes measurably fewer write sections per page than paged *)
+  let r = region ~first_vpn:0x40L ~pages:64 in
+  let batched = make_fleet ~mode:Sh.Batched () in
+  let paged = make_fleet ~mode:Sh.Paged () in
+  let sb = Sh.map batched ~asid:1 r in
+  let sp = Sh.map paged ~asid:1 r in
+  Alcotest.(check int) "paged: one section per page" 64 sp;
+  Alcotest.(check bool)
+    (Printf.sprintf "batched takes fewer sections (%d < %d)" sb sp)
+    true (sb < sp);
+  Alcotest.(check bool) "batched amortises at least 4x" true (sb * 4 <= sp);
+  Alcotest.(check int)
+    "same pages mapped either way" (Sh.population batched)
+    (Sh.population paged)
+
+let test_fleet_eviction_and_refault () =
+  let f = make_fleet ~shards:2 ~tenants:3 () in
+  ignore (Sh.map f ~asid:1 (region ~first_vpn:0x100L ~pages:50));
+  ignore (Sh.map f ~asid:2 (region ~first_vpn:0x100L ~pages:30));
+  ignore (Sh.map f ~asid:3 (region ~first_vpn:0x100L ~pages:20));
+  Alcotest.(check int) "resident before pressure" 100 (Sh.total_resident f);
+  (* activity: tenant 2 coldest, then 3, then 1 *)
+  let activity = function 1 -> 90 | 2 -> 5 | _ -> 40 in
+  let evicted, pages = Sh.enforce_budget f ~budget:60 ~activity in
+  Alcotest.(check int) "coldest-first: 2 then 3 evicted" 2 evicted;
+  Alcotest.(check int) "their pages freed" 50 pages;
+  Alcotest.(check int) "within budget" 50 (Sh.total_resident f);
+  Alcotest.(check bool) "tenant 2 gone" false (Sh.mem f ~asid:2 0x100L);
+  Alcotest.(check bool) "tenant 1 survived" true (Sh.mem f ~asid:1 0x100L);
+  Alcotest.(check int) "eviction counted" 1 (Sh.evictions f ~asid:2);
+  (* demand-fault back in: the tenant repopulates transparently *)
+  ignore (Sh.map f ~asid:2 (region ~first_vpn:0x100L ~pages:30));
+  Alcotest.(check bool) "tenant 2 refaulted" true (Sh.mem f ~asid:2 0x100L);
+  Alcotest.(check int) "books track refault" 80 (Sh.total_resident f);
+  (* a generous budget is a no-op *)
+  Alcotest.(check bool)
+    "no eviction under budget" true
+    (Sh.enforce_budget f ~budget:1_000 ~activity = (0, 0));
+  Sh.quiesce f;
+  Alcotest.(check int) "limbo drained" 0 (Sh.limbo_nodes f);
+  Alcotest.(check bool) "fsck clean after pressure" true
+    (Sh.fsck_clean (Sh.fsck f))
+
+(* --- cross-shard ASID fsck: overlap and misplacement --- *)
+
+let shard_tables services = Array.map S.fsck_table services
+
+let test_check_shards_findings () =
+  let mk () = S.create ~buckets:32 ~org:S.Hashed ~locking:S.Striped () in
+  let tag ~asid vpn = Int64.logor (Int64.shift_left (Int64.of_int asid) 50) vpn in
+  let s0 = mk () and s1 = mk () in
+  S.insert s0 ~vpn:(tag ~asid:2 0x10L) ~ppn:0x1L ~attr;
+  S.insert s1 ~vpn:(tag ~asid:3 0x10L) ~ppn:0x2L ~attr;
+  let clean = Fsck.check_shards (shard_tables [| s0; s1 |]) in
+  Alcotest.(check bool) "disjoint fleet is clean" true (Fsck.clean clean);
+  (* the same ASID live in two shards: overlap *)
+  S.insert s1 ~vpn:(tag ~asid:2 0x20L) ~ppn:0x3L ~attr;
+  let report = Fsck.check_shards (shard_tables [| s0; s1 |]) in
+  Alcotest.(check bool) "overlap caught" false (Fsck.clean report);
+  Alcotest.(check bool) "coded asid_overlap" true
+    (List.exists
+       (fun f -> f.Fsck.code = "asid_overlap")
+       report.Fsck.findings);
+  (* placement: asid 3 belongs on shard 3 mod 2 = 1, asid 2 on 0 *)
+  let placed =
+    Fsck.check_shards ~expected_shard:(fun asid -> asid mod 2)
+      (shard_tables [| s0; s1 |])
+  in
+  Alcotest.(check bool) "misplacement caught" true
+    (List.exists
+       (fun f -> f.Fsck.code = "asid_misplaced")
+       placed.Fsck.findings);
+  Alcotest.check_raises "empty fleet rejected"
+    (Invalid_argument "Fsck.check_shards: need at least one shard") (fun () ->
+      ignore (Fsck.check_shards [||]))
+
+(* --- churn interpretation plumbing --- *)
+
+let test_fleet_replay_local_keys () =
+  Alcotest.(check int64)
+    "pid folds into bits 32..43" 0x2_0000_0123L
+    (FR.local_key ~pid:2 ~vpn:0x123L);
+  let mapped = Hashtbl.create 64 in
+  let sections = ref 0 in
+  let ops =
+    {
+      FR.map =
+        (fun r ->
+          incr sections;
+          Addr.Region.iter_vpns r (fun v -> Hashtbl.replace mapped v ());
+          1);
+      unmap =
+        (fun r ->
+          Addr.Region.iter_vpns r (fun v -> Hashtbl.remove mapped v);
+          1);
+      protect = (fun _ ~writable:_ -> 1);
+      touch = (fun v -> Hashtbl.mem mapped v);
+    }
+  in
+  let spec =
+    { Dynamics.Churn.default with Dynamics.Churn.ops = 400; drain = false }
+  in
+  let trace = Dynamics.Churn.generate ~spec ~seed:7L () in
+  let t = FR.create ops trace in
+  (* resumable stepping covers the whole trace exactly once *)
+  let consumed = ref 0 in
+  while not (FR.finished t) do
+    consumed := !consumed + FR.step t ~max_events:13
+  done;
+  Alcotest.(check int) "every event consumed" (FR.length t) !consumed;
+  Alcotest.(check int) "step past the end is 0" 0 (FR.step t ~max_events:5);
+  let tally = FR.tally t in
+  Alcotest.(check int) "tally counts events" (FR.length t) tally.FR.events;
+  Alcotest.(check bool) "ranges were submitted" true (tally.FR.range_pages > 0);
+  Alcotest.(check bool) "touches resolved" true (tally.FR.touches > 0);
+  Alcotest.(check int)
+    "every touch either hit or demand-faulted" tally.FR.touches
+    (tally.FR.touch_hits + tally.FR.touch_faults);
+  Alcotest.(check int)
+    "books balance" (Hashtbl.length mapped)
+    (tally.FR.pages_mapped - tally.FR.pages_unmapped)
+
+(* --- the driver: 4-domain oracle and JSON invariance --- *)
+
+let tiny =
+  {
+    FS.quick_config with
+    FS.tenants = 6;
+    shards = 2;
+    streams = 4;
+    ops_per_tenant = 500;
+    frame_budget = 150;
+  }
+
+let strip_timing outcome =
+  List.map (fun row -> FS.row_to_json ~timing:false row) outcome.FS.rows
+
+let test_fleet_sim_domain_invariance () =
+  let run domains = FS.run { tiny with FS.domains } in
+  let serial = run 1 in
+  let parallel = run 4 in
+  Alcotest.(check bool) "serial all clean" true (FS.all_clean serial);
+  Alcotest.(check bool) "4-domain oracle all clean" true
+    (FS.all_clean parallel);
+  Alcotest.(check (list string))
+    "deterministic rows identical for 1 and 4 domains" (strip_timing serial)
+    (strip_timing parallel);
+  Alcotest.(check string)
+    "JSON byte-identical (the CI gate)"
+    (FS.outcome_to_json { tiny with FS.domains = 1 } serial)
+    (FS.outcome_to_json { tiny with FS.domains = 4 } parallel)
+
+let test_fleet_sim_pressure_and_amortisation () =
+  let outcome = FS.run { tiny with FS.orgs = [ S.Clustered ] } in
+  match outcome.FS.rows with
+  | [ batched; paged ] ->
+      Alcotest.(check bool) "rows fsck clean" true (FS.all_clean outcome);
+      Alcotest.(check bool)
+        "budget pressure evicted someone" true
+        (batched.FS.f_evictions > 0 && batched.FS.f_evicted_pages > 0);
+      Alcotest.(check bool)
+        "eviction forced shootdowns" true (batched.FS.f_shootdowns > 0);
+      Alcotest.(check bool)
+        "evicted tenants demand-faulted back" true
+        (batched.FS.f_touch_faults > 0);
+      Alcotest.(check int)
+        "paged takes one section per page" batched.FS.f_range_pages
+        paged.FS.f_range_sections;
+      Alcotest.(check bool)
+        (Printf.sprintf "batched amortises locks (%.4f < %.4f)"
+           (FS.locks_per_page batched) (FS.locks_per_page paged))
+        true
+        (FS.locks_per_page batched < FS.locks_per_page paged /. 4.0);
+      Alcotest.(check bool)
+        "tagged TLB retains hits across switches" true
+        (FS.retained_hits batched > 0);
+      Alcotest.(check int)
+        "limbo drained at quiesce" 0 batched.FS.f_limbo
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows)
+
+let suite =
+  ( "fleet",
+    [
+      QCheck_alcotest.to_alcotest prop_batched_equals_paged;
+      Alcotest.test_case "placement and isolation" `Quick
+        test_fleet_placement_and_isolation;
+      Alcotest.test_case "batched takes fewer sections" `Quick
+        test_fleet_batched_fewer_sections;
+      Alcotest.test_case "eviction and demand-fault-back" `Quick
+        test_fleet_eviction_and_refault;
+      Alcotest.test_case "cross-shard asid fsck" `Quick
+        test_check_shards_findings;
+      Alcotest.test_case "fleet replay local keys" `Quick
+        test_fleet_replay_local_keys;
+      Alcotest.test_case "fleet driver domain-invariant" `Slow
+        test_fleet_sim_domain_invariance;
+      Alcotest.test_case "pressure and lock amortisation" `Slow
+        test_fleet_sim_pressure_and_amortisation;
+    ] )

@@ -22,4 +22,5 @@ let () =
       Test_fault.suite;
       Test_obs.suite;
       Test_numa.suite;
+      Test_fleet.suite;
     ]

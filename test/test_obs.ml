@@ -46,6 +46,27 @@ let test_hist_empty () =
   H.clear h;
   Alcotest.(check bool) "cleared = fresh" true (H.equal h (H.create ()))
 
+(* quantiles resolve to the upper bound of the bucket holding the
+   rank, clamped to the observed maximum *)
+let test_hist_quantile () =
+  let h = hist_of [ 0; 1; 2; 3; 4; 7; 8; 1000 ] in
+  Alcotest.(check int) "p12.5 lands in bucket {0}" 0 (H.quantile h ~q:0.125);
+  Alcotest.(check int) "median = hi of bucket {2,3}" 3 (H.quantile h ~q:0.5);
+  Alcotest.(check int) "p100 clamps to observed max" 1000 (H.quantile h ~q:1.0);
+  Alcotest.(check int)
+    "p99 of 8 samples is the max rank" 1000 (H.quantile h ~q:0.99);
+  let one = hist_of [ 5 ] in
+  Alcotest.(check int)
+    "singleton clamps below bucket hi" 5 (H.quantile one ~q:0.99);
+  Alcotest.(check int) "empty histogram" 0 (H.quantile (H.create ()) ~q:0.99);
+  List.iter
+    (fun q ->
+      Alcotest.check_raises
+        (Printf.sprintf "q = %g rejected" q)
+        (Invalid_argument "Hist.quantile: q must be in (0, 1]")
+        (fun () -> ignore (H.quantile h ~q)))
+    [ 0.0; -0.5; 1.5 ]
+
 (* --- merge is a commutative, associative sum (satellite 3) --- *)
 
 let small_lists =
@@ -287,6 +308,7 @@ let suite =
     [
       Alcotest.test_case "hist bucketing and moments" `Quick test_hist_buckets;
       Alcotest.test_case "hist empty and clear" `Quick test_hist_empty;
+      Alcotest.test_case "hist quantile" `Quick test_hist_quantile;
       QCheck_alcotest.to_alcotest prop_merge_commutative;
       QCheck_alcotest.to_alcotest prop_merge_associative;
       QCheck_alcotest.to_alcotest prop_shard_merge_equals_serial;

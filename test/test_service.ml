@@ -10,6 +10,7 @@
    must explain every observation and reproduce the final table. *)
 
 module Service = Pt_service.Service
+module Types = Pt_common.Types
 
 let attr = Pte.Attr.default
 
@@ -116,6 +117,71 @@ let write_locks_for ~org ~locking region =
   let before = (Service.lock_stats svc).Service.write_acquisitions in
   ignore (Service.protect svc region ~writable:false);
   (Service.lock_stats svc).Service.write_acquisitions - before
+
+(* --- batched range operations (the fleet's submission path) --- *)
+
+let test_range_ops_sectioning () =
+  (* map_range/unmap_range take exactly range_lock_sections write
+     sections: per block on clustered striping, per distinct bucket on
+     hashed striping, one for the whole range under the global lock *)
+  let region = Addr.Region.make ~first_vpn:0x47L ~pages:100 in
+  let blocks = List.length (Addr.Region.blocks ~subblock_factor:16 region) in
+  let ppn_of vpn = Int64.logand vpn 0xFFF_FFFFL in
+  List.iter
+    (fun (org, locking, expect) ->
+      let svc = Service.create ~org ~locking () in
+      let planned = Service.range_lock_sections svc region in
+      let before = (Service.lock_stats svc).Service.write_acquisitions in
+      let took = Service.map_range svc region ~ppn_of ~attr in
+      let acquired =
+        (Service.lock_stats svc).Service.write_acquisitions - before
+      in
+      let name = Service.org_name org ^ "/" ^ Service.locking_name locking in
+      Alcotest.(check int) (name ^ ": planned sections") expect planned;
+      Alcotest.(check int) (name ^ ": map_range sections") expect took;
+      Alcotest.(check int) (name ^ ": lock acquisitions match") expect acquired;
+      Alcotest.(check int) (name ^ ": all pages mapped") 100
+        (Service.population svc);
+      Addr.Region.iter_vpns region (fun vpn ->
+          match Service.find svc ~vpn with
+          | Some tr -> Alcotest.(check int64) "ppn" (ppn_of vpn) tr.Types.ppn
+          | None -> Alcotest.failf "%s: vpn 0x%Lx unmapped" name vpn);
+      Alcotest.(check int)
+        (name ^ ": unmap_range sections")
+        expect
+        (Service.unmap_range svc region);
+      Alcotest.(check int) (name ^ ": emptied") 0 (Service.population svc);
+      Service.quiesce svc;
+      Alcotest.(check bool) (name ^ ": fsck clean") true
+        (Fsck.clean (Service.fsck svc)))
+    [
+      (Service.Clustered, Service.Striped, blocks);
+      (Service.Clustered, Service.Global, 1);
+      (Service.Clustered, Service.Seqlock, blocks);
+      (Service.Hashed, Service.Global, 1);
+    ]
+
+let test_protect_range_applies () =
+  let region = Addr.Region.make ~first_vpn:0x100L ~pages:48 in
+  List.iter
+    (fun org ->
+      let svc = Service.create ~org ~locking:Service.Seqlock () in
+      ignore
+        (Service.map_range svc region
+           ~ppn_of:(fun vpn -> Int64.add vpn 0x9000L)
+           ~attr);
+      let sections = Service.protect_range svc region ~writable:false in
+      Alcotest.(check int)
+        (Service.org_name org ^ ": protect sections")
+        (Service.range_lock_sections svc region)
+        sections;
+      Addr.Region.iter_vpns region (fun vpn ->
+          match Service.find svc ~vpn with
+          | Some tr ->
+              Alcotest.(check bool) "write-protected" false
+                tr.Types.attr.Pte.Attr.writable
+          | None -> Alcotest.failf "vpn 0x%Lx lost by protect_range" vpn))
+    [ Service.Clustered; Service.Hashed ]
 
 let test_protect_lock_granularity () =
   (* 100 pages starting mid-block: offset 7 in block 4 -> touches
@@ -512,6 +578,10 @@ let suite =
       QCheck_alcotest.to_alcotest prop_seqlock_limbo_drains;
       Alcotest.test_case "throughput seqlock deterministic fields" `Quick
         test_throughput_seqlock_deterministic;
+      Alcotest.test_case "range ops sectioning" `Quick
+        test_range_ops_sectioning;
+      Alcotest.test_case "protect_range applies" `Quick
+        test_protect_range_applies;
       Alcotest.test_case "protect lock granularity" `Quick
         test_protect_lock_granularity;
       Alcotest.test_case "protect applies under striping" `Quick

@@ -314,6 +314,42 @@ let test_tagged_block_arithmetic_preserved () =
   Alcotest.(check bool) "other context: block miss" true
     (Tlb.Tagged_tlb.access t ~vpn:0x11L = `Block_miss)
 
+let test_tagged_per_context_attribution () =
+  (* per-context stats carry the base/superpage hit split, and the
+     aggregate equals the sum over contexts *)
+  let t = Tlb.Tagged_tlb.create (Tlb.Intf.superpage ~entries:16 ()) in
+  Tlb.Tagged_tlb.set_context t ~asid:1;
+  Tlb.Tagged_tlb.fill t (base_tr 5L 50L);
+  ignore (Tlb.Tagged_tlb.access t ~vpn:5L);
+  ignore (Tlb.Tagged_tlb.access t ~vpn:9L);
+  Tlb.Tagged_tlb.set_context t ~asid:2;
+  Tlb.Tagged_tlb.fill t
+    (sp_tr ~vpn:0x22L ~vpn_base:0x20L ~ppn_base:0x800L Addr.Page_size.kb64);
+  ignore (Tlb.Tagged_tlb.access t ~vpn:0x23L);
+  ignore (Tlb.Tagged_tlb.access t ~vpn:0x21L);
+  let s1 = Tlb.Tagged_tlb.context_stats t ~asid:1 in
+  let s2 = Tlb.Tagged_tlb.context_stats t ~asid:2 in
+  Alcotest.(check int) "asid 1 accesses" 2 s1.Tlb.Stats.accesses;
+  Alcotest.(check int) "asid 1 base hits" 1 s1.Tlb.Stats.base_hits;
+  Alcotest.(check int) "asid 1 sp hits" 0 s1.Tlb.Stats.sp_hits;
+  Alcotest.(check int) "asid 1 block misses" 1 s1.Tlb.Stats.block_misses;
+  Alcotest.(check int) "asid 2 accesses" 2 s2.Tlb.Stats.accesses;
+  Alcotest.(check int) "asid 2 sp hits" 2 s2.Tlb.Stats.sp_hits;
+  Alcotest.(check int) "asid 2 base hits" 0 s2.Tlb.Stats.base_hits;
+  let agg = Tlb.Tagged_tlb.stats t in
+  Alcotest.(check int)
+    "aggregate accesses = sum over contexts"
+    (s1.Tlb.Stats.accesses + s2.Tlb.Stats.accesses)
+    agg.Tlb.Stats.accesses;
+  Alcotest.(check int)
+    "aggregate base hits = sum" (s1.Tlb.Stats.base_hits + s2.Tlb.Stats.base_hits)
+    agg.Tlb.Stats.base_hits;
+  Alcotest.(check int)
+    "aggregate sp hits = sum" (s1.Tlb.Stats.sp_hits + s2.Tlb.Stats.sp_hits)
+    agg.Tlb.Stats.sp_hits;
+  let never = Tlb.Tagged_tlb.context_stats t ~asid:7 in
+  Alcotest.(check int) "unknown context zeroed" 0 never.Tlb.Stats.accesses
+
 let suite =
   ( fst suite,
     snd suite
@@ -324,6 +360,8 @@ let suite =
           test_tagged_flush_and_bounds;
         Alcotest.test_case "tagged: block arithmetic" `Quick
           test_tagged_block_arithmetic_preserved;
+        Alcotest.test_case "tagged: per-context attribution" `Quick
+          test_tagged_per_context_attribution;
       ] )
 
 (* --- replacement policies --- *)

@@ -357,6 +357,21 @@ let () =
         | Some (Num d) -> string_of_int (int_of_float d)
         | _ -> "?"))
     ~ignored:[] a b;
+  (* the multi-tenant fleet matrix: deterministic fields only — the
+     per-event timing columns vary run to run and are ignored *)
+  check_scalar "fleet.seed" [ "experiments"; "fleet"; "seed" ] a b;
+  check_scalar "fleet.locking" [ "experiments"; "fleet"; "locking" ] a b;
+  check_scalar "fleet.tenants" [ "experiments"; "fleet"; "tenants" ] a b;
+  check_scalar "fleet.shards" [ "experiments"; "fleet"; "shards" ] a b;
+  check_scalar "fleet.frame_budget"
+    [ "experiments"; "fleet"; "frame_budget" ]
+    a b;
+  check_row_list "fleet"
+    [ "experiments"; "fleet"; "rows" ]
+    ~key_of:(fun row ->
+      Printf.sprintf "%s/%s" (key_str "org" row) (key_str "mode" row))
+    ~ignored:[ "ops_per_sec"; "elapsed_s"; "p99_ns"; "mean_ns" ]
+    a b;
   (* micro-benchmark names (the set of measured operations), not times *)
   (let names root =
      match rows_of [ "micro_ns_per_op" ] root with
