@@ -491,7 +491,34 @@ let run_fsck seed org corruptions repair json =
   else Format.printf "%a@." Fsck.pp_report report;
   if not (Fsck.clean report) then exit 1
 
-let run_faultsim seed rate sites domains streams ops org locking json =
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* --- crash dumps: the flight recorder's event tail as JSON --- *)
+
+(* With --dump-dir the dump is written unconditionally — the recorder
+   tail is a pure function of (seed, streams), so tests and CI can
+   byte-diff it across --domains; on an unclean exit the path is named
+   on stderr so the operator knows where the last events went. *)
+let dump_last = 64
+
+let write_crash_dump dir ~cmd =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = Filename.concat dir (cmd ^ "-crash.json") in
+  write_file path (Obs.Recorder.dump_json ~last:dump_last ~label:cmd ());
+  path
+
+let finish_with_dump dump_dir ~cmd ~clean =
+  let dump = Option.map (fun dir -> write_crash_dump dir ~cmd) dump_dir in
+  if not clean then begin
+    Option.iter (fun p -> Printf.eprintf "crash dump: %s\n%!" p) dump;
+    exit 1
+  end
+
+let run_faultsim seed rate sites domains streams ops org locking dump_dir json
+    =
   let module F = Pt_service.Faultsim in
   let cfg =
     {
@@ -509,12 +536,12 @@ let run_faultsim seed rate sites domains streams ops org locking json =
   let outcome = F.run cfg in
   if json then print_endline (F.outcome_to_json outcome)
   else Format.printf "@[<v>%a@]@." F.pp_outcome outcome;
-  if not outcome.F.fsck_clean then exit 1
+  finish_with_dump dump_dir ~cmd:"faultsim" ~clean:outcome.F.fsck_clean
 
 (* --- numa: per-node replicas, locality-aware walks, migration policy --- *)
 
 let run_numa quick nodes modes orgs locking domains streams rounds reads
-    writes vpns seed remote_cost rate sites spaces json =
+    writes vpns seed remote_cost rate sites spaces dump_dir json =
   let module NS = Numa.Numa_sim in
   let base = if quick then NS.quick_config else NS.default_config in
   let upd field v cfg = match v with None -> cfg | Some x -> field cfg x in
@@ -536,12 +563,12 @@ let run_numa quick nodes modes orgs locking domains streams rounds reads
   let outcome = NS.run cfg in
   if json then print_endline (NS.outcome_to_json cfg outcome)
   else Format.printf "@[<v>%a@]@." NS.pp_outcome outcome;
-  if not (NS.all_clean outcome) then exit 1
+  finish_with_dump dump_dir ~cmd:"numa" ~clean:(NS.all_clean outcome)
 
 (* --- fleet: tenants over shards, tagged TLBs, batched range ops --- *)
 
 let run_fleet quick tenants shards streams rounds ops switch budget modes orgs
-    locking domains seed json =
+    locking domains seed dump_dir json =
   let module FS = Fleet.Fleet_sim in
   let base = if quick then FS.quick_config else FS.default_config in
   let upd field v cfg = match v with None -> cfg | Some x -> field cfg x in
@@ -561,11 +588,31 @@ let run_fleet quick tenants shards streams rounds ops switch budget modes orgs
   let outcome = FS.run cfg in
   if json then print_endline (FS.outcome_to_json cfg outcome)
   else Format.printf "@[<v>%a@]@." FS.pp_outcome outcome;
-  if not (FS.all_clean outcome) then exit 1
+  finish_with_dump dump_dir ~cmd:"fleet" ~clean:(FS.all_clean outcome)
+
+(* --- report: the anomaly gate over two JSON artifacts --- *)
+
+let run_report baseline current json =
+  let load path =
+    match Obs_report.load_file path with
+    | Ok v -> v
+    | Error e ->
+        Printf.eprintf "ptsim report: %s\n%!" e;
+        exit 2
+  in
+  let b = load baseline and c = load current in
+  let r = Obs_report.compare_files ~baseline:b ~current:c in
+  if json then
+    print_endline
+      (Obs_report.render_json ~baseline_path:baseline ~current_path:current r)
+  else
+    print_string
+      (Obs_report.render_table ~baseline_path:baseline ~current_path:current r);
+  if Obs_report.has_breach r then exit 1
 
 (* --- unified telemetry: --metrics-out / --trace-out on every subcommand --- *)
 
-let telemetry_term =
+let telemetry_term cmd_name =
   let metrics =
     Arg.(
       value
@@ -573,7 +620,21 @@ let telemetry_term =
       & info [ "metrics-out" ] ~docv:"FILE"
           ~doc:
             "Write the run's merged metrics registry (counters and log2 \
-             histograms) as JSON to $(docv).")
+             histograms) to $(docv), in the format picked by \
+             --metrics-format.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt
+          (strict_enum ~flag:"metrics-format" ~cmd:cmd_name
+             [ ("json", `Json); ("openmetrics", `Openmetrics) ])
+          `Json
+      & info [ "metrics-format" ] ~docv:"FORMAT"
+          ~doc:
+            "Metrics file format: json (structured dump with per-phase \
+             series) or openmetrics (Prometheus text exposition, \
+             scrape-ready).")
   in
   let trace =
     Arg.(
@@ -592,30 +653,36 @@ let telemetry_term =
             "Events kept per domain ring before the trace wraps (with \
              --trace-out).")
   in
-  Term.(const (fun m t c -> (m, t, c)) $ metrics $ trace $ capacity)
+  Term.(const (fun m f t c -> (m, f, t, c)) $ metrics $ format $ trace $ capacity)
 
-let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
-
-let telemetry_start ((_, trace_out, capacity) as tele) =
+let telemetry_start ((_, _, trace_out, capacity) as tele) =
   Obs.Ambient.reset ();
+  Obs.Series.reset ();
+  Obs.Recorder.disarm ();
   Obs.Tracer.reset ();
   if trace_out <> None then Obs.Tracer.enable ~capacity ();
   tele
 
-let telemetry_finish name (metrics_out, trace_out, _) =
+let telemetry_finish name (metrics_out, metrics_format, trace_out, _) =
   (match metrics_out with
   | None -> ()
   | Some path ->
-      let buf = Buffer.create 4096 in
-      Buffer.add_string buf "{\"schema_version\":1,\"command\":\"";
-      Buffer.add_string buf name;
-      Buffer.add_string buf "\",";
-      Obs.Metrics.write_json_fields buf (Obs.Ambient.merged ());
-      Buffer.add_string buf "}\n";
-      write_file path (Buffer.contents buf);
+      let m = Obs.Ambient.merged () in
+      (* a saturated tracer ring must be visible in the metrics file,
+         not only in the trace summary line *)
+      if Obs.Tracer.enabled () then Obs.Tracer.export_drop_counter m;
+      (match metrics_format with
+      | `Openmetrics -> write_file path (Obs.Metrics.to_openmetrics m)
+      | `Json ->
+          let buf = Buffer.create 4096 in
+          Buffer.add_string buf "{\"schema_version\":2,\"command\":\"";
+          Buffer.add_string buf name;
+          Buffer.add_string buf "\",";
+          Obs.Metrics.write_json_fields buf m;
+          Buffer.add_char buf ',';
+          Obs.Series.write_json_fields buf;
+          Buffer.add_string buf "}\n";
+          write_file path (Buffer.contents buf));
       Printf.printf "wrote %s\n%!" path);
   match trace_out with
   | None -> ()
@@ -632,8 +699,21 @@ let telemetry_finish name (metrics_out, trace_out, _) =
    --metrics-out/--trace-out without touching its run function *)
 let cmd name doc term =
   let finish tele () = telemetry_finish name tele in
+  let tele = telemetry_term name in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const finish $ (const telemetry_start $ telemetry_term) $ term)
+    Term.(const finish $ (const telemetry_start $ tele) $ term)
+
+(* shared by the simulation drivers that arm the flight recorder *)
+let dump_dir_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write the flight recorder's last events (per logical stream, \
+           byte-identical for any --domains) as a JSON crash dump to \
+           $(docv), created if missing.  On an unclean exit the dump \
+           path is also named on stderr.")
 
 let () =
   let table1 =
@@ -986,7 +1066,7 @@ let () =
        fsck-clean"
       Term.(
         const run_faultsim $ seed $ rate $ sites $ domains $ streams $ ops
-        $ org $ locking $ json)
+        $ org $ locking $ dump_dir_term $ json)
   in
   let numa =
     let quick =
@@ -1140,7 +1220,7 @@ let () =
       Term.(
         const run_numa $ quick $ nodes $ modes $ orgs $ locking $ domains
         $ streams $ rounds $ reads $ writes $ vpns $ seed $ remote_cost
-        $ rate $ sites $ spaces $ json)
+        $ rate $ sites $ spaces $ dump_dir_term $ json)
   in
   let fleet =
     let quick =
@@ -1270,7 +1350,38 @@ let () =
        disjoint"
       Term.(
         const run_fleet $ quick $ tenants $ shards $ streams $ rounds $ ops
-        $ switch $ budget $ modes $ orgs $ locking $ domains $ seed $ json)
+        $ switch $ budget $ modes $ orgs $ locking $ domains $ seed
+        $ dump_dir_term $ json)
+  in
+  let report =
+    let baseline =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"BASELINE"
+            ~doc:
+              "Baseline JSON artifact: a --metrics-out dump, a --json \
+               outcome, or a benchmark file.")
+    in
+    let current =
+      Arg.(
+        required
+        & pos 1 (some string) None
+        & info [] ~docv:"CURRENT" ~doc:"Current JSON artifact to gate.")
+    in
+    let json =
+      Arg.(
+        value & flag
+        & info [ "json" ]
+            ~doc:"Print the findings as one JSON object instead of a table.")
+    in
+    cmd "report"
+      "Anomaly gate: flatten two JSON artifacts (metrics dumps, --json \
+       outcomes or benchmark files), diff the shared keys, and flag p99 \
+       regressions, lock-contention spikes, eviction storms and tracer \
+       drops against declarative thresholds; exit 1 on any breach, 2 on \
+       unreadable input"
+      Term.(const run_report $ baseline $ current $ json)
   in
   let info =
     Cmd.info "ptsim" ~version:"1.0"
@@ -1291,6 +1402,6 @@ let () =
        (Cmd.group ~default info
           [
             table1; figure9; figure10; figure11; table2; ablations; churn;
-            throughput; inspect; fsck; faultsim; numa; fleet; workload;
-            dump; replay; verify; all;
+            throughput; inspect; fsck; faultsim; numa; fleet; report;
+            workload; dump; replay; verify; all;
           ]))

@@ -143,6 +143,11 @@ let iter_streams ~streams ~domains index f =
 
 let touch_counter_name asid = Printf.sprintf "fleet.touch.%d" asid
 
+let lock_code = function
+  | Service.Global -> Obs.Recorder.l_global
+  | Service.Striped -> Obs.Recorder.l_striped
+  | Service.Seqlock -> Obs.Recorder.l_seqlock
+
 let run_one cfg ~org ~mode =
   let fleet =
     Sharded.create ~buckets:cfg.buckets ~org ~locking:cfg.locking
@@ -176,9 +181,19 @@ let run_one cfg ~org ~mode =
     touch_base.(asid) <-
       Obs.Metrics.value (Obs.Metrics.counter m0 (touch_counter_name asid))
   done;
+  let lock = lock_code cfg.locking in
   let ops_for t =
     let asid = t + 1 in
     let s = t mod cfg.streams in
+    (* flight-recorder events go to stream [s]'s ring: the stream is
+       the ownership unit, so the recorded tail is domain-invariant;
+       [lat] is the logical cost (lock sections, or 1 on a demand
+       fault), never wall-clock *)
+    let rec_range kind (r : Addr.Region.t) lat =
+      Obs.Recorder.record ~stream:s ~kind ~asid
+        ~vpn:(Int64.to_int r.Addr.Region.first_vpn)
+        ~pages:r.Addr.Region.pages ~lock ~attempt:0 ~fault:0 ~lat
+    in
     let tg = tagged.(s) and fl = flushed.(s) in
     (* ambient handles bind to the executing domain, so resolve them
        lazily on first use from the worker, not here on main *)
@@ -195,13 +210,28 @@ let run_one cfg ~org ~mode =
       Obs.Metrics.incr c
     in
     {
-      Dynamics.Fleet_replay.map = (fun r -> Sharded.map fleet ~asid r);
-      unmap = (fun r -> Sharded.unmap fleet ~asid r);
-      protect = (fun r ~writable -> Sharded.protect fleet ~asid r ~writable);
+      Dynamics.Fleet_replay.map =
+        (fun r ->
+          let sections = Sharded.map fleet ~asid r in
+          rec_range Obs.Recorder.k_map r sections;
+          sections);
+      unmap =
+        (fun r ->
+          let sections = Sharded.unmap fleet ~asid r in
+          rec_range Obs.Recorder.k_unmap r sections;
+          sections);
+      protect =
+        (fun r ~writable ->
+          let sections = Sharded.protect fleet ~asid r ~writable in
+          rec_range Obs.Recorder.k_protect r sections;
+          sections);
       touch =
         (fun local ->
           bump_touch ();
           let mapped = Sharded.mem fleet ~asid local in
+          Obs.Recorder.record ~stream:s ~kind:Obs.Recorder.k_touch ~asid
+            ~vpn:(Int64.to_int local) ~pages:1 ~lock ~attempt:0 ~fault:0
+            ~lat:(if mapped then 0 else 1);
           let th = Tlb.Tagged_tlb.access tg ~vpn:local = `Hit in
           let fh = Tlb.Intf.access fl ~vpn:local = `Hit in
           (if mapped && ((not th) || not fh) then
@@ -284,11 +314,17 @@ let run_one cfg ~org ~mode =
     ~epochs:(Sharded.reader_epochs fleet)
     ~domains:cfg.domains
     (fun pool ->
+      let series_label =
+        Printf.sprintf "fleet:%s/%s" (Service.org_name org)
+          (Sharded.range_mode_name mode)
+      in
       t_start := Unix.gettimeofday ();
       for round = 0 to cfg.rounds - 1 do
         Exec.Worker_pool.run pool (stream_job round);
-        (* workers parked at the barrier: enforcement is sequential *)
-        enforce ()
+        (* workers parked at the barrier: enforcement is sequential,
+           and the series point sees a domain-invariant merge *)
+        enforce ();
+        Obs.Series.mark ~label:series_label ~index:round
       done;
       t_stop := Unix.gettimeofday ());
   Sharded.quiesce fleet;
@@ -376,6 +412,7 @@ let run cfg =
   if cfg.domains < 1 then invalid_arg "Fleet_sim.run: domains must be >= 1";
   if cfg.streams < 1 then invalid_arg "Fleet_sim.run: streams must be >= 1";
   if cfg.rounds < 1 then invalid_arg "Fleet_sim.run: rounds must be >= 1";
+  Obs.Recorder.arm ~streams:cfg.streams ~capacity:512;
   {
     rows =
       List.concat_map

@@ -153,6 +153,11 @@ let iter_streams ~streams ~domains index f =
     s := !s + domains
   done
 
+let lock_code = function
+  | Service.Global -> Obs.Recorder.l_global
+  | Service.Striped -> Obs.Recorder.l_striped
+  | Service.Seqlock -> Obs.Recorder.l_seqlock
+
 let run_one cfg ~org ~mode ~nodes =
   let machine =
     Machine.make ~local_cost:cfg.local_cost ~remote_cost:cfg.remote_cost
@@ -179,6 +184,14 @@ let run_one cfg ~org ~mode ~nodes =
     k
   in
   let hits = Array.make streams 0 in
+  (* flight-recorder events: stream-owned rings, asid = the stream's
+     node, fault = the armed-site bitmask for the op's context *)
+  let lock = lock_code cfg.locking in
+  let rec_op ~s ~kind ~node ~vpn ~lat =
+    Obs.Recorder.record ~stream:s ~kind ~asid:node ~vpn:(Int64.to_int vpn)
+      ~pages:1 ~lock ~attempt:0 ~fault:(Pt_service.Faultsim.armed_mask ())
+      ~lat
+  in
   let prepopulate s =
     let node = node_of s in
     let pool = pools.(s) in
@@ -186,6 +199,7 @@ let run_one cfg ~org ~mode ~nodes =
     while !i < cfg.vpns_per_stream do
       let vpn = pool.(!i) in
       Fault.set_context ~key:(op_key s);
+      rec_op ~s ~kind:Obs.Recorder.k_insert ~node ~vpn ~lat:0;
       Replicated.insert ~node repl ~vpn ~ppn:(ppn_for vpn)
         ~attr:Pte.Attr.default;
       i := !i + 2
@@ -200,11 +214,19 @@ let run_one cfg ~org ~mode ~nodes =
       let vpn = pool.(Random.State.int rng cfg.vpns_per_stream) in
       let r = Random.State.int rng 100 in
       Fault.set_context ~key:(op_key s);
-      if r < 50 then
+      if r < 50 then begin
+        rec_op ~s ~kind:Obs.Recorder.k_insert ~node ~vpn ~lat:0;
         Replicated.insert ~node repl ~vpn ~ppn:(ppn_for vpn)
           ~attr:Pte.Attr.default
-      else if r < 80 then Replicated.remove ~node repl ~vpn
-      else Replicated.protect_page ~node repl ~vpn ~writable:(r land 1 = 0)
+      end
+      else if r < 80 then begin
+        rec_op ~s ~kind:Obs.Recorder.k_remove ~node ~vpn ~lat:0;
+        Replicated.remove ~node repl ~vpn
+      end
+      else begin
+        rec_op ~s ~kind:Obs.Recorder.k_protect ~node ~vpn ~lat:0;
+        Replicated.protect_page ~node repl ~vpn ~writable:(r land 1 = 0)
+      end
     done;
     Fault.clear_context ()
   in
@@ -218,24 +240,47 @@ let run_one cfg ~org ~mode ~nodes =
     for _ = 1 to cfg.reads_per_stream do
       let vpn = pool.(Random.State.int rng cfg.vpns_per_stream) in
       Fault.set_context ~key:(op_key s);
-      if Replicated.lookup_into repl counter acc ~node ~vpn then
-        Stdlib.incr h
+      let hit = Replicated.lookup_into repl counter acc ~node ~vpn in
+      rec_op ~s ~kind:Obs.Recorder.k_lookup ~node ~vpn
+        ~lat:(if hit then 1 else 0);
+      if hit then Stdlib.incr h
     done;
     Fault.clear_context ();
     hits.(s) <- hits.(s) + !h
   in
   let stale_pairs = ref 0 in
+  let series_label =
+    Printf.sprintf "numa:%d/%s/%s" nodes
+      (Replicated.mode_name mode)
+      (Service.org_name org)
+  in
   let phases pool =
     Exec.Worker_pool.run pool (fun index ->
         iter_streams ~streams ~domains:cfg.domains index prepopulate);
     Replicated.sync repl;
     Replicated.reset_stats repl;
+    let prev = ref (Replicated.stats repl) in
     for round = 0 to cfg.rounds - 1 do
       Exec.Worker_pool.run pool (fun index ->
           iter_streams ~streams ~domains:cfg.domains index (write_phase round));
-      stale_pairs := !stale_pairs + Replicated.stale_buckets repl;
+      let stale_now = Replicated.stale_buckets repl in
+      stale_pairs := !stale_pairs + stale_now;
       Exec.Worker_pool.run pool (fun index ->
-          iter_streams ~streams ~domains:cfg.domains index (read_phase round))
+          iter_streams ~streams ~domains:cfg.domains index (read_phase round));
+      (* workers parked: the round's stat deltas are barrier-stable *)
+      let s = Replicated.stats repl in
+      let p = !prev in
+      Obs.Series.push ~label:series_label ~index:round
+        [
+          ("numa.lookups", s.Replicated.lookups - p.Replicated.lookups);
+          ("numa.local_lines", s.Replicated.local_lines - p.Replicated.local_lines);
+          ("numa.remote_lines", s.Replicated.remote_lines - p.Replicated.remote_lines);
+          ("numa.logical_writes", s.Replicated.logical_writes - p.Replicated.logical_writes);
+          ("numa.replica_writes", s.Replicated.replica_writes - p.Replicated.replica_writes);
+          ("numa.catchups", s.Replicated.catchups - p.Replicated.catchups);
+          ("numa.stale_pairs", stale_now);
+        ];
+      prev := s
     done
   in
   let body () =
@@ -456,6 +501,11 @@ let run cfg =
   if cfg.domains < 1 then invalid_arg "Numa_sim.run: domains must be >= 1";
   if cfg.node_counts = [] then
     invalid_arg "Numa_sim.run: need at least one node count";
+  let max_streams =
+    List.fold_left (fun acc n -> max acc (n * cfg.streams_per_node)) 1
+      cfg.node_counts
+  in
+  Obs.Recorder.arm ~streams:max_streams ~capacity:512;
   let rows =
     List.concat_map
       (fun nodes ->

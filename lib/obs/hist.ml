@@ -85,6 +85,16 @@ let equal a b =
   && a.buckets = b.buckets
   && (a.count = 0 || (a.vmin = b.vmin && a.vmax = b.vmax))
 
+(* The q-quantile with within-bucket interpolation.  The rank walk
+   finds the bucket holding rank [ceil (q * count)]; within it the
+   estimate moves linearly from the bucket's clamped lower bound (first
+   rank) to its clamped upper bound (last rank).  Clamping to
+   [vmin, vmax] makes a single distinct value exact and keeps every
+   estimate inside the observed range; bucket 0 (values <= 0) extends
+   down to the observed minimum, since its nominal bounds are [0, 0].
+   Monotone in [q]: within a bucket the rank interpolation is
+   nondecreasing, and a bucket's clamped upper bound never exceeds the
+   next nonempty bucket's clamped lower bound. *)
 let quantile t ~q =
   if not (q > 0.0 && q <= 1.0) then
     invalid_arg "Hist.quantile: q must be in (0, 1]";
@@ -96,11 +106,22 @@ let quantile t ~q =
     let seen = ref 0 and result = ref (max_value t) in
     (try
        for k = 0 to bucket_count - 1 do
-         seen := !seen + t.buckets.(k);
-         if !seen >= target then begin
-           result := min (bucket_hi k) t.vmax;
+         let here = t.buckets.(k) in
+         if here <> 0 && !seen + here >= target then begin
+           let lo =
+             if k = 0 then min 0 t.vmin else max (bucket_lo k) t.vmin
+           in
+           let hi = min (bucket_hi k) t.vmax in
+           let pos = target - !seen in
+           (* rank 1 -> lo, rank [here] -> hi; integer interpolation
+              rounding toward hi so one-observation buckets keep the
+              old upper-bound semantics *)
+           result :=
+             (if here = 1 then hi
+              else hi - ((hi - lo) * (here - pos) / (here - 1)));
            raise Exit
-         end
+         end;
+         seen := !seen + here
        done
      with Exit -> ());
     !result

@@ -39,11 +39,16 @@ val mean : t -> float
 (** Exact mean ([sum/count]); 0 when empty. *)
 
 val quantile : t -> q:float -> int
-(** [quantile t ~q] is an upper bound on the [q]-quantile of the
-    observed values: the [bucket_hi] of the bucket where the
-    cumulative count reaches [ceil (q * count)], clamped to the
-    observed maximum.  0 when the histogram is empty.  Raises
-    [Invalid_argument] unless [0 < q <= 1]. *)
+(** [quantile t ~q] estimates the [q]-quantile of the observed values
+    with within-bucket interpolation: the rank [ceil (q * count)] is
+    located in its bucket, and the estimate moves linearly from the
+    bucket's lower bound (first rank in the bucket) to its upper bound
+    (last rank), both clamped to the observed [min]/[max].  The
+    estimate is monotone in [q], always within [[min_value t,
+    max_value t]], and exact when all observations share one bucket
+    boundary value (in particular for a single distinct value).  0
+    when the histogram is empty.  Raises [Invalid_argument] unless
+    [0 < q <= 1]. *)
 
 val bucket_lo : int -> int
 (** Smallest value landing in bucket [k]. *)

@@ -112,6 +112,52 @@ let to_json t =
   Buffer.add_char buf '}';
   Buffer.contents buf
 
+(* --- OpenMetrics (Prometheus text exposition) --- *)
+
+(* Metric names allow only [a-zA-Z0-9_:]; our dotted names become
+   underscored ("throughput.ops.insert" -> "ptsim_throughput_ops_insert"). *)
+let add_sanitized buf name =
+  Buffer.add_string buf "ptsim_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' ->
+          Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name
+
+let to_openmetrics t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string buf "# TYPE ";
+      add_sanitized buf name;
+      Buffer.add_string buf " counter\n";
+      add_sanitized buf name;
+      Buffer.add_string buf (Printf.sprintf "_total %d\n" v))
+    (counters t);
+  List.iter
+    (fun (name, h) ->
+      Buffer.add_string buf "# TYPE ";
+      add_sanitized buf name;
+      Buffer.add_string buf " histogram\n";
+      let cum = ref 0 in
+      Hist.iter_nonzero h (fun k c ->
+          cum := !cum + c;
+          add_sanitized buf name;
+          Buffer.add_string buf
+            (Printf.sprintf "_bucket{le=\"%d\"} %d\n" (Hist.bucket_hi k) !cum));
+      add_sanitized buf name;
+      Buffer.add_string buf
+        (Printf.sprintf "_bucket{le=\"+Inf\"} %d\n" (Hist.count h));
+      add_sanitized buf name;
+      Buffer.add_string buf (Printf.sprintf "_sum %d\n" (Hist.sum h));
+      add_sanitized buf name;
+      Buffer.add_string buf (Printf.sprintf "_count %d\n" (Hist.count h)))
+    (hists t);
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
 let pp ppf t =
   List.iter (fun (name, v) -> Format.fprintf ppf "%s = %d@\n" name v)
     (counters t);

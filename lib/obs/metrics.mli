@@ -48,6 +48,9 @@ val equal : t -> t -> bool
 (** Equality of contents, ignoring zero-valued counters and empty
     histograms (a registered-but-untouched name is not data). *)
 
+val add_escaped : Buffer.t -> string -> unit
+(** Append [s] with JSON string escaping (no surrounding quotes). *)
+
 val write_json_fields : Buffer.t -> t -> unit
 (** Append ["counters":[...],"histograms":[...]] — the fields of a
     JSON object, without the surrounding braces, for embedding in a
@@ -55,5 +58,13 @@ val write_json_fields : Buffer.t -> t -> unit
 
 val to_json : t -> string
 (** The two fields of {!write_json_fields} wrapped in an object. *)
+
+val to_openmetrics : t -> string
+(** Prometheus/OpenMetrics text exposition: each counter as a
+    [_total] sample, each histogram as cumulative [_bucket{le="..."}]
+    samples (one per nonzero log2 bucket, plus [+Inf]) with [_sum] and
+    [_count], terminated by [# EOF].  Dotted metric names are
+    sanitized to [[a-zA-Z0-9_:]] and prefixed ["ptsim_"].  Entries are
+    sorted by name, so output is deterministic. *)
 
 val pp : Format.formatter -> t -> unit

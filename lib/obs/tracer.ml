@@ -149,6 +149,9 @@ let event_count () =
 let dropped_count () =
   List.fold_left (fun acc r -> acc + (r.total - held r)) 0 (all_rings ())
 
+let export_drop_counter m =
+  Metrics.add (Metrics.counter m "obs.trace.dropped") (dropped_count ())
+
 let to_chrome_json () =
   let buf = Buffer.create 65536 in
   Buffer.add_string buf "{\"traceEvents\":[";

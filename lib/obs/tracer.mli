@@ -107,5 +107,10 @@ val event_count : unit -> int
 val dropped_count : unit -> int
 (** Events lost to ring wrap-around. *)
 
+val export_drop_counter : Metrics.t -> unit
+(** Add {!dropped_count} to the [obs.trace.dropped] counter in [m], so
+    ring overflow is visible in the metrics JSON and not only in the
+    trace footer.  Only call after parallel sections join. *)
+
 val to_chrome_json : unit -> string
 (** Only call after parallel sections join. *)

@@ -74,24 +74,57 @@ let mix3 seed a b =
   let h = Addr.Bits.mix64 (logxor h (of_int (a + 1))) in
   Addr.Bits.mix64 (logxor h (of_int (b + 1)))
 
+let lock_code = function
+  | Service.Global -> Obs.Recorder.l_global
+  | Service.Striped -> Obs.Recorder.l_striped
+  | Service.Seqlock -> Obs.Recorder.l_seqlock
+
+(* Armed-fault-site bitmask for the current (key, attempt) context,
+   bit position = the site's index in [Fault.all_sites].  [Fault.armed]
+   is a pure query, so this records the plan's decision without
+   consuming it — and is therefore domain-invariant. *)
+let armed_mask () =
+  if not (Fault.active ()) then 0
+  else
+    let mask = ref 0 and bit = ref 1 in
+    List.iter
+      (fun site ->
+        if Fault.armed site then mask := !mask lor !bit;
+        bit := !bit lsl 1)
+      Fault.all_sites;
+    !mask
+
 (* The op mix leans on writes (the faultable paths): 1/2 insert, 1/4
    remove, 1/8 lookup, 1/8 range protect. *)
-let apply_op svc ~seed ~stream ~op =
+let apply_op svc ~seed ~stream ~op ~lock ~fault =
   let r = mix3 seed stream op in
   let kind = Int64.to_int (Int64.logand r 7L) in
   let off = Int64.to_int (Int64.logand (Int64.shift_right_logical r 8) 4095L) in
   let vpn = Int64.of_int ((stream * span) + off) in
-  if kind < 4 then
+  let rec_op k pages =
+    Obs.Recorder.record ~stream ~kind:k ~asid:stream
+      ~vpn:(Int64.to_int vpn) ~pages ~lock ~attempt:0 ~fault ~lat:pages
+  in
+  if kind < 4 then begin
     let ppn = Int64.logand (Int64.shift_right_logical r 20) 0xFFFFFL in
+    rec_op Obs.Recorder.k_insert 1;
     Service.insert svc ~vpn ~ppn ~attr:Pte.Attr.default
-  else if kind < 6 then Service.remove svc ~vpn
-  else if kind = 6 then ignore (Service.lookup svc ~vpn)
+  end
+  else if kind < 6 then begin
+    rec_op Obs.Recorder.k_remove 1;
+    Service.remove svc ~vpn
+  end
+  else if kind = 6 then begin
+    rec_op Obs.Recorder.k_lookup 1;
+    ignore (Service.lookup svc ~vpn)
+  end
   else begin
     let pages =
       min (span - off) (1 + Int64.to_int (Int64.logand (Int64.shift_right_logical r 32) 31L))
     in
     let region = Addr.Region.make ~first_vpn:vpn ~pages in
     let writable = Int64.logand (Int64.shift_right_logical r 40) 1L = 0L in
+    rec_op Obs.Recorder.k_protect pages;
     ignore (Service.protect svc region ~writable)
   end
 
@@ -110,6 +143,8 @@ let run cfg =
   let plan =
     Fault.plan ~rate_ppm:cfg.rate_ppm ~sites:cfg.sites ~seed:cfg.seed ()
   in
+  Obs.Recorder.arm ~streams:cfg.streams ~capacity:512;
+  let lock = lock_code cfg.locking in
   let cursors = Array.make cfg.streams 0 in
   let crash_attempts = Array.make cfg.streams 0 in
   let job w =
@@ -118,14 +153,18 @@ let run cfg =
       while cursors.(!s) < cfg.ops do
         let op = cursors.(!s) in
         Fault.set_context ~key:((!s * cfg.ops) + op);
+        Fault.set_attempt 0;
+        let fault = armed_mask () in
         Fault.set_attempt crash_attempts.(!s);
         if crash_attempts.(!s) < max_crash_attempts && Fault.armed Fault.Domain_crash
         then begin
+          Obs.Recorder.record ~stream:!s ~kind:Obs.Recorder.k_crash ~asid:!s
+            ~vpn:0 ~pages:0 ~lock ~attempt:crash_attempts.(!s) ~fault ~lat:0;
           crash_attempts.(!s) <- crash_attempts.(!s) + 1;
           Fault.fire Fault.Domain_crash
         end;
         Fault.set_attempt 0;
-        apply_op svc ~seed:cfg.seed ~stream:!s ~op;
+        apply_op svc ~seed:cfg.seed ~stream:!s ~op ~lock ~fault;
         Fault.clear_context ();
         crash_attempts.(!s) <- 0;
         cursors.(!s) <- op + 1

@@ -23,6 +23,13 @@ type config = {
   buckets : int;
 }
 
+val armed_mask : unit -> int
+(** Bitmask of fault sites armed for the calling domain's current
+    (key, attempt) context, bit position = the site's index in
+    {!Fault.all_sites}; 0 with no active plan.  A pure query
+    ({!Fault.armed} does not tally), for recording the plan's decision
+    in flight-recorder events. *)
+
 val default_config : config
 (** seed 1, 2% rate, all sites, clustered/striped, 1 domain,
     4 streams x 2000 ops, 512 buckets. *)
@@ -50,7 +57,9 @@ type outcome = {
 val run : config -> outcome
 (** Install the plan, soak, deactivate, fsck (repairing if needed).
     The installed plan and tallies are process-global: do not run two
-    soaks concurrently. *)
+    soaks concurrently.  Arms the {!Obs.Recorder} flight recorder with
+    one ring per stream (capacity 512) and leaves it armed on return,
+    so a caller seeing a dirty outcome can dump the event tail. *)
 
 val outcome_to_json : outcome -> string
 (** One JSON object; deliberately omits the domain count so runs

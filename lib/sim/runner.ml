@@ -1192,6 +1192,16 @@ let churn ?(options = default_options) ?domains ?(seeds = 3) ?(ops = 8_000)
       churn_configs groups
   in
   let label row = row.churn_name ^ "/" ^ row.churn_policy in
+  (* publish the seed-0 footprint series (already domain-invariant:
+     each sample is a pure function of (config, seed 0)) *)
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (op, live, bytes) ->
+          Obs.Series.push ~label:("churn:" ^ label r) ~index:op
+            [ ("churn.live_pages", live); ("churn.pt_bytes", bytes) ])
+        r.churn_series)
+    rows;
   Report.print_table
     ~title:
       (Printf.sprintf
@@ -1450,8 +1460,8 @@ let throughput ?(domains_list = [ 1; 2; 4; 8 ]) ?(streams = 0)
   List.concat_map
     (fun (org, locking) ->
       let base_rate = ref 0.0 in
-      List.map
-        (fun domains ->
+      List.mapi
+        (fun i domains ->
           let cfg =
             {
               Pt_service.Throughput.default_config with
@@ -1463,6 +1473,15 @@ let throughput ?(domains_list = [ 1; 2; 4; 8 ]) ?(streams = 0)
             }
           in
           let r = Pt_service.Throughput.run ~org ~locking cfg in
+          (* series point per completed row; the index is the row's
+             position in the sweep, not the domain count, so a
+             single-row sweep marks index 0 for any --domains *)
+          Obs.Series.mark
+            ~label:
+              (Printf.sprintf "throughput:%s/%s"
+                 (Pt_service.Service.org_name org)
+                 (Pt_service.Service.locking_name locking))
+            ~index:i;
           if !base_rate = 0.0 then
             base_rate := r.Pt_service.Throughput.ops_per_sec;
           Printf.printf "  %-10s %-8s %8d %14.0f %8.2fx %12d %12d\n%!"

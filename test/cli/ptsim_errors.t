@@ -15,7 +15,7 @@ Bare invocation:
 An unknown subcommand names the offending token:
 
   $ ptsim nonsense
-  ptsim: unknown command 'nonsense', must be one of 'ablations', 'all', 'churn', 'dump', 'faultsim', 'figure10', 'figure11', 'figure9', 'fleet', 'fsck', 'inspect', 'numa', 'replay', 'table1', 'table2', 'throughput', 'verify' or 'workload'.
+  ptsim: unknown command 'nonsense', must be one of 'ablations', 'all', 'churn', 'dump', 'faultsim', 'figure10', 'figure11', 'figure9', 'fleet', 'fsck', 'inspect', 'numa', 'replay', 'report', 'table1', 'table2', 'throughput', 'verify' or 'workload'.
   Usage: ptsim [COMMAND] …
   Try 'ptsim --help' for more information.
   [124]
@@ -95,6 +95,22 @@ Every enum-valued flag on every subcommand follows that contract:
 
   $ ptsim fleet --locking bogus
   unknown locking "bogus" for fleet (have: striped, global, seqlock)
+  [2]
+
+The shared telemetry flags follow it too, on every subcommand:
+
+  $ ptsim report --metrics-format bogus a.json b.json
+  unknown metrics-format "bogus" for report (have: json, openmetrics)
+  [2]
+
+  $ ptsim fleet --metrics-format bogus
+  unknown metrics-format "bogus" for fleet (have: json, openmetrics)
+  [2]
+
+And report refuses unreadable input with the same exit code:
+
+  $ ptsim report missing-baseline.json missing-current.json
+  ptsim report: missing-baseline.json: No such file or directory
   [2]
 
 And an unknown fsck corruption kind still names its token:

@@ -23,4 +23,5 @@ let () =
       Test_obs.suite;
       Test_numa.suite;
       Test_fleet.suite;
+      Test_report.suite;
     ]

@@ -107,6 +107,36 @@ let prop_shard_merge_equals_serial =
       Array.iter (fun p -> H.merge_into ~src:p ~dst:merged) parts;
       H.equal merged (hist_of values))
 
+(* --- quantile interpolation properties (PR 9 satellite) --- *)
+
+let nonempty_values = QCheck.(list_of_size Gen.(int_range 1 40) small_nat)
+
+let qs = QCheck.(map (fun n -> float_of_int n /. 100.0) (int_range 1 100))
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantile is monotone in q" ~count:300
+    QCheck.(triple nonempty_values qs qs)
+    (fun (values, qa, qb) ->
+      let h = hist_of values in
+      let lo = min qa qb and hi = max qa qb in
+      H.quantile h ~q:lo <= H.quantile h ~q:hi)
+
+let prop_quantile_bounded =
+  QCheck.Test.make ~name:"quantile stays within [min, max]" ~count:300
+    QCheck.(pair nonempty_values qs)
+    (fun (values, q) ->
+      let h = hist_of values in
+      let v = H.quantile h ~q in
+      H.min_value h <= v && v <= H.max_value h)
+
+let prop_quantile_exact_single =
+  QCheck.Test.make ~name:"quantile is exact on a single distinct value"
+    ~count:300
+    QCheck.(triple small_nat (int_range 1 50) qs)
+    (fun (v, n, q) ->
+      let h = hist_of (List.init n (fun _ -> v)) in
+      H.quantile h ~q = v)
+
 (* --- metrics registry --- *)
 
 let test_metrics_equal_ignores_zero () =
@@ -218,6 +248,187 @@ let test_tracer_ring () =
   Obs.Tracer.reset ();
   Alcotest.(check int) "reset drops events" 0 (Obs.Tracer.event_count ())
 
+(* a saturated tracer ring must be visible in the exported metrics,
+   not only the trace summary — the report gate breaches on it *)
+let test_tracer_drop_counter () =
+  Obs.Tracer.reset ();
+  Obs.Tracer.enable ~capacity:8 ();
+  for _ = 1 to 20 do
+    Obs.Tracer.instant Obs.Tracer.ev_churn_touch 1
+  done;
+  Alcotest.(check int) "ring dropped the overflow" 12
+    (Obs.Tracer.dropped_count ());
+  let m = M.create () in
+  Obs.Tracer.export_drop_counter m;
+  Alcotest.(check int)
+    "obs.trace.dropped mirrors the ring's tally"
+    (Obs.Tracer.dropped_count ())
+    (M.value (M.counter m "obs.trace.dropped"));
+  Obs.Tracer.disable ();
+  Obs.Tracer.reset ()
+
+(* --- OpenMetrics exposition --- *)
+
+let contains_sub hay sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length hay && (String.sub hay i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_openmetrics () =
+  let m = M.create () in
+  M.add (M.counter m "fleet.touch.1") 7;
+  H.observe (M.hist m "walk.lines") 3;
+  H.observe (M.hist m "walk.lines") 3;
+  H.observe (M.hist m "walk.lines") 9;
+  let text = M.to_openmetrics m in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "exposition has %S" line)
+        true
+        (contains_sub text (line ^ "\n")))
+    [
+      "# TYPE ptsim_fleet_touch_1 counter";
+      "ptsim_fleet_touch_1_total 7";
+      "# TYPE ptsim_walk_lines histogram";
+      (* log2 buckets, cumulative: {2,3} holds both 3s, {8..15} adds 9 *)
+      "ptsim_walk_lines_bucket{le=\"3\"} 2";
+      "ptsim_walk_lines_bucket{le=\"15\"} 3";
+      "ptsim_walk_lines_bucket{le=\"+Inf\"} 3";
+      "ptsim_walk_lines_sum 15";
+      "ptsim_walk_lines_count 3";
+    ];
+  Alcotest.(check bool)
+    "terminated by # EOF" true
+    (String.length text >= 6
+    && String.sub text (String.length text - 6) 6 = "# EOF\n")
+
+(* --- the flight recorder ring --- *)
+
+let record_n stream n =
+  for i = 1 to n do
+    Obs.Recorder.record ~stream ~kind:Obs.Recorder.k_insert ~asid:stream
+      ~vpn:(100 + i) ~pages:1 ~lock:Obs.Recorder.l_striped ~attempt:0 ~fault:0
+      ~lat:i
+  done
+
+let test_recorder_ring () =
+  Obs.Recorder.disarm ();
+  record_n 0 3;
+  Alcotest.(check int) "disarmed record is a no-op" 0
+    (Obs.Recorder.event_count ());
+  Obs.Recorder.arm ~streams:2 ~capacity:4;
+  Alcotest.(check bool) "armed" true (Obs.Recorder.armed ());
+  record_n 0 6;
+  record_n 1 2;
+  (* stream 0 wrapped: 4 retained of 6 recorded; stream 1 kept both *)
+  Alcotest.(check int) "retained = min(total, cap) per ring" 6
+    (Obs.Recorder.event_count ());
+  let dump = Obs.Recorder.dump_json ~label:"test" () in
+  Alcotest.(check bool)
+    "dump reports all recorded events" true
+    (contains_sub dump "\"recorded\":6");
+  Alcotest.(check bool)
+    "oldest surviving stream-0 event is vpn 103" true
+    (contains_sub dump "{\"kind\":\"insert\",\"asid\":0,\"vpn\":103");
+  Alcotest.(check bool)
+    "overwritten head is gone" false
+    (contains_sub dump "\"asid\":0,\"vpn\":102");
+  (* out-of-range streams are dropped, not an error *)
+  record_n 9 1;
+  Alcotest.(check int) "out-of-range stream ignored" 6
+    (Obs.Recorder.event_count ());
+  let tail = Obs.Recorder.dump_json ~last:1 ~label:"test" () in
+  Alcotest.(check bool)
+    "?last keeps only the newest per stream" true
+    (contains_sub tail "\"vpn\":106" && not (contains_sub tail "\"vpn\":105"));
+  Obs.Recorder.disarm ();
+  Alcotest.(check bool) "disarmed again" false (Obs.Recorder.armed ())
+
+let test_recorder_dump_deterministic () =
+  let episode () =
+    Obs.Recorder.arm ~streams:3 ~capacity:8;
+    record_n 0 12;
+    record_n 2 5;
+    Obs.Recorder.dump_json ~last:4 ~label:"episode" ()
+  in
+  let a = episode () in
+  let b = episode () in
+  Alcotest.(check string) "same events => byte-identical dump" a b;
+  Obs.Recorder.disarm ()
+
+(* --- the per-phase series sampler --- *)
+
+let series_json () =
+  let buf = Buffer.create 256 in
+  Obs.Series.write_json_fields buf;
+  Buffer.contents buf
+
+let count_sub hay sub =
+  let n = String.length sub in
+  let rec go i acc =
+    if i + n > String.length hay then acc
+    else go (i + 1) (if String.sub hay i n = sub then acc + 1 else acc)
+  in
+  go 0 0
+
+let test_series_push_and_mark () =
+  Obs.Ambient.reset ();
+  Obs.Series.reset ();
+  Obs.Series.push ~label:"churn:test" ~index:0 [ ("churn.live_pages", 10) ];
+  Obs.Series.push ~label:"churn:test" ~index:16 [ ("churn.live_pages", 14) ];
+  M.add (Obs.Ambient.counter "test.series.ops") 5;
+  H.observe (Obs.Ambient.hist "test.series.cost") 4;
+  Obs.Series.mark ~label:"fleet:test" ~index:0;
+  M.add (Obs.Ambient.counter "test.series.ops") 3;
+  Obs.Series.mark ~label:"fleet:test" ~index:1;
+  (* timing metrics never enter a series *)
+  M.add (Obs.Ambient.counter "test.op_ns.skipme") 99;
+  Obs.Series.mark ~label:"fleet:test" ~index:2;
+  let json = series_json () in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool)
+        (Printf.sprintf "series has %s" sub)
+        true (contains_sub json sub))
+    [
+      "\"series\":[";
+      "{\"label\":\"churn:test\"";
+      "{\"name\":\"churn.live_pages\",\"delta\":14}";
+      "{\"label\":\"fleet:test\"";
+      (* mark 0: cumulative 5; mark 1: delta 3 *)
+      "{\"name\":\"test.series.ops\",\"delta\":5}";
+      "{\"name\":\"test.series.ops\",\"delta\":3}";
+      "{\"name\":\"test.series.cost\",\"p50\":4,\"p90\":4,\"p99\":4}";
+    ];
+  Alcotest.(check bool) "timing counters excluded" false
+    (contains_sub json "op_ns");
+  Obs.Series.reset ();
+  Obs.Ambient.reset ();
+  Alcotest.(check string) "reset empties the series" "\"series\":[]"
+    (series_json ())
+
+let test_series_downsample () =
+  Obs.Series.reset ();
+  for i = 0 to 199 do
+    Obs.Series.push ~label:"dense" ~index:i [ ("v", i) ]
+  done;
+  Alcotest.(check int) "all points retained internally" 200
+    (Obs.Series.point_count ());
+  let json = series_json () in
+  let points = count_sub json "{\"i\":" in
+  Alcotest.(check bool)
+    (Printf.sprintf "downsampled to <= 65 points (got %d)" points)
+    true
+    (points <= 65);
+  Alcotest.(check bool) "first point kept" true (contains_sub json "{\"i\":0,");
+  Alcotest.(check bool)
+    "final point kept" true
+    (contains_sub json "{\"i\":199,");
+  Obs.Series.reset ()
+
 (* --- structural probes --- *)
 
 let attr = Pte.Attr.default
@@ -309,6 +520,9 @@ let suite =
       Alcotest.test_case "hist bucketing and moments" `Quick test_hist_buckets;
       Alcotest.test_case "hist empty and clear" `Quick test_hist_empty;
       Alcotest.test_case "hist quantile" `Quick test_hist_quantile;
+      QCheck_alcotest.to_alcotest prop_quantile_monotone;
+      QCheck_alcotest.to_alcotest prop_quantile_bounded;
+      QCheck_alcotest.to_alcotest prop_quantile_exact_single;
       QCheck_alcotest.to_alcotest prop_merge_commutative;
       QCheck_alcotest.to_alcotest prop_merge_associative;
       QCheck_alcotest.to_alcotest prop_shard_merge_equals_serial;
@@ -319,6 +533,16 @@ let suite =
       Alcotest.test_case "ambient shards merge to serial" `Quick
         test_ambient_parallel_merge;
       Alcotest.test_case "tracer ring wrap and export" `Quick test_tracer_ring;
+      Alcotest.test_case "tracer drop counter exported" `Quick
+        test_tracer_drop_counter;
+      Alcotest.test_case "openmetrics exposition" `Quick test_openmetrics;
+      Alcotest.test_case "recorder ring wrap and dump" `Quick
+        test_recorder_ring;
+      Alcotest.test_case "recorder dump is deterministic" `Quick
+        test_recorder_dump_deterministic;
+      Alcotest.test_case "series push, mark and reset" `Quick
+        test_series_push_and_mark;
+      Alcotest.test_case "series downsampling" `Quick test_series_downsample;
       Alcotest.test_case "probe hashed structure" `Quick test_probe_hashed;
       Alcotest.test_case "probe clustered structure" `Quick
         test_probe_clustered;

@@ -1,0 +1,568 @@
+(* The anomaly gate behind `ptsim report`.
+
+   Two JSON artifacts go in — telemetry metrics dumps, simulation
+   outcomes, or whole benchmark files — and a finding list comes out:
+   threshold breaches (p99 regressions, lock-contention spikes,
+   eviction storms, tracer drops) plus informational deltas on every
+   other shared key.  Keys present on only one side are counted and
+   ignored, so `ptsim fleet --quick --json` (no timing fields) gates
+   cleanly against the committed benchmark baseline (timing fields
+   included).  Stdlib only, like tools/bench_diff. *)
+
+(* --- a minimal JSON reader (objects keep field order) --- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          if !pos >= n then fail "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 4 >= n then fail "truncated \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+              Buffer.add_char b (Char.chr (code land 0xFF));
+              pos := !pos + 4
+          | c -> fail (Printf.sprintf "bad escape \\%C" c));
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && num_char s.[!pos] do
+      advance ()
+    done;
+    if !pos = start then fail "expected a number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let load_file path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic -> (
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      match parse s with
+      | v -> Ok v
+      | exception Parse_error e -> Error (Printf.sprintf "%s: %s" path e))
+
+(* --- histogram quantiles from serialized buckets --- *)
+
+(* The same clamped within-bucket interpolation as Obs.Hist.quantile,
+   replayed over the (lo, hi, count) bucket triples a metrics JSON dump
+   carries, so a p99 computed here equals the live histogram's.  The
+   (0, 0) bucket is the log2 histogram's "v <= 0" bin; like the live
+   version its lower bound extends down to the observed minimum. *)
+let bucket_quantile ~count ~vmin ~vmax buckets ~q =
+  if count = 0 then 0
+  else begin
+    let target =
+      max 1 (min count (int_of_float (Float.ceil (q *. float_of_int count))))
+    in
+    let rec walk seen = function
+      | [] -> vmax
+      | (lo, hi, here) :: rest ->
+          if here > 0 && seen + here >= target then begin
+            let lo = if lo = 0 && hi = 0 then min 0 vmin else max lo vmin in
+            let hi = min hi vmax in
+            let pos = target - seen in
+            if here = 1 then hi else hi - ((hi - lo) * (here - pos) / (here - 1))
+          end
+          else walk (seen + here) rest
+    in
+    walk 0 buckets
+  end
+
+(* --- flattening --- *)
+
+let obj_find key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let num_of = function Num f -> Some f | _ -> None
+
+let int_of v = match num_of v with Some f -> Some (int_of_float f) | None -> None
+
+(* Keys that identify or annotate a document rather than measure it. *)
+let skipped_key = function
+  | "schema_version" | "command" | "experiment" | "series" -> true
+  | _ -> false
+
+let join prefix key = if prefix = "" then key else prefix ^ "." ^ key
+
+(* {"name": n, "count": _, "min": _, "max": _, "buckets": [...]} — a
+   telemetry histogram row; flattens to n.count/.p50/.p90/.p99. *)
+let hist_row fields =
+  match
+    ( List.assoc_opt "name" fields,
+      List.assoc_opt "count" fields,
+      List.assoc_opt "min" fields,
+      List.assoc_opt "max" fields,
+      List.assoc_opt "buckets" fields )
+  with
+  | Some (Str name), Some (Num _ as c), Some (Num _ as mn), Some (Num _ as mx),
+    Some (List bs) ->
+      let buckets =
+        List.filter_map
+          (fun b ->
+            match
+              (obj_find "lo" b, obj_find "hi" b, obj_find "count" b)
+            with
+            | Some lo, Some hi, Some c -> (
+                match (int_of lo, int_of hi, int_of c) with
+                | Some lo, Some hi, Some c -> Some (lo, hi, c)
+                | _ -> None)
+            | _ -> None)
+          bs
+      in
+      let count = Option.get (int_of c) in
+      let vmin = Option.get (int_of mn) and vmax = Option.get (int_of mx) in
+      let quant q =
+        float_of_int (bucket_quantile ~count ~vmin ~vmax buckets ~q)
+      in
+      Some
+        ( name,
+          [
+            ("count", float_of_int count);
+            ("p50", quant 0.50);
+            ("p90", quant 0.90);
+            ("p99", quant 0.99);
+          ] )
+  | _ -> None
+
+(* {"name": n, "value": v} — a telemetry counter row. *)
+let counter_row fields =
+  match (List.assoc_opt "name" fields, List.assoc_opt "value" fields) with
+  | Some (Str name), Some (Num v) when List.length fields = 2 -> Some (name, v)
+  | _ -> None
+
+(* A row's identity within its list: its string-valued fields joined
+   with '/', or its position when it has none. *)
+let row_discriminator i fields =
+  match
+    List.filter_map (function k, Str s when not (skipped_key k) -> Some (k, s) | _ -> None) fields
+  with
+  | [] -> string_of_int i
+  | tagged -> String.concat "/" (List.map snd tagged)
+
+let flatten root =
+  let acc = ref [] in
+  let emit key v = acc := (key, v) :: !acc in
+  let rec obj prefix fields =
+    List.iter
+      (fun (key, v) ->
+        if not (skipped_key key) then
+          match v with
+          | Num f -> emit (join prefix key) f
+          | Bool b -> emit (join prefix key) (if b then 1.0 else 0.0)
+          | Str _ | Null -> ()
+          | Obj inner ->
+              (* "experiments" is a container, not a measurement — its
+                 children flatten at top level so a bare outcome file
+                 (prefixed by its "experiment" tag) lines up *)
+              let prefix =
+                if prefix = "" && key = "experiments" then "" else join prefix key
+              in
+              obj prefix inner
+          | List rows -> row_list (join prefix key) rows)
+      fields
+  and row_list prefix rows =
+    (* rows sharing every string field (e.g. throughput sweeps keyed
+       by table/locking but differing in a numeric domain count) get
+       an occurrence ordinal so distinct rows never collide; row order
+       is stable on both sides, so the keys still line up *)
+    let discs =
+      List.mapi
+        (fun i row ->
+          match row with
+          | Obj fields -> row_discriminator i fields
+          | _ -> string_of_int i)
+        rows
+    in
+    let total = Hashtbl.create 8 and seen = Hashtbl.create 8 in
+    List.iter
+      (fun d ->
+        Hashtbl.replace total d
+          (1 + Option.value ~default:0 (Hashtbl.find_opt total d)))
+      discs;
+    let unique d =
+      if Hashtbl.find total d = 1 then d
+      else begin
+        let n = Option.value ~default:0 (Hashtbl.find_opt seen d) in
+        Hashtbl.replace seen d (n + 1);
+        Printf.sprintf "%s#%d" d n
+      end
+    in
+    List.iter2
+      (fun disc row ->
+        match row with
+        | Obj fields -> (
+            match counter_row fields with
+            | Some (name, v) -> emit name v
+            | None -> (
+                match hist_row fields with
+                | Some (name, stats) ->
+                    List.iter (fun (k, v) -> emit (join name k) v) stats
+                | None ->
+                    obj (Printf.sprintf "%s[%s]" prefix (unique disc)) fields))
+        | _ -> ())
+      discs rows
+  in
+  (match root with
+  | Obj fields ->
+      let prefix =
+        match List.assoc_opt "experiment" fields with
+        | Some (Str tag) -> tag
+        | _ -> ""
+      in
+      obj prefix fields
+  | _ -> ());
+  List.rev !acc
+
+(* --- the anomaly rules --- *)
+
+type severity = Info | Breach
+
+type finding = {
+  severity : severity;
+  key : string;
+  baseline : float option;
+  current : float option;
+  note : string;
+}
+
+type report = {
+  findings : finding list;
+  compared : int;
+  baseline_only : int;
+  current_only : int;
+}
+
+let ends_with ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let contains ~sub s =
+  let ls = String.length sub and l = String.length s in
+  let rec go i = i + ls <= l && (String.sub s i ls = sub || go (i + 1)) in
+  ls > 0 && go 0
+
+let p99_key k = ends_with ~suffix:".p99" k || ends_with ~suffix:"p99_ns" k
+
+let contention_key k =
+  contains ~sub:"write_locks" k
+  || contains ~sub:"read_contention" k
+  || contains ~sub:"seqlock_fallbacks" k
+
+let eviction_key k =
+  contains ~sub:"evictions" k || contains ~sub:"evicted_pages" k
+
+let dropped_key k = ends_with ~suffix:"obs.trace.dropped" k
+
+(* Each rule needs both a ratio and an absolute floor: tiny counts
+   ratio up violently (1 -> 3 evictions is not a storm), so a current
+   value under the floor never breaches. *)
+let ratio_rule ~name ~ratio ~floor ~base ~cur =
+  if cur > ratio *. base && cur >= floor then
+    Some
+      (Printf.sprintf "%s: %.2fx over baseline (limit %.2fx, floor %g)" name
+         (if base > 0.0 then cur /. base else infinity)
+         ratio floor)
+  else None
+
+let judge ~key ~base ~cur =
+  if p99_key key then
+    ratio_rule ~name:"p99 regression" ~ratio:1.5 ~floor:64.0 ~base ~cur
+  else if contention_key key then
+    ratio_rule ~name:"lock-contention spike" ~ratio:1.5 ~floor:128.0 ~base ~cur
+  else if eviction_key key then
+    ratio_rule ~name:"eviction storm" ~ratio:2.0 ~floor:16.0 ~base ~cur
+  else None
+
+let compare_files ~baseline ~current =
+  let fb = flatten baseline and fc = flatten current in
+  let base_tbl = Hashtbl.create 256 in
+  List.iter (fun (k, v) -> Hashtbl.replace base_tbl k v) fb;
+  let cur_tbl = Hashtbl.create 256 in
+  List.iter (fun (k, v) -> Hashtbl.replace cur_tbl k v) fc;
+  let breaches = ref [] and infos = ref [] in
+  let compared = ref 0 and current_only = ref 0 in
+  List.iter
+    (fun (key, cur) ->
+      match Hashtbl.find_opt base_tbl key with
+      | None ->
+          incr current_only;
+          (* tracer drops breach even with no baseline counterpart: a
+             saturated ring means the trace artifact is incomplete *)
+          if dropped_key key && cur > 0.0 then
+            breaches :=
+              {
+                severity = Breach;
+                key;
+                baseline = None;
+                current = Some cur;
+                note =
+                  Printf.sprintf "tracer dropped %g event(s); must be 0" cur;
+              }
+              :: !breaches
+      | Some base ->
+          incr compared;
+          if dropped_key key && cur > 0.0 then
+            breaches :=
+              {
+                severity = Breach;
+                key;
+                baseline = Some base;
+                current = Some cur;
+                note =
+                  Printf.sprintf "tracer dropped %g event(s); must be 0" cur;
+              }
+              :: !breaches
+          else
+            let finding =
+              match judge ~key ~base ~cur with
+              | Some note ->
+                  Some
+                    {
+                      severity = Breach;
+                      key;
+                      baseline = Some base;
+                      current = Some cur;
+                      note;
+                    }
+              | None ->
+                  if cur <> base then
+                    Some
+                      {
+                        severity = Info;
+                        key;
+                        baseline = Some base;
+                        current = Some cur;
+                        note = Printf.sprintf "%+g" (cur -. base);
+                      }
+                  else None
+            in
+            match finding with
+            | Some ({ severity = Breach; _ } as f) -> breaches := f :: !breaches
+            | Some f -> infos := f :: !infos
+            | None -> ())
+    fc;
+  let baseline_only =
+    List.length (List.filter (fun (k, _) -> not (Hashtbl.mem cur_tbl k)) fb)
+  in
+  {
+    findings = List.rev !breaches @ List.rev !infos;
+    compared = !compared;
+    baseline_only;
+    current_only = !current_only;
+  }
+
+let has_breach r = List.exists (fun f -> f.severity = Breach) r.findings
+
+(* --- rendering --- *)
+
+let pp_num = function
+  | None -> "-"
+  | Some f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Printf.sprintf "%.0f" f
+      else Printf.sprintf "%g" f
+
+let render_table ~baseline_path ~current_path r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "obs report: %s vs %s\n" baseline_path current_path);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  %d shared key(s) compared; ignored %d baseline-only, %d \
+        current-only\n"
+       r.compared r.baseline_only r.current_only);
+  let key_w =
+    List.fold_left (fun w f -> max w (String.length f.key)) 8 r.findings
+  in
+  List.iter
+    (fun f ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-6s %-*s %12s %12s  %s\n"
+           (match f.severity with Breach -> "BREACH" | Info -> "info")
+           key_w f.key (pp_num f.baseline) (pp_num f.current) f.note))
+    r.findings;
+  let nb = List.length (List.filter (fun f -> f.severity = Breach) r.findings) in
+  Buffer.add_string b
+    (Printf.sprintf "  %d breach(es), %d info finding(s)\n" nb
+       (List.length r.findings - nb));
+  Buffer.contents b
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_opt_num buf = function
+  | None -> Buffer.add_string buf "null"
+  | Some f ->
+      Buffer.add_string buf
+        (if Float.is_integer f && Float.abs f < 1e15 then
+           Printf.sprintf "%.0f" f
+         else Printf.sprintf "%g" f)
+
+let render_json ~baseline_path ~current_path r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"schema_version\":1,\"kind\":\"obs_report\"";
+  Buffer.add_string b ",\"baseline\":\"";
+  add_escaped b baseline_path;
+  Buffer.add_string b "\",\"current\":\"";
+  add_escaped b current_path;
+  Buffer.add_string b
+    (Printf.sprintf "\",\"compared\":%d,\"baseline_only\":%d,\"current_only\":%d"
+       r.compared r.baseline_only r.current_only);
+  let nb = List.length (List.filter (fun f -> f.severity = Breach) r.findings) in
+  Buffer.add_string b (Printf.sprintf ",\"breaches\":%d,\"findings\":[" nb);
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "{\"severity\":\"";
+      Buffer.add_string b
+        (match f.severity with Breach -> "breach" | Info -> "info");
+      Buffer.add_string b "\",\"key\":\"";
+      add_escaped b f.key;
+      Buffer.add_string b "\",\"baseline\":";
+      add_opt_num b f.baseline;
+      Buffer.add_string b ",\"current\":";
+      add_opt_num b f.current;
+      Buffer.add_string b ",\"note\":\"";
+      add_escaped b f.note;
+      Buffer.add_string b "\"}")
+    r.findings;
+  Buffer.add_string b "]}";
+  Buffer.contents b
