@@ -252,7 +252,7 @@ let run_micro () =
    ns/op) are emitted for humans and skipped by the diff. *)
 let emit_json path ~quick ~domains ~experiments_s ~churn_s ~churn_rows
     ~(report : Sim.Runner.verify_report) ~throughput_rows ~curve_rows
-    ~numa_json ~fleet_json ~micro =
+    ~numa_json ~fleet_json ~chaos_json ~micro =
   let oc = open_out path in
   let json_string s =
     let b = Buffer.create (String.length s + 2) in
@@ -348,6 +348,10 @@ let emit_json path ~quick ~domains ~experiments_s ~churn_s ~churn_rows
      with its timing columns (ops_per_sec, elapsed_s, p99_ns, mean_ns)
      for humans; bench_diff compares only the deterministic fields *)
   Printf.fprintf oc "    \"fleet\": %s,\n" fleet_json;
+  (* the crash/recovery chaos soak (Runner.chaos_for_suite) — same
+     contract as fleet: timing columns for humans, everything else
+     deterministic and diffed *)
+  Printf.fprintf oc "    \"chaos\": %s,\n" chaos_json;
   (* every counter and histogram the suite's instrumented paths
      recorded, merged across domains; bench_diff ignores this section
      (histogram sums carry no timing, but the set of metrics grows
@@ -418,6 +422,12 @@ let () =
     (Unix.gettimeofday () -. t3)
     domains
     (if Sim.Runner.fleet_suite_clean fleet then "clean" else "DIRTY");
+  let t4 = Unix.gettimeofday () in
+  let chaos = Sim.Runner.chaos_for_suite ~options ~domains () in
+  Printf.printf "\nchaos wall clock: %.1fs (%d domains, recoveries %s)\n%!"
+    (Unix.gettimeofday () -. t4)
+    domains
+    (if Sim.Runner.chaos_suite_clean chaos then "converged" else "DIVERGED");
   let micro = run_micro () in
   Option.iter
     (fun path ->
@@ -425,5 +435,6 @@ let () =
         ~report ~throughput_rows ~curve_rows
         ~numa_json:(Sim.Runner.numa_suite_json numa)
         ~fleet_json:(Sim.Runner.fleet_suite_json fleet)
+        ~chaos_json:(Sim.Runner.chaos_suite_json chaos)
         ~micro)
     json

@@ -590,6 +590,31 @@ let run_fleet quick tenants shards streams rounds ops switch budget modes orgs
   else Format.printf "@[<v>%a@]@." FS.pp_outcome outcome;
   finish_with_dump dump_dir ~cmd:"fleet" ~clean:(FS.all_clean outcome)
 
+(* --- chaos: WAL + checkpoint shards, crash/recovery soak --- *)
+
+let run_chaos quick tenants shards rounds ops switch ckpt crash_at orgs
+    locking domains sites rate seed dump_dir json =
+  let module CS = Fleet.Chaos_sim in
+  let base = if quick then CS.quick_config else CS.default_config in
+  let upd field v cfg = match v with None -> cfg | Some x -> field cfg x in
+  let cfg =
+    { base with CS.locking; domains; checkpoint_every = ckpt }
+    |> upd (fun c x -> { c with CS.tenants = x }) tenants
+    |> upd (fun c x -> { c with CS.shards = x }) shards
+    |> upd (fun c x -> { c with CS.rounds = x }) rounds
+    |> upd (fun c x -> { c with CS.ops_per_tenant = x }) ops
+    |> upd (fun c x -> { c with CS.switch_every = x }) switch
+    |> upd (fun c x -> { c with CS.crash_offsets = x }) crash_at
+    |> upd (fun c x -> { c with CS.orgs = x }) orgs
+    |> upd (fun c x -> { c with CS.sites = x }) sites
+    |> upd (fun c x -> { c with CS.rate_ppm = x }) rate
+    |> upd (fun c x -> { c with CS.seed = x }) seed
+  in
+  let outcome = CS.run cfg in
+  if json then print_endline (CS.outcome_to_json cfg outcome)
+  else Format.printf "@[<v>%a@]@." CS.pp_outcome outcome;
+  finish_with_dump dump_dir ~cmd:"chaos" ~clean:(CS.all_clean outcome)
+
 (* --- report: the anomaly gate over two JSON artifacts --- *)
 
 let run_report baseline current json =
@@ -1353,6 +1378,188 @@ let () =
         $ switch $ budget $ modes $ orgs $ locking $ domains $ seed
         $ dump_dir_term $ json)
   in
+  let chaos =
+    let quick =
+      Arg.(
+        value & flag
+        & info [ "quick" ]
+            ~doc:"CI-sized defaults (fewer tenants, rounds and events).")
+    in
+    let tenants =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "tenants" ] ~docv:"N"
+            ~doc:"Tenant address spaces (default 8; 6 --quick).")
+    in
+    let shards =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "shards" ] ~docv:"N"
+            ~doc:
+              "Durable shards, one write-ahead log each (default 4).  Also \
+               the logical stream count: tenant asid runs on stream asid \
+               mod shards, which is what keeps WAL offsets independent of \
+               --domains.")
+    in
+    let rounds =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "rounds" ] ~docv:"N"
+            ~doc:
+              "Rounds between supervision barriers (recovery, checkpoints).")
+    in
+    let ops =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "ops" ] ~docv:"N" ~doc:"Churn events per tenant.")
+    in
+    let switch =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "switch-every" ] ~docv:"N"
+            ~doc:"Context-switch quantum, in events (default 48).")
+    in
+    (* the same exit-2 contract as the enum flags: garbage is named on
+       stderr, never silently clamped *)
+    let cadence_conv =
+      let parse s =
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> Ok n
+        | _ ->
+            Printf.eprintf
+              "invalid checkpoint cadence %S for chaos (want an integer >= \
+               1)\n\
+               %!"
+              s;
+            exit 2
+      in
+      Arg.conv (parse, Format.pp_print_int)
+    in
+    let ckpt =
+      Arg.(
+        value
+        & opt cadence_conv 1
+        & info [ "checkpoint-every" ] ~docv:"ROUNDS"
+            ~doc:
+              "Checkpoint cadence: snapshot every shard's live mapping set \
+               (and compact its WAL) every $(docv) rounds.")
+    in
+    let offsets_conv =
+      let parse s =
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | tok :: rest -> (
+              let tok = String.trim tok in
+              match int_of_string_opt tok with
+              | Some n when n >= 0 -> go (n :: acc) rest
+              | _ ->
+                  Printf.eprintf
+                    "invalid crash offset %S for chaos (want comma-separated \
+                     byte offsets >= 0)\n\
+                     %!"
+                    tok;
+                  exit 2)
+        in
+        go [] (String.split_on_char ',' s)
+      in
+      let print ppf l =
+        Format.pp_print_string ppf
+          (String.concat "," (List.map string_of_int l))
+      in
+      Arg.conv (parse, print)
+    in
+    let crash_at =
+      Arg.(
+        value
+        & opt (some offsets_conv) None
+        & info [ "crash-at" ] ~docv:"OFFSETS"
+            ~doc:
+              "Planned crash points: comma-separated absolute WAL byte \
+               offsets, dealt round-robin over shards; an append reaching \
+               one flushes a torn partial record and kills the shard.  \
+               Default: a seed-derived schedule, one mid-record offset per \
+               shard.")
+    in
+    let orgs_conv =
+      strict_enum ~flag:"org" ~cmd:"chaos"
+        [
+          ( "all",
+            [ Pt_service.Service.Clustered; Pt_service.Service.Hashed ] );
+          ("clustered", [ Pt_service.Service.Clustered ]);
+          ("hashed", [ Pt_service.Service.Hashed ]);
+        ]
+    in
+    let orgs =
+      Arg.(
+        value
+        & opt (some orgs_conv) None
+        & info [ "org" ] ~docv:"ORG"
+            ~doc:"Table organization: all|clustered|hashed.")
+    in
+    let locking =
+      Arg.(
+        value
+        & opt (service_locking_conv "chaos") Pt_service.Service.Striped
+        & info [ "locking" ] ~docv:"LOCKING"
+            ~doc:"Lock strategy for every shard: striped|global|seqlock.")
+    in
+    let domains =
+      Arg.(
+        value & opt domains_conv 1
+        & info [ "domains" ] ~docv:"N"
+            ~doc:
+              "Worker domains.  The outcome (and --json byte stream) is \
+               identical for every value.")
+    in
+    let sites =
+      Arg.(
+        value
+        & opt (some (strict_sites ~cmd:"chaos")) None
+        & info [ "sites" ] ~docv:"SITES"
+            ~doc:
+              "Random fault plan, comma-separated (default shard_crash — \
+               the only site the equivalence oracle models; others \
+               exercise the service's self-healing instead).")
+    in
+    let rate =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "rate" ] ~docv:"PPM"
+            ~doc:"Random fault rate, parts per million (default 2000).")
+    in
+    let seed =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "seed" ] ~docv:"SEED"
+            ~doc:"Soak seed: churn, fault plan and crash schedule.")
+    in
+    let json =
+      Arg.(
+        value & flag
+        & info [ "json" ]
+            ~doc:
+              "Print the outcome as one JSON object (byte-identical for \
+               any --domains; timing appears only in the human table).")
+    in
+    cmd "chaos"
+      "Crash/recovery soak: churn tenants over crash-consistent shards \
+       (per-shard write-ahead log + checkpoints) while shards are killed \
+       at planned WAL offsets, at random, mid-checkpoint and mid-recovery; \
+       every recovery must rebuild exactly the acknowledged state; exit 1 \
+       unless all recoveries converge, the fleet ends fsck-clean and every \
+       shard equals the never-crashed oracle"
+      Term.(
+        const run_chaos $ quick $ tenants $ shards $ rounds $ ops $ switch
+        $ ckpt $ crash_at $ orgs $ locking $ domains $ sites $ rate $ seed
+        $ dump_dir_term $ json)
+  in
   let report =
     let baseline =
       Arg.(
@@ -1402,6 +1609,6 @@ let () =
        (Cmd.group ~default info
           [
             table1; figure9; figure10; figure11; table2; ablations; churn;
-            throughput; inspect; fsck; faultsim; numa; fleet; report;
+            throughput; inspect; fsck; faultsim; numa; fleet; chaos; report;
             workload; dump; replay; verify; all;
           ]))

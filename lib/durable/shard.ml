@@ -1,0 +1,273 @@
+(* A crash-consistent shard: Service + WAL + checkpoints.
+
+   Ordering discipline (the whole point): LOG, THEN MUTATE.  An op
+   that crashes before or during its append was never acknowledged
+   and left no complete record — recovery cannot resurrect any part
+   of it.  An op whose append completed is durable: replay re-applies
+   it even if the process died before the table mutation finished
+   (replay is idempotent — insert overwrites, remove of absent is a
+   no-op, protect skips unmapped pages).
+
+   A checkpoint is the checksummed serialization of the table's live
+   mapping set (Fsck.live_mappings — the logical equivalent of
+   snapshotting every bucket image) taken at a WAL offset; compaction
+   drops records below the newest complete checkpoint only, so a torn
+   checkpoint always leaves its fallback (an older complete one, or
+   the empty table) reachable through a longer suffix. *)
+
+module Service = Pt_service.Service
+
+exception Down
+
+type checkpoint = { c_offset : int; c_blob : Bytes.t }
+
+type t = {
+  org : Service.org;
+  locking : Service.locking;
+  buckets : int;
+  subblock_factor : int option;
+  ppn_of : int64 -> int64;
+  attr : Pte.Attr.t;
+  wal : Wal.t;
+  mutable svc : Service.t;
+  mutable is_up : bool;
+  mutable checkpoints : checkpoint list;  (* newest first *)
+  mutable crash_next_checkpoint : bool;
+  mutable crash_in_recovery : int option;
+  mutable n_checkpoints : int;
+  mutable n_torn_checkpoints : int;
+  mutable n_recovery_attempts : int;
+  mutable n_recoveries : int;
+  mutable n_recovery_crashes : int;
+  mutable n_replayed : int;
+  mutable n_restored : int;
+  mutable n_discarded : int;
+}
+
+let bump name = Obs.Metrics.incr (Obs.Ambient.counter name)
+
+let badd name n = if n > 0 then Obs.Metrics.add (Obs.Ambient.counter name) n
+
+let create ?(buckets = 4096) ?subblock_factor ?(attr = Pte.Attr.default) ~org
+    ~locking ~ppn_of () =
+  {
+    org;
+    locking;
+    buckets;
+    subblock_factor;
+    ppn_of;
+    attr;
+    wal = Wal.create ();
+    svc = Service.create ~buckets ?subblock_factor ~org ~locking ();
+    is_up = true;
+    checkpoints = [];
+    crash_next_checkpoint = false;
+    crash_in_recovery = None;
+    n_checkpoints = 0;
+    n_torn_checkpoints = 0;
+    n_recovery_attempts = 0;
+    n_recoveries = 0;
+    n_recovery_crashes = 0;
+    n_replayed = 0;
+    n_restored = 0;
+    n_discarded = 0;
+  }
+
+let service t = t.svc
+
+let wal t = t.wal
+
+let up t = t.is_up
+
+let checkpoints t = t.n_checkpoints
+
+let torn_checkpoints t = t.n_torn_checkpoints
+
+let recovery_attempts t = t.n_recovery_attempts
+
+let recoveries t = t.n_recoveries
+
+let recovery_crashes t = t.n_recovery_crashes
+
+let replayed_records t = t.n_replayed
+
+let restored_mappings t = t.n_restored
+
+let checkpoints_discarded t = t.n_discarded
+
+let region ~vpn ~pages = Addr.Region.make ~first_vpn:vpn ~pages
+
+let apply t svc (op : Wal.op) =
+  match op with
+  | Wal.Map { vpn; pages; _ } ->
+      Service.map_range svc (region ~vpn ~pages) ~ppn_of:t.ppn_of ~attr:t.attr
+  | Wal.Unmap { vpn; pages; _ } -> Service.unmap_range svc (region ~vpn ~pages)
+  | Wal.Protect { vpn; pages; writable; _ } ->
+      Service.protect_range svc (region ~vpn ~pages) ~writable
+
+(* --- the write path: log, then mutate --- *)
+
+let submit t op =
+  if not t.is_up then raise Down;
+  (try
+     Fault.fire Fault.Shard_crash;
+     Wal.append t.wal op
+   with Fault.Injected { site = Fault.Shard_crash; _ } as e ->
+     t.is_up <- false;
+     bump "wal.crashes";
+     raise e);
+  bump "wal.records";
+  apply t t.svc op
+
+let map t ~asid (r : Addr.Region.t) =
+  submit t
+    (Wal.Map { asid; vpn = r.Addr.Region.first_vpn; pages = r.Addr.Region.pages })
+
+let unmap t ~asid (r : Addr.Region.t) =
+  submit t
+    (Wal.Unmap
+       { asid; vpn = r.Addr.Region.first_vpn; pages = r.Addr.Region.pages })
+
+let protect t ~asid (r : Addr.Region.t) ~writable =
+  submit t
+    (Wal.Protect
+       {
+         asid;
+         vpn = r.Addr.Region.first_vpn;
+         pages = r.Addr.Region.pages;
+         writable;
+       })
+
+(* --- checkpoints --- *)
+
+let live t = Fsck.live_mappings (Service.fsck_table t.svc)
+
+let entry_bytes = 24
+
+let encode_checkpoint maps =
+  let n = List.length maps in
+  let b = Bytes.create (4 + (entry_bytes * n) + 8) in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  List.iteri
+    (fun i (vpn, ppn, attr) ->
+      let off = 4 + (entry_bytes * i) in
+      Bytes.set_int64_le b off vpn;
+      Bytes.set_int64_le b (off + 8) ppn;
+      Bytes.set_int64_le b (off + 16) (Pte.Attr.to_bits attr))
+    maps;
+  let h = ref (Addr.Bits.mix64 (Int64.of_int n)) in
+  for i = 0 to (entry_bytes * n / 8) - 1 do
+    h := Addr.Bits.mix64 (Int64.add !h (Bytes.get_int64_le b (4 + (8 * i))))
+  done;
+  Bytes.set_int64_le b (4 + (entry_bytes * n)) !h;
+  b
+
+let decode_checkpoint b =
+  let len = Bytes.length b in
+  if len < 4 + 8 then None
+  else
+    let n = Int32.to_int (Bytes.get_int32_le b 0) in
+    if n < 0 || len <> 4 + (entry_bytes * n) + 8 then None
+    else begin
+      let h = ref (Addr.Bits.mix64 (Int64.of_int n)) in
+      for i = 0 to (entry_bytes * n / 8) - 1 do
+        h := Addr.Bits.mix64 (Int64.add !h (Bytes.get_int64_le b (4 + (8 * i))))
+      done;
+      if not (Int64.equal !h (Bytes.get_int64_le b (4 + (entry_bytes * n)))) then
+        None
+      else
+        Some
+          (List.init n (fun i ->
+               let off = 4 + (entry_bytes * i) in
+               ( Bytes.get_int64_le b off,
+                 Bytes.get_int64_le b (off + 8),
+                 Pte.Attr.of_bits (Bytes.get_int64_le b (off + 16)) )))
+    end
+
+let plan_checkpoint_crash t = t.crash_next_checkpoint <- true
+
+let checkpoint t =
+  if not t.is_up then invalid_arg "Durable.Shard.checkpoint: shard is down";
+  let off = Wal.length t.wal in
+  let blob = encode_checkpoint (live t) in
+  if t.crash_next_checkpoint then begin
+    (* die halfway through flushing the snapshot: a torn blob whose
+       checksum cannot verify, and — critically — no compaction, so
+       the fallback (previous checkpoint + longer suffix) survives *)
+    t.crash_next_checkpoint <- false;
+    let torn = Bytes.sub blob 0 (Bytes.length blob / 2) in
+    t.checkpoints <- { c_offset = off; c_blob = torn } :: t.checkpoints;
+    t.n_torn_checkpoints <- t.n_torn_checkpoints + 1;
+    t.is_up <- false;
+    bump "wal.torn_checkpoints";
+    raise (Fault.Injected { site = Fault.Shard_crash; key = off })
+  end;
+  t.n_checkpoints <- t.n_checkpoints + 1;
+  bump "wal.checkpoints";
+  Wal.compact t.wal ~upto:off;
+  (* records below [off] are gone: older checkpoints can no longer be
+     replayed forward from, so only the new one is worth keeping *)
+  t.checkpoints <- [ { c_offset = off; c_blob = blob } ]
+
+(* --- recovery --- *)
+
+let plan_recovery_crash t ~after_records =
+  t.crash_in_recovery <- Some after_records
+
+let recover t =
+  t.n_recovery_attempts <- t.n_recovery_attempts + 1;
+  bump "recovery.attempts";
+  (* recovery must not inject new faults into itself *)
+  Fault.suspended (fun () ->
+      let rec pick discarded = function
+        | [] -> (None, discarded)
+        | c :: rest -> (
+            match decode_checkpoint c.c_blob with
+            | Some maps -> (Some (c, maps), discarded)
+            | None -> pick (discarded + 1) rest)
+      in
+      let picked, discarded = pick 0 t.checkpoints in
+      t.n_discarded <- t.n_discarded + discarded;
+      badd "recovery.checkpoints_discarded" discarded;
+      let maps, from =
+        match picked with
+        | Some (c, maps) -> (maps, c.c_offset)
+        | None -> ([], Wal.base t.wal)
+      in
+      let ops, truncated = Wal.scan t.wal ~from in
+      badd "recovery.truncated_bytes" truncated;
+      let svc =
+        Service.create ~buckets:t.buckets ?subblock_factor:t.subblock_factor
+          ~org:t.org ~locking:t.locking ()
+      in
+      List.iter (fun (vpn, ppn, attr) -> Service.insert svc ~vpn ~ppn ~attr) maps;
+      t.n_restored <- t.n_restored + List.length maps;
+      badd "recovery.restored_mappings" (List.length maps);
+      let n = ref 0 in
+      List.iter
+        (fun op ->
+          (match t.crash_in_recovery with
+          | Some k when !n >= k ->
+              (* crash mid-replay: the half-built table is discarded,
+                 the WAL (tail already truncated — idempotent) stays
+                 readable, and the shard stays down *)
+              t.crash_in_recovery <- None;
+              t.n_recovery_crashes <- t.n_recovery_crashes + 1;
+              bump "recovery.crashes";
+              raise (Fault.Injected { site = Fault.Shard_crash; key = !n })
+          | _ -> ());
+          ignore (apply t svc op);
+          incr n;
+          t.n_replayed <- t.n_replayed + 1;
+          bump "recovery.replayed_records")
+        ops;
+      t.crash_in_recovery <- None;
+      t.svc <- svc;
+      t.is_up <- true;
+      (* keep only the checkpoint recovery proved usable — torn ones
+         above it are dead weight now *)
+      (match picked with
+      | Some (c, _) -> t.checkpoints <- [ c ]
+      | None -> t.checkpoints <- []);
+      t.n_recoveries <- t.n_recoveries + 1;
+      bump "recovery.completed")

@@ -1,0 +1,197 @@
+(* Per-shard write-ahead log over an in-memory "disk" model.
+
+   Layout of one record (all little-endian):
+
+     +0   u32  payload length (always 16; anything else = torn/garbage)
+     +4   u8   kind (0 map, 1 unmap, 2 protect)
+     +5   u8   prot (bit 0: writable — meaningful for protect)
+     +6   u16  asid
+     +8   u32  pages
+     +12  u64  vpn (first page of the region, shard-tagged)
+     +20  u64  checksum: mix64 chain over the length and the two
+               payload words
+
+   The checksum chain reuses Addr.Bits.mix64 (the fault plan's
+   SplitMix64 finalizer): one finalizer per mixed-in word gives full
+   avalanche, so a record torn at any byte fails verification.  A
+   record is one LOGICAL op — a batched range op is one record — which
+   is what makes torn-tail truncation atomic at op granularity.
+
+   Offsets are absolute: [base] is the absolute offset of buf.(0),
+   advanced by compaction, so checkpoint positions and planned crash
+   offsets name stable points in history. *)
+
+type op =
+  | Map of { asid : int; vpn : int64; pages : int }
+  | Unmap of { asid : int; vpn : int64; pages : int }
+  | Protect of { asid : int; vpn : int64; pages : int; writable : bool }
+
+let payload_bytes = 16
+
+let record_bytes = 4 + payload_bytes + 8
+
+type t = {
+  mutable buf : Bytes.t;
+  mutable len : int;  (* live bytes in [buf] *)
+  mutable base : int;  (* absolute offset of buf.(0) *)
+  mutable records : int;
+  mutable crash_at : int option;  (* absolute offset *)
+  mutable crashes : int;
+  mutable torn_truncations : int;
+  mutable truncated_bytes : int;
+  mutable compactions : int;
+}
+
+let create () =
+  {
+    buf = Bytes.create 4096;
+    len = 0;
+    base = 0;
+    records = 0;
+    crash_at = None;
+    crashes = 0;
+    torn_truncations = 0;
+    truncated_bytes = 0;
+    compactions = 0;
+  }
+
+let length t = t.base + t.len
+
+let base t = t.base
+
+let records t = t.records
+
+let crashes t = t.crashes
+
+let torn_truncations t = t.torn_truncations
+
+let truncated_bytes t = t.truncated_bytes
+
+let compactions t = t.compactions
+
+let plan_crash t ~at =
+  if at < 0 then invalid_arg "Wal.plan_crash: negative offset";
+  t.crash_at <- Some at
+
+let planned_crash t = t.crash_at
+
+let ensure t extra =
+  let need = t.len + extra in
+  if need > Bytes.length t.buf then begin
+    let cap = ref (Bytes.length t.buf * 2) in
+    while need > !cap do
+      cap := !cap * 2
+    done;
+    let nb = Bytes.create !cap in
+    Bytes.blit t.buf 0 nb 0 t.len;
+    t.buf <- nb
+  end
+
+let checksum b off len =
+  let h = ref (Addr.Bits.mix64 (Int64.of_int len)) in
+  for i = 0 to (len / 8) - 1 do
+    h := Addr.Bits.mix64 (Int64.add !h (Bytes.get_int64_le b (off + (8 * i))))
+  done;
+  !h
+
+let encode op =
+  let b = Bytes.create record_bytes in
+  let kind, prot, asid, pages, vpn =
+    match op with
+    | Map { asid; vpn; pages } -> (0, 0, asid, pages, vpn)
+    | Unmap { asid; vpn; pages } -> (1, 0, asid, pages, vpn)
+    | Protect { asid; vpn; pages; writable } ->
+        (2, (if writable then 1 else 0), asid, pages, vpn)
+  in
+  Bytes.set_int32_le b 0 (Int32.of_int payload_bytes);
+  Bytes.set_uint8 b 4 kind;
+  Bytes.set_uint8 b 5 prot;
+  Bytes.set_uint16_le b 6 asid;
+  Bytes.set_int32_le b 8 (Int32.of_int pages);
+  Bytes.set_int64_le b 12 vpn;
+  Bytes.set_int64_le b (4 + payload_bytes) (checksum b 4 payload_bytes);
+  b
+
+(* [decode_at t off] (relative offset): [Some (op, next)] for a
+   complete, checksum-verified record; [None] marks the torn tail. *)
+let decode_at t off =
+  if t.len - off < 4 then None
+  else
+    let plen = Int32.to_int (Bytes.get_int32_le t.buf off) in
+    if plen <> payload_bytes then None
+    else if t.len - off < 4 + plen + 8 then None
+    else if
+      not
+        (Int64.equal
+           (Bytes.get_int64_le t.buf (off + 4 + plen))
+           (checksum t.buf (off + 4) plen))
+    then None
+    else
+      let kind = Bytes.get_uint8 t.buf (off + 4) in
+      let prot = Bytes.get_uint8 t.buf (off + 5) in
+      let asid = Bytes.get_uint16_le t.buf (off + 6) in
+      let pages = Int32.to_int (Bytes.get_int32_le t.buf (off + 8)) in
+      let vpn = Bytes.get_int64_le t.buf (off + 12) in
+      let next = off + 4 + plen + 8 in
+      match kind with
+      | 0 -> Some (Map { asid; vpn; pages }, next)
+      | 1 -> Some (Unmap { asid; vpn; pages }, next)
+      | 2 -> Some (Protect { asid; vpn; pages; writable = prot land 1 = 1 }, next)
+      | _ -> None
+
+let append t op =
+  let b = encode op in
+  let n = Bytes.length b in
+  let abs = t.base + t.len in
+  match t.crash_at with
+  | Some at when at < abs + n ->
+      (* the crash point falls before or inside this record: flush
+         only the bytes below it (possibly none), then die.  The op
+         was never durable — recovery must not resurrect any of it. *)
+      let part = max 0 (at - abs) in
+      ensure t part;
+      Bytes.blit b 0 t.buf t.len part;
+      t.len <- t.len + part;
+      t.crash_at <- None;
+      t.crashes <- t.crashes + 1;
+      raise (Fault.Injected { site = Fault.Shard_crash; key = at })
+  | _ ->
+      ensure t n;
+      Bytes.blit b 0 t.buf t.len n;
+      t.len <- t.len + n;
+      t.records <- t.records + 1
+
+let peek t ~from =
+  if from < t.base then invalid_arg "Wal.peek: offset below compaction base";
+  if from > t.base + t.len then invalid_arg "Wal.peek: offset past the tail";
+  let off = ref (from - t.base) in
+  let ops = ref [] in
+  let continue = ref true in
+  while !continue do
+    match decode_at t !off with
+    | Some (op, next) ->
+        ops := op :: !ops;
+        off := next
+    | None -> continue := false
+  done;
+  (List.rev !ops, t.len - !off)
+
+let scan t ~from =
+  let ops, torn = peek t ~from in
+  if torn > 0 then begin
+    t.len <- t.len - torn;
+    t.torn_truncations <- t.torn_truncations + 1;
+    t.truncated_bytes <- t.truncated_bytes + torn
+  end;
+  (ops, torn)
+
+let compact t ~upto =
+  if upto < t.base then invalid_arg "Wal.compact: offset below base";
+  if upto > t.base + t.len then invalid_arg "Wal.compact: offset past the tail";
+  let drop = upto - t.base in
+  if drop > 0 then begin
+    Bytes.blit t.buf drop t.buf 0 (t.len - drop);
+    t.len <- t.len - drop;
+    t.base <- upto;
+    t.compactions <- t.compactions + 1
+  end

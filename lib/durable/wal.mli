@@ -1,0 +1,88 @@
+(** Per-shard write-ahead log over an in-memory "disk" model.
+
+    Every durable-shard mutation appends one checksummed,
+    length-prefixed record {e before} the table mutation commits — one
+    record per {e logical} op, so a batched range operation journals as
+    a single atomic unit and a torn tail can never resurrect half of
+    one.  The disk model is a flat byte buffer: a planned crash tears
+    an append at an exact byte offset, leaving a partial record whose
+    checksum cannot verify — recovery's {!scan} finds the torn tail,
+    truncates it (the crash point), and returns the complete records
+    for replay.
+
+    Offsets are {e absolute} (monotonic since {!create}): {!compact}
+    drops bytes older than a checkpoint but keeps their offsets
+    addressable as history, so planned crash offsets and checkpoint
+    positions stay stable identifiers for the whole run. *)
+
+type op =
+  | Map of { asid : int; vpn : int64; pages : int }
+  | Unmap of { asid : int; vpn : int64; pages : int }
+  | Protect of { asid : int; vpn : int64; pages : int; writable : bool }
+
+type t
+
+val create : unit -> t
+
+val record_bytes : int
+(** On-disk size of one record: a 4-byte length prefix, a fixed
+    16-byte payload (kind, prot, asid, pages, vpn) and an 8-byte
+    mix64-chain checksum. *)
+
+val length : t -> int
+(** Absolute byte length of the log (compacted prefix included). *)
+
+val base : t -> int
+(** Absolute offset of the oldest retained byte (0 until the first
+    {!compact}). *)
+
+val records : t -> int
+(** Complete records appended since {!create}. *)
+
+(** {2 Planned crashes} *)
+
+val plan_crash : t -> at:int -> unit
+(** Arm a crash at absolute byte offset [at]: the {!append} whose
+    record covers that offset writes only the bytes below it (a torn
+    record — or nothing, when [at] falls on a record boundary) and
+    raises [Fault.Injected { site = Shard_crash; key = at }].  The
+    plan disarms when it fires. *)
+
+val planned_crash : t -> int option
+
+(** {2 The write path} *)
+
+val append : t -> op -> unit
+(** Append one record.  May raise [Fault.Injected] with site
+    [Shard_crash] when a planned crash offset falls inside (or before)
+    this record — the partial bytes are already "on disk" and the op
+    must be considered never to have happened. *)
+
+(** {2 Recovery} *)
+
+val peek : t -> from:int -> op list * int
+(** The complete records from absolute offset [from] (a record
+    boundary) to the tail, plus the torn-tail byte count — without
+    modifying the log.  Raises [Invalid_argument] when [from] is below
+    {!base}. *)
+
+val scan : t -> from:int -> op list * int
+(** {!peek}, then truncate the torn tail so later appends continue
+    from the crash point.  Idempotent: a second scan returns the same
+    records and truncates nothing. *)
+
+val compact : t -> upto:int -> unit
+(** Discard retained bytes below absolute offset [upto] (a record
+    boundary at or below {!length}) — called after a checkpoint at
+    that offset makes them dead weight. *)
+
+(** {2 Accounting} *)
+
+val crashes : t -> int
+(** Planned crashes fired. *)
+
+val torn_truncations : t -> int
+
+val truncated_bytes : t -> int
+
+val compactions : t -> int

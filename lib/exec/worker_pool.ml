@@ -16,9 +16,11 @@
 
    Failure handling: every worker exception of an epoch is collected
    (not just the first), and a worker that dies of an injected
-   [Fault.Domain_crash] really exits its domain — [run] joins and
-   respawns it before reporting, so the pool supervises its own
-   workers back to full strength. *)
+   [Fault.Domain_crash] or [Fault.Shard_crash] really exits its
+   domain — [run] joins and respawns it before reporting, so the pool
+   supervises its own workers back to full strength.  (A shard crash
+   also loses the shard's in-memory table; rebuilding it from its
+   write-ahead log is the fleet supervisor's job, not the pool's.) *)
 
 type job = int -> unit
 
@@ -82,7 +84,10 @@ let worker_body t index ~birth_epoch =
       let outcome = match job index with () -> None | exception e -> Some e in
       let crash =
         match outcome with
-        | Some (Fault.Injected { site = Fault.Domain_crash; _ }) -> true
+        | Some
+            (Fault.Injected
+              { site = Fault.Domain_crash | Fault.Shard_crash; _ }) ->
+            true
         | _ -> false
       in
       Mutex.lock t.m;

@@ -41,8 +41,8 @@ val run : t -> (int -> unit) -> unit
     reentrant: one job at a time per pool.
 
     Supervision: a worker whose job dies of an injected
-    [Fault.Injected { site = Domain_crash; _ }] terminates its domain
-    for real.  [run] joins each such domain and respawns a fresh worker
+    [Fault.Injected { site = Domain_crash | Shard_crash; _ }]
+    terminates its domain for real.  [run] joins each such domain and respawns a fresh worker
     in its slot {e before} raising {!Worker_failed}, so the pool is
     back at full strength for the next job; every respawn is tallied
     (see {!restarts} and [Fault.restarts]). *)

@@ -6,6 +6,7 @@ type site =
   | Torn_write
   | Seqlock_stall
   | Replica_write
+  | Shard_crash
 
 let all_sites =
   [
@@ -16,6 +17,7 @@ let all_sites =
     Torn_write;
     Seqlock_stall;
     Replica_write;
+    Shard_crash;
   ]
 
 let site_name = function
@@ -26,6 +28,7 @@ let site_name = function
   | Torn_write -> "torn_write"
   | Seqlock_stall -> "seqlock_stall"
   | Replica_write -> "replica_write"
+  | Shard_crash -> "shard_crash"
 
 let site_of_name = function
   | "alloc_node" -> Some Alloc_node
@@ -35,6 +38,7 @@ let site_of_name = function
   | "torn_write" -> Some Torn_write
   | "seqlock_stall" -> Some Seqlock_stall
   | "replica_write" -> Some Replica_write
+  | "shard_crash" -> Some Shard_crash
   | _ -> None
 
 let site_code = function
@@ -45,6 +49,7 @@ let site_code = function
   | Torn_write -> 4
   | Seqlock_stall -> 5
   | Replica_write -> 6
+  | Shard_crash -> 7
 
 exception Injected of { site : site; key : int }
 

@@ -33,6 +33,12 @@ type site =
       (** an eager fan-out write to a non-primary NUMA replica dropped
           before it applies — the bucket degrades to lazy and must be
           healed by pull-on-read catch-up ({!Numa.Replicated}) *)
+  | Shard_crash
+      (** a whole durable shard killed mid-operation: the write-ahead
+          log keeps the bytes already flushed (possibly a torn record
+          tail), the in-memory table is lost, and the fleet must
+          rebuild the shard from checkpoint + WAL replay
+          ({!Durable.Shard}, {!Fleet.Chaos_sim}) *)
 
 val all_sites : site list
 

@@ -148,6 +148,7 @@ let site_ordinal = function
   | Fault.Torn_write -> 4
   | Fault.Seqlock_stall -> 5
   | Fault.Replica_write -> 6
+  | Fault.Shard_crash -> 7
 
 let note_injected site =
   bump ("fault.injected." ^ Fault.site_name site);

@@ -1754,3 +1754,26 @@ let fleet_suite_json s =
   Fleet.Fleet_sim.outcome_to_json ~timing:true s.fleet_cfg s.fleet_outcome
 
 let fleet_suite_clean s = Fleet.Fleet_sim.all_clean s.fleet_outcome
+
+(* --- crash/recovery chaos soak (PR 10) --- *)
+
+type chaos_suite = {
+  chaos_cfg : Fleet.Chaos_sim.config;
+  chaos_outcome : Fleet.Chaos_sim.outcome;
+}
+
+let chaos_for_suite ?(options = default_options) ?(domains = 1) () =
+  let base =
+    if options.quick then Fleet.Chaos_sim.quick_config
+    else Fleet.Chaos_sim.default_config
+  in
+  let cfg = { base with Fleet.Chaos_sim.domains } in
+  let outcome = Fleet.Chaos_sim.run cfg in
+  Format.printf "@.== Crash/recovery chaos soak ==@.%a"
+    Fleet.Chaos_sim.pp_outcome outcome;
+  { chaos_cfg = cfg; chaos_outcome = outcome }
+
+let chaos_suite_json s =
+  Fleet.Chaos_sim.outcome_to_json ~timing:true s.chaos_cfg s.chaos_outcome
+
+let chaos_suite_clean s = Fleet.Chaos_sim.all_clean s.chaos_outcome

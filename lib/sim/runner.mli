@@ -328,3 +328,27 @@ val fleet_suite_json : fleet_suite -> string
 val fleet_suite_clean : fleet_suite -> bool
 (** Every row fsck-clean (including cross-shard ASID placement) with
     drained limbo. *)
+
+(** {1 Crash/recovery chaos soak (PR 10)} *)
+
+type chaos_suite = {
+  chaos_cfg : Fleet.Chaos_sim.config;
+  chaos_outcome : Fleet.Chaos_sim.outcome;
+}
+
+val chaos_for_suite : ?options:options -> ?domains:int -> unit -> chaos_suite
+(** The {!Fleet.Chaos_sim} soak at suite scale: tenants churning over
+    crash-consistent shards (per-shard WAL + checkpoints) while shards
+    are killed at planned WAL offsets, at random, mid-checkpoint and
+    mid-recovery.  The quick config rides [--quick]; [domains] sizes
+    the worker pool only — the outcome is bit-identical for every
+    value. *)
+
+val chaos_suite_json : chaos_suite -> string
+(** {!Fleet.Chaos_sim.outcome_to_json} with timing fields (the bench
+    harness embeds it as [experiments.chaos]; its differ ignores the
+    timing). *)
+
+val chaos_suite_clean : chaos_suite -> bool
+(** Every recovery converged, every final table oracle-equivalent,
+    fsck- and placement-clean, limbo drained. *)

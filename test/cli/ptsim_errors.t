@@ -15,7 +15,7 @@ Bare invocation:
 An unknown subcommand names the offending token:
 
   $ ptsim nonsense
-  ptsim: unknown command 'nonsense', must be one of 'ablations', 'all', 'churn', 'dump', 'faultsim', 'figure10', 'figure11', 'figure9', 'fleet', 'fsck', 'inspect', 'numa', 'replay', 'report', 'table1', 'table2', 'throughput', 'verify' or 'workload'.
+  ptsim: unknown command 'nonsense', must be one of 'ablations', 'all', 'chaos', 'churn', 'dump', 'faultsim', 'figure10', 'figure11', 'figure9', 'fleet', 'fsck', 'inspect', 'numa', 'replay', 'report', 'table1', 'table2', 'throughput', 'verify' or 'workload'.
   Usage: ptsim [COMMAND] …
   Try 'ptsim --help' for more information.
   [124]
@@ -71,7 +71,7 @@ Every enum-valued flag on every subcommand follows that contract:
   [2]
 
   $ ptsim faultsim --sites torn_write,bogus
-  unknown site "bogus" for faultsim (have: alloc_node, alloc_phys, lock_timeout, domain_crash, torn_write, seqlock_stall, replica_write)
+  unknown site "bogus" for faultsim (have: alloc_node, alloc_phys, lock_timeout, domain_crash, torn_write, seqlock_stall, replica_write, shard_crash)
   [2]
 
   $ ptsim numa --mode bogus
@@ -95,6 +95,37 @@ Every enum-valued flag on every subcommand follows that contract:
 
   $ ptsim fleet --locking bogus
   unknown locking "bogus" for fleet (have: striped, global, seqlock)
+  [2]
+
+The chaos soak's flags follow the same contract — enums, the fault
+site list, and its numeric flags (a crash schedule that cannot be
+parsed must never degrade into "no planned crashes"):
+
+  $ ptsim chaos --org bogus
+  unknown org "bogus" for chaos (have: all, clustered, hashed)
+  [2]
+
+  $ ptsim chaos --locking bogus
+  unknown locking "bogus" for chaos (have: striped, global, seqlock)
+  [2]
+
+  $ ptsim chaos --sites torn_write,bogus
+  unknown site "bogus" for chaos (have: alloc_node, alloc_phys, lock_timeout, domain_crash, torn_write, seqlock_stall, replica_write, shard_crash)
+  [2]
+
+  $ ptsim chaos --checkpoint-every 0
+  invalid checkpoint cadence "0" for chaos (want an integer >= 1)
+  [2]
+
+  $ ptsim chaos --checkpoint-every x
+  invalid checkpoint cadence "x" for chaos (want an integer >= 1)
+  [2]
+
+  $ ptsim chaos --crash-at=12,-3
+  invalid crash offset "-3" for chaos (want comma-separated byte offsets >= 0)
+  [2]
+
+  $ ptsim chaos --crash-at 12,x 2>/dev/null
   [2]
 
 The shared telemetry flags follow it too, on every subcommand:

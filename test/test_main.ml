@@ -23,5 +23,6 @@ let () =
       Test_obs.suite;
       Test_numa.suite;
       Test_fleet.suite;
+      Test_durable.suite;
       Test_report.suite;
     ]

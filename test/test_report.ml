@@ -128,11 +128,48 @@ let test_rules () =
   Alcotest.(check int) "eviction wiggle passes" 0
     (List.length
        (breaches (compare_rows {|"evictions":8|} {|"evictions":12|})));
+  (* recovery storm: ratio 2, floor 64 *)
+  Alcotest.(check int) "replayed_records 3x breaches" 1
+    (List.length
+       (breaches
+          (compare_rows {|"replayed_records":100|} {|"replayed_records":300|})));
+  Alcotest.(check int) "replayed_records under floor passes" 0
+    (List.length
+       (breaches
+          (compare_rows {|"replayed_records":10|} {|"replayed_records":50|})));
+  Alcotest.(check int) "replayed_records wiggle passes" 0
+    (List.length
+       (breaches
+          (compare_rows {|"replayed_records":100|} {|"replayed_records":150|})));
   (* an info delta is reported but does not gate *)
   let info = compare_rows {|"walks":10|} {|"walks":11|} in
   Alcotest.(check int) "changed key is one info finding" 1
     (List.length info.R.findings);
   Alcotest.(check bool) "info does not breach" false (R.has_breach info)
+
+let test_degraded_rejection_rule () =
+  (* breaches without a baseline counterpart, like tracer drops *)
+  let base = parse {|{"counters":[],"histograms":[]}|} in
+  let cur =
+    parse
+      {|{"counters":[{"name":"fleet.degraded_rejections","value":2}],"histograms":[]}|}
+  in
+  Alcotest.(check bool) "rejections > 0 breach baseline-absent" true
+    (R.has_breach (R.compare_files ~baseline:base ~current:cur));
+  (* with a baseline, an unchanged soak passes (self-compare must stay
+     clean) but a surge past 2x breaches *)
+  Alcotest.(check bool) "unchanged rejections pass" false
+    (R.has_breach
+       (compare_rows {|"degraded_rejections":2|} {|"degraded_rejections":2|}));
+  Alcotest.(check bool) "rejection surge breaches" true
+    (R.has_breach
+       (compare_rows {|"degraded_rejections":2|} {|"degraded_rejections":9|}));
+  Alcotest.(check bool) "first rejection over a zero baseline breaches" true
+    (R.has_breach
+       (compare_rows {|"degraded_rejections":0|} {|"degraded_rejections":1|}));
+  Alcotest.(check bool) "rejections = 0 pass" false
+    (R.has_breach
+       (compare_rows {|"degraded_rejections":0|} {|"degraded_rejections":0|}))
 
 let test_tracer_drop_rule () =
   let base = parse {|{"counters":[],"histograms":[]}|} in
@@ -250,6 +287,8 @@ let suite =
       QCheck_alcotest.to_alcotest prop_bucket_quantile_matches_hist;
       Alcotest.test_case "threshold rules" `Quick test_rules;
       Alcotest.test_case "tracer drop rule" `Quick test_tracer_drop_rule;
+      Alcotest.test_case "degraded rejection rule" `Quick
+        test_degraded_rejection_rule;
       Alcotest.test_case "one-sided keys are ignored" `Quick
         test_one_sided_keys_ignored;
       Alcotest.test_case "renderings" `Quick test_render;

@@ -372,6 +372,23 @@ let () =
       Printf.sprintf "%s/%s" (key_str "org" row) (key_str "mode" row))
     ~ignored:[ "ops_per_sec"; "elapsed_s"; "p99_ns"; "mean_ns" ]
     a b;
+  (* the chaos soak: every field is a deterministic function of (seed,
+     schedule) except the two timing columns *)
+  check_scalar "chaos.seed" [ "experiments"; "chaos"; "seed" ] a b;
+  check_scalar "chaos.locking" [ "experiments"; "chaos"; "locking" ] a b;
+  check_scalar "chaos.tenants" [ "experiments"; "chaos"; "tenants" ] a b;
+  check_scalar "chaos.shards" [ "experiments"; "chaos"; "shards" ] a b;
+  check_scalar "chaos.checkpoint_every"
+    [ "experiments"; "chaos"; "checkpoint_every" ]
+    a b;
+  check_scalar "chaos.crash_offsets"
+    [ "experiments"; "chaos"; "crash_offsets" ]
+    a b;
+  check_row_list "chaos"
+    [ "experiments"; "chaos"; "rows" ]
+    ~key_of:(key_str "org")
+    ~ignored:[ "ops_per_sec"; "elapsed_s" ]
+    a b;
   (* micro-benchmark names (the set of measured operations), not times *)
   (let names root =
      match rows_of [ "micro_ns_per_op" ] root with

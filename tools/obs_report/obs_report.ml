@@ -382,6 +382,17 @@ let eviction_key k =
 
 let dropped_key k = ends_with ~suffix:"obs.trace.dropped" k
 
+(* recovery.replayed_records and its chaos-row mirror: a jump means
+   shards are crash-looping or checkpoints stopped compacting *)
+let recovery_key k = contains ~sub:"replayed_records" k
+
+(* degraded_rejections is tenant-visible unavailability: a run that
+   starts rejecting when its baseline never did breaches outright
+   (there is no ratio over zero), and an established count may at most
+   double — crash soaks that expect a fixed rejection count are also
+   gated by bench_diff's exact row equality *)
+let rejection_key k = contains ~sub:"degraded_rejections" k
+
 (* Each rule needs both a ratio and an absolute floor: tiny counts
    ratio up violently (1 -> 3 evictions is not a storm), so a current
    value under the floor never breaches. *)
@@ -400,6 +411,11 @@ let judge ~key ~base ~cur =
     ratio_rule ~name:"lock-contention spike" ~ratio:1.5 ~floor:128.0 ~base ~cur
   else if eviction_key key then
     ratio_rule ~name:"eviction storm" ~ratio:2.0 ~floor:16.0 ~base ~cur
+  else if recovery_key key then
+    ratio_rule ~name:"recovery storm" ~ratio:2.0 ~floor:64.0 ~base ~cur
+  else if rejection_key key then
+    ratio_rule ~name:"degraded-rejection surge" ~ratio:2.0 ~floor:1.0 ~base
+      ~cur
   else None
 
 let compare_files ~baseline ~current =
@@ -415,8 +431,10 @@ let compare_files ~baseline ~current =
       match Hashtbl.find_opt base_tbl key with
       | None ->
           incr current_only;
-          (* tracer drops breach even with no baseline counterpart: a
-             saturated ring means the trace artifact is incomplete *)
+          (* tracer drops and degraded rejections breach even with no
+             baseline counterpart: a saturated ring means the trace
+             artifact is incomplete, and a rejection means a tenant
+             saw unavailability *)
           if dropped_key key && cur > 0.0 then
             breaches :=
               {
@@ -426,6 +444,20 @@ let compare_files ~baseline ~current =
                 current = Some cur;
                 note =
                   Printf.sprintf "tracer dropped %g event(s); must be 0" cur;
+              }
+              :: !breaches
+          else if rejection_key key && cur > 0.0 then
+            breaches :=
+              {
+                severity = Breach;
+                key;
+                baseline = None;
+                current = Some cur;
+                note =
+                  Printf.sprintf
+                    "%g degraded rejection(s) with no baseline counterpart: \
+                     tenants saw unavailability a baseline run never did"
+                    cur;
               }
               :: !breaches
       | Some base ->

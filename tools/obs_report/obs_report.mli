@@ -2,7 +2,7 @@
 
     Reads two JSON artifacts — telemetry metrics dumps
     ([--metrics-out]), simulation outcomes ([ptsim fleet --json], ...)
-    or whole benchmark files (BENCH_PR8.json) — normalizes both to a
+    or whole benchmark files (BENCH_PR10.json) — normalizes both to a
     flat [dotted.key -> number] view, and compares the shared keys
     against declarative anomaly thresholds:
 
@@ -12,8 +12,16 @@
       [seqlock_fallbacks]): 1.5x over a floor of 128;
     - eviction keys ([evictions], [evicted_pages]): 2x over a floor
       of 16;
+    - recovery keys ([replayed_records]): 2x over a floor of 64 — a
+      recovery storm means shards are crash-looping or checkpoints
+      stopped compacting;
     - [obs.trace.dropped] > 0 in the current file breaches
-      unconditionally — the tracer ring must never saturate in CI.
+      unconditionally — the tracer ring must never saturate in CI;
+    - [degraded_rejections] > 0 breaches even with no baseline
+      counterpart (tenant-visible unavailability a baseline run never
+      showed has no ratio to judge); with one, an established count
+      may at most double (crash soaks that expect a fixed rejection
+      count are also gated by bench_diff's exact row equality).
 
     Every other shared key that changed becomes an [Info] finding;
     keys present on only one side are counted, not reported, so a
